@@ -1,0 +1,120 @@
+// Command rmtbench regenerates the paper's evaluation: Table 1 (page
+// prefetching), Table 2 (CPU scheduling) and the ablations indexed in
+// DESIGN.md, printing measured values next to the paper's reported numbers.
+//
+// Usage:
+//
+//	rmtbench [-exp table1|table2|adapt|dp|all] [-seed N] [-mode jit|interp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rmtk/internal/core"
+	"rmtk/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, all")
+		seed = flag.Int64("seed", 1, "workload seed")
+		mode = flag.String("mode", "jit", "RMT execution mode: jit or interp")
+	)
+	flag.Parse()
+
+	execMode := core.ModeJIT
+	if *mode == "interp" {
+		execMode = core.ModeInterp
+	} else if *mode != "jit" {
+		fmt.Fprintf(os.Stderr, "rmtbench: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "rmtbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		fmt.Printf("== Table 1: page prefetching (mode=%s) ==\n", execMode)
+		rows, err := experiments.Table1(*seed, execMode)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("table2", func() error {
+		fmt.Printf("== Table 2: CFS migration mimicry (mode=%s) ==\n", execMode)
+		rows, err := experiments.Table2(*seed, execMode)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("adapt", func() error {
+		fmt.Println("== Ablation D: online adaptation under workload shift ==")
+		res, err := experiments.OnlineAdaptation(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		fmt.Println()
+		return nil
+	})
+
+	run("io", func() error {
+		fmt.Println("== Extension F: learned block-IO submit path (tail latency) ==")
+		rows, err := experiments.IOTail(*seed)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("net", func() error {
+		fmt.Println("== Extension G: learned elephant-flow isolation (RX path) ==")
+		rows, err := experiments.NetIsolation(*seed)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("dp", func() error {
+		fmt.Println("== Ablation E: differential-privacy budget sweep ==")
+		pts, err := experiments.DPSweep(*seed)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			fmt.Println(p)
+		}
+		fmt.Println()
+		return nil
+	})
+}

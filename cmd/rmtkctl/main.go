@@ -1,0 +1,210 @@
+// Command rmtkctl is the offline RMT program toolchain: assemble, verify,
+// disassemble and run RMT programs against a scratch kernel.
+//
+// Usage:
+//
+//	rmtkctl [-O] asm <prog.rmt>                 assemble to <prog.bin>
+//	rmtkctl dis <prog.bin>                      disassemble wire format
+//	rmtkctl [-O] verify <prog.rmt>              run the verifier, print the report
+//	rmtkctl [-O] run <prog.rmt> [r1 [r2 [r3]]]  install and execute, print R0
+//
+// -O runs the machine-independent optimizer (constant folding, branch
+// folding, jump threading, dead-code elimination) before the operation.
+//
+// Assembly files may declare resources in directive comments:
+//
+//	;helpers 1,5
+//	;models  3
+//
+// The run/verify commands provision a scratch kernel with the standard
+// helper set; declared models resolve to a zero-predicting stub so that
+// admission and execution paths can be exercised offline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rmtk"
+	"rmtk/internal/core"
+	"rmtk/internal/isa"
+)
+
+var optimize = flag.Bool("O", false, "optimize bytecode before the operation")
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+	}
+	cmd, path := args[0], args[1]
+	var err error
+	switch cmd {
+	case "asm":
+		err = doAsm(path)
+	case "dis":
+		err = doDis(path)
+	case "verify":
+		err = doVerify(path)
+	case "run":
+		err = doRun(path, args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmtkctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rmtkctl asm|dis|verify|run <file> [args]")
+	os.Exit(2)
+}
+
+// loadSource reads an assembly file and extracts resource directives.
+func loadSource(path string) (*rmtk.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	src := string(data)
+	prog := &rmtk.Program{Name: strings.TrimSuffix(path, ".rmt")}
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		for _, d := range []struct {
+			prefix string
+			dst    *[]int64
+		}{
+			{";helpers", &prog.Helpers},
+			{";models", &prog.Models},
+			{";mats", &prog.Mats},
+			{";tables", &prog.Tables},
+			{";vecs", &prog.Vecs},
+			{";tails", &prog.Tails},
+		} {
+			if rest, ok := strings.CutPrefix(line, d.prefix); ok {
+				for _, f := range strings.Split(rest, ",") {
+					v, perr := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+					if perr != nil {
+						return nil, fmt.Errorf("%s: bad directive %q", path, line)
+					}
+					*d.dst = append(*d.dst, v)
+				}
+			}
+		}
+	}
+	prog.Insns, err = rmtk.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	if *optimize {
+		before := len(prog.Insns)
+		prog.Insns = isa.Optimize(prog.Insns)
+		if after := len(prog.Insns); after != before {
+			fmt.Fprintf(os.Stderr, "rmtkctl: optimized %d -> %d instructions\n", before, after)
+		}
+	}
+	return prog, nil
+}
+
+func doAsm(path string) error {
+	prog, err := loadSource(path)
+	if err != nil {
+		return err
+	}
+	out := strings.TrimSuffix(path, ".rmt") + ".bin"
+	if err := os.WriteFile(out, prog.Encode(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d instructions, %d bytes -> %s\n",
+		path, len(prog.Insns), len(prog.Insns)*isa.InstrBytes, out)
+	return nil
+}
+
+func doDis(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	insns, err := isa.DecodeProgram(data)
+	if err != nil {
+		return err
+	}
+	p := &rmtk.Program{Insns: insns}
+	fmt.Print(p.Disassemble())
+	return nil
+}
+
+// scratchKernel provisions a kernel with stub resources for the program's
+// declared ids so that admission succeeds offline.
+func scratchKernel(prog *rmtk.Program) *rmtk.Kernel {
+	k := rmtk.New(rmtk.Config{})
+	for _, id := range prog.Models {
+		// Stub model: predicts 0 regardless of features.
+		for {
+			got := k.RegisterModel(&core.FuncModel{Fn: func([]int64) int64 { return 0 }, Feats: 8, Ops: 1, Size: 8})
+			if got >= id {
+				break
+			}
+		}
+	}
+	return k
+}
+
+func doVerify(path string) error {
+	prog, err := loadSource(path)
+	if err != nil {
+		return err
+	}
+	k := scratchKernel(prog)
+	_, report, err := k.InstallProgram(prog)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: VERIFIED\n", path)
+	fmt.Printf("  max steps:   %d\n", report.MaxSteps)
+	fmt.Printf("  ml ops:      %d\n", report.MLOps)
+	fmt.Printf("  model bytes: %d\n", report.ModelBytes)
+	fmt.Printf("  rate limit:  %v\n", report.NeedsRateLimit)
+	fmt.Printf("  writes ctx:  %v\n", report.WritesCtx)
+	for _, w := range report.Warnings {
+		fmt.Printf("  warning: %s\n", w)
+	}
+	return nil
+}
+
+func doRun(path string, rest []string) error {
+	prog, err := loadSource(path)
+	if err != nil {
+		return err
+	}
+	var regs [3]int64
+	for i, a := range rest {
+		if i >= 3 {
+			break
+		}
+		v, perr := strconv.ParseInt(a, 0, 64)
+		if perr != nil {
+			return fmt.Errorf("bad register value %q", a)
+		}
+		regs[i] = v
+	}
+	k := scratchKernel(prog)
+	if _, _, err := k.InstallProgram(prog); err != nil {
+		return err
+	}
+	verdict, emissions, err := k.RunProgramByName(prog.Name, regs[0], regs[1], regs[2])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("R0 = %d\n", verdict)
+	if len(emissions) > 0 {
+		fmt.Printf("emissions = %v\n", emissions)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rmtk/internal/isa"
+)
+
+func writeProg(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadSourceDirectives(t *testing.T) {
+	path := writeProg(t, "p.rmt", `;helpers 1, 5
+;models 3
+;vecs 2
+        movimm r0, 1
+        exit
+`)
+	prog, err := loadSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Helpers) != 2 || prog.Helpers[0] != 1 || prog.Helpers[1] != 5 {
+		t.Fatalf("helpers = %v", prog.Helpers)
+	}
+	if len(prog.Models) != 1 || prog.Models[0] != 3 {
+		t.Fatalf("models = %v", prog.Models)
+	}
+	if len(prog.Vecs) != 1 || prog.Vecs[0] != 2 {
+		t.Fatalf("vecs = %v", prog.Vecs)
+	}
+	if len(prog.Insns) != 2 {
+		t.Fatalf("insns = %d", len(prog.Insns))
+	}
+}
+
+func TestLoadSourceBadDirective(t *testing.T) {
+	path := writeProg(t, "bad.rmt", ";helpers one\nexit\n")
+	if _, err := loadSource(path); err == nil {
+		t.Fatal("bad directive accepted")
+	}
+}
+
+func TestLoadSourceMissingFile(t *testing.T) {
+	if _, err := loadSource("/nonexistent/p.rmt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestAsmDisRoundtrip(t *testing.T) {
+	path := writeProg(t, "p.rmt", "movimm r0, 7\naddimm r0, 1\nexit\n")
+	if err := doAsm(path); err != nil {
+		t.Fatal(err)
+	}
+	bin := path[:len(path)-len(".rmt")] + ".bin"
+	if _, err := os.Stat(bin); err != nil {
+		t.Fatalf("binary missing: %v", err)
+	}
+	if err := doDis(bin); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyAndRun(t *testing.T) {
+	path := writeProg(t, "p.rmt", "mov r0, r1\nmulimm r0, 2\nexit\n")
+	if err := doVerify(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := doRun(path, []string{"21"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := doRun(path, []string{"not-a-number"}); err == nil {
+		t.Fatal("bad register value accepted")
+	}
+}
+
+func TestVerifyRejectsBadProgram(t *testing.T) {
+	path := writeProg(t, "bad.rmt", "mov r0, r9\nexit\n")
+	if err := doVerify(path); err == nil {
+		t.Fatal("uninitialized read admitted")
+	}
+}
+
+func TestOptimizeFlag(t *testing.T) {
+	*optimize = true
+	defer func() { *optimize = false }()
+	path := writeProg(t, "p.rmt", `
+        movimm r1, 6
+        movimm r2, 7
+        mov    r0, r1
+        mul    r0, r2
+        exit
+`)
+	prog, err := loadSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range prog.Insns {
+		if in.Op == isa.OpMul || in.Op == isa.OpMov {
+			t.Fatalf("optimizer left %s in a fully constant program", in.Op)
+		}
+	}
+	if err := doRun(path, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithDeclaredModelStub(t *testing.T) {
+	path := writeProg(t, "m.rmt", `;models 1
+        veczero v0, 4
+        mlinfer r0, v0, 1
+        exit
+`)
+	if err := doRun(path, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+// Learned block-IO submit path: the third kernel subsystem the paper's
+// vision targets (§1 lists "scheduling, memory management, file systems,
+// networking"; §2 cites LinnOS for "predicting hardware device state").
+//
+// Flash replicas stall periodically on internal garbage collection — the
+// "uncontrolled, blackbox code running in the devices" of §1. The kernel
+// observes only queue depths and completion latencies. A blk/submit_io RMT
+// table runs a verified program per candidate replica; an online-trained
+// integer decision tree predicts whether the next IO would hit a GC stall,
+// and the router steers around predicted-slow replicas — cutting both mean
+// latency and GC encounters without hedging's duplicate IOs.
+//
+// Run with: go run ./examples/iopath
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rmtk"
+	"rmtk/internal/blksim"
+	"rmtk/internal/experiments"
+	"rmtk/internal/rmtio"
+)
+
+func main() {
+	cfg := blksim.Config{
+		Replicas: 3,
+		Device:   experiments.IODeviceConfig(),
+		Seed:     7,
+	}
+	reqs := blksim.GenRequests(20_000, 300_000, 8)
+	fmt.Printf("replaying %d reads over %d replicas (GC every ~%.1fms, %.1fms stall penalty)\n\n",
+		len(reqs), cfg.Replicas,
+		float64(experiments.IODeviceConfig().GCEveryNs)/1e6,
+		float64(experiments.IODeviceConfig().SlowPenaltyNs)/1e6)
+
+	for _, router := range []blksim.Router{
+		blksim.PrimaryRouter{},
+		blksim.HedgeRouter{},
+		blksim.ShortestQueueRouter{},
+	} {
+		fmt.Println("  ", blksim.Run(cfg, router, reqs))
+	}
+
+	// The learned router: everything flows through the RMT datapath.
+	k := rmtk.New(rmtk.Config{})
+	plane := rmtk.NewControlPlane(k)
+	learned, err := rmtio.New(k, plane, rmtio.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := blksim.Run(cfg, learned, reqs)
+	fmt.Println("  ", res)
+	fmt.Printf("\nmodel pushes through the control plane: %d\n", learned.Trains())
+
+	progID, err := k.ProgramID("io_slow_predict")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := k.ProgramReport(progID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admitted predictor: worst-case %d steps, %d ML ops per submit\n",
+		rep.MaxSteps, rep.MLOps)
+}

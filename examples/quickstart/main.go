@@ -1,0 +1,110 @@
+// Quickstart: the paper's Figure-1 program sketch, end to end.
+//
+// It builds an in-kernel RMT virtual machine, configures a page_access data
+// collection table and a page_prefetch prediction table for pid 56 (the
+// rmt_prefetch_prog sketch of Figure 1), admits a bytecode program through
+// the verifier, fires kernel events through the datapath, and prints what
+// the pipeline decided.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rmtk"
+)
+
+func main() {
+	// The in-kernel virtual machine with JIT execution.
+	k := rmtk.New(rmtk.Config{Mode: rmtk.ModeJIT})
+	plane := rmtk.NewControlPlane(k)
+
+	// rmt_table page_access_tab = { .loc = lookup_swap_cache; .match = pid;
+	//                               .action = data_collection(); }
+	accessTab := rmtk.NewTable("page_access_tab", "mm/lookup_swap_cache", rmtk.MatchExact)
+	if _, err := k.CreateTable(accessTab); err != nil {
+		log.Fatal(err)
+	}
+	// page_access_entry a1 = {.pid = 56; ...}; collect page numbers into
+	// the execution-context history of pid 56.
+	if err := accessTab.Insert(&rmtk.Entry{
+		Key:    56,
+		Action: rmtk.Action{Kind: rmtk.ActionCollect},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// rmt_table page_prefetch_tab = { .loc = swap_cluster_readahead;
+	//                                 .match = pid; .action = ml_prediction(); }
+	// Here the "model" is a verified bytecode program: it reads the last
+	// two collected pages and emits the next page at the same stride — the
+	// smallest possible learned-prefetch action.
+	prefetchTab := rmtk.NewTable("page_prefetch_tab", "mm/swap_cluster_readahead", rmtk.MatchExact)
+	if _, err := k.CreateTable(prefetchTab); err != nil {
+		log.Fatal(err)
+	}
+
+	insns, err := rmtk.Assemble(`
+        ; R1 = pid, R2 = faulting page
+        call      5                 ; rmt_hist_len(pid)
+        jlti      r0, 2, done       ; need two samples before predicting
+        vecldhist v0, r1, 2         ; last two collected pages
+        scalarval r4, v0, 0         ; older
+        scalarval r5, v0, 1         ; newer
+        sub       r5, r4            ; stride
+        jeqi      r5, 0, done
+        mov       r6, r2
+        add       r6, r5            ; next page = fault + stride
+        ststack   [0], r1
+        mov       r1, r6
+        call      1                 ; rmt_emit(page) — rate limited
+        ldstack   r1, [0]
+done:   movimm    r0, 0
+        exit
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := &rmtk.Program{
+		Name:    "stride_prefetch",
+		Hook:    "mm/swap_cluster_readahead",
+		Insns:   insns,
+		Helpers: []int64{rmtk.HelperEmit, rmtk.HelperHistLen},
+	}
+	// syscall_rmt(): the verifier checks well-formedness, bounded
+	// execution and resource whitelists before admission.
+	progID, report, err := plane.LoadProgram(prog)
+	if err != nil {
+		log.Fatalf("admission failed: %v", err)
+	}
+	fmt.Printf("admitted %q: worst-case %d steps, rate-limited=%v\n",
+		prog.Name, report.MaxSteps, report.NeedsRateLimit)
+
+	if err := prefetchTab.Insert(&rmtk.Entry{
+		Key:    56,
+		Action: rmtk.Action{Kind: rmtk.ActionProgram, ProgID: progID},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive the datapath: pid 56 touches pages 100, 104, 108 — a stride-4
+	// stream. Each access fires data collection, then the prefetch hook.
+	for _, page := range []int64{100, 104, 108} {
+		k.Fire("mm/lookup_swap_cache", 56, page, 0)
+		res := k.Fire("mm/swap_cluster_readahead", 56, page, 0)
+		fmt.Printf("pid 56 touched page %d -> prefetch %v\n", page, res.Emissions)
+	}
+
+	// A different pid matches no entry: the kernel's default behaviour
+	// applies (no prefetch).
+	res := k.Fire("mm/swap_cluster_readahead", 99, 500, 0)
+	fmt.Printf("pid 99 touched page 500 -> matched=%d emissions=%v (default)\n",
+		res.Matched, res.Emissions)
+
+	fmt.Println("\nkernel metrics:")
+	for _, line := range k.Metrics.Snapshot() {
+		fmt.Println(" ", line)
+	}
+}

@@ -1,0 +1,73 @@
+// Case study #2 (CPU scheduling) end to end: run the CFS-style scheduler
+// simulator under its native heuristics while collecting can_migrate_task
+// decision logs, train an MLP in "userspace" floating point to mimic the
+// decisions, quantize it to integer-only form, compile it to RMT bytecode
+// (OpMatMul / OpVecRelu / OpVecQuant / OpVecArgMax), admit it through the
+// verifier, and re-run the scheduler with every migration decision routed
+// through the in-kernel virtual machine.
+//
+// Run with: go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rmtk"
+	"rmtk/internal/experiments"
+	"rmtk/internal/rmtsched"
+	"rmtk/internal/schedsim"
+	"rmtk/internal/workload"
+)
+
+func main() {
+	// Phase 1: data collection under the CFS heuristic (blackscholes).
+	const benchmark = 0 // blackscholes
+	ds := experiments.CollectSchedDataset(benchmark)
+	fmt.Printf("collected %d training / %d held-out can_migrate_task decisions from %s\n",
+		len(ds.Xtrain), len(ds.Xtest), ds.Workload)
+
+	// Phase 2: train in userspace float, quantize for the kernel.
+	q, err := experiments.TrainSchedMLP(ds, nil, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ops, bytes := q.Cost()
+	fmt.Printf("quantized MLP %v: %d integer MACs, %d bytes per inference\n", q.Sizes, ops, bytes)
+	fmt.Printf("held-out mimicry accuracy: %.2f%% (paper: 99.08%%)\n",
+		100*q.Accuracy(ds.Xtest, ds.Ytest))
+
+	// Phase 3: compile to RMT bytecode, admit, and attach at the hook.
+	k := rmtk.New(rmtk.Config{})
+	plane := rmtk.NewControlPlane(k)
+	dec, err := rmtsched.Install(k, plane, q, "rmt-mlp", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	progID, err := k.ProgramID("can_migrate_rmt-mlp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := k.ProgramReport(progID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admitted bytecode MLP: worst-case %d steps, %d ML ops, %d model bytes\n",
+		report.MaxSteps, report.MLOps, report.ModelBytes)
+
+	// Phase 4: run the scheduler with the kernel-routed decider and compare
+	// against the heuristic.
+	wl := workload.Blackscholes(workload.SchedConfig{Seed: 11})
+	simCfg := schedsim.Config{CPUs: 8, Seed: 7}
+	rCFS := schedsim.Run(simCfg, wl, schedsim.CFSDecider{})
+	rMLP := schedsim.Run(simCfg, wl, dec)
+
+	const tickNs = int64(1e6)
+	fmt.Printf("\n%-14s  JCT        migrations  decisions\n", "decider")
+	for _, r := range []schedsim.Result{rCFS, rMLP} {
+		fmt.Printf("%-14s  %6.2fs    %-10d  %d\n",
+			r.Policy, r.JCTSeconds(tickNs), r.Migrations, r.Decisions)
+	}
+	delta := 100 * (rMLP.JCTSeconds(tickNs) - rCFS.JCTSeconds(tickNs)) / rCFS.JCTSeconds(tickNs)
+	fmt.Printf("\nlearned datapath JCT within %.2f%% of the CFS heuristic\n", delta)
+}

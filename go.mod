@@ -1,0 +1,3 @@
+module rmtk
+
+go 1.22

@@ -1,0 +1,351 @@
+// Package blksim simulates the block-IO subsystem for the paper's third
+// envisioned application domain (§1/§2 cite LinnOS [24], "predicting
+// hardware device state for better management"): flash devices whose
+// latency is bimodal — fast in steady state, slow during internal
+// garbage-collection episodes driven by "uncontrolled, blackbox code running
+// in the devices" (§1). The kernel cannot see GC directly; it only observes
+// queue depths and completed-IO latencies, which is exactly the signal a
+// learned submit-path policy can exploit.
+//
+// The simulator exposes a blk/submit_io decision point: a Router picks which
+// replica serves each read. Baselines are always-primary and timeout
+// hedging; the learned router (internal/rmtio) predicts per-device slowness
+// through the RMT datapath.
+package blksim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Hook names fired by the learned router.
+const (
+	HookSubmitIO   = "blk/submit_io"
+	HookCompleteIO = "blk/complete_io"
+)
+
+// DeviceConfig parameterizes one flash device.
+type DeviceConfig struct {
+	// BaseNs is the steady-state service latency. <=0 selects 80_000
+	// (80µs flash read).
+	BaseNs int64
+	// JitterNs adds uniform jitter to every IO. <0 selects BaseNs/8.
+	JitterNs int64
+	// GCEveryNs is the mean gap between GC episodes. <=0 selects 2e6.
+	GCEveryNs int64
+	// GCJitterNs randomizes episode starts. <0 selects GCEveryNs/4.
+	GCJitterNs int64
+	// GCDurationNs is how long an episode blocks the device. <=0 selects
+	// 600_000 (0.6ms).
+	GCDurationNs int64
+	// SlowPenaltyNs is added to IOs that overlap a GC episode. <=0
+	// selects 4e6 (4ms — LinnOS-scale tail).
+	SlowPenaltyNs int64
+}
+
+func (c DeviceConfig) withDefaults() DeviceConfig {
+	if c.BaseNs <= 0 {
+		c.BaseNs = 80_000
+	}
+	if c.JitterNs < 0 {
+		c.JitterNs = c.BaseNs / 8
+	} else if c.JitterNs == 0 {
+		c.JitterNs = c.BaseNs / 8
+	}
+	if c.GCEveryNs <= 0 {
+		c.GCEveryNs = 2_000_000
+	}
+	if c.GCJitterNs <= 0 {
+		c.GCJitterNs = c.GCEveryNs / 4
+	}
+	if c.GCDurationNs <= 0 {
+		c.GCDurationNs = 600_000
+	}
+	if c.SlowPenaltyNs <= 0 {
+		c.SlowPenaltyNs = 4_000_000
+	}
+	return c
+}
+
+// Device is one simulated flash device.
+type Device struct {
+	ID  int64
+	cfg DeviceConfig
+	rng *rand.Rand
+
+	freeAt    int64 // when the device queue drains
+	nextGC    int64 // next episode start
+	gcUntil   int64 // current episode end
+	queueLen  int   // outstanding IOs
+	completes []completion
+}
+
+type completion struct {
+	at   int64
+	slow bool
+}
+
+// NewDevice builds a device with its own GC schedule.
+func NewDevice(id int64, cfg DeviceConfig, seed int64) *Device {
+	cfg = cfg.withDefaults()
+	d := &Device{ID: id, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	d.scheduleGC(0)
+	return d
+}
+
+func (d *Device) scheduleGC(now int64) {
+	gap := d.cfg.GCEveryNs + d.rng.Int63n(2*d.cfg.GCJitterNs+1) - d.cfg.GCJitterNs
+	if gap < d.cfg.GCDurationNs {
+		gap = d.cfg.GCDurationNs
+	}
+	d.nextGC = now + gap
+}
+
+// advance rolls the GC state machine forward to time now.
+func (d *Device) advance(now int64) {
+	for d.nextGC <= now {
+		d.gcUntil = d.nextGC + d.cfg.GCDurationNs
+		d.scheduleGC(d.gcUntil)
+	}
+}
+
+// Submit services one read at time now and returns its completion time and
+// whether it was slow. The device is FIFO: the IO starts when the queue
+// drains.
+func (d *Device) Submit(now int64) (doneAt int64, slow bool) {
+	d.advance(now)
+	start := now
+	if d.freeAt > start {
+		start = d.freeAt
+	}
+	// If the service window overlaps a GC episode the IO pays the penalty.
+	dur := d.cfg.BaseNs + d.rng.Int63n(d.cfg.JitterNs+1)
+	slow = false
+	if start < d.gcUntil && d.gcUntil > now {
+		dur += d.cfg.SlowPenaltyNs
+		slow = true
+	} else if d.nextGC < start+dur {
+		// GC begins mid-service.
+		dur += d.cfg.SlowPenaltyNs
+		slow = true
+		d.advance(start + dur)
+	}
+	d.freeAt = start + dur
+	d.queueLen++
+	d.completes = append(d.completes, completion{at: start + dur, slow: slow})
+	return start + dur, slow
+}
+
+// Observe drains completions up to now, returning how many completed and
+// how many of those were slow; queue length drops accordingly. This is the
+// kernel-visible signal.
+func (d *Device) Observe(now int64) (done, slowDone int) {
+	kept := d.completes[:0]
+	for _, c := range d.completes {
+		if c.at <= now {
+			done++
+			if c.slow {
+				slowDone++
+			}
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	d.completes = kept
+	d.queueLen -= done
+	return done, slowDone
+}
+
+// QueueLen reports outstanding IOs (kernel-visible).
+func (d *Device) QueueLen() int { return d.queueLen }
+
+// Request is one read arriving at a given time.
+type Request struct {
+	ArriveNs int64
+}
+
+// GenRequests builds an open-loop arrival stream with mean gap meanGapNs.
+func GenRequests(n int, meanGapNs int64, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	t := int64(0)
+	for i := range reqs {
+		t += rng.Int63n(2*meanGapNs + 1)
+		reqs[i] = Request{ArriveNs: t}
+	}
+	return reqs
+}
+
+// Router decides which replica serves a request.
+type Router interface {
+	// Name identifies the policy.
+	Name() string
+	// Route picks a device index for the request given kernel-visible
+	// state; hedge reports whether a backup IO should also be issued to
+	// the returned second index after hedgeAfterNs.
+	Route(now int64, devs []*Device) (primary int, hedge bool, hedgeTo int)
+	// OnObserve delivers the kernel-visible completion telemetry the block
+	// layer sees when it polls a device's completion queue.
+	OnObserve(dev int, done, slowDone int, now int64)
+	// OnComplete feeds the served request's outcome back (for learned
+	// policies: the training label).
+	OnComplete(dev int64, slow bool, latencyNs int64)
+}
+
+// Result summarizes a run.
+type Result struct {
+	Policy    string
+	Requests  int
+	MeanNs    float64
+	P50Ns     int64
+	P99Ns     int64
+	SlowServe int // requests that hit a GC-delayed IO on their serving path
+	ExtraIOs  int // hedged duplicates issued
+	latencies []int64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s: mean=%.0fµs p50=%dµs p99=%dµs slow=%d extraIO=%d",
+		r.Policy, r.MeanNs/1e3, r.P50Ns/1e3, r.P99Ns/1e3, r.SlowServe, r.ExtraIOs)
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Replicas is the device count. <=0 selects 3.
+	Replicas int
+	// Device configures every replica (independent GC phases via seeds).
+	Device DeviceConfig
+	// HedgeAfterNs is the hedging deadline for routers that hedge. <=0
+	// selects 300_000.
+	HedgeAfterNs int64
+	// Seed drives device GC schedules and arrivals.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.HedgeAfterNs <= 0 {
+		c.HedgeAfterNs = 300_000
+	}
+	return c
+}
+
+// Run replays the request stream through the router over fresh devices.
+func Run(cfg Config, router Router, reqs []Request) Result {
+	cfg = cfg.withDefaults()
+	devs := make([]*Device, cfg.Replicas)
+	for i := range devs {
+		devs[i] = NewDevice(int64(i), cfg.Device, cfg.Seed*131+int64(i)*977+7)
+	}
+	res := Result{Policy: router.Name(), Requests: len(reqs)}
+	for _, rq := range reqs {
+		now := rq.ArriveNs
+		for i, d := range devs {
+			done, slowDone := d.Observe(now)
+			router.OnObserve(i, done, slowDone, now)
+			d.advance(now)
+		}
+		primary, hedge, hedgeTo := router.Route(now, devs)
+		if primary < 0 || primary >= len(devs) {
+			primary = 0
+		}
+		doneAt, slow := devs[primary].Submit(now)
+		lat := doneAt - now
+		served := primary
+		if hedge && lat > cfg.HedgeAfterNs && hedgeTo >= 0 && hedgeTo < len(devs) && hedgeTo != primary {
+			res.ExtraIOs++
+			hDone, hSlow := devs[hedgeTo].Submit(now + cfg.HedgeAfterNs)
+			if hLat := hDone - now; hLat < lat {
+				lat = hLat
+				slow = hSlow
+				served = hedgeTo
+			}
+		}
+		_ = served
+		if slow {
+			res.SlowServe++
+		}
+		router.OnComplete(int64(primary), slow, lat)
+		res.latencies = append(res.latencies, lat)
+	}
+	finalize(&res)
+	return res
+}
+
+func finalize(r *Result) {
+	if len(r.latencies) == 0 {
+		return
+	}
+	sorted := append([]int64(nil), r.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum int64
+	for _, v := range sorted {
+		sum += v
+	}
+	r.MeanNs = float64(sum) / float64(len(sorted))
+	r.P50Ns = sorted[len(sorted)/2]
+	r.P99Ns = sorted[len(sorted)*99/100]
+}
+
+// PrimaryRouter always reads replica 0 (the no-policy baseline).
+type PrimaryRouter struct{}
+
+// Name implements Router.
+func (PrimaryRouter) Name() string { return "primary" }
+
+// Route implements Router.
+func (PrimaryRouter) Route(int64, []*Device) (int, bool, int) { return 0, false, -1 }
+
+// OnObserve implements Router.
+func (PrimaryRouter) OnObserve(int, int, int, int64) {}
+
+// OnComplete implements Router.
+func (PrimaryRouter) OnComplete(int64, bool, int64) {}
+
+// HedgeRouter reads the primary and hedges to the next replica after the
+// deadline — the classic tail-tolerance heuristic (costs duplicate IOs).
+type HedgeRouter struct{}
+
+// Name implements Router.
+func (HedgeRouter) Name() string { return "hedge" }
+
+// Route implements Router.
+func (HedgeRouter) Route(now int64, devs []*Device) (int, bool, int) {
+	if len(devs) < 2 {
+		return 0, false, -1
+	}
+	return 0, true, 1
+}
+
+// OnObserve implements Router.
+func (HedgeRouter) OnObserve(int, int, int, int64) {}
+
+// OnComplete implements Router.
+func (HedgeRouter) OnComplete(int64, bool, int64) {}
+
+// ShortestQueueRouter picks the least-loaded replica (queue-aware but
+// GC-blind).
+type ShortestQueueRouter struct{}
+
+// Name implements Router.
+func (ShortestQueueRouter) Name() string { return "shortest-queue" }
+
+// Route implements Router.
+func (ShortestQueueRouter) Route(now int64, devs []*Device) (int, bool, int) {
+	best := 0
+	for i, d := range devs {
+		if d.QueueLen() < devs[best].QueueLen() {
+			best = i
+		}
+	}
+	return best, false, -1
+}
+
+// OnObserve implements Router.
+func (ShortestQueueRouter) OnObserve(int, int, int, int64) {}
+
+// OnComplete implements Router.
+func (ShortestQueueRouter) OnComplete(int64, bool, int64) {}

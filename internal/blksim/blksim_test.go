@@ -1,0 +1,124 @@
+package blksim
+
+import (
+	"testing"
+)
+
+// fastDevCfg is a stable operating point: effective mean service
+// (0.8*100 + 0.2*5100 ~= 1.1us) stays well under the 2us arrival gap used
+// by the run tests, so queues stay shallow and GC encounters dominate.
+func fastDevCfg() DeviceConfig {
+	return DeviceConfig{
+		BaseNs: 100, JitterNs: 10, GCEveryNs: 10_000, GCJitterNs: 3_000,
+		GCDurationNs: 2_000, SlowPenaltyNs: 5_000,
+	}
+}
+
+func TestDeviceBimodalLatency(t *testing.T) {
+	d := NewDevice(0, fastDevCfg(), 1)
+	var fast, slow int
+	now := int64(0)
+	for i := 0; i < 2000; i++ {
+		now += 2_000
+		doneAt, isSlow := d.Submit(now)
+		lat := doneAt - now
+		if isSlow {
+			slow++
+			if lat < 5_000 {
+				t.Fatalf("slow IO latency %d below the penalty", lat)
+			}
+		} else {
+			fast++
+		}
+		d.Observe(doneAt + 1)
+	}
+	if fast == 0 || slow == 0 {
+		t.Fatalf("latency not bimodal: fast=%d slow=%d", fast, slow)
+	}
+	// GC duty cycle is 20%: slow fraction should be in that ballpark.
+	frac := float64(slow) / float64(fast+slow)
+	if frac < 0.05 || frac > 0.6 {
+		t.Fatalf("slow fraction %.2f implausible", frac)
+	}
+}
+
+func TestDeviceQueueAccounting(t *testing.T) {
+	d := NewDevice(0, fastDevCfg(), 2)
+	d.Submit(0)
+	d.Submit(0)
+	if d.QueueLen() != 2 {
+		t.Fatalf("queue = %d", d.QueueLen())
+	}
+	done, _ := d.Observe(1 << 40)
+	if done != 2 || d.QueueLen() != 0 {
+		t.Fatalf("done=%d queue=%d", done, d.QueueLen())
+	}
+}
+
+func TestDeviceFIFOQueueing(t *testing.T) {
+	d := NewDevice(0, DeviceConfig{
+		BaseNs: 100, JitterNs: 1, GCEveryNs: 1 << 40, GCDurationNs: 1, SlowPenaltyNs: 1,
+	}, 3)
+	a, _ := d.Submit(0)
+	b, _ := d.Submit(0)
+	if b <= a {
+		t.Fatalf("second IO finished first: %d vs %d", a, b)
+	}
+}
+
+func TestGenRequestsMonotone(t *testing.T) {
+	reqs := GenRequests(100, 500, 4)
+	if len(reqs) != 100 {
+		t.Fatalf("n = %d", len(reqs))
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].ArriveNs < reqs[i-1].ArriveNs {
+			t.Fatal("arrivals not monotone")
+		}
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	cfg := Config{Replicas: 3, Device: fastDevCfg(), Seed: 5, HedgeAfterNs: 1_000}
+	reqs := GenRequests(3000, 2_000, 6)
+	prim := Run(cfg, PrimaryRouter{}, reqs)
+	hedge := Run(cfg, HedgeRouter{}, reqs)
+	sq := Run(cfg, ShortestQueueRouter{}, reqs)
+
+	if prim.Requests != 3000 || prim.P99Ns <= prim.P50Ns {
+		t.Fatalf("primary result malformed: %+v", prim)
+	}
+	// Hedging must cut the tail versus always-primary, at the cost of
+	// duplicate IOs.
+	if hedge.P99Ns >= prim.P99Ns {
+		t.Fatalf("hedging did not cut p99: %d vs %d", hedge.P99Ns, prim.P99Ns)
+	}
+	if hedge.ExtraIOs == 0 {
+		t.Fatal("hedging issued no duplicates")
+	}
+	if prim.ExtraIOs != 0 || sq.ExtraIOs != 0 {
+		t.Fatal("non-hedging routers issued duplicates")
+	}
+	// The GC tail dominates p99 for the GC-blind baselines.
+	if prim.SlowServe == 0 {
+		t.Fatal("primary never hit GC — workload too easy")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Replicas: 2, Device: fastDevCfg(), Seed: 9}
+	reqs := GenRequests(500, 2_000, 10)
+	a := Run(cfg, PrimaryRouter{}, reqs)
+	b := Run(cfg, PrimaryRouter{}, reqs)
+	if a.MeanNs != b.MeanNs || a.P99Ns != b.P99Ns || a.SlowServe != b.SlowServe {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Policy: "x", latencies: []int64{1, 2, 3}}
+	finalize(&r)
+	if r.String() == "" || r.P50Ns != 2 {
+		t.Fatalf("result = %+v", r)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"rmtk/internal/isa"
+	"rmtk/internal/vm"
+)
+
+// env implements vm.Env against the kernel registries. It is the only
+// surface admitted bytecode can touch; everything here is covered by the
+// verifier's resource whitelists.
+type env struct {
+	k *Kernel
+	// inv is the current invocation (set by Fire around each run). Helpers
+	// use it for emissions and rate limiting.
+	inv *Invocation
+}
+
+var _ vm.Env = (*env)(nil)
+
+func (e *env) CtxLoad(key, field int64) int64 { return e.k.ctx.Load(key, field) }
+
+func (e *env) CtxStore(key, field, val int64) { e.k.ctx.Store(key, field, val) }
+
+func (e *env) CtxHistPush(key, val int64) { e.k.ctx.HistPush(key, val) }
+
+func (e *env) CtxHist(key int64, dst []int64) int { return e.k.ctx.Hist(key, dst) }
+
+func (e *env) Match(tableID, key int64) int64 {
+	t, err := e.k.Table(tableID)
+	if err != nil {
+		return -1
+	}
+	entry := t.Lookup(uint64(key))
+	if entry == nil {
+		return -1
+	}
+	return entry.Action.Param
+}
+
+func (e *env) Call(helperID int64, args *[5]int64) (int64, error) {
+	e.k.mu.RLock()
+	h, ok := e.k.helpers[helperID]
+	e.k.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: helper %d", ErrNotFound, helperID)
+	}
+	return h.fn(e.k, e.inv, args)
+}
+
+func (e *env) MatVec(id int64, in []int64, out []int64) (int, error) {
+	e.k.mu.RLock()
+	m, ok := e.k.mats[id]
+	e.k.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: matrix %d", ErrNotFound, id)
+	}
+	if len(in) != m.In {
+		return 0, fmt.Errorf("core: matrix %d wants input %d, got %d", id, m.In, len(in))
+	}
+	if len(out) < m.Out {
+		return 0, fmt.Errorf("core: matrix %d output needs %d slots, got %d", id, m.Out, len(out))
+	}
+	for o := 0; o < m.Out; o++ {
+		sum := m.B[o]
+		row := m.W[o*m.In : (o+1)*m.In]
+		for i, x := range in {
+			sum += row[i] * x
+		}
+		out[o] = sum
+	}
+	return m.Out, nil
+}
+
+func (e *env) MatOutLen(id int64) (int, error) {
+	e.k.mu.RLock()
+	m, ok := e.k.mats[id]
+	e.k.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: matrix %d", ErrNotFound, id)
+	}
+	return m.Out, nil
+}
+
+func (e *env) Infer(modelID int64, features []int64) (int64, error) {
+	m, err := e.k.Model(modelID)
+	if err != nil {
+		return 0, err
+	}
+	e.k.Metrics.Counter("core.inferences").Inc()
+	return m.Predict(features), nil
+}
+
+func (e *env) VecLoad(id int64, dst []int64) (int, error) {
+	e.k.mu.RLock()
+	v, ok := e.k.vecs[id]
+	if !ok {
+		e.k.mu.RUnlock()
+		return 0, fmt.Errorf("%w: vec %d", ErrNotFound, id)
+	}
+	n := copy(dst, v)
+	e.k.mu.RUnlock()
+	if n < len(v) {
+		return 0, vm.ErrVecTooLong
+	}
+	return n, nil
+}
+
+func (e *env) VecStore(id int64, src []int64) error {
+	return e.k.SetVec(id, src)
+}
+
+func (e *env) TailProgram(id int64) (*isa.Program, error) {
+	e.k.mu.RLock()
+	defer e.k.mu.RUnlock()
+	p, ok := e.k.progs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: program %d", ErrNotFound, id)
+	}
+	return p.prog, nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rmtk/internal/isa"
+	"rmtk/internal/table"
+	"rmtk/internal/verifier"
+)
+
+// Failure-injection tests: the datapath must degrade to default behaviour —
+// never panic, never corrupt state — when helpers fail intermittently,
+// models are swapped mid-storm, entries disappear under fire, or programs
+// are removed while attached.
+
+// TestFlakyHelperFailsSoft: a helper that errors intermittently traps the
+// program on exactly those invocations; all others succeed, and the trap
+// never leaks out of Fire.
+func TestFlakyHelperFailsSoft(t *testing.T) {
+	k := NewKernel(Config{})
+	var calls atomic.Int64
+	if err := k.RegisterHelper(HelperUserBase, verifier.HelperSpec{Name: "flaky", Cost: 1},
+		func(_ *Kernel, _ *Invocation, _ *[5]int64) (int64, error) {
+			if calls.Add(1)%3 == 0 {
+				return 0, errors.New("injected failure")
+			}
+			return 7, nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	tb := table.New("t", "hook/f", table.MatchExact)
+	if _, err := k.CreateTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	pid := install(t, k, &isa.Program{
+		Name:    "flaky_user",
+		Insns:   isa.MustAssemble("call 100\nexit"),
+		Helpers: []int64{HelperUserBase},
+	})
+	if err := tb.Insert(&table.Entry{Key: 1, Action: table.Action{Kind: table.ActionProgram, ProgID: pid}}); err != nil {
+		t.Fatal(err)
+	}
+	var ok, trapped int
+	for i := 0; i < 300; i++ {
+		res := k.Fire("hook/f", 1, 0, 0)
+		if res.Trapped {
+			trapped++
+			if res.Verdict != DefaultVerdict {
+				t.Fatal("trapped invocation produced a verdict")
+			}
+		} else {
+			ok++
+			if res.Verdict != 7 {
+				t.Fatalf("verdict = %d", res.Verdict)
+			}
+		}
+	}
+	if trapped != 100 || ok != 200 {
+		t.Fatalf("ok=%d trapped=%d, want 200/100", ok, trapped)
+	}
+}
+
+// TestModelSwapUnderFire: swapping a model while Fires run concurrently must
+// be linearizable-ish — every prediction comes from one of the two models,
+// never a torn state.
+func TestModelSwapUnderFire(t *testing.T) {
+	k := NewKernel(Config{})
+	modelID := k.RegisterModel(&FuncModel{Fn: func([]int64) int64 { return 1 }, Feats: 1, Ops: 1, Size: 8})
+	tb := table.New("t", "hook/s", table.MatchExact)
+	if _, err := k.CreateTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	pid := install(t, k, &isa.Program{
+		Name:   "pred",
+		Insns:  isa.MustAssemble("veczero v0, 1\nmlinfer r0, v0, " + itoa(modelID) + "\nexit"),
+		Models: []int64{modelID},
+	})
+	if err := tb.Insert(&table.Entry{Key: 1, Action: table.Action{Kind: table.ActionProgram, ProgID: pid}}); err != nil {
+		t.Fatal(err)
+	}
+	var firers, swapper sync.WaitGroup
+	stop := make(chan struct{})
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		v := int64(2)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			vv := v
+			_ = k.SwapModel(modelID, &FuncModel{Fn: func([]int64) int64 { return vv }, Feats: 1, Ops: 1, Size: 8})
+			v++
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		firers.Add(1)
+		go func() {
+			defer firers.Done()
+			for i := 0; i < 2000; i++ {
+				res := k.Fire("hook/s", 1, 0, 0)
+				if res.Trapped || res.Verdict < 1 {
+					t.Errorf("bad result under swap: %+v", res)
+					return
+				}
+			}
+		}()
+	}
+	firers.Wait()
+	close(stop)
+	swapper.Wait()
+}
+
+// TestEntryChurnUnderFire: inserting and deleting entries during a fire
+// storm never panics; misses cleanly produce the default verdict.
+func TestEntryChurnUnderFire(t *testing.T) {
+	k := NewKernel(Config{})
+	tb := table.New("t", "hook/c2", table.MatchExact)
+	if _, err := k.CreateTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	var firers, churner sync.WaitGroup
+	stop := make(chan struct{})
+	churner.Add(1)
+	go func() {
+		defer churner.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tb.Insert(&table.Entry{Key: 1, Action: table.Action{Kind: table.ActionParam, Param: 5}})
+			tb.Delete(&table.Entry{Key: 1})
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		firers.Add(1)
+		go func() {
+			defer firers.Done()
+			for i := 0; i < 3000; i++ {
+				res := k.Fire("hook/c2", 1, 0, 0)
+				if res.Verdict != DefaultVerdict && res.Verdict != 5 {
+					t.Errorf("verdict = %d", res.Verdict)
+					return
+				}
+			}
+		}()
+	}
+	firers.Wait()
+	close(stop)
+	churner.Wait()
+}
+
+// TestProgramRemovalUnderEntries: removing a program leaves entries
+// referencing it; fires must fail soft rather than crash.
+func TestProgramRemovalUnderEntries(t *testing.T) {
+	k := NewKernel(Config{})
+	tb := table.New("t", "hook/r", table.MatchExact)
+	if _, err := k.CreateTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	pid := install(t, k, &isa.Program{Name: "gone", Insns: isa.MustAssemble("movimm r0, 1\nexit")})
+	if err := tb.Insert(&table.Entry{Key: 1, Action: table.Action{Kind: table.ActionProgram, ProgID: pid}}); err != nil {
+		t.Fatal(err)
+	}
+	if res := k.Fire("hook/r", 1, 0, 0); res.Verdict != 1 {
+		t.Fatalf("pre-removal verdict %d", res.Verdict)
+	}
+	if err := k.RemoveProgram(pid); err != nil {
+		t.Fatal(err)
+	}
+	res := k.Fire("hook/r", 1, 0, 0)
+	if res.Verdict != DefaultVerdict {
+		t.Fatalf("dangling entry produced verdict %d", res.Verdict)
+	}
+	if k.Metrics.Counter("core.program_missing").Load() == 0 {
+		t.Fatal("missing-program metric not recorded")
+	}
+}
+
+// TestInferMissingModelFailsSoft: an ActionInfer entry pointing at a model
+// id that was never registered degrades to the default verdict.
+func TestInferMissingModelFailsSoft(t *testing.T) {
+	k := NewKernel(Config{})
+	tb := table.New("t", "hook/m", table.MatchExact)
+	if _, err := k.CreateTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(&table.Entry{Key: 1, Action: table.Action{Kind: table.ActionInfer, ModelID: 999}}); err != nil {
+		t.Fatal(err)
+	}
+	res := k.Fire("hook/m", 1, 0, 0)
+	if res.Verdict != DefaultVerdict {
+		t.Fatalf("verdict = %d", res.Verdict)
+	}
+	if k.Metrics.Counter("core.infer_missing_model").Load() != 1 {
+		t.Fatal("missing-model metric not recorded")
+	}
+}

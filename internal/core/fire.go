@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"rmtk/internal/table"
+	"rmtk/internal/vm"
+)
+
+// Invocation carries per-Fire state: the hook arguments, the emission buffer
+// helpers append to (e.g. pages to prefetch), and the rate-limit budget the
+// verifier-mandated guardrail enforces.
+type Invocation struct {
+	Hook string
+	Key  int64
+	Arg2 int64
+	Arg3 int64
+
+	emissions  []int64
+	emitBudget int
+	rateHits   int64
+}
+
+// Emissions returns the values emitted during the invocation.
+func (inv *Invocation) Emissions() []int64 { return inv.emissions }
+
+// FireResult reports the outcome of one hook dispatch.
+type FireResult struct {
+	// Matched is how many tables had a matching entry.
+	Matched int
+	// Verdict is the last action's result value (program R0, model
+	// prediction, or parameter), or DefaultVerdict when nothing decided.
+	Verdict int64
+	// Emissions are values emitted by helper calls (e.g. prefetch pages).
+	Emissions []int64
+	// RateLimited counts emissions dropped by the guardrail.
+	RateLimited int64
+	// Trapped reports whether a program aborted on a runtime trap (the
+	// verdict then reflects prior actions or the default).
+	Trapped bool
+	// TrapErr is the trap error for diagnostics (programs failing soft do
+	// not propagate errors into the datapath).
+	TrapErr error
+}
+
+// DefaultVerdict is returned when no table matched or no action produced a
+// value: the kernel's built-in behaviour applies.
+const DefaultVerdict = int64(-1)
+
+// Fire dispatches a kernel event at a hook point through the attached table
+// pipeline: each table is looked up with key; matched entries run their
+// action in order. Hook argument registers: R1 = key, R2 = arg2, R3 = arg3
+// (ActionProgram entries with a Param override R3 with the parameter).
+//
+// Fire never returns an error for datapath-level failures: a trapping
+// program or a missing model degrades to the default action, matching §3.3's
+// fail-soft stance (admitted programs "only influence kernel decisions in a
+// constrained manner").
+func (k *Kernel) Fire(hook string, key, arg2, arg3 int64) FireResult {
+	inv := Invocation{
+		Hook: hook, Key: key, Arg2: arg2, Arg3: arg3,
+		emitBudget: k.cfg.RateLimit,
+	}
+	res := FireResult{Verdict: DefaultVerdict}
+
+	k.mu.RLock()
+	tableIDs := k.hooks[hook]
+	mode := k.cfg.Mode
+	k.mu.RUnlock()
+	if len(tableIDs) == 0 {
+		return res
+	}
+	k.Metrics.Counter("core.fires").Inc()
+
+	for _, tid := range tableIDs {
+		t, err := k.Table(tid)
+		if err != nil {
+			continue
+		}
+		entry := t.Lookup(uint64(key))
+		if entry == nil {
+			continue
+		}
+		res.Matched++
+		k.runAction(t, entry, &inv, &res)
+	}
+	res.Emissions = inv.emissions
+	res.RateLimited = inv.rateHits
+	_ = mode
+	return res
+}
+
+// runAction executes one matched entry's action.
+func (k *Kernel) runAction(t *table.Table, entry *table.Entry, inv *Invocation, res *FireResult) {
+	switch entry.Action.Kind {
+	case table.ActionPass:
+		// Default behaviour; nothing to do.
+	case table.ActionParam:
+		res.Verdict = entry.Action.Param
+	case table.ActionCollect:
+		// Record the event value into the key's history — the
+		// data-collection phase of learning.
+		k.ctx.HistPush(inv.Key, inv.Arg2)
+		k.Metrics.Counter("core.collects").Inc()
+	case table.ActionInfer:
+		m, err := k.Model(entry.Action.ModelID)
+		if err != nil {
+			k.Metrics.Counter("core.infer_missing_model").Inc()
+			return
+		}
+		n := m.NumFeatures()
+		feats := make([]int64, n)
+		got := k.ctx.Hist(inv.Key, feats)
+		if got < n {
+			return // not enough history yet; default behaviour applies
+		}
+		res.Verdict = m.Predict(feats)
+		k.Metrics.Counter("core.inferences").Inc()
+	case table.ActionProgram:
+		verdict, trapped, err := k.runProgram(entry.Action.ProgID, inv, entry.Action.Param)
+		if trapped {
+			res.Trapped = true
+			res.TrapErr = err
+			k.Metrics.Counter("core.traps").Inc()
+			return
+		}
+		if err != nil {
+			k.Metrics.Counter("core.program_missing").Inc()
+			return
+		}
+		res.Verdict = verdict
+	}
+}
+
+// runProgram executes an installed program under the configured engine.
+func (k *Kernel) runProgram(progID int64, inv *Invocation, param int64) (verdict int64, trapped bool, err error) {
+	k.mu.RLock()
+	p, ok := k.progs[progID]
+	mode := k.cfg.Mode
+	k.mu.RUnlock()
+	if !ok {
+		return 0, false, fmt.Errorf("%w: program %d", ErrNotFound, progID)
+	}
+	st := k.statePool.Get().(*vm.State)
+	defer k.statePool.Put(st)
+
+	arg3 := inv.Arg3
+	if param != 0 {
+		arg3 = param
+	}
+	e := &env{k: k, inv: inv}
+	var engine vm.Engine = p.jit
+	if mode == ModeInterp {
+		engine = p.interp
+	}
+	ret, rerr := engine.Run(e, st, inv.Key, inv.Arg2, arg3)
+	k.Metrics.Histogram("core.program_steps").Observe(st.Steps())
+	if rerr != nil {
+		return 0, true, rerr
+	}
+	return ret, false, nil
+}
+
+// RunProgramByName executes an installed program directly (outside a hook
+// pipeline) — used by tests, rmtkctl and examples.
+func (k *Kernel) RunProgramByName(name string, r1, r2, r3 int64) (int64, []int64, error) {
+	id, err := k.ProgramID(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	inv := Invocation{Key: r1, Arg2: r2, Arg3: r3, emitBudget: k.cfg.RateLimit}
+	verdict, trapped, err := k.runProgram(id, &inv, 0)
+	if trapped || err != nil {
+		return 0, nil, err
+	}
+	return verdict, inv.emissions, nil
+}

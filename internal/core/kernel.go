@@ -1,0 +1,450 @@
+// Package core implements the in-kernel RMT virtual machine of Figure 1: the
+// registries for tables, programs, models, weight matrices and helpers; the
+// hook points where datapaths attach; program admission (verify → compile →
+// attach); and event dispatch through the match/action pipeline.
+//
+// Everything a program can reach at runtime goes through the vm.Env
+// implementation in env.go, so the verifier's resource whitelists are the
+// single source of truth for what admitted code can touch.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rmtk/internal/dp"
+	"rmtk/internal/isa"
+	"rmtk/internal/table"
+	"rmtk/internal/telemetry"
+	"rmtk/internal/verifier"
+	"rmtk/internal/vm"
+)
+
+// ExecMode selects the execution engine for admitted programs.
+type ExecMode int
+
+const (
+	// ModeJIT compiles admitted programs to closures (the default).
+	ModeJIT ExecMode = iota
+	// ModeInterp runs admitted programs in the bytecode interpreter.
+	ModeInterp
+)
+
+// String names the mode.
+func (m ExecMode) String() string {
+	if m == ModeInterp {
+		return "interp"
+	}
+	return "jit"
+}
+
+// Model is a registered inference model callable from RMT programs via
+// OpMLInfer and from ActionInfer table entries.
+type Model interface {
+	// Predict returns the model's scalar output for the feature vector.
+	Predict(x []int64) int64
+	// NumFeatures is the input width the model expects (used by
+	// ActionInfer to size history windows).
+	NumFeatures() int
+	// Cost reports the verifier admission cost (ops per inference, bytes
+	// resident).
+	Cost() (ops, bytes int64)
+}
+
+// Matrix is a registered integer weight matrix for OpMatMul: out = W·in + B.
+type Matrix struct {
+	In, Out int
+	W       []int64 // Out×In row-major
+	B       []int64 // Out
+}
+
+// Bytes reports the matrix's resident size for the verifier.
+func (m *Matrix) Bytes() int64 { return 8 * int64(len(m.W)+len(m.B)) }
+
+// HelperFn is the implementation of a whitelisted helper. args are the
+// caller's R1..R5; emissions appended to emit are returned from Fire.
+type HelperFn func(k *Kernel, inv *Invocation, args *[5]int64) (int64, error)
+
+// helper pairs a spec with its implementation.
+type helper struct {
+	spec verifier.HelperSpec
+	fn   HelperFn
+}
+
+// Config parameterizes kernel construction.
+type Config struct {
+	// CtxFields is the per-key scalar field count of the execution
+	// context. <=0 selects 8.
+	CtxFields int
+	// CtxHistory is the per-key history capacity. <=0 selects 128.
+	CtxHistory int
+	// Mode selects interpretation or JIT compilation.
+	Mode ExecMode
+	// OpsBudget / MemBudget / StepBudget are the verifier budgets applied
+	// at admission (0 = verifier defaults / unlimited).
+	OpsBudget  int64
+	MemBudget  int64
+	StepBudget int64
+	// RateLimit caps emissions per invocation for programs the verifier
+	// flags as resource-allocating. <=0 selects 32.
+	RateLimit int
+	// Optimize runs the machine-independent bytecode optimizer (constant
+	// folding, branch folding, jump threading, dead-code elimination) on
+	// every program before admission.
+	Optimize bool
+	// Privacy, when non-nil, gates aggregate context queries through a
+	// differential-privacy budget.
+	Privacy *dp.Accountant
+	// QueryEpsilon is the epsilon charged per noised aggregate query.
+	// <=0 selects 0.1.
+	QueryEpsilon float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CtxFields <= 0 {
+		c.CtxFields = 8
+	}
+	if c.CtxHistory <= 0 {
+		c.CtxHistory = 128
+	}
+	if c.RateLimit <= 0 {
+		c.RateLimit = 32
+	}
+	if c.QueryEpsilon <= 0 {
+		c.QueryEpsilon = 0.1
+	}
+	return c
+}
+
+// progEntry is an admitted program with its engines and admission report.
+type progEntry struct {
+	id     int64
+	prog   *isa.Program
+	interp *vm.Interpreter
+	jit    *vm.JIT
+	report *verifier.Report
+}
+
+// Kernel is the in-kernel RMT virtual machine instance.
+type Kernel struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	ctx      *table.CtxStore
+	tables   map[int64]*table.Table
+	tableIDs map[string]int64
+	hooks    map[string][]int64 // hook -> ordered table ids
+	progs    map[int64]*progEntry
+	progIDs  map[string]int64
+	models   map[int64]Model
+	mats     map[int64]*Matrix
+	vecs     map[int64][]int64
+	helpers  map[int64]helper
+
+	nextTable int64
+	nextProg  int64
+	nextModel int64
+	nextMat   int64
+	nextVec   int64
+
+	Metrics *telemetry.Registry
+
+	statePool sync.Pool
+}
+
+// Sentinel errors.
+var (
+	ErrNotFound   = errors.New("core: not found")
+	ErrDuplicate  = errors.New("core: duplicate name")
+	ErrNoDatapath = errors.New("core: no datapath attached to hook")
+)
+
+// NewKernel constructs a kernel and registers the standard helpers.
+func NewKernel(cfg Config) *Kernel {
+	cfg = cfg.withDefaults()
+	k := &Kernel{
+		cfg:      cfg,
+		ctx:      table.NewCtxStore(cfg.CtxFields, cfg.CtxHistory),
+		tables:   make(map[int64]*table.Table),
+		tableIDs: make(map[string]int64),
+		hooks:    make(map[string][]int64),
+		progs:    make(map[int64]*progEntry),
+		progIDs:  make(map[string]int64),
+		models:   make(map[int64]Model),
+		mats:     make(map[int64]*Matrix),
+		vecs:     make(map[int64][]int64),
+		helpers:  make(map[int64]helper),
+		Metrics:  telemetry.NewRegistry(),
+	}
+	k.statePool.New = func() any { return vm.NewState() }
+	registerStandardHelpers(k)
+	return k
+}
+
+// Ctx exposes the execution-context store (the control plane and tests use
+// it; datapath programs go through the VM).
+func (k *Kernel) Ctx() *table.CtxStore { return k.ctx }
+
+// Mode reports the execution mode.
+func (k *Kernel) Mode() ExecMode { return k.cfg.Mode }
+
+// SetMode switches the execution engine for subsequent Fire calls (admitted
+// programs keep both engines ready).
+func (k *Kernel) SetMode(m ExecMode) {
+	k.mu.Lock()
+	k.cfg.Mode = m
+	k.mu.Unlock()
+}
+
+// CreateTable registers a table and attaches it to its hook's pipeline.
+func (k *Kernel) CreateTable(t *table.Table) (int64, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, dup := k.tableIDs[t.Name]; dup {
+		return 0, fmt.Errorf("%w: table %q", ErrDuplicate, t.Name)
+	}
+	k.nextTable++
+	id := k.nextTable
+	k.tables[id] = t
+	k.tableIDs[t.Name] = id
+	if t.Hook != "" {
+		k.hooks[t.Hook] = append(k.hooks[t.Hook], id)
+	}
+	return id, nil
+}
+
+// Table resolves a table by id.
+func (k *Kernel) Table(id int64) (*table.Table, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	t, ok := k.tables[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: table %d", ErrNotFound, id)
+	}
+	return t, nil
+}
+
+// TableByName resolves a table by name.
+func (k *Kernel) TableByName(name string) (*table.Table, int64, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	id, ok := k.tableIDs[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: table %q", ErrNotFound, name)
+	}
+	return k.tables[id], id, nil
+}
+
+// RegisterModel adds an inference model and returns its id.
+func (k *Kernel) RegisterModel(m Model) int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextModel++
+	k.models[k.nextModel] = m
+	return k.nextModel
+}
+
+// SwapModel replaces model id in place (online training pushes refreshed
+// models through this).
+func (k *Kernel) SwapModel(id int64, m Model) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.models[id]; !ok {
+		return fmt.Errorf("%w: model %d", ErrNotFound, id)
+	}
+	k.models[id] = m
+	return nil
+}
+
+// Model resolves a model by id.
+func (k *Kernel) Model(id int64) (Model, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	m, ok := k.models[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: model %d", ErrNotFound, id)
+	}
+	return m, nil
+}
+
+// RegisterMatrix adds a weight matrix and returns its id.
+func (k *Kernel) RegisterMatrix(m *Matrix) (int64, error) {
+	if m.In <= 0 || m.Out <= 0 || len(m.W) != m.In*m.Out || len(m.B) != m.Out {
+		return 0, fmt.Errorf("core: malformed matrix %dx%d (w=%d b=%d)", m.Out, m.In, len(m.W), len(m.B))
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextMat++
+	k.mats[k.nextMat] = m
+	return k.nextMat, nil
+}
+
+// RegisterVec adds a pool vector (e.g. a staging buffer for feature vectors)
+// and returns its id.
+func (k *Kernel) RegisterVec(v []int64) int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextVec++
+	k.vecs[k.nextVec] = append([]int64(nil), v...)
+	return k.nextVec
+}
+
+// SetVec overwrites pool vector id (the mechanism subsystems use to stage
+// per-event feature vectors).
+func (k *Kernel) SetVec(id int64, v []int64) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	dst, ok := k.vecs[id]
+	if !ok {
+		return fmt.Errorf("%w: vec %d", ErrNotFound, id)
+	}
+	if len(dst) != len(v) {
+		k.vecs[id] = append([]int64(nil), v...)
+		return nil
+	}
+	copy(dst, v)
+	return nil
+}
+
+// RegisterHelper adds a helper at an explicit id (standard helpers occupy
+// ids < 100; subsystem helpers should use ids >= 100).
+func (k *Kernel) RegisterHelper(id int64, spec verifier.HelperSpec, fn HelperFn) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, dup := k.helpers[id]; dup {
+		return fmt.Errorf("%w: helper %d", ErrDuplicate, id)
+	}
+	k.helpers[id] = helper{spec: spec, fn: fn}
+	return nil
+}
+
+// verifierConfig snapshots the registries into a verifier.Config.
+// Caller holds at least the read lock.
+func (k *Kernel) verifierConfig() verifier.Config {
+	cfg := verifier.Config{
+		Helpers:    make(map[int64]verifier.HelperSpec, len(k.helpers)),
+		Models:     make(map[int64]verifier.ModelCost, len(k.models)),
+		Mats:       make(map[int64]verifier.MatShape, len(k.mats)),
+		Tables:     make(map[int64]bool, len(k.tables)),
+		Vecs:       make(map[int64]int, len(k.vecs)),
+		Tails:      make(map[int64]*isa.Program, len(k.progs)),
+		OpsBudget:  k.cfg.OpsBudget,
+		MemBudget:  k.cfg.MemBudget,
+		StepBudget: k.cfg.StepBudget,
+	}
+	for id, h := range k.helpers {
+		cfg.Helpers[id] = h.spec
+	}
+	for id, m := range k.models {
+		ops, bytes := m.Cost()
+		cfg.Models[id] = verifier.ModelCost{Ops: ops, Bytes: bytes}
+	}
+	for id, m := range k.mats {
+		cfg.Mats[id] = verifier.MatShape{In: m.In, Out: m.Out, Bytes: m.Bytes()}
+	}
+	for id := range k.tables {
+		cfg.Tables[id] = true
+	}
+	for id, v := range k.vecs {
+		cfg.Vecs[id] = len(v)
+	}
+	for id, p := range k.progs {
+		cfg.Tails[id] = p.prog
+	}
+	return cfg
+}
+
+// InstallProgram admits a program: verify against the current registries,
+// compile for both engines, and register it for ActionProgram entries and
+// tail calls. It returns the program id and the verifier's report.
+//
+// Verification and compilation run against a registry snapshot outside the
+// kernel lock (JIT compilation resolves tail-call targets through the same
+// read paths the datapath uses). Resources removed concurrently are caught
+// at runtime by the VM's fail-soft checks.
+func (k *Kernel) InstallProgram(prog *isa.Program) (int64, *verifier.Report, error) {
+	k.mu.RLock()
+	_, dup := k.progIDs[prog.Name]
+	vcfg := k.verifierConfig()
+	optimize := k.cfg.Optimize
+	k.mu.RUnlock()
+	if dup {
+		return 0, nil, fmt.Errorf("%w: program %q", ErrDuplicate, prog.Name)
+	}
+	if optimize {
+		opt := prog.Clone()
+		opt.Insns = isa.Optimize(opt.Insns)
+		prog = opt
+	}
+	report, err := verifier.Verify(prog, vcfg)
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: admission of %q failed: %w", prog.Name, err)
+	}
+	interp, err := vm.NewInterpreter(prog)
+	if err != nil {
+		return 0, nil, err
+	}
+	jit, err := vm.Compile(&env{k: k}, prog)
+	if err != nil {
+		return 0, nil, err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, dup := k.progIDs[prog.Name]; dup {
+		return 0, nil, fmt.Errorf("%w: program %q", ErrDuplicate, prog.Name)
+	}
+	k.nextProg++
+	id := k.nextProg
+	k.progs[id] = &progEntry{id: id, prog: prog, interp: interp, jit: jit, report: report}
+	k.progIDs[prog.Name] = id
+	k.Metrics.Counter("core.programs_installed").Inc()
+	return id, report, nil
+}
+
+// RemoveProgram uninstalls a program. Table entries referencing it fail soft
+// (Fire skips missing programs and applies the default action).
+func (k *Kernel) RemoveProgram(id int64) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.progs[id]
+	if !ok {
+		return fmt.Errorf("%w: program %d", ErrNotFound, id)
+	}
+	delete(k.progs, id)
+	delete(k.progIDs, p.prog.Name)
+	return nil
+}
+
+// ProgramID resolves a program id by name.
+func (k *Kernel) ProgramID(name string) (int64, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	id, ok := k.progIDs[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: program %q", ErrNotFound, name)
+	}
+	return id, nil
+}
+
+// ProgramReport returns the admission report of an installed program.
+func (k *Kernel) ProgramReport(id int64) (*verifier.Report, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	p, ok := k.progs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: program %d", ErrNotFound, id)
+	}
+	return p.report, nil
+}
+
+// Hooks lists hook names with attached datapaths.
+func (k *Kernel) Hooks() []string {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]string, 0, len(k.hooks))
+	for h := range k.hooks {
+		out = append(out, h)
+	}
+	return out
+}

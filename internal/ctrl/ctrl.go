@@ -1,0 +1,155 @@
+// Package ctrl implements the RMT control plane of §3.1: the API through
+// which userland installs programs (the syscall_rmt() path of Figure 1),
+// adds/removes/updates match-action entries and ML models, and the accuracy
+// monitoring loop that "relies on past prediction accuracy to detect
+// workload changes and adjust the table entries" — e.g. falling back to
+// conservative prefetching when accuracy drops below a threshold.
+package ctrl
+
+import (
+	"fmt"
+	"sync"
+
+	"rmtk/internal/core"
+	"rmtk/internal/isa"
+	"rmtk/internal/ml/mlp"
+	"rmtk/internal/table"
+	"rmtk/internal/verifier"
+)
+
+// Plane is a control-plane handle over one kernel.
+type Plane struct {
+	K *core.Kernel
+
+	mu       sync.Mutex
+	monitors map[int64]*AccuracyMonitor
+}
+
+// New creates a control plane for k.
+func New(k *core.Kernel) *Plane {
+	return &Plane{K: k, monitors: make(map[int64]*AccuracyMonitor)}
+}
+
+// LoadProgram verifies and installs an RMT program (the syscall path). The
+// returned report carries the verifier's cost findings.
+func (p *Plane) LoadProgram(prog *isa.Program) (int64, *verifier.Report, error) {
+	return p.K.InstallProgram(prog)
+}
+
+// CreateTable registers a table on its hook.
+func (p *Plane) CreateTable(name, hook string, kind table.MatchKind) (*table.Table, int64, error) {
+	t := table.New(name, hook, kind)
+	id, err := p.K.CreateTable(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, id, nil
+}
+
+// AddEntry inserts a match/action entry into a named table.
+func (p *Plane) AddEntry(tableName string, e *table.Entry) error {
+	t, _, err := p.K.TableByName(tableName)
+	if err != nil {
+		return err
+	}
+	return t.Insert(e)
+}
+
+// RemoveEntry deletes an entry from a named table.
+func (p *Plane) RemoveEntry(tableName string, e *table.Entry) error {
+	t, _, err := p.K.TableByName(tableName)
+	if err != nil {
+		return err
+	}
+	if !t.Delete(e) {
+		return fmt.Errorf("ctrl: no such entry in %q", tableName)
+	}
+	return nil
+}
+
+// UpdateAction atomically replaces the action of an exact-match entry —
+// the runtime reconfiguration primitive (e.g. dialing a prefetch degree
+// down).
+func (p *Plane) UpdateAction(tableName string, key uint64, a table.Action) error {
+	t, _, err := p.K.TableByName(tableName)
+	if err != nil {
+		return err
+	}
+	if !t.UpdateAction(key, a) {
+		return fmt.Errorf("ctrl: no entry with key %d in %q", key, tableName)
+	}
+	return nil
+}
+
+// PushModel swaps model id for a retrained replacement after re-checking it
+// against the kernel's cost budgets — the verifier's model-efficiency
+// admission applied to model updates, not just programs.
+func (p *Plane) PushModel(id int64, m core.Model, opsBudget, memBudget int64) error {
+	ops, bytes := m.Cost()
+	if opsBudget > 0 && ops > opsBudget {
+		return fmt.Errorf("%w: model %d: %d > %d", verifier.ErrOpsBudget, id, ops, opsBudget)
+	}
+	if memBudget > 0 && bytes > memBudget {
+		return fmt.Errorf("%w: model %d: %d > %d", verifier.ErrMemBudget, id, bytes, memBudget)
+	}
+	return p.K.SwapModel(id, m)
+}
+
+// TrainPushConfig parameterizes the offline train→quantize→push pipeline.
+type TrainPushConfig struct {
+	// Hidden lists hidden-layer widths. Empty selects {16}.
+	Hidden []int
+	// Classes is the output width. <=0 selects 2.
+	Classes int
+	// Train carries the SGD settings.
+	Train mlp.TrainConfig
+	// Quantize carries the integer-conversion settings.
+	Quantize mlp.QuantizeConfig
+	// OpsBudget / MemBudget gate the quantized model's admission.
+	OpsBudget int64
+	MemBudget int64
+}
+
+// TrainAndPush runs the paper's offline pipeline: train a float MLP in
+// "userspace", quantize it, cost-check it, and register it with the kernel.
+// It returns the model id, the layer matrix ids (for bytecode MatMul
+// programs), and the quantized network.
+func (p *Plane) TrainAndPush(X [][]float64, y []int, cfg TrainPushConfig) (modelID int64, matIDs []int64, q *mlp.QMLP, err error) {
+	if len(X) == 0 {
+		return 0, nil, nil, fmt.Errorf("ctrl: empty training set")
+	}
+	hidden := cfg.Hidden
+	if len(hidden) == 0 {
+		hidden = []int{16}
+	}
+	classes := cfg.Classes
+	if classes <= 0 {
+		classes = 2
+	}
+	sizes := append([]int{len(X[0])}, hidden...)
+	sizes = append(sizes, classes)
+	net, err := mlp.New(sizes, cfg.Train.Seed+7)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if err := net.TrainStandardized(X, y, cfg.Train); err != nil {
+		return 0, nil, nil, err
+	}
+	q, err = mlp.Quantize(net, X, cfg.Quantize)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	model := &core.QMLPModel{Net: q}
+	ops, bytes := model.Cost()
+	if cfg.OpsBudget > 0 && ops > cfg.OpsBudget {
+		return 0, nil, nil, fmt.Errorf("%w: %d > %d", verifier.ErrOpsBudget, ops, cfg.OpsBudget)
+	}
+	if cfg.MemBudget > 0 && bytes > cfg.MemBudget {
+		return 0, nil, nil, fmt.Errorf("%w: %d > %d", verifier.ErrMemBudget, bytes, cfg.MemBudget)
+	}
+	matIDs, modelID, err = p.K.RegisterQMLP(q)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return modelID, matIDs, q, nil
+}

@@ -1,0 +1,135 @@
+package ctrl
+
+import "sync"
+
+// AccuracyMonitor tracks a model's windowed prediction accuracy and triggers
+// reconfiguration when it degrades — the control-plane loop of §3.1: "if the
+// prefetching accuracy falls below a threshold, the control plane will
+// recompute ML decisions to be more conservative in prefetching, and
+// reconfigure the RMT tables to reflect the workload changes".
+type AccuracyMonitor struct {
+	// Window is the number of outcomes per evaluation window.
+	Window int
+	// Threshold is the accuracy below which OnDegrade fires.
+	Threshold float64
+	// OnDegrade is invoked (outside the lock) at the end of each window
+	// whose accuracy fell below Threshold.
+	OnDegrade func(accuracy float64)
+	// OnRecover is invoked at the end of each window at/above Threshold
+	// following a degraded window.
+	OnRecover func(accuracy float64)
+
+	mu       sync.Mutex
+	hits     int
+	total    int
+	degraded bool
+
+	windows   int
+	degrades  int
+	lastAcc   float64
+	everTotal int
+	everHits  int
+}
+
+// NewAccuracyMonitor creates a monitor; window <=0 selects 256, threshold
+// <=0 selects 0.5.
+func NewAccuracyMonitor(window int, threshold float64) *AccuracyMonitor {
+	if window <= 0 {
+		window = 256
+	}
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	return &AccuracyMonitor{Window: window, Threshold: threshold}
+}
+
+// Record feeds one prediction outcome. At each window boundary the
+// accuracy is evaluated and the degrade/recover callbacks fire.
+func (m *AccuracyMonitor) Record(correct bool) {
+	var (
+		fire func(float64)
+		acc  float64
+	)
+	m.mu.Lock()
+	m.total++
+	m.everTotal++
+	if correct {
+		m.hits++
+		m.everHits++
+	}
+	if m.total >= m.Window {
+		acc = float64(m.hits) / float64(m.total)
+		m.lastAcc = acc
+		m.windows++
+		if acc < m.Threshold {
+			m.degrades++
+			m.degraded = true
+			fire = m.OnDegrade
+		} else if m.degraded {
+			m.degraded = false
+			fire = m.OnRecover
+		}
+		m.hits, m.total = 0, 0
+	}
+	m.mu.Unlock()
+	if fire != nil {
+		fire(acc)
+	}
+}
+
+// LastWindowAccuracy reports the most recent completed window's accuracy.
+func (m *AccuracyMonitor) LastWindowAccuracy() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastAcc
+}
+
+// LifetimeAccuracy reports accuracy over all recorded outcomes.
+func (m *AccuracyMonitor) LifetimeAccuracy() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.everTotal == 0 {
+		return 0
+	}
+	return float64(m.everHits) / float64(m.everTotal)
+}
+
+// Degrades reports how many windows fell below the threshold.
+func (m *AccuracyMonitor) Degrades() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degrades
+}
+
+// Degraded reports whether the monitor is currently in the degraded state.
+func (m *AccuracyMonitor) Degraded() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded
+}
+
+// WatchModel attaches a monitor to a model id on the plane so subsystems can
+// report outcomes via RecordOutcome.
+func (p *Plane) WatchModel(modelID int64, m *AccuracyMonitor) {
+	p.mu.Lock()
+	p.monitors[modelID] = m
+	p.mu.Unlock()
+}
+
+// RecordOutcome reports whether model id's prediction turned out correct
+// (e.g. a prefetched page was used). Unknown ids are ignored.
+func (p *Plane) RecordOutcome(modelID int64, correct bool) {
+	p.mu.Lock()
+	m := p.monitors[modelID]
+	p.mu.Unlock()
+	if m != nil {
+		m.Record(correct)
+	}
+}
+
+// Monitor returns the monitor attached to a model id, if any.
+func (p *Plane) Monitor(modelID int64) *AccuracyMonitor {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.monitors[modelID]
+}

@@ -1,0 +1,103 @@
+// Package dp implements the differential-privacy mechanism the verifier uses
+// to bound what cross-application RMT queries can leak (§3.3 "Privacy"): "if
+// an RMT query returns some aggregate statistics, we can leverage
+// differential privacy to noise the outputs. The kernel can maintain a
+// 'privacy budget', in DP terms, and subtract from this overall budget for
+// each table match."
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// ErrBudgetExhausted is returned when a query would exceed the remaining
+// privacy budget.
+var ErrBudgetExhausted = errors.New("dp: privacy budget exhausted")
+
+// Accountant tracks a global epsilon budget and answers aggregate queries
+// through the Laplace mechanism. Queries occur at well-defined points (RMT
+// tables), which is what makes this accounting tractable in the paper's
+// design.
+type Accountant struct {
+	mu     sync.Mutex
+	budget float64 // remaining epsilon
+	total  float64
+	rng    *rand.Rand
+	spends map[string]float64 // per-table epsilon spent, for reporting
+}
+
+// NewAccountant creates an accountant with the given total epsilon budget
+// and deterministic noise seed.
+func NewAccountant(epsilon float64, seed int64) (*Accountant, error) {
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("dp: bad budget %v", epsilon)
+	}
+	return &Accountant{
+		budget: epsilon,
+		total:  epsilon,
+		rng:    rand.New(rand.NewSource(seed)),
+		spends: make(map[string]float64),
+	}, nil
+}
+
+// Remaining reports the unspent epsilon.
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget
+}
+
+// Spent reports total epsilon consumed so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - a.budget
+}
+
+// SpentBy reports epsilon consumed by a given table/query name.
+func (a *Accountant) SpentBy(table string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spends[table]
+}
+
+// Query releases value under (epsilon)-DP with the given L1 sensitivity,
+// charging epsilon against the budget. table names the RMT table issuing the
+// query (for per-table accounting).
+func (a *Accountant) Query(table string, value float64, sensitivity, epsilon float64) (float64, error) {
+	if epsilon <= 0 || sensitivity <= 0 {
+		return 0, fmt.Errorf("dp: bad query parameters sensitivity=%v epsilon=%v", sensitivity, epsilon)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if epsilon > a.budget {
+		return 0, fmt.Errorf("%w: need %v, have %v", ErrBudgetExhausted, epsilon, a.budget)
+	}
+	a.budget -= epsilon
+	a.spends[table] += epsilon
+	return value + a.laplace(sensitivity/epsilon), nil
+}
+
+// QueryCount is Query specialized for counting queries (sensitivity 1).
+func (a *Accountant) QueryCount(table string, count int64, epsilon float64) (float64, error) {
+	return a.Query(table, float64(count), 1, epsilon)
+}
+
+// laplace draws Laplace(0, b) noise via inverse-CDF sampling. Caller holds
+// the mutex.
+func (a *Accountant) laplace(b float64) float64 {
+	u := a.rng.Float64() - 0.5
+	if u == 0 {
+		return 0
+	}
+	sign := 1.0
+	if u < 0 {
+		sign = -1.0
+		u = -u
+	}
+	return -b * sign * math.Log(1-2*u)
+}

@@ -1,0 +1,109 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestBudgetAccounting(t *testing.T) {
+	a, err := NewAccountant(1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Remaining() != 1.0 || a.Spent() != 0 {
+		t.Fatal("fresh accountant wrong")
+	}
+	if _, err := a.QueryCount("t1", 100, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Remaining()-0.6) > 1e-12 || math.Abs(a.Spent()-0.4) > 1e-12 {
+		t.Fatalf("remaining %v spent %v", a.Remaining(), a.Spent())
+	}
+	if a.SpentBy("t1") != 0.4 || a.SpentBy("t2") != 0 {
+		t.Fatal("per-table accounting wrong")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	a, _ := NewAccountant(0.5, 1)
+	if _, err := a.QueryCount("t", 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	_, err := a.QueryCount("t", 1, 0.01)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	// A failed query must not consume budget.
+	if a.Remaining() != 0 {
+		t.Fatalf("remaining = %v", a.Remaining())
+	}
+}
+
+func TestBadParameters(t *testing.T) {
+	if _, err := NewAccountant(0, 1); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := NewAccountant(math.NaN(), 1); err == nil {
+		t.Fatal("NaN budget accepted")
+	}
+	a, _ := NewAccountant(1, 1)
+	if _, err := a.Query("t", 1, 0, 0.1); err == nil {
+		t.Fatal("zero sensitivity accepted")
+	}
+	if _, err := a.Query("t", 1, 1, 0); err == nil {
+		t.Fatal("zero epsilon accepted")
+	}
+}
+
+// TestNoiseScale: the empirical mean absolute Laplace noise approaches
+// sensitivity/epsilon (the distribution's mean |x| = b).
+func TestNoiseScale(t *testing.T) {
+	for _, eps := range []float64{0.5, 2.0} {
+		a, _ := NewAccountant(1e9, 42)
+		const truth = 0.0
+		n := 4000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v, err := a.Query("t", truth, 1, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += math.Abs(v)
+		}
+		got := sum / float64(n)
+		want := 1 / eps
+		if got < want*0.85 || got > want*1.15 {
+			t.Fatalf("eps=%v mean |noise| = %v, want ~%v", eps, got, want)
+		}
+	}
+}
+
+// TestNoiseDecreasesWithEpsilon: larger epsilon (more budget spent per
+// query) means less noise.
+func TestNoiseDecreasesWithEpsilon(t *testing.T) {
+	meanErr := func(eps float64) float64 {
+		a, _ := NewAccountant(1e9, 7)
+		sum := 0.0
+		for i := 0; i < 2000; i++ {
+			v, _ := a.Query("t", 0, 1, eps)
+			sum += math.Abs(v)
+		}
+		return sum / 2000
+	}
+	if meanErr(2.0) >= meanErr(0.1) {
+		t.Fatal("noise did not shrink with epsilon")
+	}
+}
+
+func TestDeterministicNoise(t *testing.T) {
+	a, _ := NewAccountant(10, 5)
+	b, _ := NewAccountant(10, 5)
+	for i := 0; i < 10; i++ {
+		va, _ := a.QueryCount("t", 50, 0.1)
+		vb, _ := b.QueryCount("t", 50, 0.1)
+		if va != vb {
+			t.Fatal("same seed, different noise")
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rmtk/internal/core"
+	"rmtk/internal/ctrl"
+	"rmtk/internal/ml/feature"
+	"rmtk/internal/ml/mlp"
+	"rmtk/internal/rmtsched"
+	"rmtk/internal/schedsim"
+	"rmtk/internal/workload"
+)
+
+// Table-2 experiment parameters.
+const (
+	schedCPUs   = 8
+	schedTickNs = int64(1e6) // 1ms ticks
+
+	// LeanFeatures is the number of monitored features the lean model
+	// keeps (the paper identifies "two key features for load balancing
+	// out of 15").
+	LeanFeatures = 2
+)
+
+// collectSeeds are the workload seeds whose decision logs form the training
+// pool; the final seed's log is the held-out evaluation set.
+var collectSeeds = []int64{11, 13, 17, 19, 23, 29}
+
+// Table2Row is one benchmark row of Table 2, with the paper's numbers
+// alongside.
+type Table2Row struct {
+	Workload string
+
+	FullAcc      float64 // percent, quantized full-featured MLP vs CFS decisions
+	LeanAcc      float64 // percent, quantized lean-featured MLP
+	LeanFeatures []string
+
+	CFSSec  float64 // JCT under the CFS heuristic
+	FullSec float64 // JCT under the kernel-routed full MLP
+	LeanSec float64 // JCT under the kernel-routed lean MLP
+
+	PaperFullAcc float64
+	PaperLeanAcc float64
+	PaperFullSec float64
+	PaperLeanSec float64
+	PaperCFSSec  float64
+}
+
+func (r Table2Row) String() string {
+	return fmt.Sprintf("%-14s full=%6.2f%% (paper %5.2f)  lean=%6.2f%% (paper %5.2f)  jct cfs=%6.2fs full=%6.2fs lean=%6.2fs (paper %6.2f/%6.2f/%6.2f) lean-feats=%v",
+		r.Workload, r.FullAcc, r.PaperFullAcc, r.LeanAcc, r.PaperLeanAcc,
+		r.CFSSec, r.FullSec, r.LeanSec,
+		r.PaperCFSSec, r.PaperFullSec, r.PaperLeanSec, r.LeanFeatures)
+}
+
+// paper's Table 2 values: full acc, full JCT, lean acc, lean JCT, Linux JCT.
+var paperTable2 = map[string][5]float64{
+	"blackscholes":  {99.08, 19.010, 94.0, 18.770, 18.679},
+	"streamcluster": {99.38, 58.136, 94.3, 57.387, 57.362},
+	"fib":           {99.81, 19.567, 99.7, 19.533, 19.543},
+	"matmul":        {99.70, 16.520, 99.6, 16.514, 16.337},
+}
+
+// SchedDataset is the pooled decision log of one benchmark: normalized
+// integer features with CFS labels, split into train and held-out test runs.
+type SchedDataset struct {
+	Workload string
+	Xtrain   [][]int64
+	Ytrain   []int
+	Xtest    [][]int64
+	Ytest    []int
+}
+
+// CollectSchedDataset runs the CFS heuristic over several instances of
+// benchmark index wi (0..3 in paper order) and pools the can_migrate_task
+// decision logs — the data-collection phase of case study #2.
+func CollectSchedDataset(wi int) SchedDataset {
+	var ds SchedDataset
+	for si, ws := range collectSeeds {
+		wl := workload.SchedBenchmarks(workload.SchedConfig{Seed: ws})[wi]
+		ds.Workload = wl.Name
+		r := schedsim.Run(schedsim.Config{
+			CPUs: schedCPUs, CollectDecisions: true, Seed: int64(si) * 31,
+		}, wl, schedsim.CFSDecider{})
+		for _, d := range r.Log {
+			x := schedsim.NormalizeRow(d.X)
+			if si < len(collectSeeds)-1 {
+				ds.Xtrain = append(ds.Xtrain, x)
+				ds.Ytrain = append(ds.Ytrain, int(d.Y))
+			} else {
+				ds.Xtest = append(ds.Xtest, x)
+				ds.Ytest = append(ds.Ytest, int(d.Y))
+			}
+		}
+	}
+	return ds
+}
+
+// Oversample replicates minority-class rows until they are roughly a third
+// of the set, so SGD sees both classes despite the heavy skew of migration
+// decisions.
+func Oversample(X [][]int64, y []int) ([][]int64, []int) {
+	pos := 0
+	for _, v := range y {
+		pos += v
+	}
+	if pos == 0 || pos*2 >= len(y) {
+		return X, y
+	}
+	k := (len(y) - pos) / (2 * pos)
+	ox := append([][]int64(nil), X...)
+	oy := append([]int(nil), y...)
+	for r := 0; r < k; r++ {
+		for i, v := range y {
+			if v == 1 {
+				ox = append(ox, X[i])
+				oy = append(oy, 1)
+			}
+		}
+	}
+	return ox, oy
+}
+
+// ToFloat converts integer feature rows for float training.
+func ToFloat(X [][]int64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, r := range X {
+		row := make([]float64, len(r))
+		for j, v := range r {
+			row[j] = float64(v)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TrainSchedMLP trains and quantizes a migration MLP on the dataset columns
+// (nil cols = all features).
+func TrainSchedMLP(ds SchedDataset, cols []int, seed int64) (*mlp.QMLP, error) {
+	Xtr, ytr := ds.Xtrain, ds.Ytrain
+	if cols != nil {
+		Xtr = feature.Select(Xtr, cols)
+	}
+	Xo, yo := Oversample(Xtr, ytr)
+	Xf := ToFloat(Xo)
+	net, err := mlp.New([]int{len(Xf[0]), 24, 2}, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.TrainStandardized(Xf, yo, mlp.TrainConfig{Epochs: 60, LR: 0.02, Seed: seed + 1}); err != nil {
+		return nil, err
+	}
+	return mlp.Quantize(net, Xf, mlp.QuantizeConfig{})
+}
+
+// accuracyOn evaluates a quantized model over (optionally projected) rows.
+func accuracyOn(q *mlp.QMLP, X [][]int64, y []int, cols []int) float64 {
+	if cols != nil {
+		X = feature.Select(X, cols)
+	}
+	return 100 * q.Accuracy(X, y)
+}
+
+// Table2 runs the full case-study-#2 pipeline for all four benchmarks:
+// collect CFS decisions, train and quantize the full 15-feature MLP, rank
+// features and train the lean model, admit both as RMT bytecode, and measure
+// decision accuracy plus JCTs under each decider.
+func Table2(seed int64, mode core.ExecMode) ([]Table2Row, error) {
+	var rows []Table2Row
+	for wi := 0; wi < 4; wi++ {
+		ds := CollectSchedDataset(wi)
+		qFull, err := TrainSchedMLP(ds, nil, seed+42)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s full: %w", ds.Workload, err)
+		}
+		// Lean monitoring: permutation importance of the full model ranks
+		// the 15 monitored features; keep the top LeanFeatures.
+		y64 := make([]int64, len(ds.Ytrain))
+		for i, v := range ds.Ytrain {
+			y64[i] = int64(v)
+		}
+		imp, err := feature.Permutation(feature.Func(func(x []int64) int64 {
+			return int64(qFull.Predict(x))
+		}), ds.Xtrain, y64, seed+5)
+		if err != nil {
+			return nil, err
+		}
+		cols := feature.TopK(imp, LeanFeatures)
+		qLean, err := TrainSchedMLP(ds, cols, seed+43)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s lean: %w", ds.Workload, err)
+		}
+
+		// Kernel-routed deciders: both MLPs compiled to RMT bytecode.
+		k := core.NewKernel(core.Config{Mode: mode})
+		plane := ctrl.New(k)
+		decFull, err := rmtsched.Install(k, plane, qFull, "rmt-mlp-full", nil)
+		if err != nil {
+			return nil, err
+		}
+		decLean, err := rmtsched.Install(k, plane, qLean, "rmt-mlp-lean", cols)
+		if err != nil {
+			return nil, err
+		}
+
+		wl := workload.SchedBenchmarks(workload.SchedConfig{Seed: collectSeeds[0]})[wi]
+		simCfg := schedsim.Config{CPUs: schedCPUs, Seed: 7}
+		rCFS := schedsim.Run(simCfg, wl, schedsim.CFSDecider{})
+		rFull := schedsim.Run(simCfg, wl, decFull)
+		rLean := schedsim.Run(simCfg, wl, decLean)
+
+		names := make([]string, len(cols))
+		for i, c := range cols {
+			names[i] = schedsim.FeatureNames[c]
+		}
+		paper := paperTable2[ds.Workload]
+		rows = append(rows, Table2Row{
+			Workload:     ds.Workload,
+			FullAcc:      accuracyOn(qFull, ds.Xtest, ds.Ytest, nil),
+			LeanAcc:      accuracyOn(qLean, ds.Xtest, ds.Ytest, cols),
+			LeanFeatures: names,
+			CFSSec:       rCFS.JCTSeconds(schedTickNs),
+			FullSec:      rFull.JCTSeconds(schedTickNs),
+			LeanSec:      rLean.JCTSeconds(schedTickNs),
+			PaperFullAcc: paper[0],
+			PaperFullSec: paper[1],
+			PaperLeanAcc: paper[2],
+			PaperLeanSec: paper[3],
+			PaperCFSSec:  paper[4],
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,425 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses RMT assembler text into an instruction slice.
+//
+// Grammar (one instruction per line):
+//
+//	line      = [label ":"] [mnemonic operands] [";" comment]
+//	operands  = operand {"," operand}
+//	operand   = register | vreg | immediate | "[" immediate "]" | labelref
+//	register  = "r" digit+      (scalar register)
+//	vreg      = "v" digit+      (vector register)
+//	immediate = ["+"|"-"] digit+ | "0x" hexdigit+
+//	labelref  = identifier      (jump target, resolved to a relative offset)
+//
+// Jump operands may be written either as an explicit relative offset
+// (e.g. "+3") or as a label defined elsewhere in the program. Labels occupy
+// no space.
+//
+// Example:
+//
+//	        ldctxt r4, r1, 0      ; r4 = ctx[pid].field[0]
+//	        jgti   r4, 100, hot
+//	        movimm r0, 0
+//	        exit
+//	hot:    movimm r0, 1
+//	        exit
+func Assemble(src string) ([]Instr, error) {
+	type pending struct {
+		insn  int    // instruction index with unresolved label
+		label string // label name
+		line  int    // source line for diagnostics
+	}
+	var (
+		insns   []Instr
+		labels  = map[string]int{}
+		fixups  []pending
+		lineNum int
+	)
+	for _, raw := range strings.Split(src, "\n") {
+		lineNum++
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels: possibly several on one line, e.g. "a: b: exit".
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNum, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNum, name)
+			}
+			labels[name] = len(insns)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnem := strings.ToLower(fields[0])
+		var ops []string
+		if len(fields) == 2 {
+			for _, o := range strings.Split(fields[1], ",") {
+				ops = append(ops, strings.TrimSpace(o))
+			}
+		}
+		op, ok := mnemonics[mnem]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: unknown mnemonic %q", lineNum, mnem)
+		}
+		in, labelRef, err := parseOperands(op, ops)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %v", lineNum, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{insn: len(insns), label: labelRef, line: lineNum})
+		}
+		insns = append(insns, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", f.line, f.label)
+		}
+		off := target - (f.insn + 1)
+		if off < -32768 || off > 32767 {
+			return nil, fmt.Errorf("isa: line %d: jump to %q out of int16 range", f.line, f.label)
+		}
+		insns[f.insn].Off = int16(off)
+	}
+	if len(insns) > MaxProgInsns {
+		return nil, fmt.Errorf("isa: program too long: %d > %d instructions", len(insns), MaxProgInsns)
+	}
+	return insns, nil
+}
+
+// MustAssemble is Assemble that panics on error; intended for tests and
+// statically known programs.
+func MustAssemble(src string) []Instr {
+	insns, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return insns
+}
+
+var mnemonics = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); op < opMax; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if !alpha && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func parseReg(s string, vec bool) (uint8, error) {
+	prefix := "r"
+	limit := NumRegs
+	if vec {
+		prefix = "v"
+		limit = NumVRegs
+	}
+	if !strings.HasPrefix(s, prefix) {
+		return 0, fmt.Errorf("expected %s-register, got %q", prefix, s)
+	}
+	n, err := strconv.Atoi(s[len(prefix):])
+	if err != nil || n < 0 || n >= limit {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func parseStackSlot(s string) (int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, fmt.Errorf("expected [slot], got %q", s)
+	}
+	return parseImm(strings.TrimSpace(s[1 : len(s)-1]))
+}
+
+// parseJumpTarget parses either a relative offset or a label reference.
+func parseJumpTarget(s string) (off int16, label string, err error) {
+	if strings.HasPrefix(s, "+") || strings.HasPrefix(s, "-") {
+		v, err := parseImm(s)
+		if err != nil {
+			return 0, "", err
+		}
+		if v < -32768 || v > 32767 {
+			return 0, "", fmt.Errorf("offset %d out of int16 range", v)
+		}
+		return int16(v), "", nil
+	}
+	if !isIdent(s) {
+		return 0, "", fmt.Errorf("bad jump target %q", s)
+	}
+	return 0, s, nil
+}
+
+func parseOperands(op Opcode, ops []string) (in Instr, labelRef string, err error) {
+	in.Op = op
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", op, n, len(ops))
+		}
+		return nil
+	}
+	switch op {
+	case OpNop, OpExit:
+		err = need(0)
+	case OpMov, OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpMin, OpMax, OpHistPush:
+		if err = need(2); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], false); err != nil {
+			return
+		}
+		in.Src, err = parseReg(ops[1], false)
+	case OpMovImm, OpAddImm, OpMulImm:
+		if err = need(2); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], false); err != nil {
+			return
+		}
+		in.Imm, err = parseImm(ops[1])
+	case OpNeg, OpAbs:
+		if err = need(1); err != nil {
+			return
+		}
+		in.Dst, err = parseReg(ops[0], false)
+	case OpJmp:
+		if err = need(1); err != nil {
+			return
+		}
+		in.Off, labelRef, err = parseJumpTarget(ops[0])
+	case OpJEq, OpJNe, OpJGt, OpJGe, OpJLt, OpJLe:
+		if err = need(3); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], false); err != nil {
+			return
+		}
+		if in.Src, err = parseReg(ops[1], false); err != nil {
+			return
+		}
+		in.Off, labelRef, err = parseJumpTarget(ops[2])
+	case OpJEqImm, OpJNeImm, OpJGtImm, OpJGeImm, OpJLtImm, OpJLeImm:
+		if err = need(3); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], false); err != nil {
+			return
+		}
+		if in.Imm, err = parseImm(ops[1]); err != nil {
+			return
+		}
+		in.Off, labelRef, err = parseJumpTarget(ops[2])
+	case OpLdStack:
+		if err = need(2); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], false); err != nil {
+			return
+		}
+		in.Imm, err = parseStackSlot(ops[1])
+	case OpStStack:
+		if err = need(2); err != nil {
+			return
+		}
+		if in.Imm, err = parseStackSlot(ops[0]); err != nil {
+			return
+		}
+		in.Src, err = parseReg(ops[1], false)
+	case OpLdCtxt, OpMatchCtxt:
+		if err = need(3); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], false); err != nil {
+			return
+		}
+		if in.Src, err = parseReg(ops[1], false); err != nil {
+			return
+		}
+		in.Imm, err = parseImm(ops[2])
+	case OpStCtxt:
+		if err = need(3); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], false); err != nil {
+			return
+		}
+		if in.Imm, err = parseImm(ops[1]); err != nil {
+			return
+		}
+		in.Src, err = parseReg(ops[2], false)
+	case OpCall, OpTailCall:
+		if err = need(1); err != nil {
+			return
+		}
+		in.Imm, err = parseImm(ops[0])
+	case OpVecZero, OpVecLd, OpVecClamp:
+		if err = need(2); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], true); err != nil {
+			return
+		}
+		in.Imm, err = parseImm(ops[1])
+	case OpVecSt:
+		if err = need(2); err != nil {
+			return
+		}
+		if in.Imm, err = parseImm(ops[0]); err != nil {
+			return
+		}
+		in.Src, err = parseReg(ops[1], true)
+	case OpVecLdHist:
+		if err = need(3); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], true); err != nil {
+			return
+		}
+		if in.Src, err = parseReg(ops[1], false); err != nil {
+			return
+		}
+		in.Imm, err = parseImm(ops[2])
+	case OpVecSet:
+		if err = need(3); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], true); err != nil {
+			return
+		}
+		if in.Imm, err = parseImm(ops[1]); err != nil {
+			return
+		}
+		in.Src, err = parseReg(ops[2], false)
+	case OpScalarVal, OpMLInfer:
+		if err = need(3); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], false); err != nil {
+			return
+		}
+		if in.Src, err = parseReg(ops[1], true); err != nil {
+			return
+		}
+		in.Imm, err = parseImm(ops[2])
+	case OpMatMul:
+		if err = need(3); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], true); err != nil {
+			return
+		}
+		if in.Src, err = parseReg(ops[1], true); err != nil {
+			return
+		}
+		in.Imm, err = parseImm(ops[2])
+	case OpVecAdd, OpVecMul:
+		if err = need(2); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], true); err != nil {
+			return
+		}
+		in.Src, err = parseReg(ops[1], true)
+	case OpVecPush:
+		if err = need(2); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], true); err != nil {
+			return
+		}
+		in.Src, err = parseReg(ops[1], false)
+	case OpVecRelu:
+		if err = need(1); err != nil {
+			return
+		}
+		in.Dst, err = parseReg(ops[0], true)
+	case OpVecQuant:
+		if err = need(3); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], true); err != nil {
+			return
+		}
+		var mul, shift int64
+		if mul, err = parseImm(ops[1]); err != nil {
+			return
+		}
+		if shift, err = parseImm(ops[2]); err != nil {
+			return
+		}
+		if shift < 0 || shift > 63 {
+			err = fmt.Errorf("vecquant shift %d out of range", shift)
+			return
+		}
+		in.Imm = PackQuant(mul, uint8(shift))
+	case OpVecArgMax, OpVecSum:
+		if err = need(2); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], false); err != nil {
+			return
+		}
+		in.Src, err = parseReg(ops[1], true)
+	case OpVecDot:
+		if err = need(3); err != nil {
+			return
+		}
+		if in.Dst, err = parseReg(ops[0], false); err != nil {
+			return
+		}
+		if in.Src, err = parseReg(ops[1], true); err != nil {
+			return
+		}
+		var v uint8
+		if v, err = parseReg(ops[2], true); err != nil {
+			return
+		}
+		in.Imm = int64(v)
+	default:
+		err = fmt.Errorf("unhandled opcode %s", op)
+	}
+	return in, labelRef, err
+}

@@ -1,0 +1,241 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeNames(t *testing.T) {
+	seen := map[string]Opcode{}
+	for op := Opcode(0); op < opMax; op++ {
+		name := op.String()
+		if name == "" || strings.HasPrefix(name, "op(") {
+			t.Fatalf("opcode %d has no mnemonic", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("mnemonic %q used by opcodes %d and %d", name, prev, op)
+		}
+		seen[name] = op
+	}
+	if !Opcode(200).Valid() {
+		// expected
+	} else {
+		t.Fatal("opcode 200 should be invalid")
+	}
+}
+
+func TestInstrEncodeDecodeRoundtrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	f := func(op uint8, dst, src uint8, off int16, imm int64) bool {
+		in := Instr{Op: Opcode(op % uint8(NumOpcodes)), Dst: dst, Src: src, Off: off, Imm: imm}
+		got, err := DecodeInstr(in.Encode(nil))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeInstrErrors(t *testing.T) {
+	if _, err := DecodeInstr(make([]byte, InstrBytes-1)); err == nil {
+		t.Fatal("short buffer should fail")
+	}
+	bad := make([]byte, InstrBytes)
+	bad[0] = byte(opMax)
+	if _, err := DecodeInstr(bad); err == nil {
+		t.Fatal("invalid opcode should fail")
+	}
+}
+
+func TestProgramEncodeDecodeRoundtrip(t *testing.T) {
+	insns := MustAssemble(`
+        movimm r1, 10
+        movimm r2, -3
+        add    r1, r2
+        jgti   r1, 5, big
+        movimm r0, 0
+        exit
+big:    movimm r0, 1
+        exit
+`)
+	decoded, err := DecodeProgram(EncodeProgram(insns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(insns) {
+		t.Fatalf("length %d != %d", len(decoded), len(insns))
+	}
+	for i := range insns {
+		if decoded[i] != insns[i] {
+			t.Fatalf("instr %d: %v != %v", i, decoded[i], insns[i])
+		}
+	}
+}
+
+func TestDecodeProgramBadLength(t *testing.T) {
+	if _, err := DecodeProgram(make([]byte, InstrBytes+1)); err == nil {
+		t.Fatal("misaligned program should fail")
+	}
+}
+
+func TestAssembleDisassembleRoundtrip(t *testing.T) {
+	// Every printable instruction form should reassemble to itself.
+	forms := []Instr{
+		{Op: OpNop},
+		{Op: OpMov, Dst: 1, Src: 2},
+		{Op: OpMovImm, Dst: 3, Imm: -77},
+		{Op: OpAdd, Dst: 1, Src: 2},
+		{Op: OpAddImm, Dst: 1, Imm: 9},
+		{Op: OpMulImm, Dst: 1, Imm: 4},
+		{Op: OpDiv, Dst: 1, Src: 2},
+		{Op: OpNeg, Dst: 5},
+		{Op: OpAbs, Dst: 5},
+		{Op: OpMin, Dst: 5, Src: 6},
+		{Op: OpJmp, Off: 1},
+		{Op: OpJEq, Dst: 1, Src: 2, Off: 1},
+		{Op: OpJGeImm, Dst: 1, Imm: 3, Off: 1},
+		{Op: OpLdStack, Dst: 2, Imm: 7},
+		{Op: OpStStack, Src: 2, Imm: 7},
+		{Op: OpLdCtxt, Dst: 2, Src: 1, Imm: 3},
+		{Op: OpStCtxt, Dst: 1, Imm: 3, Src: 2},
+		{Op: OpMatchCtxt, Dst: 2, Src: 1, Imm: 4},
+		{Op: OpHistPush, Dst: 1, Src: 2},
+		{Op: OpCall, Imm: 1},
+		{Op: OpTailCall, Imm: 2},
+		{Op: OpVecZero, Dst: 1, Imm: 8},
+		{Op: OpVecLd, Dst: 1, Imm: 3},
+		{Op: OpVecSt, Src: 1, Imm: 3},
+		{Op: OpVecLdHist, Dst: 1, Src: 2, Imm: 8},
+		{Op: OpVecSet, Dst: 1, Imm: 2, Src: 3},
+		{Op: OpVecPush, Dst: 1, Src: 3},
+		{Op: OpScalarVal, Dst: 3, Src: 1, Imm: 2},
+		{Op: OpMatMul, Dst: 1, Src: 2, Imm: 5},
+		{Op: OpVecAdd, Dst: 1, Src: 2},
+		{Op: OpVecMul, Dst: 1, Src: 2},
+		{Op: OpVecRelu, Dst: 1},
+		{Op: OpVecQuant, Dst: 1, Imm: PackQuant(100, 7)},
+		{Op: OpVecClamp, Dst: 1, Imm: 1000},
+		{Op: OpVecArgMax, Dst: 2, Src: 1},
+		{Op: OpVecDot, Dst: 2, Src: 1, Imm: 3},
+		{Op: OpVecSum, Dst: 2, Src: 1},
+		{Op: OpMLInfer, Dst: 2, Src: 1, Imm: 6},
+		{Op: OpExit},
+	}
+	for _, in := range forms {
+		got, err := Assemble(in.String())
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if len(got) != 1 || got[0] != in {
+			t.Fatalf("%s reassembled to %v", in, got)
+		}
+	}
+}
+
+func TestAssembleLabels(t *testing.T) {
+	insns := MustAssemble(`
+start:  movimm r1, 1
+        jeqi   r1, 1, target
+        movimm r0, 0
+        exit
+target: movimm r0, 7
+        exit
+`)
+	if insns[1].Off != 2 {
+		t.Fatalf("label offset = %d, want 2", insns[1].Off)
+	}
+	// Numeric offsets work too.
+	insns2 := MustAssemble("movimm r1, 1\njeqi r1, 1, +2\nmovimm r0, 0\nexit\nmovimm r0, 7\nexit")
+	if insns2[1].Off != 2 {
+		t.Fatalf("numeric offset = %d, want 2", insns2[1].Off)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":   "frobnicate r1, r2",
+		"bad register":       "mov r99, r1",
+		"bad vreg":           "vecrelu v9",
+		"wrong operands":     "mov r1",
+		"undefined label":    "jmp nowhere",
+		"duplicate label":    "a: nop\na: nop",
+		"bad label":          "9bad: nop",
+		"bad immediate":      "movimm r1, xyz",
+		"bad stack slot":     "ldstack r1, 5",
+		"vecquant bad shift": "vecquant v0, 3, 99",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: %q assembled without error", name, src)
+		}
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	insns := MustAssemble("; leading comment\nmovimm r0, 1 ; trailing\n# hash comment\nexit")
+	if len(insns) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(insns))
+	}
+}
+
+func TestPackQuantRoundtrip(t *testing.T) {
+	f := func(mul int32, shift uint8) bool {
+		m := int64(mul)
+		if m < 0 {
+			m = -m
+		}
+		s := shift % 64
+		gm, gs := UnpackQuant(PackQuant(m, s))
+		return gm == m && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p := &Program{
+		Name:    "p",
+		Insns:   MustAssemble("movimm r0, 1\nexit"),
+		Helpers: []int64{1},
+		Models:  []int64{2},
+	}
+	q := p.Clone()
+	q.Insns[0].Imm = 99
+	q.Helpers[0] = 99
+	if p.Insns[0].Imm != 1 || p.Helpers[0] != 1 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestDisassembleStable(t *testing.T) {
+	src := "movimm r1, 5\naddimm r1, 2\nexit"
+	p := &Program{Insns: MustAssemble(src)}
+	dis := p.Disassemble()
+	for _, want := range []string{"movimm r1, 5", "addimm r1, 2", "exit"} {
+		if !strings.Contains(dis, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestIsJumpClasses(t *testing.T) {
+	if !OpJmp.IsJump() || !OpJLeImm.IsJump() || OpExit.IsJump() {
+		t.Fatal("IsJump misclassifies")
+	}
+	if OpJmp.IsCondJump() || !OpJEq.IsCondJump() {
+		t.Fatal("IsCondJump misclassifies")
+	}
+	if !OpJmp.IsTerminal() || !OpExit.IsTerminal() || !OpTailCall.IsTerminal() || OpJEq.IsTerminal() {
+		t.Fatal("IsTerminal misclassifies")
+	}
+}
+
+func TestAssembleTooLong(t *testing.T) {
+	src := strings.Repeat("nop\n", MaxProgInsns+1)
+	if _, err := Assemble(src); err == nil {
+		t.Fatal("over-length program should fail")
+	}
+}

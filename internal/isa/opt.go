@@ -1,0 +1,320 @@
+package isa
+
+// Optimize is the machine-independent optimizer that sits between program
+// authoring and admission (§3.1: programs are "compiled into
+// machine-independent bytecode" before the verifier sees them). It runs
+// three semantics-preserving passes to fixpoint:
+//
+//  1. block-local constant folding and branch folding — registers with
+//     statically known values fold ALU results and decide conditional
+//     branches (a decided branch becomes an unconditional jump or a nop);
+//  2. jump threading — jumps that land on unconditional jumps are
+//     retargeted to the final destination;
+//  3. dead-code elimination — instructions unreachable from the entry are
+//     removed, with all jump offsets re-resolved.
+//
+// Trapping operations (division, helper calls, context/vector accesses) are
+// never folded away: a program that traps keeps trapping at the same point.
+// Optimization preserves the verifier's admissibility: only-forward jumps
+// stay forward (threading moves targets later or keeps them; folding never
+// introduces edges).
+func Optimize(insns []Instr) []Instr {
+	out := append([]Instr(nil), insns...)
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		if foldConstants(out) {
+			changed = true
+		}
+		if threadJumps(out) {
+			changed = true
+		}
+		var removed bool
+		out, removed = eliminateDead(out)
+		if removed {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return out
+}
+
+// constVal tracks whether a register's value is statically known.
+type constVal struct {
+	known bool
+	v     int64
+}
+
+// foldConstants performs block-local constant propagation. Blocks are
+// delimited by jump targets and jump instructions; analysis state resets at
+// each block leader, so join points are handled conservatively.
+func foldConstants(insns []Instr) bool {
+	leaders := make([]bool, len(insns)+1)
+	if len(insns) > 0 {
+		leaders[0] = true
+	}
+	for pc, in := range insns {
+		if in.Op.IsJump() {
+			leaders[pc+1+int(in.Off)] = true
+			leaders[pc+1] = true
+		}
+	}
+	changed := false
+	var regs [NumRegs]constVal
+	reset := func() {
+		for i := range regs {
+			regs[i] = constVal{}
+		}
+	}
+	reset()
+	for pc := range insns {
+		if leaders[pc] {
+			reset()
+		}
+		in := &insns[pc]
+		dst, src := in.Dst, in.Src
+		bin := func(f func(a, b int64) int64) {
+			if regs[dst].known && regs[src].known {
+				*in = Instr{Op: OpMovImm, Dst: dst, Imm: f(regs[dst].v, regs[src].v)}
+				regs[dst] = constVal{known: true, v: in.Imm}
+				changed = true
+			} else {
+				regs[dst] = constVal{}
+			}
+		}
+		unImm := func(f func(a int64) int64) {
+			if regs[dst].known {
+				folded := f(regs[dst].v)
+				if in.Op != OpMovImm || in.Imm != folded {
+					*in = Instr{Op: OpMovImm, Dst: dst, Imm: folded}
+					changed = true
+				}
+				regs[dst] = constVal{known: true, v: folded}
+			} else {
+				regs[dst] = constVal{}
+			}
+		}
+		condImm := func(f func(a, b int64) bool) (decided, taken bool) {
+			if !regs[dst].known {
+				return false, false
+			}
+			return true, f(regs[dst].v, in.Imm)
+		}
+		condReg := func(f func(a, b int64) bool) (decided, taken bool) {
+			if !regs[dst].known || !regs[src].known {
+				return false, false
+			}
+			return true, f(regs[dst].v, regs[src].v)
+		}
+		decide := func(decided, taken bool) {
+			if !decided {
+				return
+			}
+			if taken {
+				*in = Instr{Op: OpJmp, Off: in.Off}
+			} else {
+				*in = Instr{Op: OpNop}
+			}
+			changed = true
+		}
+
+		switch in.Op {
+		case OpMovImm:
+			regs[dst] = constVal{known: true, v: in.Imm}
+		case OpMov:
+			if regs[src].known {
+				*in = Instr{Op: OpMovImm, Dst: dst, Imm: regs[src].v}
+				changed = true
+				regs[dst] = constVal{known: true, v: in.Imm}
+			} else {
+				regs[dst] = constVal{}
+			}
+		case OpAdd:
+			bin(func(a, b int64) int64 { return a + b })
+		case OpSub:
+			bin(func(a, b int64) int64 { return a - b })
+		case OpMul:
+			bin(func(a, b int64) int64 { return a * b })
+		case OpAnd:
+			bin(func(a, b int64) int64 { return a & b })
+		case OpOr:
+			bin(func(a, b int64) int64 { return a | b })
+		case OpXor:
+			bin(func(a, b int64) int64 { return a ^ b })
+		case OpShl:
+			bin(func(a, b int64) int64 { return a << (uint64(b) & 63) })
+		case OpShr:
+			bin(func(a, b int64) int64 { return a >> (uint64(b) & 63) })
+		case OpMin:
+			bin(func(a, b int64) int64 {
+				if b < a {
+					return b
+				}
+				return a
+			})
+		case OpMax:
+			bin(func(a, b int64) int64 {
+				if b > a {
+					return b
+				}
+				return a
+			})
+		case OpAddImm:
+			imm := in.Imm
+			unImm(func(a int64) int64 { return a + imm })
+		case OpMulImm:
+			imm := in.Imm
+			unImm(func(a int64) int64 { return a * imm })
+		case OpNeg:
+			unImm(func(a int64) int64 { return -a })
+		case OpAbs:
+			unImm(func(a int64) int64 {
+				if a < 0 {
+					return -a
+				}
+				return a
+			})
+		case OpDiv, OpMod:
+			// Never folded: a zero divisor must still trap at runtime.
+			regs[dst] = constVal{}
+		case OpJEqImm:
+			decide(condImm(func(a, b int64) bool { return a == b }))
+		case OpJNeImm:
+			decide(condImm(func(a, b int64) bool { return a != b }))
+		case OpJGtImm:
+			decide(condImm(func(a, b int64) bool { return a > b }))
+		case OpJGeImm:
+			decide(condImm(func(a, b int64) bool { return a >= b }))
+		case OpJLtImm:
+			decide(condImm(func(a, b int64) bool { return a < b }))
+		case OpJLeImm:
+			decide(condImm(func(a, b int64) bool { return a <= b }))
+		case OpJEq:
+			decide(condReg(func(a, b int64) bool { return a == b }))
+		case OpJNe:
+			decide(condReg(func(a, b int64) bool { return a != b }))
+		case OpJGt:
+			decide(condReg(func(a, b int64) bool { return a > b }))
+		case OpJGe:
+			decide(condReg(func(a, b int64) bool { return a >= b }))
+		case OpJLt:
+			decide(condReg(func(a, b int64) bool { return a < b }))
+		case OpJLe:
+			decide(condReg(func(a, b int64) bool { return a <= b }))
+		case OpLdStack, OpLdCtxt, OpMatchCtxt, OpScalarVal, OpVecArgMax,
+			OpVecSum, OpVecDot, OpMLInfer:
+			regs[in.Dst] = constVal{}
+		case OpCall:
+			regs[0] = constVal{} // helpers write R0
+		case OpJmp, OpExit, OpTailCall, OpNop, OpStStack, OpStCtxt,
+			OpHistPush, OpVecSt, OpVecRelu, OpVecQuant, OpVecClamp,
+			OpVecZero, OpVecLd, OpVecLdHist, OpVecSet, OpVecPush,
+			OpVecAdd, OpVecMul, OpMatMul:
+			// No scalar destination (or vector-only effect).
+		default:
+			// Unknown/future opcode: drop all knowledge defensively.
+			reset()
+		}
+	}
+	return changed
+}
+
+// threadJumps retargets jumps whose destination is an unconditional jump.
+// Only forward rethreading is applied, preserving the verifier's
+// forward-edge discipline.
+func threadJumps(insns []Instr) bool {
+	changed := false
+	for pc := range insns {
+		in := &insns[pc]
+		if !in.Op.IsJump() {
+			continue
+		}
+		tgt := pc + 1 + int(in.Off)
+		hops := 0
+		for tgt >= 0 && tgt < len(insns) && insns[tgt].Op == OpJmp && hops < 8 {
+			next := tgt + 1 + int(insns[tgt].Off)
+			if next <= tgt || next > pc+1+32767 {
+				break
+			}
+			tgt = next
+			hops++
+		}
+		if newOff := tgt - pc - 1; hops > 0 && int(in.Off) != newOff && newOff <= 32767 {
+			in.Off = int16(newOff)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// eliminateDead removes instructions unreachable from the entry — plus
+// reachable nops and zero-offset jumps (which fall through to their own
+// target) — and re-resolves every jump offset. Reachability uses the same
+// successor relation as the verifier. Jumps whose target is removed are
+// forwarded to the next surviving instruction, which is semantically
+// identical because only fall-through instructions are ever dropped.
+func eliminateDead(insns []Instr) ([]Instr, bool) {
+	n := len(insns)
+	if n == 0 {
+		return insns, false
+	}
+	reach := make([]bool, n)
+	stack := []int{0}
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if pc < 0 || pc >= n || reach[pc] {
+			continue
+		}
+		reach[pc] = true
+		in := insns[pc]
+		if in.Op.IsJump() {
+			stack = append(stack, pc+1+int(in.Off))
+		}
+		if !in.Op.IsTerminal() || (in.Op == OpJmp && in.Off == 0) {
+			stack = append(stack, pc+1)
+		}
+	}
+	// A reachable instruction is dropped if it is a pure fall-through:
+	// a nop, or a jump to the immediately following instruction.
+	drop := func(pc int) bool {
+		in := insns[pc]
+		if in.Op == OpNop || (in.Op == OpJmp && in.Off == 0) {
+			// Keep it if nothing follows to fall into.
+			return pc+1 < n && reach[pc+1]
+		}
+		return false
+	}
+	kept := 0
+	for pc := range insns {
+		if reach[pc] && !drop(pc) {
+			kept++
+		}
+	}
+	if kept == n {
+		return insns, false
+	}
+	// nextKept[pc] maps any (reachable) position to the index of the first
+	// surviving instruction at or after it.
+	nextKept := make([]int, n+1)
+	idx := kept
+	for pc := n; pc >= 0; pc-- {
+		if pc < n && reach[pc] && !drop(pc) {
+			idx--
+		}
+		nextKept[pc] = idx
+	}
+	out := make([]Instr, 0, kept)
+	for pc, in := range insns {
+		if !reach[pc] || drop(pc) {
+			continue
+		}
+		if in.Op.IsJump() {
+			tgt := pc + 1 + int(in.Off)
+			in.Off = int16(nextKept[tgt] - (nextKept[pc] + 1))
+		}
+		out = append(out, in)
+	}
+	return out, true
+}

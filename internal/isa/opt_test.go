@@ -1,0 +1,181 @@
+package isa
+
+import (
+	"testing"
+)
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	insns := MustAssemble(`
+        movimm r1, 6
+        movimm r2, 7
+        mov    r0, r1
+        mul    r0, r2
+        exit`)
+	out := Optimize(insns)
+	// The multiply chain folds to a single constant in r0.
+	found := false
+	for _, in := range out {
+		if in.Op == OpMovImm && in.Dst == 0 && in.Imm == 42 {
+			found = true
+		}
+		if in.Op == OpMul {
+			t.Fatalf("multiply survived folding:\n%s", (&Program{Insns: out}).Disassemble())
+		}
+	}
+	if !found {
+		t.Fatalf("folded constant missing:\n%s", (&Program{Insns: out}).Disassemble())
+	}
+}
+
+func TestOptimizeBranchFoldingAndDCE(t *testing.T) {
+	insns := MustAssemble(`
+        movimm r1, 5
+        jgti   r1, 3, yes     ; always taken
+        movimm r0, 111        ; dead
+        exit                  ; dead
+yes:    movimm r0, 222
+        exit`)
+	out := Optimize(insns)
+	if len(out) >= len(insns) {
+		t.Fatalf("no dead code removed: %d -> %d", len(insns), len(out))
+	}
+	for _, in := range out {
+		if in.Op == OpMovImm && in.Imm == 111 {
+			t.Fatal("dead branch survived")
+		}
+	}
+}
+
+func TestOptimizeBranchNeverTaken(t *testing.T) {
+	insns := MustAssemble(`
+        movimm r1, 1
+        jgti   r1, 3, yes     ; never taken
+        movimm r0, 111
+        exit
+yes:    movimm r0, 222
+        exit`)
+	out := Optimize(insns)
+	// The never-taken branch folds to nothing and the 222 block dies.
+	for _, in := range out {
+		if in.Op == OpMovImm && in.Imm == 222 {
+			t.Fatal("unreachable target survived")
+		}
+		if in.Op.IsCondJump() {
+			t.Fatal("decided branch survived")
+		}
+	}
+}
+
+func TestOptimizeJumpThreading(t *testing.T) {
+	insns := MustAssemble(`
+        movimm r0, 0
+        jmp    a
+a:      jmp    b
+b:      movimm r0, 9
+        exit`)
+	out := Optimize(insns)
+	// Threading + DCE collapse the chain; result must still compute 9.
+	for _, in := range out {
+		if in.Op == OpJmp {
+			t.Fatalf("jump chain survived:\n%s", (&Program{Insns: out}).Disassemble())
+		}
+	}
+}
+
+func TestOptimizeKeepsTraps(t *testing.T) {
+	insns := MustAssemble(`
+        movimm r1, 10
+        movimm r2, 0
+        div    r1, r2         ; must keep trapping
+        movimm r0, 0
+        exit`)
+	out := Optimize(insns)
+	foundDiv := false
+	for _, in := range out {
+		if in.Op == OpDiv {
+			foundDiv = true
+		}
+	}
+	if !foundDiv {
+		t.Fatal("trapping division was folded away")
+	}
+}
+
+func TestOptimizeHelperClobbersR0(t *testing.T) {
+	// call writes R0; a stale constant for R0 must not fold past it.
+	insns := MustAssemble(`
+        movimm r0, 5
+        call   1
+        addimm r0, 1          ; must NOT fold to movimm 6
+        exit`)
+	out := Optimize(insns)
+	for _, in := range out {
+		if in.Op == OpMovImm && in.Dst == 0 && in.Imm == 6 {
+			t.Fatal("constant propagated across helper call")
+		}
+	}
+}
+
+func TestOptimizeBlockBoundariesConservative(t *testing.T) {
+	// r5 differs across the join: no folding after the label.
+	insns := MustAssemble(`
+        jeqi  r1, 0, other
+        movimm r5, 1
+        jmp   join
+other:  movimm r5, 2
+join:   mov   r0, r5
+        exit`)
+	out := Optimize(insns)
+	// mov r0, r5 must survive (r5 unknown at the join).
+	found := false
+	for _, in := range out {
+		if in.Op == OpMov && in.Dst == 0 && in.Src == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("join folded unsoundly:\n%s", (&Program{Insns: out}).Disassemble())
+	}
+}
+
+func TestOptimizeForwardEdgesPreserved(t *testing.T) {
+	insns := MustAssemble(`
+        movimm r1, 1
+        jeqi   r1, 1, far
+        movimm r0, 0
+        exit
+        nop
+far:    movimm r0, 1
+        exit`)
+	out := Optimize(insns)
+	for pc, in := range out {
+		if in.Op.IsJump() && pc+1+int(in.Off) <= pc {
+			t.Fatalf("optimizer introduced a back edge at %d", pc)
+		}
+	}
+}
+
+func TestOptimizeEmptyAndIdempotent(t *testing.T) {
+	if got := Optimize(nil); len(got) != 0 {
+		t.Fatal("empty program grew")
+	}
+	insns := MustAssemble(`
+        movimm r1, 6
+        movimm r2, 7
+        mov    r0, r1
+        mul    r0, r2
+        jgti   r0, 10, big
+        exit
+big:    addimm r0, 1
+        exit`)
+	once := Optimize(insns)
+	twice := Optimize(once)
+	if len(once) != len(twice) {
+		t.Fatalf("not idempotent: %d vs %d", len(once), len(twice))
+	}
+	for i := range once {
+		if once[i] != twice[i] {
+			t.Fatalf("instruction %d changed on re-optimization", i)
+		}
+	}
+}

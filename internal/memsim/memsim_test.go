@@ -1,0 +1,206 @@
+package memsim
+
+import (
+	"testing"
+)
+
+// scripted prefetcher returns canned pages per access index.
+type scripted struct {
+	plans [][]int64
+	calls int
+}
+
+func (s *scripted) Name() string { return "scripted" }
+func (s *scripted) OnAccess(pid, page int64, hit bool) []int64 {
+	var out []int64
+	if s.calls < len(s.plans) {
+		out = s.plans[s.calls]
+	}
+	s.calls++
+	return out
+}
+
+type nonePolicy struct{}
+
+func (nonePolicy) Name() string                               { return "none" }
+func (nonePolicy) OnAccess(pid, page int64, hit bool) []int64 { return nil }
+
+func cfgSmall() Config {
+	return Config{
+		CacheSlots:        4,
+		HitNs:             1,
+		MissNs:            100,
+		PrefetchIssueNs:   2,
+		PrefetchLatencyNs: 10,
+		MaxPrefetch:       8,
+	}
+}
+
+func TestDemandMissesAndHits(t *testing.T) {
+	trace := []Access{
+		{PID: 1, Page: 10}, // miss
+		{PID: 1, Page: 10}, // hit
+		{PID: 1, Page: 11}, // miss
+	}
+	r := Run(cfgSmall(), nonePolicy{}, trace)
+	if r.DemandMisses != 2 || r.Hits != 1 || r.Accesses != 3 {
+		t.Fatalf("result = %+v", r)
+	}
+	// Clock: 2 misses * 100 + 1 hit * 1 = 201.
+	if r.ClockNs != 201 {
+		t.Fatalf("clock = %d", r.ClockNs)
+	}
+	if r.Accuracy() != 0 || r.Coverage() != 0 {
+		t.Fatal("no-prefetch run should have zero accuracy/coverage")
+	}
+}
+
+func TestPrefetchHitAccounting(t *testing.T) {
+	s := &scripted{plans: [][]int64{{11, 12}}} // prefetch on the first access
+	trace := []Access{
+		{PID: 1, Page: 10, Work: 1000}, // miss, then prefetch 11,12
+		{PID: 1, Page: 11, Work: 1000}, // prefetch hit (arrived: work > latency)
+		{PID: 1, Page: 13, Work: 1000}, // demand miss
+	}
+	r := Run(cfgSmall(), s, trace)
+	if r.PrefetchIssued != 2 || r.PrefetchUsed != 1 {
+		t.Fatalf("issued=%d used=%d", r.PrefetchIssued, r.PrefetchUsed)
+	}
+	if r.PrefetchLate != 0 {
+		t.Fatalf("late=%d, prefetch had %dns to arrive", r.PrefetchLate, 1000)
+	}
+	if got, want := r.Accuracy(), 0.5; got != want {
+		t.Fatalf("accuracy %.2f", got)
+	}
+	// Coverage: 1 prefetch hit / (1 + 2 demand misses).
+	if got := r.Coverage(); got != 1.0/3 {
+		t.Fatalf("coverage %.3f", got)
+	}
+}
+
+func TestLatePrefetchStalls(t *testing.T) {
+	cfg := cfgSmall()
+	cfg.PrefetchLatencyNs = 1000
+	s := &scripted{plans: [][]int64{{11}}}
+	trace := []Access{
+		{PID: 1, Page: 10, Work: 1}, // miss + prefetch 11 (arrives t+1000)
+		{PID: 1, Page: 11, Work: 1}, // hits the in-flight page, stalls
+	}
+	r := Run(cfg, s, trace)
+	if r.PrefetchLate != 1 || r.LateStallNs == 0 {
+		t.Fatalf("late=%d stall=%d", r.PrefetchLate, r.LateStallNs)
+	}
+	// A late prefetch still counts as used (partial benefit).
+	if r.PrefetchUsed != 1 {
+		t.Fatalf("used=%d", r.PrefetchUsed)
+	}
+	// The stall is bounded by the prefetch latency (it can never exceed
+	// the remaining in-flight time).
+	if r.LateStallNs >= cfg.PrefetchLatencyNs {
+		t.Fatalf("stall %d >= latency %d", r.LateStallNs, cfg.PrefetchLatencyNs)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Cache of 4: touching 5 distinct pages evicts the oldest.
+	trace := []Access{
+		{PID: 1, Page: 1}, {PID: 1, Page: 2}, {PID: 1, Page: 3}, {PID: 1, Page: 4},
+		{PID: 1, Page: 5},
+		{PID: 1, Page: 1}, // evicted: miss again
+		{PID: 1, Page: 5}, // still resident: hit
+	}
+	r := Run(cfgSmall(), nonePolicy{}, trace)
+	if r.DemandMisses != 6 || r.Hits != 1 {
+		t.Fatalf("misses=%d hits=%d", r.DemandMisses, r.Hits)
+	}
+}
+
+func TestMaxPrefetchCap(t *testing.T) {
+	cfg := cfgSmall()
+	cfg.MaxPrefetch = 2
+	s := &scripted{plans: [][]int64{{11, 12, 13, 14, 15}}}
+	r := Run(cfg, s, []Access{{PID: 1, Page: 10}})
+	if r.PrefetchIssued != 2 {
+		t.Fatalf("rate-limit cap bypassed: issued=%d", r.PrefetchIssued)
+	}
+}
+
+func TestDedupResidentPages(t *testing.T) {
+	s := &scripted{plans: [][]int64{{11}, {11}}} // second prefetch is a no-op
+	trace := []Access{
+		{PID: 1, Page: 10, Work: 100},
+		{PID: 1, Page: 20, Work: 100},
+	}
+	r := Run(cfgSmall(), s, trace)
+	if r.PrefetchIssued != 1 {
+		t.Fatalf("issued=%d, resident pages must not re-issue", r.PrefetchIssued)
+	}
+}
+
+func TestPerPIDIsolation(t *testing.T) {
+	// The same page number under different PIDs is a different page.
+	trace := []Access{
+		{PID: 1, Page: 10},
+		{PID: 2, Page: 10},
+	}
+	r := Run(cfgSmall(), nonePolicy{}, trace)
+	if r.DemandMisses != 2 {
+		t.Fatalf("misses=%d, PID namespaces leak", r.DemandMisses)
+	}
+}
+
+func TestOutcomeCallback(t *testing.T) {
+	cfg := cfgSmall()
+	cfg.CacheSlots = 2
+	var used, wasted int
+	cfg.OutcomeFn = func(pid, page int64, ok bool) {
+		if ok {
+			used++
+		} else {
+			wasted++
+		}
+	}
+	s := &scripted{plans: [][]int64{{11, 12}}}
+	trace := []Access{
+		{PID: 1, Page: 10, Work: 100}, // prefetch 11, 12 (cache: 2 slots!)
+		{PID: 1, Page: 11, Work: 100}, // use 11; inserting 10,11,12 already evicted something
+		{PID: 1, Page: 30, Work: 100},
+		{PID: 1, Page: 31, Work: 100}, // force evictions of any unused prefetch
+	}
+	Run(cfg, s, trace)
+	if used+wasted == 0 {
+		t.Fatal("outcome callback never fired")
+	}
+	if wasted == 0 {
+		t.Fatal("expected at least one wasted prefetch with a 2-slot cache")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.CacheSlots != 1024 || c.MissNs != 60000 || c.PrefetchLatencyNs != c.MissNs {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Policy: "x", PrefetchIssued: 10, PrefetchUsed: 5, DemandMisses: 5}
+	if r.Accuracy() != 0.5 || r.Coverage() != 0.5 {
+		t.Fatal("metric math wrong")
+	}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestStepwiseAPI(t *testing.T) {
+	s := New(cfgSmall(), nonePolicy{})
+	s.Step(Access{PID: 1, Page: 5})
+	if s.Resident() != 1 || s.Clock() == 0 {
+		t.Fatalf("resident=%d clock=%d", s.Resident(), s.Clock())
+	}
+	r := s.Result()
+	if r.Accesses != 1 {
+		t.Fatalf("accesses=%d", r.Accesses)
+	}
+}

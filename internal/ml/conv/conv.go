@@ -1,0 +1,236 @@
+// Package conv implements the quantized convolutional building blocks of the
+// paper's in-kernel ML library (§3.2: "the library of ML data structures
+// (e.g., conv_layer) ... can help RMT programs to construct more complex ML
+// models (e.g., action_cnn)"). The verifier admits a convolutional model by
+// "computing the number of floating point operations for a convolutional
+// layer using the height, width and number of channels of the input feature
+// map" — Cost implements exactly that formula (as integer MACs, since
+// inference is integer-only in the kernel).
+package conv
+
+import (
+	"fmt"
+
+	"rmtk/internal/ml/quant"
+)
+
+// Tensor is an integer feature map in CHW layout.
+type Tensor struct {
+	C, H, W int
+	Data    []int64 // len C*H*W
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(c, h, w int) (*Tensor, error) {
+	if c <= 0 || h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("conv: bad tensor shape %dx%dx%d", c, h, w)
+	}
+	return &Tensor{C: c, H: h, W: w, Data: make([]int64, c*h*w)}, nil
+}
+
+// At returns element (c, y, x).
+func (t *Tensor) At(c, y, x int) int64 { return t.Data[(c*t.H+y)*t.W+x] }
+
+// Set writes element (c, y, x).
+func (t *Tensor) Set(c, y, x int, v int64) { t.Data[(c*t.H+y)*t.W+x] = v }
+
+// Layer is one integer convolutional layer: OutC filters of size
+// InC×K×K, stride 1, valid padding, with an optional ReLU and requantize.
+type Layer struct {
+	InC, OutC int
+	K         int
+	// W holds quantized filter weights, [outc][inc][ky][kx] flattened.
+	W []int64
+	// B holds per-output-channel biases in accumulator scale.
+	B []int64
+	// Req rescales accumulators into the next layer's activation scale.
+	Req quant.Requant
+	// ReLU applies max(0, x) before requantization.
+	ReLU bool
+	// ActLimit saturates requantized activations (0 disables).
+	ActLimit int64
+}
+
+// NewLayer validates and builds a layer.
+func NewLayer(inC, outC, k int, w, b []int64) (*Layer, error) {
+	if inC <= 0 || outC <= 0 || k <= 0 {
+		return nil, fmt.Errorf("conv: bad layer shape in=%d out=%d k=%d", inC, outC, k)
+	}
+	if len(w) != outC*inC*k*k {
+		return nil, fmt.Errorf("conv: weights %d, want %d", len(w), outC*inC*k*k)
+	}
+	if len(b) != outC {
+		return nil, fmt.Errorf("conv: biases %d, want %d", len(b), outC)
+	}
+	return &Layer{InC: inC, OutC: outC, K: k, W: w, B: b, Req: quant.Requant{Mul: 1, Shift: 0}}, nil
+}
+
+// QuantizeLayer converts float filter weights into an integer layer with the
+// given weight bit width.
+func QuantizeLayer(inC, outC, k int, w []float64, b []float64, bits int) (*Layer, error) {
+	if len(w) != outC*inC*k*k || len(b) != outC {
+		return nil, fmt.Errorf("conv: float weights %d/%d mis-sized", len(w), len(b))
+	}
+	p := quant.ChooseScale(quant.MaxAbs(w), bits)
+	wq := p.QuantizeSlice(w)
+	bq := make([]int64, outC)
+	for i, v := range b {
+		bq[i] = p.Quantize(v)
+	}
+	return NewLayer(inC, outC, k, wq, bq)
+}
+
+// OutShape reports the output dimensions for an input of h×w (valid
+// padding, stride 1).
+func (l *Layer) OutShape(h, w int) (oh, ow int, err error) {
+	oh, ow = h-l.K+1, w-l.K+1
+	if oh <= 0 || ow <= 0 {
+		return 0, 0, fmt.Errorf("conv: input %dx%d smaller than kernel %d", h, w, l.K)
+	}
+	return oh, ow, nil
+}
+
+// Forward applies the layer to in, returning a fresh output tensor.
+func (l *Layer) Forward(in *Tensor) (*Tensor, error) {
+	if in.C != l.InC {
+		return nil, fmt.Errorf("conv: input channels %d, want %d", in.C, l.InC)
+	}
+	oh, ow, err := l.OutShape(in.H, in.W)
+	if err != nil {
+		return nil, err
+	}
+	out, err := NewTensor(l.OutC, oh, ow)
+	if err != nil {
+		return nil, err
+	}
+	for oc := 0; oc < l.OutC; oc++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				acc := l.B[oc]
+				for ic := 0; ic < l.InC; ic++ {
+					for ky := 0; ky < l.K; ky++ {
+						for kx := 0; kx < l.K; kx++ {
+							wi := ((oc*l.InC+ic)*l.K+ky)*l.K + kx
+							acc += l.W[wi] * in.At(ic, y+ky, x+kx)
+						}
+					}
+				}
+				if l.ReLU && acc < 0 {
+					acc = 0
+				}
+				acc = l.Req.Apply(acc)
+				if l.ActLimit > 0 {
+					acc = quant.Clamp(acc, l.ActLimit)
+				}
+				out.Set(oc, y, x, acc)
+			}
+		}
+	}
+	return out, nil
+}
+
+// CostFor reports the verifier admission cost of running the layer on an
+// h×w input: integer MACs (2 ops each per the verifier's convention) and
+// resident weight bytes — the paper's height×width×channels FLOP check.
+func (l *Layer) CostFor(h, w int) (ops, bytes int64, err error) {
+	oh, ow, err := l.OutShape(h, w)
+	if err != nil {
+		return 0, 0, err
+	}
+	ops = 2 * int64(l.K) * int64(l.K) * int64(l.InC) * int64(l.OutC) * int64(oh) * int64(ow)
+	bytes = 2*int64(len(l.W)) + 8*int64(len(l.B))
+	return ops, bytes, nil
+}
+
+// CNN is a stack of layers followed by global pooling and an argmax over
+// channels — the "action_cnn" shape.
+type CNN struct {
+	Layers []*Layer
+	// InH, InW fix the input geometry the model was admitted for.
+	InH, InW int
+}
+
+// NewCNN validates layer chaining against the fixed input geometry.
+func NewCNN(inH, inW int, layers ...*Layer) (*CNN, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("conv: empty CNN")
+	}
+	h, w := inH, inW
+	for i, l := range layers {
+		if i > 0 && layers[i-1].OutC != l.InC {
+			return nil, fmt.Errorf("conv: layer %d wants %d channels, got %d", i, l.InC, layers[i-1].OutC)
+		}
+		var err error
+		h, w, err = l.OutShape(h, w)
+		if err != nil {
+			return nil, fmt.Errorf("conv: layer %d: %w", i, err)
+		}
+	}
+	return &CNN{Layers: layers, InH: inH, InW: inW}, nil
+}
+
+// Forward runs the stack and returns per-channel global sums (the logits).
+func (c *CNN) Forward(in *Tensor) ([]int64, error) {
+	if in.H != c.InH || in.W != c.InW {
+		return nil, fmt.Errorf("conv: input %dx%d, admitted for %dx%d", in.H, in.W, c.InH, c.InW)
+	}
+	t := in
+	for i, l := range c.Layers {
+		var err error
+		t, err = l.Forward(t)
+		if err != nil {
+			return nil, fmt.Errorf("conv: layer %d: %w", i, err)
+		}
+	}
+	logits := make([]int64, t.C)
+	for ch := 0; ch < t.C; ch++ {
+		var sum int64
+		for y := 0; y < t.H; y++ {
+			for x := 0; x < t.W; x++ {
+				sum += t.At(ch, y, x)
+			}
+		}
+		logits[ch] = sum
+	}
+	return logits, nil
+}
+
+// Predict returns the argmax output channel for a flat CHW feature vector
+// (the kernel Model interface shape). Inputs shorter than the admitted
+// geometry read as zero.
+func (c *CNN) Predict(x []int64) int64 {
+	in := &Tensor{C: c.Layers[0].InC, H: c.InH, W: c.InW,
+		Data: make([]int64, c.Layers[0].InC*c.InH*c.InW)}
+	copy(in.Data, x)
+	logits, err := c.Forward(in)
+	if err != nil {
+		return 0
+	}
+	best := 0
+	for i := 1; i < len(logits); i++ {
+		if logits[i] > logits[best] {
+			best = i
+		}
+	}
+	return int64(best)
+}
+
+// NumFeatures implements the kernel Model input-width contract.
+func (c *CNN) NumFeatures() int { return c.Layers[0].InC * c.InH * c.InW }
+
+// Cost sums layer costs over the admitted geometry plus the pooling pass —
+// what the RMT verifier charges an action_cnn before admitting it (§3.2).
+func (c *CNN) Cost() (ops, bytes int64) {
+	h, w := c.InH, c.InW
+	for _, l := range c.Layers {
+		lo, lb, err := l.CostFor(h, w)
+		if err != nil {
+			return 0, 0
+		}
+		ops += lo
+		bytes += lb
+		h, w, _ = l.OutShape(h, w)
+	}
+	ops += int64(c.Layers[len(c.Layers)-1].OutC) * int64(h) * int64(w) // pooling
+	return ops, bytes
+}

@@ -1,0 +1,204 @@
+package conv
+
+import (
+	"testing"
+
+	"rmtk/internal/ml/quant"
+)
+
+func TestTensorIndexing(t *testing.T) {
+	tn, err := NewTensor(2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.Set(1, 2, 3, 42)
+	if tn.At(1, 2, 3) != 42 {
+		t.Fatal("indexing broken")
+	}
+	if _, err := NewTensor(0, 1, 1); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+}
+
+func TestLayerValidation(t *testing.T) {
+	if _, err := NewLayer(1, 1, 3, make([]int64, 8), []int64{0}); err == nil {
+		t.Fatal("mis-sized weights accepted")
+	}
+	if _, err := NewLayer(1, 1, 3, make([]int64, 9), nil); err == nil {
+		t.Fatal("mis-sized biases accepted")
+	}
+	if _, err := NewLayer(0, 1, 3, nil, nil); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+}
+
+// TestIdentityConv: a 1x1 kernel with weight 1 reproduces the input.
+func TestIdentityConv(t *testing.T) {
+	l, err := NewLayer(1, 1, 1, []int64{1}, []int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := NewTensor(1, 2, 2)
+	copy(in.Data, []int64{1, 2, 3, 4})
+	out, err := l.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Data {
+		if v != in.Data[i] {
+			t.Fatalf("identity conv changed data: %v", out.Data)
+		}
+	}
+}
+
+// TestBoxFilter: a 2x2 all-ones kernel sums windows.
+func TestBoxFilter(t *testing.T) {
+	l, _ := NewLayer(1, 1, 2, []int64{1, 1, 1, 1}, []int64{0})
+	in, _ := NewTensor(1, 3, 3)
+	copy(in.Data, []int64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	})
+	out, err := l.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{12, 16, 24, 28} // 2x2 sums
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("box filter = %v, want %v", out.Data, want)
+		}
+	}
+	if out.H != 2 || out.W != 2 {
+		t.Fatalf("out shape %dx%d", out.H, out.W)
+	}
+}
+
+func TestReLUAndRequant(t *testing.T) {
+	l, _ := NewLayer(1, 1, 1, []int64{1}, []int64{-5})
+	l.ReLU = true
+	l.Req = quant.Requant{Mul: 1, Shift: 1} // halve
+	l.ActLimit = 3
+	in, _ := NewTensor(1, 1, 3)
+	copy(in.Data, []int64{2, 9, 30})
+	out, err := l.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2-5=-3 -> relu 0 -> 0; 9-5=4 -> 2; 30-5=25 -> 12 -> clamp 3.
+	want := []int64{0, 2, 3}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestMultiChannel(t *testing.T) {
+	// Two input channels, 1x1 kernel summing them per output channel.
+	l, _ := NewLayer(2, 1, 1, []int64{1, 1}, []int64{0})
+	in, _ := NewTensor(2, 1, 1)
+	in.Set(0, 0, 0, 3)
+	in.Set(1, 0, 0, 4)
+	out, err := l.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 7 {
+		t.Fatalf("channel sum = %d", out.Data[0])
+	}
+	// Channel mismatch rejected.
+	bad, _ := NewTensor(1, 1, 1)
+	if _, err := l.Forward(bad); err == nil {
+		t.Fatal("channel mismatch accepted")
+	}
+}
+
+// TestCostFormula: ops = 2*K*K*Cin*Cout*Hout*Wout, the paper's admission
+// check for convolutional layers.
+func TestCostFormula(t *testing.T) {
+	l, _ := NewLayer(3, 8, 5, make([]int64, 8*3*5*5), make([]int64, 8))
+	ops, bytes, err := l.CostFor(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2 * 5 * 5 * 3 * 8 * 28 * 28)
+	if ops != want {
+		t.Fatalf("ops = %d, want %d", ops, want)
+	}
+	if bytes != 2*8*3*5*5+8*8 {
+		t.Fatalf("bytes = %d", bytes)
+	}
+	if _, _, err := l.CostFor(3, 3); err == nil {
+		t.Fatal("undersized input accepted")
+	}
+}
+
+func TestQuantizeLayerAgreesWithFloat(t *testing.T) {
+	w := []float64{0.5, -0.25, 0.125, 1.0}
+	b := []float64{0.25}
+	l, err := QuantizeLayer(1, 1, 2, w, b, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative magnitudes must be preserved: w[3] ~= 8x w[2] (off-by-one
+	// at the saturation point is fine).
+	ratio := float64(l.W[3]) / float64(l.W[2])
+	if ratio < 7.99 || ratio > 8.01 {
+		t.Fatalf("quantized ratios off: %v (ratio %.4f)", l.W, ratio)
+	}
+	if l.W[1] >= 0 {
+		t.Fatal("sign lost")
+	}
+}
+
+func TestCNNChainAndPredict(t *testing.T) {
+	// Layer 1: 1->2 channels detecting sign: filter +1 and -1.
+	l1, _ := NewLayer(1, 2, 1, []int64{1, -1}, []int64{0, 0})
+	l1.ReLU = true
+	// Layer 2: identity 2->2.
+	l2, _ := NewLayer(2, 2, 1, []int64{1, 0, 0, 1}, []int64{0, 0})
+	cnn, err := NewCNN(2, 2, l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnn.NumFeatures() != 4 {
+		t.Fatalf("features = %d", cnn.NumFeatures())
+	}
+	// Mostly positive input -> channel 0 wins.
+	if got := cnn.Predict([]int64{5, 5, -1, 5}); got != 0 {
+		t.Fatalf("positive input class %d", got)
+	}
+	// Mostly negative -> channel 1 wins.
+	if got := cnn.Predict([]int64{-5, -5, 1, -5}); got != 1 {
+		t.Fatalf("negative input class %d", got)
+	}
+	ops, bytes := cnn.Cost()
+	if ops <= 0 || bytes <= 0 {
+		t.Fatalf("cost = %d/%d", ops, bytes)
+	}
+	// Chain validation: channel mismatch rejected.
+	if _, err := NewCNN(2, 2, l2, l1); err == nil {
+		t.Fatal("mismatched chain accepted")
+	}
+	if _, err := NewCNN(2, 2); err == nil {
+		t.Fatal("empty CNN accepted")
+	}
+}
+
+func TestCNNGeometryMismatch(t *testing.T) {
+	l, _ := NewLayer(1, 1, 2, []int64{1, 1, 1, 1}, []int64{0})
+	cnn, err := NewCNN(4, 4, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := NewTensor(1, 3, 3)
+	if _, err := cnn.Forward(in); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+	// Kernel larger than input rejected at admission.
+	if _, err := NewCNN(1, 1, l); err == nil {
+		t.Fatal("undersized geometry accepted")
+	}
+}

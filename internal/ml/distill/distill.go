@@ -1,0 +1,119 @@
+// Package distill implements knowledge distillation from a large "teacher"
+// model to a drastically smaller "student" (§3.2: "a well-established line of
+// work relies on knowledge distillation to convert large teacher models to
+// drastically smaller students ... e.g. simpler NNs or even decision trees.
+// Distillation to interpretable models like decision trees will also
+// elucidate which features are key to decision making").
+package distill
+
+import (
+	"fmt"
+
+	"rmtk/internal/ml/dt"
+	"rmtk/internal/ml/mlp"
+)
+
+// Teacher is a soft-label source: typically a trained float MLP.
+type Teacher interface {
+	// Proba returns the class distribution for float feature vector x.
+	Proba(x []float64) []float64
+}
+
+var _ Teacher = (*mlp.MLP)(nil)
+
+// Config controls distillation.
+type Config struct {
+	// Student configures the decision-tree student.
+	Student dt.Config
+	// ConfidenceWeighting replicates samples the teacher is most confident
+	// about (weight ∝ round(4*p_max)), sharpening the student toward the
+	// teacher's decision boundary. Off by default.
+	ConfidenceWeighting bool
+}
+
+// Result carries the distilled student and its fidelity to the teacher.
+type Result struct {
+	Student *dt.Tree
+	// Fidelity is the fraction of transfer-set rows where student and
+	// teacher agree.
+	Fidelity float64
+	// CompressionOps is teacherOps / studentOps under the verifier cost
+	// model (how much cheaper each inference became).
+	CompressionOps float64
+}
+
+// Costed exposes the verifier cost of a model.
+type Costed interface {
+	Cost() (ops, bytes int64)
+}
+
+// ToTree distills teacher onto the transfer set X (integer features; the
+// float view passed to the teacher is the same data). Returns the student
+// tree plus fidelity/compression metrics.
+func ToTree(teacher Teacher, X [][]int64, cfg Config) (*Result, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("distill: empty transfer set")
+	}
+	var (
+		tx [][]int64
+		ty []int64
+	)
+	for _, row := range X {
+		fx := make([]float64, len(row))
+		for i, v := range row {
+			fx[i] = float64(v)
+		}
+		p := teacher.Proba(fx)
+		label, conf := argmax(p)
+		reps := 1
+		if cfg.ConfidenceWeighting {
+			reps = int(conf*4 + 0.5)
+			if reps < 1 {
+				reps = 1
+			}
+		}
+		for r := 0; r < reps; r++ {
+			tx = append(tx, row)
+			ty = append(ty, int64(label))
+		}
+	}
+	student, err := dt.Train(tx, ty, cfg.Student)
+	if err != nil {
+		return nil, fmt.Errorf("distill: student training: %w", err)
+	}
+
+	agree := 0
+	for _, row := range X {
+		fx := make([]float64, len(row))
+		for i, v := range row {
+			fx[i] = float64(v)
+		}
+		p := teacher.Proba(fx)
+		label, _ := argmax(p)
+		if student.Predict(row) == int64(label) {
+			agree++
+		}
+	}
+	res := &Result{
+		Student:  student,
+		Fidelity: float64(agree) / float64(len(X)),
+	}
+	if tc, ok := teacher.(Costed); ok {
+		tOps, _ := tc.Cost()
+		sOps, _ := student.Cost()
+		if sOps > 0 {
+			res.CompressionOps = float64(tOps) / float64(sOps)
+		}
+	}
+	return res, nil
+}
+
+func argmax(p []float64) (int, float64) {
+	best := 0
+	for i := 1; i < len(p); i++ {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best, p[best]
+}

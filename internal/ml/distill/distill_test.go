@@ -1,0 +1,101 @@
+package distill
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmtk/internal/ml/dt"
+	"rmtk/internal/ml/mlp"
+)
+
+// teachableSet builds a threshold task and a teacher MLP trained on it.
+func teachableSet(t *testing.T) (*mlp.MLP, [][]int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var (
+		Xf [][]float64
+		Xi [][]int64
+		y  []int
+	)
+	for i := 0; i < 800; i++ {
+		a, b := rng.Int63n(100), rng.Int63n(100)
+		label := 0
+		if a+2*b > 150 {
+			label = 1
+		}
+		Xf = append(Xf, []float64{float64(a), float64(b)})
+		Xi = append(Xi, []int64{a, b})
+		y = append(y, label)
+	}
+	teacher, err := mlp.New([]int{2, 16, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := teacher.TrainStandardized(Xf, y, mlp.TrainConfig{Epochs: 60, LR: 0.05, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := teacher.Accuracy(Xf, y); acc < 0.97 {
+		t.Fatalf("teacher too weak: %.3f", acc)
+	}
+	return teacher, Xi
+}
+
+func TestToTreeFidelity(t *testing.T) {
+	teacher, Xi := teachableSet(t)
+	res, err := ToTree(teacher, Xi, Config{Student: dt.Config{MaxDepth: 8, MinSamples: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity < 0.95 {
+		t.Fatalf("fidelity %.3f", res.Fidelity)
+	}
+	if res.CompressionOps <= 1 {
+		t.Fatalf("student not cheaper: compression %.2f", res.CompressionOps)
+	}
+	sOps, _ := res.Student.Cost()
+	tOps, _ := teacher.Cost()
+	if sOps >= tOps {
+		t.Fatalf("student ops %d >= teacher ops %d", sOps, tOps)
+	}
+}
+
+func TestConfidenceWeighting(t *testing.T) {
+	teacher, Xi := teachableSet(t)
+	res, err := ToTree(teacher, Xi, Config{
+		Student:             dt.Config{MaxDepth: 8, MinSamples: 2},
+		ConfidenceWeighting: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity < 0.95 {
+		t.Fatalf("weighted fidelity %.3f", res.Fidelity)
+	}
+}
+
+func TestEmptyTransferSet(t *testing.T) {
+	teacher, _ := teachableSet(t)
+	if _, err := ToTree(teacher, nil, Config{}); err == nil {
+		t.Fatal("empty transfer set accepted")
+	}
+}
+
+// flatTeacher always answers a uniform distribution; the student should
+// still train (all one class) without error.
+type flatTeacher struct{}
+
+func (flatTeacher) Proba(x []float64) []float64 { return []float64{0.5, 0.5} }
+
+func TestDegenerateTeacher(t *testing.T) {
+	X := [][]int64{{1}, {2}, {3}, {4}}
+	res, err := ToTree(flatTeacher{}, X, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity != 1.0 { // argmax ties resolve identically on both sides
+		t.Fatalf("fidelity %.3f", res.Fidelity)
+	}
+	if res.CompressionOps != 0 { // flatTeacher has no Cost method
+		t.Fatalf("compression should be unset, got %.2f", res.CompressionOps)
+	}
+}

@@ -1,0 +1,322 @@
+// Package dt implements the integer decision trees the paper uses for
+// in-kernel inference (case study #1 trains "an in-kernel integer decision
+// tree that can capture more complex access patterns", with the Gini index as
+// the split rule, matching the rmt_ml_dt { .split_rule = gini_index } sketch
+// in Figure 1).
+//
+// Training and inference are integer-only: features and thresholds are
+// int64, and impurity comparisons use cross-multiplied integer arithmetic so
+// the tree can be both trained and evaluated without floating point — the
+// property that makes online, in-kernel training viable (§3.2).
+package dt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Node is one tree node. Leaves carry the predicted class label; internal
+// nodes route on x[Feat] <= Thresh.
+type Node struct {
+	Feat   int32 // feature index; -1 marks a leaf
+	Thresh int64 // split threshold (go left when x[Feat] <= Thresh)
+	Left   int32 // index of left child
+	Right  int32 // index of right child
+	Label  int64 // leaf prediction
+}
+
+// Leaf reports whether the node is a leaf.
+func (n Node) Leaf() bool { return n.Feat < 0 }
+
+// Config controls tree induction.
+type Config struct {
+	// MaxDepth bounds tree depth (root = depth 0). Values <= 0 select 12.
+	MaxDepth int
+	// MinSamples stops splitting nodes with fewer samples. Values <= 0
+	// select 4.
+	MinSamples int
+	// MaxThresholds caps candidate thresholds evaluated per feature
+	// (uniformly subsampled when a feature has more distinct values).
+	// Values <= 0 select 32.
+	MaxThresholds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 4
+	}
+	if c.MaxThresholds <= 0 {
+		c.MaxThresholds = 32
+	}
+	return c
+}
+
+// Tree is a trained integer decision tree.
+type Tree struct {
+	Nodes    []Node
+	NumFeats int
+
+	// featGain accumulates the total (sample-weighted) Gini impurity
+	// decrease contributed by splits on each feature; the basis of Gini
+	// feature importance ("feature importance ranking", §2.1 benefit #1).
+	featGain []float64
+}
+
+// Train grows a tree on integer features X (row-major, one sample per row)
+// with integer class labels y. All rows must share len(X[0]) features.
+func Train(X [][]int64, y []int64, cfg Config) (*Tree, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("dt: bad training set: %d samples, %d labels", len(X), len(y))
+	}
+	nf := len(X[0])
+	if nf == 0 {
+		return nil, fmt.Errorf("dt: samples have no features")
+	}
+	for i, row := range X {
+		if len(row) != nf {
+			return nil, fmt.Errorf("dt: sample %d has %d features, want %d", i, len(row), nf)
+		}
+	}
+	cfg = cfg.withDefaults()
+	t := &Tree{NumFeats: nf, featGain: make([]float64, nf)}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	b := builder{X: X, y: y, cfg: cfg, t: t}
+	b.grow(idx, 0)
+	return t, nil
+}
+
+type builder struct {
+	X   [][]int64
+	y   []int64
+	cfg Config
+	t   *Tree
+}
+
+// classCounts tallies labels for the sample subset.
+func (b *builder) classCounts(idx []int) map[int64]int {
+	c := make(map[int64]int)
+	for _, i := range idx {
+		c[b.y[i]]++
+	}
+	return c
+}
+
+// majority returns the most frequent label (smallest label wins ties, for
+// determinism).
+func majority(counts map[int64]int) int64 {
+	var best int64
+	bestN := -1
+	for label, n := range counts {
+		if n > bestN || (n == bestN && label < best) {
+			best, bestN = label, n
+		}
+	}
+	return best
+}
+
+// giniTimesN returns N * gini(counts) * N = N^2 - Σ c_i^2 scaled so that
+// comparisons between splits avoid division: for a split (L, R) of N
+// samples, weighted impurity ∝ giniTimesN(L)/|L| + giniTimesN(R)/|R|; we
+// compare candidates via cross-multiplication in int64 when safe and fall
+// back to float64 for the aggregate score (training runs in the control
+// plane; inference remains integer-only).
+func giniTimesN(counts map[int64]int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	sq := 0.0
+	for _, c := range counts {
+		sq += float64(c) * float64(c)
+	}
+	return float64(n) - sq/float64(n)
+}
+
+func (b *builder) grow(idx []int, depth int) int32 {
+	counts := b.classCounts(idx)
+	node := Node{Feat: -1, Label: majority(counts)}
+	id := int32(len(b.t.Nodes))
+	b.t.Nodes = append(b.t.Nodes, node)
+
+	if depth >= b.cfg.MaxDepth || len(idx) < b.cfg.MinSamples || len(counts) <= 1 {
+		return id
+	}
+	feat, thresh, gain, ok := b.bestSplit(idx, counts)
+	if !ok {
+		return id
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.X[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return id
+	}
+	if gain > 0 {
+		b.t.featGain[feat] += gain
+	}
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	b.t.Nodes[id] = Node{Feat: int32(feat), Thresh: thresh, Left: l, Right: r, Label: node.Label}
+	return id
+}
+
+// bestSplit scans every feature's candidate thresholds for the largest Gini
+// impurity decrease. Zero-gain splits are admitted (the node is impure but
+// no single split helps immediately — the XOR case); depth and sample
+// bounds keep recursion finite.
+func (b *builder) bestSplit(idx []int, parentCounts map[int64]int) (feat int, thresh int64, gain float64, ok bool) {
+	n := len(idx)
+	parentImp := giniTimesN(parentCounts, n)
+	bestGain := -1.0
+	vals := make([]int64, 0, n)
+	for f := 0; f < b.t.NumFeats; f++ {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, b.X[i][f])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		// Distinct midpoints as candidate thresholds.
+		cands := make([]int64, 0, 16)
+		for i := 1; i < len(vals); i++ {
+			if vals[i] != vals[i-1] {
+				// Midpoint, floored: splitting at (a+b)/2 keeps the
+				// threshold an integer while separating a and b.
+				cands = append(cands, vals[i-1]+(vals[i]-vals[i-1])/2)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		if len(cands) > b.cfg.MaxThresholds {
+			step := len(cands) / b.cfg.MaxThresholds
+			sub := make([]int64, 0, b.cfg.MaxThresholds)
+			for i := 0; i < len(cands); i += step {
+				sub = append(sub, cands[i])
+			}
+			cands = sub
+		}
+		for _, c := range cands {
+			lc := make(map[int64]int)
+			ln := 0
+			for _, i := range idx {
+				if b.X[i][f] <= c {
+					lc[b.y[i]]++
+					ln++
+				}
+			}
+			if ln == 0 || ln == n {
+				continue
+			}
+			rc := make(map[int64]int, len(parentCounts))
+			for label, cnt := range parentCounts {
+				if d := cnt - lc[label]; d > 0 {
+					rc[label] = d
+				}
+			}
+			g := parentImp - giniTimesN(lc, ln) - giniTimesN(rc, n-ln)
+			if g > bestGain {
+				bestGain, feat, thresh, ok = g, f, c, true
+			}
+		}
+	}
+	return feat, thresh, bestGain, ok
+}
+
+// Predict returns the class label for feature vector x. Vectors shorter than
+// NumFeats read missing features as zero (fail-soft, matching the VM).
+func (t *Tree) Predict(x []int64) int64 {
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	i := int32(0)
+	for {
+		n := t.Nodes[i]
+		if n.Leaf() {
+			return n.Label
+		}
+		var v int64
+		if int(n.Feat) < len(x) {
+			v = x[n.Feat]
+		}
+		if v <= n.Thresh {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Depth returns the maximum depth of the tree (root = 0; empty tree = -1).
+func (t *Tree) Depth() int {
+	if len(t.Nodes) == 0 {
+		return -1
+	}
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		n := t.Nodes[i]
+		if n.Leaf() {
+			return 0
+		}
+		l, r := walk(n.Left), walk(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}
+
+// Size returns the node count.
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// Cost reports the verifier admission cost: worst-case ops per inference
+// (one compare per level) and resident bytes.
+func (t *Tree) Cost() (ops, bytes int64) {
+	d := t.Depth()
+	if d < 0 {
+		d = 0
+	}
+	return int64(d + 1), int64(len(t.Nodes)) * 24 // Feat+Thresh+Left+Right+Label packed
+}
+
+// Importance returns the normalized Gini importance per feature (sums to 1
+// when any split occurred; all zeros otherwise).
+func (t *Tree) Importance() []float64 {
+	out := make([]float64, t.NumFeats)
+	total := 0.0
+	for _, g := range t.featGain {
+		total += g
+	}
+	if total <= 0 || math.IsNaN(total) {
+		return out
+	}
+	for i, g := range t.featGain {
+		out[i] = g / total
+	}
+	return out
+}
+
+// Accuracy evaluates fraction of rows of X whose prediction equals y.
+func (t *Tree) Accuracy(X [][]int64, y []int64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	hit := 0
+	for i, x := range X {
+		if t.Predict(x) == y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(X))
+}

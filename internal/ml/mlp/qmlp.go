@@ -1,0 +1,253 @@
+package mlp
+
+import (
+	"fmt"
+	"math"
+
+	"rmtk/internal/isa"
+	"rmtk/internal/ml/quant"
+)
+
+// QMLP is the integer-only quantized form of a trained MLP, the artifact
+// that is "periodically quantized and pushed to the kernel for inference"
+// (§3.2). Weights are symmetric per-layer quantized; activations flow as
+// integers with a requantize (multiply + arithmetic shift) between layers —
+// exactly the OpMatMul/OpVecRelu/OpVecQuant sequence of the RMT ML ISA, so a
+// QMLP can also be compiled to bytecode (BuildProgram) and executed by the
+// in-kernel virtual machine.
+type QMLP struct {
+	Sizes []int
+	// Wq[l] is the quantized Sizes[l+1]×Sizes[l] weight matrix.
+	Wq [][]int64
+	// Bq[l] is the bias in the layer's accumulator scale.
+	Bq [][]int64
+	// Req[l] rescales layer l's accumulator into layer l+1's input scale;
+	// the final layer has Req[l].Mul == 0 (argmax needs no rescale).
+	Req []quant.Requant
+	// InScale is the real value of one unit of the integer input features.
+	InScale float64
+	// WeightBits is the quantization width used for weights.
+	WeightBits int
+
+	actLimit int64 // saturation bound applied after each requant
+}
+
+// ActLimit reports the activation saturation bound (for diagnostics and
+// bytecode equivalence tests).
+func (q *QMLP) ActLimit() int64 { return q.actLimit }
+
+// QuantizeConfig controls MLP quantization.
+type QuantizeConfig struct {
+	// WeightBits is the signed width for weights. <=0 selects 16 (the
+	// paper's integer-SVM / quantized-DNN regime also admits 8).
+	WeightBits int
+	// ActBits is the signed width for inter-layer activations. <=0
+	// selects 16.
+	ActBits int
+	// InScale is the real value represented by one unit of the integer
+	// inputs fed to Predict. <=0 selects 1.0 (raw integer features).
+	InScale float64
+}
+
+// Quantize converts a trained float MLP into integer-only form, using calib
+// (rows of float features, same scale as training data) to choose per-layer
+// activation scales.
+func Quantize(m *MLP, calib [][]float64, cfg QuantizeConfig) (*QMLP, error) {
+	if cfg.WeightBits <= 0 {
+		cfg.WeightBits = 16
+	}
+	if cfg.ActBits <= 0 {
+		cfg.ActBits = 16
+	}
+	if cfg.InScale <= 0 {
+		cfg.InScale = 1.0
+	}
+	if len(calib) == 0 {
+		return nil, fmt.Errorf("mlp: quantization needs calibration data")
+	}
+	L := m.Layers()
+
+	// Per-layer maximum |activation| over the calibration set.
+	actMax := make([]float64, L+1)
+	for _, x := range calib {
+		acts := m.forward(x)
+		for l, a := range acts {
+			for _, v := range a {
+				if av := math.Abs(v); av > actMax[l] {
+					actMax[l] = av
+				}
+			}
+		}
+	}
+
+	q := &QMLP{
+		Sizes:      append([]int(nil), m.Sizes...),
+		InScale:    cfg.InScale,
+		WeightBits: cfg.WeightBits,
+		actLimit:   1<<(cfg.ActBits-1) - 1,
+	}
+	// Input scale of layer l's integer activations.
+	scale := cfg.InScale
+	for l := 0; l < L; l++ {
+		wp := quant.ChooseScale(quant.MaxAbs(m.W[l]), cfg.WeightBits)
+		q.Wq = append(q.Wq, wp.QuantizeSlice(m.W[l]))
+		accScale := scale * wp.Scale
+		if accScale == 0 {
+			return nil, fmt.Errorf("mlp: layer %d degenerate scale", l)
+		}
+		bq := make([]int64, len(m.B[l]))
+		for i, b := range m.B[l] {
+			bq[i] = int64(math.RoundToEven(b / accScale))
+		}
+		q.Bq = append(q.Bq, bq)
+
+		if l == L-1 {
+			// Output layer: argmax is scale-invariant.
+			q.Req = append(q.Req, quant.Requant{})
+			break
+		}
+		// Choose the next activation scale so the calibrated max fits.
+		nextScale := 1.0
+		if actMax[l+1] > 0 {
+			nextScale = actMax[l+1] / float64(q.actLimit)
+		}
+		rq, err := quant.ComputeRequant(accScale/nextScale, 32)
+		if err != nil {
+			return nil, fmt.Errorf("mlp: layer %d: %w", l, err)
+		}
+		q.Req = append(q.Req, rq)
+		scale = nextScale
+	}
+	return q, nil
+}
+
+// Logits computes the integer output-layer accumulators for integer feature
+// vector x.
+func (q *QMLP) Logits(x []int64) []int64 {
+	act := x
+	L := len(q.Wq)
+	for l := 0; l < L; l++ {
+		in, out := q.Sizes[l], q.Sizes[l+1]
+		next := make([]int64, out)
+		w := q.Wq[l]
+		for o := 0; o < out; o++ {
+			sum := q.Bq[l][o]
+			row := w[o*in : (o+1)*in]
+			for i := 0; i < in && i < len(act); i++ {
+				sum += row[i] * act[i]
+			}
+			next[o] = sum
+		}
+		if l < L-1 {
+			for i, v := range next {
+				if v < 0 {
+					v = 0 // ReLU
+				}
+				next[i] = quant.Clamp(q.Req[l].Apply(v), q.actLimit)
+			}
+		}
+		act = next
+	}
+	return act
+}
+
+// Predict returns the argmax class for integer feature vector x.
+func (q *QMLP) Predict(x []int64) int {
+	logits := q.Logits(x)
+	best := 0
+	for i := 1; i < len(logits); i++ {
+		if logits[i] > logits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Accuracy reports the fraction of integer rows classified as their label.
+func (q *QMLP) Accuracy(X [][]int64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	hit := 0
+	for i, x := range X {
+		if q.Predict(x) == y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(X))
+}
+
+// Cost reports verifier admission cost: integer MACs per inference and
+// resident bytes (2 bytes per weight at WeightBits<=16, 4 otherwise, plus
+// 8-byte biases).
+func (q *QMLP) Cost() (ops, bytes int64) {
+	per := int64(4)
+	if q.WeightBits <= 16 {
+		per = 2
+	}
+	for l := range q.Wq {
+		ops += 2 * int64(q.Sizes[l]) * int64(q.Sizes[l+1])
+		bytes += per*int64(len(q.Wq[l])) + 8*int64(len(q.Bq[l]))
+	}
+	return ops, bytes
+}
+
+// Mat is one weight matrix + bias in the form the kernel registers for
+// RMT_MAT_MUL.
+type Mat struct {
+	In, Out int
+	W       []int64 // Out×In, row-major
+	B       []int64 // Out
+}
+
+// Mats exports the per-layer matrices for registration with the kernel's
+// matrix registry.
+func (q *QMLP) Mats() []Mat {
+	out := make([]Mat, 0, len(q.Wq))
+	for l := range q.Wq {
+		out = append(out, Mat{
+			In:  q.Sizes[l],
+			Out: q.Sizes[l+1],
+			W:   q.Wq[l],
+			B:   q.Bq[l],
+		})
+	}
+	return out
+}
+
+// BuildProgram compiles the quantized network to RMT bytecode: the feature
+// vector is loaded from vector pool vecID, each layer is an OpMatMul against
+// matrix matBase+l followed by OpVecRelu and OpVecQuant, and the argmax class
+// is returned in R0. The caller registers Mats() at ids matBase.. and the
+// feature vector at vecID before running.
+func (q *QMLP) BuildProgram(name, hook string, vecID, matBase int64) *isa.Program {
+	var ins []isa.Instr
+	ins = append(ins, isa.Instr{Op: isa.OpVecLd, Dst: 0, Imm: vecID})
+	L := len(q.Wq)
+	mats := make([]int64, 0, L)
+	for l := 0; l < L; l++ {
+		matID := matBase + int64(l)
+		mats = append(mats, matID)
+		ins = append(ins, isa.Instr{Op: isa.OpMatMul, Dst: 0, Src: 0, Imm: matID})
+		if l < L-1 {
+			ins = append(ins, isa.Instr{Op: isa.OpVecRelu, Dst: 0})
+			ins = append(ins, isa.Instr{
+				Op:  isa.OpVecQuant,
+				Dst: 0,
+				Imm: isa.PackQuant(q.Req[l].Mul, q.Req[l].Shift),
+			})
+			ins = append(ins, isa.Instr{Op: isa.OpVecClamp, Dst: 0, Imm: q.actLimit})
+		}
+	}
+	ins = append(ins,
+		isa.Instr{Op: isa.OpVecArgMax, Dst: 0, Src: 0},
+		isa.Instr{Op: isa.OpExit},
+	)
+	return &isa.Program{
+		Name:  name,
+		Hook:  hook,
+		Insns: ins,
+		Mats:  mats,
+		Vecs:  []int64{vecID},
+	}
+}

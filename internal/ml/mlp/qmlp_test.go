@@ -1,0 +1,153 @@
+package mlp
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmtk/internal/isa"
+)
+
+// trainSmall builds a float network on an integer-feature task: label = 1
+// iff 3*x0 - x1 > 20, features in [0, 64).
+func trainSmall(t *testing.T, seed int64) (*MLP, [][]float64, [][]int64, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		Xf [][]float64
+		Xi [][]int64
+		y  []int
+	)
+	for i := 0; i < 600; i++ {
+		a, b := rng.Int63n(64), rng.Int63n(64)
+		label := 0
+		if 3*a-b > 20 {
+			label = 1
+		}
+		Xf = append(Xf, []float64{float64(a), float64(b)})
+		Xi = append(Xi, []int64{a, b})
+		y = append(y, label)
+	}
+	m, err := New([]int{2, 8, 2}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TrainStandardized(Xf, y, TrainConfig{Epochs: 60, LR: 0.05, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	return m, Xf, Xi, y
+}
+
+func TestQuantizeAgreement(t *testing.T) {
+	m, Xf, Xi, y := trainSmall(t, 21)
+	floatAcc := m.Accuracy(Xf, y)
+	if floatAcc < 0.97 {
+		t.Fatalf("float accuracy %.3f too low to test quantization", floatAcc)
+	}
+	for _, bits := range []int{8, 16} {
+		q, err := Quantize(m, Xf, QuantizeConfig{WeightBits: bits})
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		agree := 0
+		for i, xi := range Xi {
+			if q.Predict(xi) == m.Predict(Xf[i]) {
+				agree++
+			}
+		}
+		frac := float64(agree) / float64(len(Xi))
+		min := 0.98
+		if bits == 8 {
+			min = 0.95
+		}
+		if frac < min {
+			t.Fatalf("bits=%d agreement %.3f < %.2f", bits, frac, min)
+		}
+	}
+}
+
+func TestQuantizeNeedsCalibration(t *testing.T) {
+	m, _, _, _ := trainSmall(t, 22)
+	if _, err := Quantize(m, nil, QuantizeConfig{}); err == nil {
+		t.Fatal("missing calibration accepted")
+	}
+}
+
+func TestQMLPCost(t *testing.T) {
+	m, Xf, _, _ := trainSmall(t, 23)
+	q, err := Quantize(m, Xf, QuantizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, bytes := q.Cost()
+	if ops != 2*(2*8+8*2) {
+		t.Fatalf("ops = %d", ops)
+	}
+	if bytes != 2*(2*8+8*2)+8*(8+2) {
+		t.Fatalf("bytes = %d", bytes)
+	}
+}
+
+func TestQMLPShortInputFailSoft(t *testing.T) {
+	m, Xf, _, _ := trainSmall(t, 24)
+	q, _ := Quantize(m, Xf, QuantizeConfig{})
+	// Short vectors read missing features as zero and never panic.
+	_ = q.Predict([]int64{1})
+	_ = q.Predict(nil)
+}
+
+func TestMatsExport(t *testing.T) {
+	m, Xf, _, _ := trainSmall(t, 25)
+	q, _ := Quantize(m, Xf, QuantizeConfig{})
+	mats := q.Mats()
+	if len(mats) != 2 {
+		t.Fatalf("%d mats", len(mats))
+	}
+	if mats[0].In != 2 || mats[0].Out != 8 || len(mats[0].W) != 16 || len(mats[0].B) != 8 {
+		t.Fatalf("layer 0 shape: %+v", mats[0])
+	}
+	if mats[1].In != 8 || mats[1].Out != 2 {
+		t.Fatalf("layer 1 shape: %+v", mats[1])
+	}
+}
+
+func TestBuildProgramStructure(t *testing.T) {
+	m, Xf, _, _ := trainSmall(t, 26)
+	q, _ := Quantize(m, Xf, QuantizeConfig{})
+	prog := q.BuildProgram("mlp", "hook", 5, 10)
+	if prog.Name != "mlp" || prog.Hook != "hook" {
+		t.Fatal("metadata lost")
+	}
+	if len(prog.Vecs) != 1 || prog.Vecs[0] != 5 {
+		t.Fatalf("vecs = %v", prog.Vecs)
+	}
+	if len(prog.Mats) != 2 || prog.Mats[0] != 10 || prog.Mats[1] != 11 {
+		t.Fatalf("mats = %v", prog.Mats)
+	}
+	// VecLd, (MatMul, Relu, Quant, Clamp), MatMul, ArgMax, Exit.
+	wantOps := []isa.Opcode{
+		isa.OpVecLd, isa.OpMatMul, isa.OpVecRelu, isa.OpVecQuant,
+		isa.OpVecClamp, isa.OpMatMul, isa.OpVecArgMax, isa.OpExit,
+	}
+	if len(prog.Insns) != len(wantOps) {
+		t.Fatalf("program length %d, want %d:\n%s", len(prog.Insns), len(wantOps), prog.Disassemble())
+	}
+	for i, op := range wantOps {
+		if prog.Insns[i].Op != op {
+			t.Fatalf("insn %d = %s, want %s", i, prog.Insns[i].Op, op)
+		}
+	}
+}
+
+func TestQuantizedLogitsMatchFloatDecision(t *testing.T) {
+	// End-to-end sanity: quantized integer accuracy close to float.
+	m, Xf, Xi, y := trainSmall(t, 27)
+	q, _ := Quantize(m, Xf, QuantizeConfig{})
+	fAcc := m.Accuracy(Xf, y)
+	qAcc := q.Accuracy(Xi, y)
+	if fAcc-qAcc > 0.02 {
+		t.Fatalf("quantization lost too much: float %.3f, int %.3f", fAcc, qAcc)
+	}
+	if q.ActLimit() != 1<<15-1 {
+		t.Fatalf("default act limit = %d", q.ActLimit())
+	}
+}

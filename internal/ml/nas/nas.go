@@ -1,0 +1,180 @@
+// Package nas implements a budgeted neural-architecture search (§3.2
+// "Customized ML": NAS "can automatically construct NNs with different
+// depths, widths, and hyperparameters ... for a given task", performed
+// offline, with the winning architecture installed to the kernel). The search
+// is random search over MLP shapes — Bergstra & Bengio-style — with the
+// verifier's cost model as a hard admission constraint, mirroring how the RMT
+// verifier "should reason about the efficiency of the ML models before
+// admitting them to the kernel".
+package nas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rmtk/internal/ml/mlp"
+)
+
+// Space defines the search space.
+type Space struct {
+	// Depths are the admissible hidden-layer counts.
+	Depths []int
+	// Widths are the admissible hidden-layer widths.
+	Widths []int
+	// LRs are the admissible learning rates.
+	LRs []float64
+	// Epochs are the admissible training epoch counts.
+	Epochs []int
+}
+
+// DefaultSpace is a small space suitable for kernel-scale models.
+func DefaultSpace() Space {
+	return Space{
+		Depths: []int{1, 2},
+		Widths: []int{4, 8, 16, 32},
+		LRs:    []float64{0.01, 0.05, 0.1},
+		Epochs: []int{20, 40},
+	}
+}
+
+// Candidate is one evaluated architecture.
+type Candidate struct {
+	Hidden   []int
+	LR       float64
+	Epochs   int
+	ValAcc   float64
+	Ops      int64 // quantized-inference cost under the verifier model
+	Bytes    int64
+	Admitted bool // within the ops/bytes budget
+}
+
+// Config controls the search.
+type Config struct {
+	Space Space
+	// Trials is the number of sampled architectures. <=0 selects 16.
+	Trials int
+	// Seed drives sampling and training determinism.
+	Seed int64
+	// OpsBudget / BytesBudget are verifier-style admission limits applied
+	// to the quantized model; 0 disables the respective limit.
+	OpsBudget   int64
+	BytesBudget int64
+	// WeightBits for cost estimation of the quantized deployment. <=0
+	// selects 16.
+	WeightBits int
+}
+
+// Result is the search outcome.
+type Result struct {
+	// Best is the winning admitted candidate.
+	Best Candidate
+	// Model is the trained float network of the winner (quantize before
+	// kernel installation).
+	Model *MLPModel
+	// All lists every evaluated candidate (for ablation reporting).
+	All []Candidate
+}
+
+// MLPModel bundles the winner with its architecture.
+type MLPModel struct {
+	Net    *mlp.MLP
+	Hidden []int
+}
+
+// Search samples architectures, trains each on (Xtr, ytr), scores on
+// (Xval, yval), and returns the best candidate within budget.
+func Search(Xtr [][]float64, ytr []int, Xval [][]float64, yval []int, numClasses int, cfg Config) (*Result, error) {
+	if len(Xtr) == 0 || len(Xval) == 0 {
+		return nil, fmt.Errorf("nas: empty train or validation set")
+	}
+	sp := cfg.Space
+	if len(sp.Depths) == 0 || len(sp.Widths) == 0 {
+		sp = DefaultSpace()
+	}
+	if len(sp.LRs) == 0 {
+		sp.LRs = []float64{0.05}
+	}
+	if len(sp.Epochs) == 0 {
+		sp.Epochs = []int{30}
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 16
+	}
+	wbits := cfg.WeightBits
+	if wbits <= 0 {
+		wbits = 16
+	}
+	perWeight := int64(4)
+	if wbits <= 16 {
+		perWeight = 2
+	}
+	nin := len(Xtr[0])
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	res := &Result{}
+	haveBest := false
+	for t := 0; t < trials; t++ {
+		depth := sp.Depths[rng.Intn(len(sp.Depths))]
+		hidden := make([]int, depth)
+		for i := range hidden {
+			hidden[i] = sp.Widths[rng.Intn(len(sp.Widths))]
+		}
+		lr := sp.LRs[rng.Intn(len(sp.LRs))]
+		epochs := sp.Epochs[rng.Intn(len(sp.Epochs))]
+
+		sizes := append([]int{nin}, hidden...)
+		sizes = append(sizes, numClasses)
+		ops, bytes := shapeCost(sizes, perWeight)
+		cand := Candidate{
+			Hidden: hidden, LR: lr, Epochs: epochs,
+			Ops: ops, Bytes: bytes,
+			Admitted: (cfg.OpsBudget <= 0 || ops <= cfg.OpsBudget) &&
+				(cfg.BytesBudget <= 0 || bytes <= cfg.BytesBudget),
+		}
+		if !cand.Admitted {
+			// Rejected by the cost model before any training — exactly the
+			// verifier's pre-admission check.
+			res.All = append(res.All, cand)
+			continue
+		}
+		net, err := mlp.New(sizes, cfg.Seed+int64(t)*101)
+		if err != nil {
+			return nil, err
+		}
+		if err := net.Train(Xtr, ytr, mlp.TrainConfig{Epochs: epochs, LR: lr, Seed: cfg.Seed + int64(t)}); err != nil {
+			return nil, err
+		}
+		cand.ValAcc = net.Accuracy(Xval, yval)
+		res.All = append(res.All, cand)
+		if !haveBest || better(cand, res.Best) {
+			haveBest = true
+			res.Best = cand
+			res.Model = &MLPModel{Net: net, Hidden: hidden}
+		}
+	}
+	if !haveBest {
+		return nil, fmt.Errorf("nas: no candidate fit within budget (ops<=%d bytes<=%d)", cfg.OpsBudget, cfg.BytesBudget)
+	}
+	return res, nil
+}
+
+// better prefers higher validation accuracy, then fewer ops, then fewer
+// bytes.
+func better(a, b Candidate) bool {
+	if a.ValAcc != b.ValAcc {
+		return a.ValAcc > b.ValAcc
+	}
+	if a.Ops != b.Ops {
+		return a.Ops < b.Ops
+	}
+	return a.Bytes < b.Bytes
+}
+
+func shapeCost(sizes []int, perWeight int64) (ops, bytes int64) {
+	for l := 0; l < len(sizes)-1; l++ {
+		ops += 2 * int64(sizes[l]) * int64(sizes[l+1])
+		bytes += perWeight*int64(sizes[l])*int64(sizes[l+1]) + 8*int64(sizes[l+1])
+	}
+	return ops, bytes
+}

@@ -1,0 +1,95 @@
+package nas
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func dataset(seed int64, n int) (X [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		label := 0
+		if a > b {
+			label = 1
+		}
+		X = append(X, []float64{a, b})
+		y = append(y, label)
+	}
+	return X, y
+}
+
+func TestSearchFindsAccurateModel(t *testing.T) {
+	Xtr, ytr := dataset(1, 400)
+	Xval, yval := dataset(2, 200)
+	res, err := Search(Xtr, ytr, Xval, yval, 2, Config{Trials: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.ValAcc < 0.95 {
+		t.Fatalf("best val accuracy %.3f", res.Best.ValAcc)
+	}
+	if res.Model == nil || res.Model.Net == nil {
+		t.Fatal("no trained model returned")
+	}
+	if len(res.All) != 8 {
+		t.Fatalf("evaluated %d candidates", len(res.All))
+	}
+}
+
+func TestSearchRespectsBudget(t *testing.T) {
+	Xtr, ytr := dataset(3, 200)
+	Xval, yval := dataset(4, 100)
+	const opsBudget = 2 * (2*8 + 8*2) // at most one 8-wide hidden layer
+	res, err := Search(Xtr, ytr, Xval, yval, 2, Config{
+		Trials: 12, Seed: 5, OpsBudget: opsBudget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Ops > opsBudget {
+		t.Fatalf("winner ops %d over budget %d", res.Best.Ops, opsBudget)
+	}
+	sawRejection := false
+	for _, c := range res.All {
+		if !c.Admitted {
+			sawRejection = true
+			if c.ValAcc != 0 {
+				t.Fatal("rejected candidate was trained anyway")
+			}
+		}
+	}
+	if !sawRejection {
+		t.Log("no candidate exceeded the budget in this seed (acceptable)")
+	}
+}
+
+func TestSearchImpossibleBudget(t *testing.T) {
+	Xtr, ytr := dataset(5, 100)
+	Xval, yval := dataset(6, 50)
+	if _, err := Search(Xtr, ytr, Xval, yval, 2, Config{Trials: 4, Seed: 7, OpsBudget: 1}); err == nil {
+		t.Fatal("impossible budget produced a winner")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	Xtr, ytr := dataset(7, 200)
+	Xval, yval := dataset(8, 100)
+	a, err := Search(Xtr, ytr, Xval, yval, 2, Config{Trials: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(Xtr, ytr, Xval, yval, 2, Config{Trials: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.ValAcc != b.Best.ValAcc || len(a.Best.Hidden) != len(b.Best.Hidden) {
+		t.Fatal("same seed, different winner")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	if _, err := Search(nil, nil, nil, nil, 2, Config{}); err == nil {
+		t.Fatal("empty sets accepted")
+	}
+}

@@ -1,0 +1,197 @@
+// Package svm implements the integer linear SVM pictured in the kernel-ML
+// library of Figure 1 ("Integer SVM"). Training uses the Pegasos
+// stochastic sub-gradient method in floating point (control plane); the
+// learned hyperplanes are then quantized so inference is integer-only dot
+// products, suitable for the kernel datapath.
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rmtk/internal/ml/quant"
+)
+
+// Config controls Pegasos training.
+type Config struct {
+	// Epochs over the training set. <=0 selects 20.
+	Epochs int
+	// Lambda is the regularization strength. <=0 selects 1e-3.
+	Lambda float64
+	// Seed drives sampling order.
+	Seed int64
+	// WeightBits is the quantization width for the integer model. <=0
+	// selects 16.
+	WeightBits int
+}
+
+// SVM is a multi-class (one-vs-rest) linear classifier with quantized
+// integer weights.
+type SVM struct {
+	NumFeats   int
+	NumClasses int
+	// Wq[k] is class k's quantized weight vector; Bq[k] its bias, in the
+	// same scale so score comparisons are valid across classes.
+	Wq [][]int64
+	Bq []int64
+	// Scale is the real value of one weight quantum.
+	Scale float64
+}
+
+// Train fits one-vs-rest hyperplanes on integer feature rows X with labels
+// y in [0, numClasses).
+func Train(X [][]int64, y []int, numClasses int, cfg Config) (*SVM, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("svm: bad training set: %d samples, %d labels", len(X), len(y))
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("svm: need >= 2 classes, got %d", numClasses)
+	}
+	nf := len(X[0])
+	for i, row := range X {
+		if len(row) != nf {
+			return nil, fmt.Errorf("svm: sample %d has %d features, want %d", i, len(row), nf)
+		}
+		if y[i] < 0 || y[i] >= numClasses {
+			return nil, fmt.Errorf("svm: label %d out of range", y[i])
+		}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 20
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 1e-3
+	}
+	if cfg.WeightBits <= 0 {
+		cfg.WeightBits = 16
+	}
+
+	// Normalize features to unit-ish range for stable steps.
+	maxAbs := make([]float64, nf)
+	for _, row := range X {
+		for f, v := range row {
+			if a := math.Abs(float64(v)); a > maxAbs[f] {
+				maxAbs[f] = a
+			}
+		}
+	}
+	norm := func(row []int64) []float64 {
+		out := make([]float64, nf)
+		for f, v := range row {
+			if maxAbs[f] > 0 {
+				out[f] = float64(v) / maxAbs[f]
+			}
+		}
+		return out
+	}
+
+	W := make([][]float64, numClasses)
+	B := make([]float64, numClasses)
+	for k := range W {
+		W[k] = make([]float64, nf)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := 1
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := rng.Perm(len(X))
+		for _, s := range order {
+			x := norm(X[s])
+			for k := 0; k < numClasses; k++ {
+				yy := -1.0
+				if y[s] == k {
+					yy = 1.0
+				}
+				eta := 1.0 / (cfg.Lambda * float64(t))
+				margin := B[k]
+				for f, xf := range x {
+					margin += W[k][f] * xf
+				}
+				for f := range W[k] {
+					W[k][f] *= 1 - eta*cfg.Lambda
+				}
+				if yy*margin < 1 {
+					for f, xf := range x {
+						W[k][f] += eta * yy * xf
+					}
+					B[k] += eta * yy * 0.1
+				}
+			}
+			t++
+		}
+	}
+
+	// Fold the normalization into the weights (w_f / maxAbs_f) and quantize
+	// everything with a single shared scale so argmax is preserved.
+	folded := make([][]float64, numClasses)
+	globalMax := 0.0
+	for k := range W {
+		folded[k] = make([]float64, nf)
+		for f := range W[k] {
+			if maxAbs[f] > 0 {
+				folded[k][f] = W[k][f] / maxAbs[f]
+			}
+			if a := math.Abs(folded[k][f]); a > globalMax {
+				globalMax = a
+			}
+		}
+		if a := math.Abs(B[k]); a > globalMax {
+			globalMax = a
+		}
+	}
+	p := quant.ChooseScale(globalMax, cfg.WeightBits)
+	m := &SVM{NumFeats: nf, NumClasses: numClasses, Scale: p.Scale}
+	for k := range folded {
+		m.Wq = append(m.Wq, p.QuantizeSlice(folded[k]))
+		m.Bq = append(m.Bq, p.Quantize(B[k]))
+	}
+	return m, nil
+}
+
+// Scores returns the integer decision values per class for x.
+func (m *SVM) Scores(x []int64) []int64 {
+	out := make([]int64, m.NumClasses)
+	for k := 0; k < m.NumClasses; k++ {
+		s := m.Bq[k]
+		w := m.Wq[k]
+		for f := 0; f < m.NumFeats && f < len(x); f++ {
+			s += w[f] * x[f]
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Predict returns the argmax class for integer feature vector x.
+func (m *SVM) Predict(x []int64) int {
+	scores := m.Scores(x)
+	best := 0
+	for i := 1; i < len(scores); i++ {
+		if scores[i] > scores[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Accuracy reports the fraction of rows classified as their label.
+func (m *SVM) Accuracy(X [][]int64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	hit := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(X))
+}
+
+// Cost reports verifier admission cost: integer MACs per inference and
+// resident bytes.
+func (m *SVM) Cost() (ops, bytes int64) {
+	ops = 2 * int64(m.NumClasses) * int64(m.NumFeats)
+	bytes = 2*int64(m.NumClasses)*int64(m.NumFeats) + 8*int64(m.NumClasses)
+	return ops, bytes
+}

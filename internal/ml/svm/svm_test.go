@@ -1,0 +1,126 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// separable builds a linearly separable binary problem: label = 1 iff
+// 2*x0 + x1 > 120.
+func separable(rng *rand.Rand, n int, margin int64) (X [][]int64, y []int) {
+	for len(X) < n {
+		a, b := rng.Int63n(100), rng.Int63n(100)
+		s := 2*a + b - 120
+		if s > -margin && s < margin {
+			continue // enforce a margin band
+		}
+		label := 0
+		if s > 0 {
+			label = 1
+		}
+		X = append(X, []int64{a, b})
+		y = append(y, label)
+	}
+	return X, y
+}
+
+func TestTrainSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := separable(rng, 600, 10)
+	m, err := Train(X, y, 2, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(X, y); acc < 0.97 {
+		t.Fatalf("train accuracy %.3f", acc)
+	}
+	Xt, yt := separable(rng, 300, 10)
+	if acc := m.Accuracy(Xt, yt); acc < 0.95 {
+		t.Fatalf("test accuracy %.3f", acc)
+	}
+}
+
+func TestMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var X [][]int64
+	var y []int
+	// Three well-separated clusters.
+	centers := [][2]int64{{0, 0}, {100, 0}, {0, 100}}
+	for i := 0; i < 600; i++ {
+		k := i % 3
+		X = append(X, []int64{
+			centers[k][0] + rng.Int63n(21) - 10,
+			centers[k][1] + rng.Int63n(21) - 10,
+		})
+		y = append(y, k)
+	}
+	m, err := Train(X, y, 3, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(X, y); acc < 0.97 {
+		t.Fatalf("multiclass accuracy %.3f", acc)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, 2, Config{}); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := Train([][]int64{{1}}, []int{0}, 1, Config{}); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := Train([][]int64{{1}, {1, 2}}, []int{0, 1}, 2, Config{}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := Train([][]int64{{1}}, []int{5}, 2, Config{}); err == nil {
+		t.Fatal("label out of range accepted")
+	}
+}
+
+func TestIntegerOnlyInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := separable(rng, 400, 10)
+	m, _ := Train(X, y, 2, Config{Seed: 6})
+	// Scores are pure integer dot products; verify against a manual
+	// computation.
+	x := X[0]
+	scores := m.Scores(x)
+	for k := 0; k < 2; k++ {
+		want := m.Bq[k]
+		for f := range x {
+			want += m.Wq[k][f] * x[f]
+		}
+		if scores[k] != want {
+			t.Fatalf("class %d score %d != %d", k, scores[k], want)
+		}
+	}
+	_ = m.Predict([]int64{1}) // short vector: fail-soft
+}
+
+func TestCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, y := separable(rng, 200, 10)
+	m, _ := Train(X, y, 2, Config{Seed: 8})
+	ops, bytes := m.Cost()
+	if ops != 2*2*2 {
+		t.Fatalf("ops = %d", ops)
+	}
+	if bytes != 2*2*2+8*2 {
+		t.Fatalf("bytes = %d", bytes)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X, y := separable(rng, 300, 10)
+	a, _ := Train(X, y, 2, Config{Seed: 10})
+	b, _ := Train(X, y, 2, Config{Seed: 10})
+	for k := range a.Wq {
+		for f := range a.Wq[k] {
+			if a.Wq[k][f] != b.Wq[k][f] {
+				t.Fatal("same seed, different weights")
+			}
+		}
+	}
+}

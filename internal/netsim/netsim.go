@@ -1,0 +1,382 @@
+// Package netsim simulates the network-RX subsystem for the paper's fourth
+// envisioned domain (§1 lists "networking" among the kernel subsystems the
+// RMT architecture targets — fittingly, since RMT itself comes from
+// programmable network data planes).
+//
+// The scenario is flow isolation: a NIC delivers packets from many flows
+// into softirq queues. A few "elephant" flows carry most of the bytes; if
+// they share a queue with latency-sensitive "mice", mice queueing delay
+// explodes. The net/rx_flow_classify decision point assigns each new flow to
+// the latency queue or the bulk queue. Baselines: a single shared queue, and
+// the classic reactive heuristic (reclassify after a byte threshold — the
+// elephant has already trampled the queue by then). The learned policy
+// predicts elephant-ness from first-packet features through the RMT
+// datapath and isolates elephants from their first byte.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// HookClassify is the flow-classification decision point.
+const HookClassify = "net/rx_flow_classify"
+
+// Queue ids returned by classifiers.
+const (
+	QueueLatency = 0
+	QueueBulk    = 1
+)
+
+// Packet is one RX packet.
+type Packet struct {
+	FlowID   int64
+	ArriveNs int64
+	Bytes    int64
+}
+
+// FlowInfo is the kernel-visible metadata of a flow at classification time
+// (first packet): the 4-tuple proxy (port class), the first payload size,
+// and the advertised window proxy. The generator correlates these with the
+// flow's eventual size the way real services do (backup/replication ports
+// send elephants; RPC ports send mice) — plus label noise.
+type FlowInfo struct {
+	FlowID    int64
+	PortClass int64 // 0 = interactive service ports, 1 = bulk service ports
+	FirstLen  int64 // first payload bytes
+	InitWin   int64 // receive-window proxy
+	Elephant  bool  // ground truth (not visible to classifiers)
+}
+
+// Features returns the kernel-visible feature vector.
+func (f *FlowInfo) Features() []int64 {
+	return []int64{f.PortClass, f.FirstLen, f.InitWin}
+}
+
+// NumFeatures is the classifier input width.
+const NumFeatures = 3
+
+// Workload is a generated packet trace plus per-flow metadata.
+type Workload struct {
+	Packets []Packet
+	Flows   map[int64]*FlowInfo
+	// Totals records each flow's total bytes so the simulator can deliver
+	// completion callbacks as flows finish.
+	Totals map[int64]int64
+}
+
+// WorkloadConfig shapes the generator.
+type WorkloadConfig struct {
+	// Flows is the number of flows. <=0 selects 400.
+	Flows int
+	// ElephantFrac is the fraction of elephant flows. <=0 selects 0.1.
+	ElephantFrac float64
+	// MouseBytes / ElephantBytes are total flow sizes. <=0 select 4_000 /
+	// 400_000.
+	MouseBytes    int64
+	ElephantBytes int64
+	// MeanGapNs is the mean packet inter-arrival across the trunk. <=0
+	// selects 2_000.
+	MeanGapNs int64
+	// FeatureNoise is the probability a flow's features lie about its
+	// class (an elephant on an interactive port, a mouse on a bulk port).
+	// <0 selects 0.05.
+	FeatureNoise float64
+	// Seed drives generation.
+	Seed int64
+}
+
+func (c WorkloadConfig) withDefaults() WorkloadConfig {
+	if c.Flows <= 0 {
+		c.Flows = 400
+	}
+	if c.ElephantFrac <= 0 {
+		c.ElephantFrac = 0.1
+	}
+	if c.MouseBytes <= 0 {
+		c.MouseBytes = 4_000
+	}
+	if c.ElephantBytes <= 0 {
+		c.ElephantBytes = 400_000
+	}
+	if c.MeanGapNs <= 0 {
+		c.MeanGapNs = 2_000
+	}
+	if c.FeatureNoise < 0 {
+		c.FeatureNoise = 0.05
+	}
+	return c
+}
+
+// GenWorkload builds an interleaved packet trace.
+func GenWorkload(cfg WorkloadConfig) *Workload {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{
+		Flows:  make(map[int64]*FlowInfo, cfg.Flows),
+		Totals: make(map[int64]int64, cfg.Flows),
+	}
+
+	type state struct {
+		id        int64
+		remaining int64
+		pktBytes  int64
+		nextAt    int64
+		gap       int64
+	}
+	var live []*state
+	start := int64(0)
+	for f := 0; f < cfg.Flows; f++ {
+		id := int64(f + 1)
+		elephant := rng.Float64() < cfg.ElephantFrac
+		info := &FlowInfo{FlowID: id, Elephant: elephant}
+		lying := rng.Float64() < cfg.FeatureNoise
+		if elephant != lying { // honest elephant or lying mouse
+			info.PortClass = 1
+			info.FirstLen = 1200 + rng.Int63n(300)
+			info.InitWin = 64 + rng.Int63n(64)
+		} else {
+			info.PortClass = 0
+			info.FirstLen = 80 + rng.Int63n(400)
+			info.InitWin = 8 + rng.Int63n(24)
+		}
+		w.Flows[id] = info
+
+		st := &state{id: id, nextAt: start}
+		if elephant {
+			st.remaining = cfg.ElephantBytes + rng.Int63n(cfg.ElephantBytes/4+1)
+			st.pktBytes = 1448
+			st.gap = cfg.MeanGapNs * 2
+		} else {
+			st.remaining = cfg.MouseBytes + rng.Int63n(cfg.MouseBytes+1)
+			st.pktBytes = 256
+			st.gap = cfg.MeanGapNs * 8
+		}
+		live = append(live, st)
+		start += rng.Int63n(cfg.MeanGapNs * 20)
+	}
+	// Merge flows by next packet time.
+	for len(live) > 0 {
+		best := 0
+		for i := range live {
+			if live[i].nextAt < live[best].nextAt {
+				best = i
+			}
+		}
+		st := live[best]
+		bytes := st.pktBytes
+		if bytes > st.remaining {
+			bytes = st.remaining
+		}
+		w.Packets = append(w.Packets, Packet{FlowID: st.id, ArriveNs: st.nextAt, Bytes: bytes})
+		w.Totals[st.id] += bytes
+		st.remaining -= bytes
+		st.nextAt += st.gap/2 + rand.New(rand.NewSource(st.nextAt^st.id)).Int63n(st.gap+1)
+		if st.remaining <= 0 {
+			live[best] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	sort.SliceStable(w.Packets, func(i, j int) bool { return w.Packets[i].ArriveNs < w.Packets[j].ArriveNs })
+	return w
+}
+
+// Classifier assigns flows to queues.
+type Classifier interface {
+	// Name identifies the policy.
+	Name() string
+	// Classify is called once per flow, at its first packet, and returns
+	// the queue id.
+	Classify(info *FlowInfo) int
+	// OnFlowBytes reports cumulative delivered bytes (reactive policies
+	// reclassify here by returning a new queue id; return -1 to keep).
+	OnFlowBytes(flowID int64, total int64) int
+	// OnFlowDone reports the flow's final size (the training label for
+	// learned policies).
+	OnFlowDone(info *FlowInfo, total int64)
+}
+
+// Result summarizes a run.
+type Result struct {
+	Policy string
+
+	MiceP50Ns  int64
+	MiceP99Ns  int64
+	MiceMeanNs float64
+	// ElephantTputMBps is aggregate elephant goodput.
+	ElephantTputMBps float64
+	// Misrouted counts elephant packets that transited the latency queue.
+	Misrouted int
+	// Reclassified counts flows moved after their first packet.
+	Reclassified int
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-16s mice p50=%5.1fµs p99=%7.1fµs mean=%6.1fµs  elephantTput=%6.1fMB/s misrouted=%6d reclass=%d",
+		r.Policy, float64(r.MiceP50Ns)/1e3, float64(r.MiceP99Ns)/1e3, r.MiceMeanNs/1e3,
+		r.ElephantTputMBps, r.Misrouted, r.Reclassified)
+}
+
+// Config parameterizes the RX path.
+type Config struct {
+	// LatencyBytesPerUs / BulkBytesPerUs are the two queues' service rates.
+	// <=0 select 4000 and 8000 (bytes per microsecond).
+	LatencyBytesPerUs int64
+	BulkBytesPerUs    int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LatencyBytesPerUs <= 0 {
+		c.LatencyBytesPerUs = 4000
+	}
+	if c.BulkBytesPerUs <= 0 {
+		c.BulkBytesPerUs = 8000
+	}
+	return c
+}
+
+// Run replays the workload through the classifier.
+func Run(cfg Config, cls Classifier, w *Workload) Result {
+	cfg = cfg.withDefaults()
+	res := Result{Policy: cls.Name()}
+
+	assigned := make(map[int64]int, len(w.Flows))
+	flowBytes := make(map[int64]int64, len(w.Flows))
+	var qFree [2]int64 // virtual time each queue drains
+	rates := [2]int64{cfg.LatencyBytesPerUs, cfg.BulkBytesPerUs}
+
+	var miceDelays []int64
+	var elephantBytes, elephantStart, elephantEnd int64
+	elephantStart = -1
+
+	for _, pkt := range w.Packets {
+		info := w.Flows[pkt.FlowID]
+		q, seen := assigned[pkt.FlowID]
+		if !seen {
+			q = cls.Classify(info)
+			if q != QueueLatency && q != QueueBulk {
+				q = QueueLatency
+			}
+			assigned[pkt.FlowID] = q
+		}
+		flowBytes[pkt.FlowID] += pkt.Bytes
+		if nq := cls.OnFlowBytes(pkt.FlowID, flowBytes[pkt.FlowID]); nq == QueueLatency || nq == QueueBulk {
+			if nq != q {
+				res.Reclassified++
+				q = nq
+				assigned[pkt.FlowID] = q
+			}
+		}
+
+		// FIFO service: the packet waits for the queue to drain, then is
+		// processed at the queue's rate.
+		start := pkt.ArriveNs
+		if qFree[q] > start {
+			start = qFree[q]
+		}
+		serviceNs := pkt.Bytes * 1000 / rates[q]
+		done := start + serviceNs
+		qFree[q] = done
+
+		if info.Elephant {
+			elephantBytes += pkt.Bytes
+			if elephantStart < 0 {
+				elephantStart = pkt.ArriveNs
+			}
+			if done > elephantEnd {
+				elephantEnd = done
+			}
+			if q == QueueLatency {
+				res.Misrouted++
+			}
+		} else {
+			miceDelays = append(miceDelays, done-pkt.ArriveNs)
+		}
+
+		// Completion callback as the flow's last packet lands — the label
+		// a learned policy trains on.
+		if flowBytes[pkt.FlowID] >= w.Totals[pkt.FlowID] {
+			cls.OnFlowDone(info, flowBytes[pkt.FlowID])
+		}
+	}
+
+	if len(miceDelays) > 0 {
+		sort.Slice(miceDelays, func(i, j int) bool { return miceDelays[i] < miceDelays[j] })
+		var sum int64
+		for _, d := range miceDelays {
+			sum += d
+		}
+		res.MiceMeanNs = float64(sum) / float64(len(miceDelays))
+		res.MiceP50Ns = miceDelays[len(miceDelays)/2]
+		res.MiceP99Ns = miceDelays[len(miceDelays)*99/100]
+	}
+	if elephantEnd > elephantStart && elephantStart >= 0 {
+		res.ElephantTputMBps = float64(elephantBytes) / float64(elephantEnd-elephantStart) * 1e3
+	}
+	return res
+}
+
+// SharedQueue routes everything to the latency queue (no isolation).
+type SharedQueue struct{}
+
+// Name implements Classifier.
+func (SharedQueue) Name() string { return "shared-queue" }
+
+// Classify implements Classifier.
+func (SharedQueue) Classify(*FlowInfo) int { return QueueLatency }
+
+// OnFlowBytes implements Classifier.
+func (SharedQueue) OnFlowBytes(int64, int64) int { return -1 }
+
+// OnFlowDone implements Classifier.
+func (SharedQueue) OnFlowDone(*FlowInfo, int64) {}
+
+// ReactiveThreshold is the classic heuristic: every flow starts on the
+// latency queue and is demoted to bulk once it exceeds Threshold bytes —
+// after the damage is done.
+type ReactiveThreshold struct {
+	// Threshold in bytes; <=0 selects 32_000.
+	Threshold int64
+}
+
+// Name implements Classifier.
+func (ReactiveThreshold) Name() string { return "reactive-32k" }
+
+// Classify implements Classifier.
+func (ReactiveThreshold) Classify(*FlowInfo) int { return QueueLatency }
+
+// OnFlowBytes implements Classifier.
+func (r ReactiveThreshold) OnFlowBytes(_ int64, total int64) int {
+	th := r.Threshold
+	if th <= 0 {
+		th = 32_000
+	}
+	if total > th {
+		return QueueBulk
+	}
+	return -1
+}
+
+// OnFlowDone implements Classifier.
+func (ReactiveThreshold) OnFlowDone(*FlowInfo, int64) {}
+
+// Oracle classifies with ground truth (the upper bound).
+type Oracle struct{}
+
+// Name implements Classifier.
+func (Oracle) Name() string { return "oracle" }
+
+// Classify implements Classifier.
+func (Oracle) Classify(f *FlowInfo) int {
+	if f.Elephant {
+		return QueueBulk
+	}
+	return QueueLatency
+}
+
+// OnFlowBytes implements Classifier.
+func (Oracle) OnFlowBytes(int64, int64) int { return -1 }
+
+// OnFlowDone implements Classifier.
+func (Oracle) OnFlowDone(*FlowInfo, int64) {}

@@ -1,0 +1,130 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestGenWorkloadShape(t *testing.T) {
+	w := GenWorkload(WorkloadConfig{Seed: 1})
+	if len(w.Flows) != 400 {
+		t.Fatalf("flows = %d", len(w.Flows))
+	}
+	var elephants int
+	var mouseBytes, elephantBytes int64
+	for id, f := range w.Flows {
+		if f.Elephant {
+			elephants++
+			elephantBytes += w.Totals[id]
+		} else {
+			mouseBytes += w.Totals[id]
+		}
+	}
+	if elephants < 20 || elephants > 80 {
+		t.Fatalf("elephants = %d of 400", elephants)
+	}
+	// Elephants carry the overwhelming majority of bytes.
+	if elephantBytes < 5*mouseBytes {
+		t.Fatalf("elephant bytes %d vs mouse bytes %d: not heavy-tailed", elephantBytes, mouseBytes)
+	}
+	// Arrivals are sorted.
+	for i := 1; i < len(w.Packets); i++ {
+		if w.Packets[i].ArriveNs < w.Packets[i-1].ArriveNs {
+			t.Fatal("packet arrivals unsorted")
+		}
+	}
+	// Totals are consistent with packets.
+	sums := map[int64]int64{}
+	for _, p := range w.Packets {
+		sums[p.FlowID] += p.Bytes
+	}
+	for id, total := range w.Totals {
+		if sums[id] != total {
+			t.Fatalf("flow %d total %d != packet sum %d", id, total, sums[id])
+		}
+	}
+}
+
+func TestGenWorkloadDeterministic(t *testing.T) {
+	a := GenWorkload(WorkloadConfig{Seed: 5})
+	b := GenWorkload(WorkloadConfig{Seed: 5})
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatal("nondeterministic packet count")
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestFeatureCorrelation(t *testing.T) {
+	w := GenWorkload(WorkloadConfig{Seed: 2, FeatureNoise: 0})
+	for _, f := range w.Flows {
+		if f.Elephant && f.PortClass != 1 {
+			t.Fatal("noise-free elephant on interactive port")
+		}
+		if !f.Elephant && f.PortClass != 0 {
+			t.Fatal("noise-free mouse on bulk port")
+		}
+	}
+	if len((&FlowInfo{}).Features()) != NumFeatures {
+		t.Fatal("feature width mismatch")
+	}
+}
+
+// completion recorder.
+type recordingClassifier struct {
+	SharedQueue
+	done map[int64]int64
+}
+
+func (r *recordingClassifier) OnFlowDone(info *FlowInfo, total int64) {
+	if r.done == nil {
+		r.done = map[int64]int64{}
+	}
+	r.done[info.FlowID] = total
+}
+
+func TestRunCompletionCallbacks(t *testing.T) {
+	w := GenWorkload(WorkloadConfig{Seed: 3, Flows: 50})
+	rec := &recordingClassifier{}
+	Run(Config{}, rec, w)
+	if len(rec.done) != 50 {
+		t.Fatalf("completions = %d", len(rec.done))
+	}
+	for id, total := range rec.done {
+		if total != w.Totals[id] {
+			t.Fatalf("flow %d completed with %d, want %d", id, total, w.Totals[id])
+		}
+	}
+}
+
+func TestIsolationOrdering(t *testing.T) {
+	w := GenWorkload(WorkloadConfig{Seed: 4})
+	shared := Run(Config{}, SharedQueue{}, w)
+	reactive := Run(Config{}, ReactiveThreshold{}, w)
+	oracle := Run(Config{}, Oracle{}, w)
+
+	// The oracle isolates every elephant byte; shared isolates none.
+	if oracle.Misrouted != 0 {
+		t.Fatalf("oracle misrouted %d", oracle.Misrouted)
+	}
+	if shared.Misrouted == 0 {
+		t.Fatal("shared queue should misroute every elephant packet")
+	}
+	// Mice tail: oracle < reactive < shared.
+	if !(oracle.MiceP99Ns < reactive.MiceP99Ns && reactive.MiceP99Ns < shared.MiceP99Ns) {
+		t.Fatalf("p99 ordering violated: oracle=%d reactive=%d shared=%d",
+			oracle.MiceP99Ns, reactive.MiceP99Ns, shared.MiceP99Ns)
+	}
+	// Reactive reclassifies elephants mid-flight; oracle never does.
+	if reactive.Reclassified == 0 || oracle.Reclassified != 0 {
+		t.Fatalf("reclass: reactive=%d oracle=%d", reactive.Reclassified, oracle.Reclassified)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if (Result{Policy: "x"}).String() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,173 @@
+package prefetch
+
+import "rmtk/internal/memsim"
+
+// Leap parameters.
+const (
+	leapHistory   = 32 // delta history window scanned for a majority trend
+	leapInitDepth = 4  // initial prefetch depth (pages per trend hit)
+	leapMaxDepth  = 8  // prefetch-depth cap while a trend holds
+	leapFallback  = 2  // sequential pages on off-trend faults
+)
+
+// Leap implements the Leap prefetcher (ATC '20): it records the recent
+// page-access deltas of each process and finds the majority delta ("trend")
+// with a Boyer–Moore majority vote over successively larger suffixes of the
+// history. When a trend exists it prefetches along that stride with an
+// adaptively growing depth; when no trend exists it falls back to a small
+// sequential window, like readahead's cold path.
+type Leap struct {
+	procs map[int64]*leapState
+	// MaxDepth and Fallback override leapMaxDepth/leapFallback when >0
+	// (exposed for the sensitivity ablation).
+	MaxDepth int
+	Fallback int
+}
+
+type leapState struct {
+	lastPage  int64
+	haveLast  bool
+	deltas    []int64 // ring of recent deltas
+	head      int
+	n         int
+	depth     int
+	lastTrend int64
+	trendRuns int // consecutive accesses agreeing with the trend
+}
+
+// NewLeap creates the policy.
+func NewLeap() *Leap {
+	return &Leap{procs: make(map[int64]*leapState), MaxDepth: leapMaxDepth, Fallback: leapFallback}
+}
+
+// Name implements memsim.Prefetcher.
+func (l *Leap) Name() string { return "leap" }
+
+// OnAccess implements memsim.Prefetcher.
+func (l *Leap) OnAccess(pid, page int64, hit bool) []int64 {
+	st, ok := l.procs[pid]
+	if !ok {
+		st = &leapState{deltas: make([]int64, leapHistory), depth: leapInitDepth}
+		l.procs[pid] = st
+	}
+	var delta int64
+	if st.haveLast {
+		delta = page - st.lastPage
+		st.deltas[st.head] = delta
+		st.head = (st.head + 1) % leapHistory
+		if st.n < leapHistory {
+			st.n++
+		}
+	}
+	st.lastPage = page
+	st.haveLast = true
+	if st.n == 0 {
+		return nil
+	}
+
+	trend, found := st.majorityTrend()
+	if found && trend == st.lastTrend && delta == trend {
+		st.trendRuns++
+		// Trend keeps paying off: deepen the prefetch window (Leap grows
+		// its window while the trend holds).
+		if st.trendRuns%4 == 0 && st.depth < l.MaxDepth {
+			st.depth *= 2
+			if st.depth > l.MaxDepth {
+				st.depth = l.MaxDepth
+			}
+		}
+	} else if found && trend != st.lastTrend {
+		st.trendRuns = 0
+		st.depth = leapInitDepth
+	}
+	if found {
+		st.lastTrend = trend
+	}
+
+	// Leap lives in the paging path: prefetch is triggered by faults only.
+	if hit {
+		return nil
+	}
+	var pages []int64
+	switch {
+	case found && trend != 0 && delta == trend:
+		// The fault arrived along the trend: prefetch ahead of it.
+		for i := int64(1); i <= int64(st.depth); i++ {
+			pages = append(pages, page+i*trend)
+		}
+	case found && trend != 0:
+		// Off-trend fault while a trend exists (a jump between
+		// structures): a minimal sequential window, like the kernel's cold
+		// path, without polluting the cache with stride guesses.
+		for i := int64(1); i <= int64(l.Fallback); i++ {
+			pages = append(pages, page+i)
+		}
+	default:
+		// No trend at all: small sequential fallback window.
+		for i := int64(1); i <= leapInitDepth; i++ {
+			pages = append(pages, page+i)
+		}
+		st.depth = leapInitDepth
+	}
+	return pages
+}
+
+// majorityTrend scans successively larger suffixes of the delta history
+// (sizes H/4, H/2, H) with a Boyer–Moore vote, returning the first delta
+// that is a strict majority of its suffix — Leap's trend-detection
+// algorithm.
+func (st *leapState) majorityTrend() (int64, bool) {
+	for _, w := range []int{leapHistory / 4, leapHistory / 2, leapHistory} {
+		if w > st.n {
+			w = st.n
+		}
+		if w == 0 {
+			continue
+		}
+		cand, ok := st.vote(w)
+		if ok {
+			return cand, true
+		}
+		if w == st.n {
+			break
+		}
+	}
+	return 0, false
+}
+
+// vote runs Boyer–Moore over the w most recent deltas and verifies the
+// candidate is a strict majority.
+func (st *leapState) vote(w int) (int64, bool) {
+	var cand int64
+	count := 0
+	for i := 0; i < w; i++ {
+		d := st.at(i)
+		if count == 0 {
+			cand = d
+			count = 1
+		} else if d == cand {
+			count++
+		} else {
+			count--
+		}
+	}
+	// Verification pass.
+	occ := 0
+	for i := 0; i < w; i++ {
+		if st.at(i) == cand {
+			occ++
+		}
+	}
+	return cand, occ*2 > w
+}
+
+// at returns the i-th most recent delta (0 = newest).
+func (st *leapState) at(i int) int64 {
+	idx := st.head - 1 - i
+	for idx < 0 {
+		idx += leapHistory
+	}
+	return st.deltas[idx%leapHistory]
+}
+
+var _ memsim.Prefetcher = (*Leap)(nil)

@@ -1,0 +1,280 @@
+package prefetch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rmtk/internal/memsim"
+)
+
+func TestReadaheadSequentialStream(t *testing.T) {
+	r := NewReadahead()
+	// Build a sequential stream; first access faults.
+	var got []int64
+	for p := int64(100); p < 110; p++ {
+		got = r.OnAccess(1, p, p != 100 && len(got) > 0) // hit once covered
+	}
+	// After enough sequential faults the policy must prefetch forward.
+	r2 := NewReadahead()
+	r2.OnAccess(1, 100, false)
+	r2.OnAccess(1, 101, false)
+	pages := r2.OnAccess(1, 102, false) // streak >= 2: sequential window
+	if len(pages) == 0 || pages[0] != 103 {
+		t.Fatalf("sequential window = %v", pages)
+	}
+	// Window grows monotonically while the stream continues.
+	prev := len(pages)
+	for p := int64(103); p < 108; p++ {
+		pages = r2.OnAccess(1, p, false)
+		if len(pages) < prev {
+			t.Fatalf("window shrank: %d -> %d", prev, len(pages))
+		}
+		prev = len(pages)
+	}
+	if prev > raMaxWindow {
+		t.Fatalf("window %d exceeds cap %d", prev, raMaxWindow)
+	}
+}
+
+func TestReadaheadClusterOnRandomFault(t *testing.T) {
+	r := NewReadahead()
+	pages := r.OnAccess(1, 42, false)
+	// Aligned 8-page cluster around 42: [40,48) minus 42.
+	if len(pages) != raCluster-1 {
+		t.Fatalf("cluster = %v", pages)
+	}
+	for _, p := range pages {
+		if p < 40 || p >= 48 || p == 42 {
+			t.Fatalf("cluster page %d out of [40,48)", p)
+		}
+	}
+}
+
+func TestReadaheadQuietOnHit(t *testing.T) {
+	r := NewReadahead()
+	if pages := r.OnAccess(1, 42, true); pages != nil {
+		t.Fatalf("hit issued %v", pages)
+	}
+}
+
+func TestReadaheadPerPIDState(t *testing.T) {
+	r := NewReadahead()
+	r.OnAccess(1, 100, false)
+	r.OnAccess(1, 101, false)
+	// PID 2 has no streak: its fault yields a cluster, not a window.
+	pages := r.OnAccess(2, 102, false)
+	if len(pages) != raCluster-1 {
+		t.Fatalf("pid 2 got %v", pages)
+	}
+}
+
+func TestLeapDetectsStride(t *testing.T) {
+	l := NewLeap()
+	// Feed a stride-7 stream of faults.
+	var pages []int64
+	for i := int64(0); i < 20; i++ {
+		pages = l.OnAccess(1, i*7, false)
+	}
+	if len(pages) == 0 {
+		t.Fatal("no prefetch on a clear trend")
+	}
+	for i, p := range pages {
+		want := 19*7 + int64(i+1)*7
+		if p != want {
+			t.Fatalf("stride prefetch[%d] = %d, want %d", i, p, want)
+		}
+	}
+}
+
+func TestLeapNegativeStride(t *testing.T) {
+	l := NewLeap()
+	var pages []int64
+	for i := int64(40); i > 0; i-- {
+		pages = l.OnAccess(1, i*3, false)
+	}
+	if len(pages) == 0 || pages[0] != 3-3 {
+		t.Fatalf("negative stride prefetch = %v", pages)
+	}
+}
+
+func TestLeapOffTrendFallback(t *testing.T) {
+	l := NewLeap()
+	for i := int64(0); i < 20; i++ {
+		l.OnAccess(1, i*7, false)
+	}
+	// A jump off the trend gets only the small sequential fallback.
+	pages := l.OnAccess(1, 100000, false)
+	if len(pages) != leapFallback || pages[0] != 100001 {
+		t.Fatalf("off-trend fault got %v", pages)
+	}
+}
+
+func TestLeapQuietOnHit(t *testing.T) {
+	l := NewLeap()
+	for i := int64(0); i < 10; i++ {
+		l.OnAccess(1, i, false)
+	}
+	if pages := l.OnAccess(1, 10, true); pages != nil {
+		t.Fatalf("hit issued %v", pages)
+	}
+}
+
+// TestLeapMajorityVoteProperty: the Boyer–Moore vote agrees with a naive
+// strict-majority count over the window.
+func TestLeapMajorityVoteProperty(t *testing.T) {
+	f := func(deltas []int8, w uint8) bool {
+		if len(deltas) == 0 {
+			return true
+		}
+		st := &leapState{deltas: make([]int64, leapHistory)}
+		for _, d := range deltas {
+			st.deltas[st.head] = int64(d % 4) // small alphabet: majorities happen
+			st.head = (st.head + 1) % leapHistory
+			if st.n < leapHistory {
+				st.n++
+			}
+		}
+		win := int(w%uint8(leapHistory)) + 1
+		if win > st.n {
+			win = st.n
+		}
+		cand, ok := st.vote(win)
+		// Naive count over the same window.
+		counts := map[int64]int{}
+		for i := 0; i < win; i++ {
+			counts[st.at(i)]++
+		}
+		var naive int64
+		naiveOK := false
+		for v, c := range counts {
+			if 2*c > win {
+				naive, naiveOK = v, true
+			}
+		}
+		if ok != naiveOK {
+			return false
+		}
+		return !ok || cand == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMLLearnsRepeatingCycle(t *testing.T) {
+	ml := NewML(nil)
+	// Delta cycle {+3, +3, +10} — strided with a jump, like the conv trace.
+	cycle := []int64{3, 3, 10}
+	page := int64(0)
+	var lastPrefetch []int64
+	for i := 0; i < 4000; i++ {
+		page += cycle[i%3]
+		lastPrefetch = ml.OnAccess(1, page, false)
+	}
+	if len(lastPrefetch) == 0 {
+		t.Fatal("trained model issued nothing")
+	}
+	// The next pages in the cycle must be among the prefetches.
+	next := page + cycle[(4000)%3]
+	found := false
+	for _, p := range lastPrefetch {
+		if p == next {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("next page %d not in prefetch set %v (page=%d)", next, lastPrefetch, page)
+	}
+}
+
+func TestMLQuietBeforeTraining(t *testing.T) {
+	ml := NewML(nil)
+	for i := int64(0); i < MLHistory+2; i++ {
+		if pages := ml.OnAccess(1, i, false); pages != nil {
+			t.Fatalf("untrained model issued %v", pages)
+		}
+	}
+}
+
+func TestMLStopsAtSentinel(t *testing.T) {
+	// A model that predicts the far-jump sentinel must stop the rollout.
+	m := &fixedModel{delta: MLClamp}
+	ml := NewML(m)
+	for i := int64(0); i < MLHistory+4; i++ {
+		if pages := ml.OnAccess(1, i, false); len(pages) != 0 {
+			t.Fatalf("sentinel rollout issued %v", pages)
+		}
+	}
+}
+
+func TestMLClampsObservedDeltas(t *testing.T) {
+	rec := &recordingModel{}
+	ml := NewML(rec)
+	ml.OnAccess(1, 0, false)
+	ml.OnAccess(1, 1<<40, false) // huge jump
+	for i := int64(0); i < MLHistory+2; i++ {
+		ml.OnAccess(1, 1<<40+i, false)
+	}
+	for _, d := range rec.seen {
+		if d > MLClamp || d < -MLClamp {
+			t.Fatalf("unclamped delta %d reached the model", d)
+		}
+	}
+}
+
+type fixedModel struct{ delta int64 }
+
+func (m *fixedModel) Observe([]int64, int64)        {}
+func (m *fixedModel) Predict([]int64) (int64, bool) { return m.delta, true }
+
+type recordingModel struct{ seen []int64 }
+
+func (m *recordingModel) Observe(h []int64, next int64) {
+	m.seen = append(m.seen, next)
+	m.seen = append(m.seen, h...)
+}
+func (m *recordingModel) Predict([]int64) (int64, bool) { return 0, false }
+
+// TestPoliciesOnTableOneShape is the core qualitative claim of Table 1:
+// on a multi-stride trace the ML policy must beat Leap, which must beat
+// sequential readahead, in both accuracy and coverage.
+func TestPoliciesOnTableOneShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var trace []memsim.Access
+	// Conv-like pattern: 5 strided taps + 2 sequential + jump.
+	base := int64(0)
+	for w := 0; w < 3000; w++ {
+		for tap := int64(0); tap < 5; tap++ {
+			trace = append(trace, memsim.Access{PID: 1, Page: base + tap*8, Work: 100})
+		}
+		trace = append(trace, memsim.Access{PID: 1, Page: base + 33, Work: 100})
+		trace = append(trace, memsim.Access{PID: 1, Page: base + 34, Work: 100})
+		base += 43
+		if rng.Intn(20) == 0 { // sporadic noise
+			trace = append(trace, memsim.Access{PID: 1, Page: 1 << 30, Work: 100})
+		}
+	}
+	cfg := memsim.Config{CacheSlots: 512}
+	ra := memsim.Run(cfg, NewReadahead(), trace)
+	lp := memsim.Run(cfg, NewLeap(), trace)
+	ml := memsim.Run(cfg, NewML(nil), trace)
+	if !(ml.Accuracy() > lp.Accuracy() && lp.Accuracy() > ra.Accuracy()) {
+		t.Fatalf("accuracy ordering violated: ml=%.2f leap=%.2f ra=%.2f",
+			ml.Accuracy(), lp.Accuracy(), ra.Accuracy())
+	}
+	if !(ml.Coverage() > lp.Coverage() && lp.Coverage() > ra.Coverage()) {
+		t.Fatalf("coverage ordering violated: ml=%.2f leap=%.2f ra=%.2f",
+			ml.Coverage(), lp.Coverage(), ra.Coverage())
+	}
+	if ml.ClockNs >= ra.ClockNs {
+		t.Fatalf("JCT ordering violated: ml=%d ra=%d", ml.ClockNs, ra.ClockNs)
+	}
+}
+
+func TestNonePolicy(t *testing.T) {
+	var n None
+	if n.OnAccess(1, 2, false) != nil || n.Name() != "none" {
+		t.Fatal("None misbehaves")
+	}
+}

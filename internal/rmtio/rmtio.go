@@ -1,0 +1,314 @@
+// Package rmtio wires the block-IO subsystem through the RMT stack: a
+// blk/submit_io table with one entry per device runs a verified inference
+// program over the device's kernel-visible telemetry (queue depth, time
+// since the last slow completion, recent slow counts) and predicts whether
+// the next IO on that device will hit a garbage-collection stall — the
+// LinnOS-style learned policy the paper cites as motivating in-kernel ML
+// (§2, [24]). Training is fully online: outcomes label the features staged
+// at submit time, and the control plane periodically pushes a fresh integer
+// decision tree after a cost check.
+package rmtio
+
+import (
+	"fmt"
+
+	"rmtk/internal/blksim"
+	"rmtk/internal/core"
+	"rmtk/internal/ctrl"
+	"rmtk/internal/isa"
+	"rmtk/internal/ml/dt"
+	"rmtk/internal/table"
+)
+
+// NumFeatures is the submit-path feature width.
+const NumFeatures = 4
+
+// Feature indices.
+const (
+	FQueueLen     = iota // outstanding IOs on the device
+	FUsSinceSlow         // 10µs buckets since the last observed slow completion
+	FSlowInWindow        // slow completions among the last windowSize observed
+	FUsSinceAnyIO        // 10µs buckets since any completion was observed
+)
+
+const (
+	bucketNs   = 10_000 // 10µs feature buckets
+	bucketCap  = 2048   // clamp for time features
+	windowSize = 32     // completion history window per device
+)
+
+// SubmitTable is the table name at blk/submit_io.
+const SubmitTable = "io_predict_tab"
+
+// Config parameterizes the learned router.
+type Config struct {
+	// TrainEvery retrains after this many labelled outcomes. <=0 selects
+	// 256.
+	TrainEvery int
+	// ExploreEvery routes every Nth request round-robin regardless of the
+	// prediction, so the training data covers all devices and phases
+	// (otherwise the policy only ever labels its own choices). <=0
+	// selects 8.
+	ExploreEvery int
+	// Tree configures induction.
+	Tree dt.Config
+	// OpsBudget/MemBudget gate model pushes.
+	OpsBudget int64
+	MemBudget int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TrainEvery <= 0 {
+		c.TrainEvery = 256
+	}
+	if c.ExploreEvery <= 0 {
+		c.ExploreEvery = 8
+	}
+	if c.Tree.MaxDepth <= 0 {
+		c.Tree = dt.Config{MaxDepth: 10, MinSamples: 4, MaxThresholds: 64}
+	}
+	return c
+}
+
+// Router is the kernel-routed learned IO router; it implements
+// blksim.Router.
+type Router struct {
+	K     *core.Kernel
+	Plane *ctrl.Plane
+	cfg   Config
+
+	modelID int64
+	vecID   int64
+	progID  int64
+
+	devs     map[int]*devState
+	learner  *dt.Online
+	observed int
+	trains   int
+	routes   int
+	pending  map[int64][]int64 // features staged for in-flight primaries
+}
+
+type devState struct {
+	lastSlowAt int64
+	lastAnyAt  int64
+	slowRing   [windowSize]bool
+	ringHead   int
+	ringN      int
+	sawSlow    bool
+	sawAny     bool
+}
+
+// New installs the submit-path table, the shared prediction model and its
+// program on k.
+func New(k *core.Kernel, plane *ctrl.Plane, cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	r := &Router{
+		K: k, Plane: plane, cfg: cfg,
+		devs:    make(map[int]*devState),
+		pending: make(map[int64][]int64),
+		learner: dt.NewOnline(dt.OnlineConfig{
+			Tree:         cfg.Tree,
+			Window:       4096,
+			RetrainEvery: 1 << 30, // pushes go through the control plane below
+		}),
+	}
+	// Placeholder model: predict fast until trained (route falls back to
+	// shortest queue among "fast" predictions, i.e. plain load balancing).
+	r.modelID = k.RegisterModel(&core.FuncModel{
+		Fn:    func([]int64) int64 { return 0 },
+		Feats: NumFeatures,
+		Ops:   1,
+		Size:  8,
+	})
+	r.vecID = k.RegisterVec(make([]int64, NumFeatures))
+
+	if _, _, err := plane.CreateTable(SubmitTable, blksim.HookSubmitIO, table.MatchExact); err != nil {
+		return nil, err
+	}
+	prog := &isa.Program{
+		Name: "io_slow_predict",
+		Hook: blksim.HookSubmitIO,
+		Insns: isa.MustAssemble(fmt.Sprintf(`
+        ; R1 = device id; features staged in the pool vector
+        vecld   v0, %d
+        mlinfer r0, v0, %d      ; 1 = GC stall predicted
+        exit`, r.vecID, r.modelID)),
+		Models: []int64{r.modelID},
+		Vecs:   []int64{r.vecID},
+	}
+	progID, _, err := plane.LoadProgram(prog)
+	if err != nil {
+		return nil, fmt.Errorf("rmtio: admission: %w", err)
+	}
+	r.progID = progID
+	return r, nil
+}
+
+// Name implements blksim.Router.
+func (r *Router) Name() string { return "rmt-learned" }
+
+func (r *Router) dev(i int) *devState {
+	d, ok := r.devs[i]
+	if !ok {
+		d = &devState{}
+		r.devs[i] = d
+		// Install the per-device match entry lazily, as devices appear.
+		_ = r.Plane.AddEntry(SubmitTable, &table.Entry{
+			Key:    uint64(i),
+			Action: table.Action{Kind: table.ActionProgram, ProgID: r.progID},
+		})
+	}
+	return d
+}
+
+// features builds the kernel-visible feature vector for device i at time
+// now.
+func (r *Router) features(i int, queueLen int, now int64) []int64 {
+	d := r.dev(i)
+	f := make([]int64, NumFeatures)
+	f[FQueueLen] = int64(queueLen)
+	f[FUsSinceSlow] = bucketCap
+	if d.sawSlow {
+		f[FUsSinceSlow] = clampBucket(now - d.lastSlowAt)
+	}
+	var slow int64
+	for i := 0; i < d.ringN; i++ {
+		if d.slowRing[i] {
+			slow++
+		}
+	}
+	f[FSlowInWindow] = slow
+	f[FUsSinceAnyIO] = bucketCap
+	if d.sawAny {
+		f[FUsSinceAnyIO] = clampBucket(now - d.lastAnyAt)
+	}
+	return f
+}
+
+func clampBucket(ns int64) int64 {
+	b := ns / bucketNs
+	if b > bucketCap {
+		return bucketCap
+	}
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// predict consults the datapath for device i.
+func (r *Router) predict(i int, feats []int64) bool {
+	if err := r.K.SetVec(r.vecID, feats); err != nil {
+		return false
+	}
+	res := r.K.Fire(blksim.HookSubmitIO, int64(i), 0, 0)
+	return res.Verdict == 1
+}
+
+// Route implements blksim.Router: pick the shortest-queue device among
+// those predicted fast; if every replica is predicted slow, take the one
+// with the most headroom anyway (no hedging — the prediction replaces it).
+// Every ExploreEvery-th request is routed round-robin so labels cover all
+// devices and GC phases.
+func (r *Router) Route(now int64, devs []*blksim.Device) (int, bool, int) {
+	r.routes++
+	if r.routes%r.cfg.ExploreEvery == 0 {
+		choice := (r.routes / r.cfg.ExploreEvery) % len(devs)
+		r.pending[int64(choice)] = r.features(choice, devs[choice].QueueLen(), now)
+		return choice, false, -1
+	}
+	bestFast, bestAny := -1, 0
+	var fastFeats []int64
+	for i, d := range devs {
+		feats := r.features(i, d.QueueLen(), now)
+		slow := r.predict(i, feats)
+		if !slow && (bestFast < 0 || d.QueueLen() < devs[bestFast].QueueLen()) {
+			bestFast = i
+			fastFeats = feats
+		}
+		if d.QueueLen() < devs[bestAny].QueueLen() {
+			bestAny = i
+		}
+	}
+	choice := bestAny
+	feats := r.features(choice, devs[choice].QueueLen(), now)
+	if bestFast >= 0 {
+		choice = bestFast
+		feats = fastFeats
+	}
+	r.pending[int64(choice)] = feats
+	return choice, false, -1
+}
+
+// OnObserve implements blksim.Router: fold completion telemetry into the
+// per-device state the features read.
+func (r *Router) OnObserve(dev int, done, slowDone int, now int64) {
+	if done == 0 {
+		return
+	}
+	d := r.dev(dev)
+	d.lastAnyAt = now
+	d.sawAny = true
+	if slowDone > 0 {
+		d.lastSlowAt = now
+		d.sawSlow = true
+	}
+	for k := 0; k < done; k++ {
+		d.slowRing[d.ringHead] = k < slowDone
+		d.ringHead = (d.ringHead + 1) % windowSize
+		if d.ringN < windowSize {
+			d.ringN++
+		}
+	}
+}
+
+// OnComplete implements blksim.Router: label the staged features with the
+// outcome and periodically push a retrained tree through the control plane.
+func (r *Router) OnComplete(dev int64, slow bool, latencyNs int64) {
+	feats, ok := r.pending[dev]
+	if !ok {
+		return
+	}
+	delete(r.pending, dev)
+	label := int64(0)
+	if slow {
+		label = 1
+	}
+	r.learner.Observe(feats, label)
+	r.observed++
+	if r.observed%r.cfg.TrainEvery == 0 {
+		r.retrain()
+	}
+}
+
+// retrain induces a fresh tree from the learner's window and pushes it
+// through the control plane's cost-checked swap.
+func (r *Router) retrain() {
+	tree := r.trainFromWindow()
+	if tree == nil {
+		return
+	}
+	if err := r.Plane.PushModel(r.modelID, core.NewTreeModel(tree), r.cfg.OpsBudget, r.cfg.MemBudget); err != nil {
+		return
+	}
+	r.trains++
+}
+
+// trainFromWindow induces a fresh tree from the learner's current window.
+func (r *Router) trainFromWindow() *dt.Tree {
+	X, y := r.learner.Window()
+	if len(X) < 32 {
+		return nil
+	}
+	tree, err := dt.Train(X, y, r.cfg.Tree)
+	if err != nil {
+		return nil
+	}
+	return tree
+}
+
+// Trains reports completed model pushes.
+func (r *Router) Trains() int { return r.trains }
+
+var _ blksim.Router = (*Router)(nil)

@@ -1,0 +1,318 @@
+// Package rmtprefetch wires case study #1 through the full RMT stack: the
+// page_access data-collection table at mm/lookup_swap_cache and the
+// page_prefetch inference table at mm/swap_cluster_readahead, both driving
+// verified bytecode programs in the in-kernel virtual machine, with an
+// online-trained integer decision tree pushed through the control plane.
+//
+// This is the executable form of the program sketch in Figure 1 of the
+// paper: per-process match entries, a collect action that appends clamped
+// page deltas to the execution context, and a prefetch action that rolls the
+// tree forward and emits pages through the rate-limited rmt_emit helper.
+package rmtprefetch
+
+import (
+	"fmt"
+
+	"rmtk/internal/core"
+	"rmtk/internal/ctrl"
+	"rmtk/internal/isa"
+	"rmtk/internal/memsim"
+	"rmtk/internal/ml/dt"
+	"rmtk/internal/table"
+)
+
+// Context field assignments in the kernel ctx store.
+const (
+	fieldLastPage = 0
+	fieldHasLast  = 1
+)
+
+// Table names (after Figure 1).
+const (
+	AccessTable   = "page_access_tab"
+	PrefetchTable = "page_prefetch_tab"
+)
+
+// Config parameterizes the RMT prefetcher.
+type Config struct {
+	// Hist is the delta-history feature width. <=0 selects 8.
+	Hist int
+	// Depth is the rollout depth (the prefetch degree parameter carried in
+	// the table entry). <=0 selects 12.
+	Depth int
+	// Clamp is the far-jump sentinel magnitude. <=0 selects 1<<17.
+	Clamp int64
+	// TrainEvery retrains a process's tree after this many of its
+	// accesses. <=0 selects 512.
+	TrainEvery int
+	// FreezeAfter, when >0, stops retraining after a process has made this
+	// many accesses (the frozen-model baseline of the online-adaptation
+	// ablation).
+	FreezeAfter int
+	// Tree configures tree induction.
+	Tree dt.Config
+	// OpsBudget/MemBudget gate model pushes (0 = unlimited).
+	OpsBudget int64
+	MemBudget int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hist <= 0 {
+		c.Hist = 8
+	}
+	if c.Depth <= 0 {
+		c.Depth = 12
+	}
+	if c.Clamp <= 0 {
+		c.Clamp = 1 << 17
+	}
+	if c.TrainEvery <= 0 {
+		c.TrainEvery = 512
+	}
+	if c.Tree.MaxDepth <= 0 {
+		c.Tree = dt.Config{MaxDepth: 12, MinSamples: 2, MaxThresholds: 48}
+	}
+	return c
+}
+
+// CollectProgramSource returns the assembler source of the shared
+// data-collection program (R1 = pid, R2 = page): it computes the page delta,
+// clamps it to the far-jump sentinel, pushes it into the process's history,
+// and updates the last-page context fields.
+func CollectProgramSource(clamp int64) string {
+	return fmt.Sprintf(`; page access data collection (Figure 1: data_collection())
+        ldctxt  r5, r1, %[2]d       ; has-last flag
+        jeqi    r5, 0, first
+        ldctxt  r4, r1, %[1]d       ; last page
+        mov     r6, r2
+        sub     r6, r4              ; delta = page - last
+        movimm  r7, %[3]d
+        min     r6, r7
+        movimm  r7, -%[3]d
+        max     r6, r7              ; clamp to far-jump sentinel
+        histpush r1, r6
+first:  stctxt  r1, %[1]d, r2
+        movimm  r5, 1
+        stctxt  r1, %[2]d, r5
+        movimm  r0, 0
+        exit
+`, fieldLastPage, fieldHasLast, clamp)
+}
+
+// PrefetchProgramSource returns the assembler source of a per-process
+// prefetch program (R1 = pid, R2 = page, R3 = prefetch degree from the table
+// entry's parameter): it loads the delta history, and in unrolled rollout
+// steps queries the model, stops at zero or sentinel predictions, and emits
+// each predicted page through the rate-limited rmt_emit helper.
+func PrefetchProgramSource(modelID int64, hist, maxDepth int, clamp int64) string {
+	src := fmt.Sprintf(`; page prefetch prediction (Figure 1: ml_prediction())
+        call    %d                  ; rmt_hist_len(pid)
+        jlti    r0, %d, nofetch
+        vecldhist v0, r1, %d        ; last deltas, oldest first
+        ststack [0], r1             ; save pid across emit calls
+        mov     r6, r2              ; rolling page cursor
+`, core.HelperHistLen, hist, hist)
+	for i := 0; i < maxDepth; i++ {
+		src += fmt.Sprintf(`        jlei    r3, %d, done        ; degree reached?
+        mlinfer r4, v0, %d          ; predicted next delta
+        jeqi    r4, 0, done
+        jgei    r4, %d, done        ; far-jump sentinel: stop
+        jlei    r4, -%d, done
+        add     r6, r4
+        mov     r1, r6
+        call    %d                  ; rmt_emit(page)
+        ldstack r1, [0]
+        vecpush v0, r4              ; roll the history window
+`, i, modelID, clamp, clamp, core.HelperEmit)
+	}
+	src += `done:
+nofetch:
+        movimm  r0, 0
+        exit
+`
+	return src
+}
+
+// Prefetcher routes prefetching decisions through the kernel's RMT
+// datapaths; it implements memsim.Prefetcher.
+type Prefetcher struct {
+	K     *core.Kernel
+	Plane *ctrl.Plane
+	cfg   Config
+	name  string
+
+	collectID int64
+	procs     map[int64]*proc
+}
+
+type proc struct {
+	modelID  int64
+	progID   int64
+	accesses int
+	trains   int
+}
+
+// New installs the tables and the shared collect program on k and returns
+// the prefetcher. Per-process programs and entries are installed lazily as
+// processes appear ("new entries are inserted when applications are
+// created", §3.1).
+func New(k *core.Kernel, plane *ctrl.Plane, cfg Config) (*Prefetcher, error) {
+	cfg = cfg.withDefaults()
+	p := &Prefetcher{K: k, Plane: plane, cfg: cfg, name: "rmt-ml", procs: make(map[int64]*proc)}
+
+	if _, _, err := plane.CreateTable(AccessTable, memsim.HookLookupSwapCache, table.MatchExact); err != nil {
+		return nil, err
+	}
+	if _, _, err := plane.CreateTable(PrefetchTable, memsim.HookSwapClusterReadahead, table.MatchExact); err != nil {
+		return nil, err
+	}
+	insns, err := isa.Assemble(CollectProgramSource(cfg.Clamp))
+	if err != nil {
+		return nil, fmt.Errorf("rmtprefetch: collect program: %w", err)
+	}
+	prog := &isa.Program{Name: "page_access_collect", Hook: memsim.HookLookupSwapCache, Insns: insns}
+	id, _, err := plane.LoadProgram(prog)
+	if err != nil {
+		return nil, fmt.Errorf("rmtprefetch: collect admission: %w", err)
+	}
+	p.collectID = id
+	return p, nil
+}
+
+// WithName renames the policy in reports and returns it.
+func (p *Prefetcher) WithName(name string) *Prefetcher {
+	p.name = name
+	return p
+}
+
+// Name implements memsim.Prefetcher.
+func (p *Prefetcher) Name() string { return p.name }
+
+// admit installs the per-process model, prefetch program and table entries.
+func (p *Prefetcher) admit(pid int64) (*proc, error) {
+	// Placeholder model predicting "no movement" until first training; the
+	// prefetch program then exits without emitting.
+	modelID := p.K.RegisterModel(&core.FuncModel{
+		Fn:    func([]int64) int64 { return 0 },
+		Feats: p.cfg.Hist,
+		Ops:   1,
+		Size:  8,
+	})
+	src := PrefetchProgramSource(modelID, p.cfg.Hist, p.cfg.Depth, p.cfg.Clamp)
+	insns, err := isa.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("rmtprefetch: prefetch program: %w", err)
+	}
+	prog := &isa.Program{
+		Name:    fmt.Sprintf("page_prefetch_%d", pid),
+		Hook:    memsim.HookSwapClusterReadahead,
+		Insns:   insns,
+		Helpers: []int64{core.HelperEmit, core.HelperHistLen},
+		Models:  []int64{modelID},
+	}
+	progID, report, err := p.Plane.LoadProgram(prog)
+	if err != nil {
+		return nil, fmt.Errorf("rmtprefetch: prefetch admission: %w", err)
+	}
+	if !report.NeedsRateLimit {
+		return nil, fmt.Errorf("rmtprefetch: verifier failed to flag emitting program for rate limiting")
+	}
+	if err := p.Plane.AddEntry(AccessTable, &table.Entry{
+		Key:    uint64(pid),
+		Action: table.Action{Kind: table.ActionProgram, ProgID: p.collectID},
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.Plane.AddEntry(PrefetchTable, &table.Entry{
+		Key:    uint64(pid),
+		Action: table.Action{Kind: table.ActionProgram, ProgID: progID, Param: int64(p.cfg.Depth)},
+	}); err != nil {
+		return nil, err
+	}
+	pr := &proc{modelID: modelID, progID: progID}
+	p.procs[pid] = pr
+	return pr, nil
+}
+
+// OnAccess implements memsim.Prefetcher: fire the collection hook, retrain
+// periodically from the collected history, then fire the prefetch hook and
+// return its emissions.
+func (p *Prefetcher) OnAccess(pid, page int64, hit bool) []int64 {
+	pr, ok := p.procs[pid]
+	if !ok {
+		var err error
+		if pr, err = p.admit(pid); err != nil {
+			return nil
+		}
+	}
+	p.K.Fire(memsim.HookLookupSwapCache, pid, page, 0)
+
+	pr.accesses++
+	if pr.accesses%p.cfg.TrainEvery == 0 &&
+		(p.cfg.FreezeAfter <= 0 || pr.accesses <= p.cfg.FreezeAfter) {
+		p.retrain(pid, pr)
+	}
+
+	res := p.K.Fire(memsim.HookSwapClusterReadahead, pid, page, 0)
+	return res.Emissions
+}
+
+// retrain pulls the process's collected delta history out of the execution
+// context, induces a fresh tree, and pushes it through the control plane's
+// cost-checked model swap — the paper's periodic background training loop.
+func (p *Prefetcher) retrain(pid int64, pr *proc) {
+	hist := make([]int64, p.K.Ctx().HistCap())
+	n := p.K.Ctx().Hist(pid, hist)
+	if n < p.cfg.Hist+2 {
+		return
+	}
+	hist = hist[:n]
+	var (
+		X [][]int64
+		y []int64
+	)
+	for i := p.cfg.Hist; i < n; i++ {
+		X = append(X, hist[i-p.cfg.Hist:i])
+		y = append(y, hist[i])
+	}
+	tree, err := dt.Train(X, y, p.cfg.Tree)
+	if err != nil {
+		return
+	}
+	if err := p.Plane.PushModel(pr.modelID, core.NewTreeModel(tree), p.cfg.OpsBudget, p.cfg.MemBudget); err != nil {
+		return // over budget: keep the previous model
+	}
+	pr.trains++
+}
+
+// SetDepth reconfigures a process's prefetch degree at runtime by updating
+// its table entry's parameter — the control plane's "more conservative in
+// prefetching" move when accuracy degrades.
+func (p *Prefetcher) SetDepth(pid int64, depth int) error {
+	pr, ok := p.procs[pid]
+	if !ok {
+		return fmt.Errorf("rmtprefetch: unknown pid %d", pid)
+	}
+	return p.Plane.UpdateAction(PrefetchTable, uint64(pid), table.Action{
+		Kind: table.ActionProgram, ProgID: pr.progID, Param: int64(depth),
+	})
+}
+
+// ModelID returns the model id serving a process (for monitor attachment).
+func (p *Prefetcher) ModelID(pid int64) (int64, bool) {
+	pr, ok := p.procs[pid]
+	if !ok {
+		return 0, false
+	}
+	return pr.modelID, true
+}
+
+// Trains reports how many model pushes a process has completed.
+func (p *Prefetcher) Trains(pid int64) int {
+	if pr, ok := p.procs[pid]; ok {
+		return pr.trains
+	}
+	return 0
+}
+
+var _ memsim.Prefetcher = (*Prefetcher)(nil)

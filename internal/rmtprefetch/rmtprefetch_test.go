@@ -1,0 +1,174 @@
+package rmtprefetch
+
+import (
+	"testing"
+
+	"rmtk/internal/core"
+	"rmtk/internal/ctrl"
+	"rmtk/internal/memsim"
+	"rmtk/internal/prefetch"
+	"rmtk/internal/workload"
+)
+
+func newStack(t *testing.T, cfg Config) (*core.Kernel, *Prefetcher) {
+	t.Helper()
+	k := core.NewKernel(core.Config{CtxHistory: 4096})
+	plane := ctrl.New(k)
+	p, err := New(k, plane, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, p
+}
+
+func TestProgramsAssembleAndVerify(t *testing.T) {
+	k, p := newStack(t, Config{})
+	// Touch one access so the per-pid program gets admitted.
+	p.OnAccess(56, 100, false)
+	if _, err := k.ProgramID("page_access_collect"); err != nil {
+		t.Fatal("collect program missing")
+	}
+	progID, err := k.ProgramID("page_prefetch_56")
+	if err != nil {
+		t.Fatal("prefetch program missing")
+	}
+	rep, err := k.ProgramReport(progID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.NeedsRateLimit {
+		t.Fatal("prefetch program must be rate-limited")
+	}
+	if rep.MaxSteps <= 0 || rep.MLOps <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestCollectsDeltasIntoContext(t *testing.T) {
+	k, p := newStack(t, Config{})
+	for _, page := range []int64{100, 103, 106} {
+		p.OnAccess(56, page, false)
+	}
+	buf := make([]int64, 8)
+	n := k.Ctx().Hist(56, buf)
+	if n != 2 || buf[0] != 3 || buf[1] != 3 {
+		t.Fatalf("collected deltas = %v (%d)", buf[:n], n)
+	}
+	// The far-jump clamp applies in-kernel.
+	p.OnAccess(56, 100+1<<40, false)
+	n = k.Ctx().Hist(56, buf)
+	if buf[n-1] != 1<<17 {
+		t.Fatalf("unclamped delta %d in context", buf[n-1])
+	}
+}
+
+func TestLearnsStrideAndEmits(t *testing.T) {
+	_, p := newStack(t, Config{TrainEvery: 128})
+	var emissions []int64
+	page := int64(0)
+	for i := 0; i < 1500; i++ {
+		page += 5
+		emissions = p.OnAccess(56, page, false)
+	}
+	if len(emissions) == 0 {
+		t.Fatal("no prefetch after training on a pure stride")
+	}
+	for i, e := range emissions {
+		if want := page + int64(i+1)*5; e != want {
+			t.Fatalf("emission %d = %d, want %d", i, e, want)
+		}
+	}
+	if p.Trains(56) == 0 {
+		t.Fatal("no model pushes recorded")
+	}
+}
+
+func TestDepthParameterControlsRollout(t *testing.T) {
+	_, p := newStack(t, Config{TrainEvery: 128, Depth: 12})
+	page := int64(0)
+	for i := 0; i < 1000; i++ {
+		page += 5
+		p.OnAccess(56, page, false)
+	}
+	// Reconfigure the table entry to a conservative degree of 3.
+	if err := p.SetDepth(56, 3); err != nil {
+		t.Fatal(err)
+	}
+	page += 5
+	emissions := p.OnAccess(56, page, false)
+	if len(emissions) != 3 {
+		t.Fatalf("depth 3 emitted %d pages: %v", len(emissions), emissions)
+	}
+	if err := p.SetDepth(99, 3); err == nil {
+		t.Fatal("unknown pid accepted")
+	}
+}
+
+func TestFreezeAfterStopsTraining(t *testing.T) {
+	_, p := newStack(t, Config{TrainEvery: 128, FreezeAfter: 300})
+	page := int64(0)
+	for i := 0; i < 2000; i++ {
+		page += 5
+		p.OnAccess(56, page, false)
+	}
+	if got := p.Trains(56); got != 2 { // at accesses 128 and 256 only
+		t.Fatalf("trains = %d, want 2", got)
+	}
+}
+
+func TestModelIDExposed(t *testing.T) {
+	_, p := newStack(t, Config{})
+	if _, ok := p.ModelID(56); ok {
+		t.Fatal("unknown pid has a model")
+	}
+	p.OnAccess(56, 1, false)
+	if _, ok := p.ModelID(56); !ok {
+		t.Fatal("admitted pid has no model")
+	}
+	if p.Trains(99) != 0 {
+		t.Fatal("unknown pid trains")
+	}
+}
+
+func TestMultiProcessIsolation(t *testing.T) {
+	_, p := newStack(t, Config{TrainEvery: 128})
+	// PID 1 strides by 3, PID 2 strides by 11; both must learn their own.
+	p1, p2 := int64(0), int64(1<<20)
+	var e1, e2 []int64
+	for i := 0; i < 1500; i++ {
+		p1 += 3
+		p2 += 11
+		e1 = p.OnAccess(1, p1, false)
+		e2 = p.OnAccess(2, p2, false)
+	}
+	if len(e1) == 0 || e1[0] != p1+3 {
+		t.Fatalf("pid1 emissions %v", e1)
+	}
+	if len(e2) == 0 || e2[0] != p2+11 {
+		t.Fatalf("pid2 emissions %v", e2)
+	}
+}
+
+// TestMatchesDirectPolicy: on the paper's video trace, the full-stack RMT
+// pipeline must land within a small margin of the direct Go policy (they
+// share the learning algorithm; only the execution substrate differs).
+func TestMatchesDirectPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second end-to-end comparison")
+	}
+	trace := workload.VideoResize(workload.VideoResizeConfig{
+		TraceConfig: workload.TraceConfig{Seed: 1, PID: 56, NoiseFrac: -1, WorkJitter: -1},
+		RowJitter:   -1,
+		Frames:      150,
+	})
+	cfg := memsim.Config{CacheSlots: 1024}
+	direct := memsim.Run(cfg, prefetch.NewML(nil), trace)
+	_, p := newStack(t, Config{})
+	kernelRun := memsim.Run(cfg, p, trace)
+	if diff := direct.Accuracy() - kernelRun.Accuracy(); diff > 0.05 || diff < -0.05 {
+		t.Fatalf("accuracy diverges: direct %.3f vs kernel %.3f", direct.Accuracy(), kernelRun.Accuracy())
+	}
+	if diff := direct.Coverage() - kernelRun.Coverage(); diff > 0.05 || diff < -0.05 {
+		t.Fatalf("coverage diverges: direct %.3f vs kernel %.3f", direct.Coverage(), kernelRun.Coverage())
+	}
+}

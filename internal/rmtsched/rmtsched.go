@@ -1,0 +1,93 @@
+// Package rmtsched wires case study #2 through the RMT stack: the
+// can_migrate_task hook of the CFS simulator consults a quantized MLP that
+// has been compiled to RMT bytecode (OpMatMul / OpVecRelu / OpVecQuant /
+// OpVecArgMax — the dedicated ML instruction set of §3.2) and admitted
+// through the verifier, whose static cost model sees the exact
+// multiply-accumulate count of every layer.
+package rmtsched
+
+import (
+	"fmt"
+
+	"rmtk/internal/core"
+	"rmtk/internal/ctrl"
+	"rmtk/internal/ml/feature"
+	"rmtk/internal/ml/mlp"
+	"rmtk/internal/schedsim"
+	"rmtk/internal/table"
+)
+
+// Hook and table names.
+const (
+	Hook         = "sched/can_migrate_task"
+	MigrateTable = "can_migrate_tab"
+)
+
+// Decider routes migration decisions through the kernel: the simulator's
+// feature vector is staged into a pool vector, the hook fires, the matched
+// entry runs the compiled MLP program, and R0's argmax class is the verdict.
+type Decider struct {
+	K     *core.Kernel
+	label string
+	vecID int64
+	cols  []int // optional lean-feature projection
+}
+
+// Install compiles the quantized network to bytecode, admits it, creates the
+// migrate table with a catch-all entry, and returns the kernel-routed
+// decider. cols, when non-empty, projects the normalized features onto the
+// selected columns first (the lean-monitoring variant).
+func Install(k *core.Kernel, plane *ctrl.Plane, q *mlp.QMLP, label string, cols []int) (*Decider, error) {
+	matIDs, _, err := k.RegisterQMLP(q)
+	if err != nil {
+		return nil, err
+	}
+	vecID := k.RegisterVec(make([]int64, q.Sizes[0]))
+
+	prog := q.BuildProgram("can_migrate_"+label, Hook, vecID, matIDs[0])
+	// BuildProgram assumes contiguous matrix ids starting at matIDs[0];
+	// verify that holds for this kernel's allocation.
+	for i, id := range matIDs {
+		if id != matIDs[0]+int64(i) {
+			return nil, fmt.Errorf("rmtsched: non-contiguous matrix ids %v", matIDs)
+		}
+	}
+	if _, _, err := plane.LoadProgram(prog); err != nil {
+		return nil, fmt.Errorf("rmtsched: admission: %w", err)
+	}
+	progID, err := k.ProgramID(prog.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	t := table.New(MigrateTable+"_"+label, Hook, table.MatchTernary)
+	if _, err := k.CreateTable(t); err != nil {
+		return nil, err
+	}
+	// Catch-all entry: mask 0 matches every task group.
+	if err := t.Insert(&table.Entry{
+		Mask:   0,
+		Action: table.Action{Kind: table.ActionProgram, ProgID: progID},
+	}); err != nil {
+		return nil, err
+	}
+	return &Decider{K: k, label: label, vecID: vecID, cols: cols}, nil
+}
+
+// Name implements schedsim.Decider.
+func (d *Decider) Name() string { return d.label }
+
+// CanMigrate implements schedsim.Decider.
+func (d *Decider) CanMigrate(f *schedsim.Features) bool {
+	x := f.Normalized()
+	if len(d.cols) > 0 {
+		x = feature.SelectRow(x, d.cols)
+	}
+	if err := d.K.SetVec(d.vecID, x); err != nil {
+		return false
+	}
+	res := d.K.Fire(Hook, 0, 0, 0)
+	return res.Verdict == 1
+}
+
+var _ schedsim.Decider = (*Decider)(nil)

@@ -1,0 +1,198 @@
+package table
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultHistCap is the default per-key history ring capacity. Histories are
+// the raw material for online learning (e.g. page-access delta sequences).
+const DefaultHistCap = 128
+
+// CtxStore is the execution-context key/value map of type RMT_CTXT (§3.1).
+// Each key (PID, inode, cgroup id, ...) owns a fixed set of scalar fields and
+// a bounded history ring. Lookups and updates are constant-time "in a
+// system-wide manner without having to walk complex kernel data structures".
+type CtxStore struct {
+	numFields int
+	histCap   int
+
+	mu   sync.RWMutex
+	recs map[int64]*ctxRec
+}
+
+type ctxRec struct {
+	fields []int64
+	hist   []int64 // ring buffer
+	head   int     // next write position
+	n      int     // number of valid entries (<= cap)
+}
+
+// NewCtxStore creates a context store with the given number of scalar fields
+// per key and history capacity per key. histCap <= 0 selects
+// DefaultHistCap.
+func NewCtxStore(numFields, histCap int) *CtxStore {
+	if histCap <= 0 {
+		histCap = DefaultHistCap
+	}
+	if numFields < 0 {
+		numFields = 0
+	}
+	return &CtxStore{
+		numFields: numFields,
+		histCap:   histCap,
+		recs:      make(map[int64]*ctxRec),
+	}
+}
+
+// NumFields reports the per-key scalar field count.
+func (c *CtxStore) NumFields() int { return c.numFields }
+
+// HistCap reports the per-key history capacity.
+func (c *CtxStore) HistCap() int { return c.histCap }
+
+func (c *CtxStore) rec(key int64, create bool) *ctxRec {
+	c.mu.RLock()
+	r := c.recs[key]
+	c.mu.RUnlock()
+	if r != nil || !create {
+		return r
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r = c.recs[key]; r == nil {
+		r = &ctxRec{
+			fields: make([]int64, c.numFields),
+			hist:   make([]int64, c.histCap),
+		}
+		c.recs[key] = r
+	}
+	return r
+}
+
+// Load returns field of key's record; missing keys or out-of-range fields
+// read as zero (matching the VM's fail-soft semantics).
+func (c *CtxStore) Load(key, field int64) int64 {
+	r := c.rec(key, false)
+	if r == nil || field < 0 || int(field) >= len(r.fields) {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return r.fields[field]
+}
+
+// Store writes field of key's record, creating the record on first touch.
+// Out-of-range fields are ignored.
+func (c *CtxStore) Store(key, field, val int64) {
+	if field < 0 || int(field) >= c.numFields {
+		return
+	}
+	r := c.rec(key, true)
+	c.mu.Lock()
+	r.fields[field] = val
+	c.mu.Unlock()
+}
+
+// Add atomically adds delta to field of key's record and returns the new
+// value.
+func (c *CtxStore) Add(key, field, delta int64) int64 {
+	if field < 0 || int(field) >= c.numFields {
+		return 0
+	}
+	r := c.rec(key, true)
+	c.mu.Lock()
+	r.fields[field] += delta
+	v := r.fields[field]
+	c.mu.Unlock()
+	return v
+}
+
+// HistPush appends v to key's history ring.
+func (c *CtxStore) HistPush(key, v int64) {
+	r := c.rec(key, true)
+	c.mu.Lock()
+	r.hist[r.head] = v
+	r.head = (r.head + 1) % len(r.hist)
+	if r.n < len(r.hist) {
+		r.n++
+	}
+	c.mu.Unlock()
+}
+
+// Hist copies up to len(dst) most recent history values of key into dst,
+// oldest first, and returns the number copied.
+func (c *CtxStore) Hist(key int64, dst []int64) int {
+	r := c.rec(key, false)
+	if r == nil || len(dst) == 0 {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := r.n
+	if n > len(dst) {
+		n = len(dst)
+	}
+	// The newest element is at head-1; copy the window [head-n, head).
+	start := r.head - n
+	if start < 0 {
+		start += len(r.hist)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.hist[(start+i)%len(r.hist)]
+	}
+	return n
+}
+
+// HistLen reports how many history values key currently holds.
+func (c *CtxStore) HistLen(key int64) int {
+	r := c.rec(key, false)
+	if r == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return r.n
+}
+
+// Keys returns a sorted snapshot of all keys with records.
+func (c *CtxStore) Keys() []int64 {
+	c.mu.RLock()
+	out := make([]int64, 0, len(c.recs))
+	for k := range c.recs {
+		out = append(out, k)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Drop removes key's record (e.g. when a process exits).
+func (c *CtxStore) Drop(key int64) {
+	c.mu.Lock()
+	delete(c.recs, key)
+	c.mu.Unlock()
+}
+
+// Len reports the number of keys with records.
+func (c *CtxStore) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.recs)
+}
+
+// SumField returns the sum of field over all records, plus the record count.
+// This is the aggregate query surface used by the differential-privacy layer
+// (internal/dp): aggregates leave the store only through noised queries.
+func (c *CtxStore) SumField(field int64) (sum int64, count int) {
+	if field < 0 || int(field) >= c.numFields {
+		return 0, 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, r := range c.recs {
+		sum += r.fields[field]
+		count++
+	}
+	return sum, count
+}

@@ -1,0 +1,338 @@
+// Package table implements RMT match/action tables and the execution-context
+// store (RMT_CTXT) described in §3.1 of the paper.
+//
+// A table is installed at a kernel hook point (a "decision point in the
+// kernel datapath"). Each entry represents a decision control flow: the match
+// fields select on the current execution context (PID, inode, cgroup id, ...)
+// and the action encodes what to do — run a bytecode program, collect data,
+// consult an ML model, or set a tuning parameter. Entries can be statically
+// encoded in an RMT program or inserted/removed at runtime via the control
+// plane API (internal/ctrl).
+package table
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MatchKind selects the matching discipline of a table.
+type MatchKind uint8
+
+const (
+	// MatchExact matches keys exactly (e.g. a PID).
+	MatchExact MatchKind = iota
+	// MatchPrefix matches the high-order PrefixLen bits of the key
+	// (longest prefix wins), useful for address ranges and subdirectory
+	// aggregates.
+	MatchPrefix
+	// MatchRange matches Lo <= key <= Hi (highest priority wins), useful
+	// for size classes and load bands.
+	MatchRange
+	// MatchTernary matches key&Mask == Value&Mask (highest priority wins),
+	// the general RMT discipline.
+	MatchTernary
+)
+
+// String returns the name of the match kind.
+func (k MatchKind) String() string {
+	switch k {
+	case MatchExact:
+		return "exact"
+	case MatchPrefix:
+		return "prefix"
+	case MatchRange:
+		return "range"
+	case MatchTernary:
+		return "ternary"
+	default:
+		return fmt.Sprintf("matchkind(%d)", uint8(k))
+	}
+}
+
+// ActionKind is the type of action an entry triggers on match.
+type ActionKind uint8
+
+const (
+	// ActionPass takes no action (the hook's default behaviour applies).
+	ActionPass ActionKind = iota
+	// ActionCollect records the hook event into the execution context
+	// (data-collection phase of learning).
+	ActionCollect
+	// ActionInfer consults ML model ModelID on the match key's context.
+	ActionInfer
+	// ActionProgram runs bytecode program ProgID.
+	ActionProgram
+	// ActionParam returns Param directly (a learned configuration value,
+	// e.g. a prefetch degree or a scheduler knob).
+	ActionParam
+)
+
+// String returns the name of the action kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionPass:
+		return "pass"
+	case ActionCollect:
+		return "collect"
+	case ActionInfer:
+		return "infer"
+	case ActionProgram:
+		return "program"
+	case ActionParam:
+		return "param"
+	default:
+		return fmt.Sprintf("actionkind(%d)", uint8(k))
+	}
+}
+
+// Action is what a matched entry does.
+type Action struct {
+	Kind    ActionKind
+	Param   int64 // ActionParam value; also passed to programs in R3
+	ProgID  int64 // ActionProgram target
+	ModelID int64 // ActionInfer target
+}
+
+// Entry is one match/action row.
+type Entry struct {
+	// Key is the exact-match key, the prefix value (MatchPrefix), or the
+	// ternary value (MatchTernary).
+	Key uint64
+	// PrefixLen is the number of significant high-order bits for
+	// MatchPrefix tables (0..64).
+	PrefixLen uint8
+	// Lo and Hi bound MatchRange entries (inclusive).
+	Lo, Hi uint64
+	// Mask is the ternary care-mask for MatchTernary tables.
+	Mask uint64
+	// Priority breaks ties for range/ternary tables; larger wins.
+	Priority int32
+	// Action is taken on match.
+	Action Action
+
+	hits atomic.Int64
+}
+
+// Hits reports how many lookups this entry has matched.
+func (e *Entry) Hits() int64 { return e.hits.Load() }
+
+// clone returns a copy of the entry with a fresh hit counter carrying over
+// the old count.
+func (e *Entry) clone() *Entry {
+	c := &Entry{
+		Key: e.Key, PrefixLen: e.PrefixLen, Lo: e.Lo, Hi: e.Hi,
+		Mask: e.Mask, Priority: e.Priority, Action: e.Action,
+	}
+	c.hits.Store(e.hits.Load())
+	return c
+}
+
+// Table is one reconfigurable match table.
+type Table struct {
+	// Name identifies the table (e.g. "page_prefetch_tab").
+	Name string
+	// Hook names the kernel hook point the table is installed at
+	// (e.g. "mm/swap_cluster_readahead").
+	Hook string
+	// Kind is the matching discipline; fixed at construction.
+	Kind MatchKind
+
+	mu      sync.RWMutex
+	exact   map[uint64]*Entry
+	entries []*Entry // prefix/range/ternary entries, sorted by specificity
+	deflt   *Entry   // optional default entry when nothing matches
+
+	lookups atomic.Int64
+	misses  atomic.Int64
+}
+
+// New creates an empty table.
+func New(name, hook string, kind MatchKind) *Table {
+	return &Table{
+		Name:  name,
+		Hook:  hook,
+		Kind:  kind,
+		exact: make(map[uint64]*Entry),
+	}
+}
+
+// SetDefault installs the action used when no entry matches. Passing nil
+// clears it.
+func (t *Table) SetDefault(a *Action) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a == nil {
+		t.deflt = nil
+		return
+	}
+	t.deflt = &Entry{Action: *a}
+}
+
+// Insert adds an entry. For exact tables an existing entry with the same key
+// is replaced. For other kinds the entry is added and ordering recomputed.
+func (t *Table) Insert(e *Entry) error {
+	if err := t.validate(e); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.Kind == MatchExact {
+		t.exact[e.Key] = e
+		return nil
+	}
+	t.entries = append(t.entries, e)
+	t.reorder()
+	return nil
+}
+
+func (t *Table) validate(e *Entry) error {
+	switch t.Kind {
+	case MatchExact:
+	case MatchPrefix:
+		if e.PrefixLen > 64 {
+			return fmt.Errorf("table %s: prefix length %d > 64", t.Name, e.PrefixLen)
+		}
+	case MatchRange:
+		if e.Lo > e.Hi {
+			return fmt.Errorf("table %s: empty range [%d,%d]", t.Name, e.Lo, e.Hi)
+		}
+	case MatchTernary:
+	default:
+		return fmt.Errorf("table %s: bad match kind %d", t.Name, t.Kind)
+	}
+	return nil
+}
+
+// reorder sorts entries most-specific-first: longer prefixes first for LPM,
+// then higher priority, with insertion order as the final tiebreak
+// (stable sort).
+func (t *Table) reorder() {
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		a, b := t.entries[i], t.entries[j]
+		if t.Kind == MatchPrefix && a.PrefixLen != b.PrefixLen {
+			return a.PrefixLen > b.PrefixLen
+		}
+		return a.Priority > b.Priority
+	})
+}
+
+// Delete removes entries matching the given exact key (exact tables) or the
+// identical match spec (other kinds). It reports whether anything was
+// removed.
+func (t *Table) Delete(e *Entry) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.Kind == MatchExact {
+		if _, ok := t.exact[e.Key]; ok {
+			delete(t.exact, e.Key)
+			return true
+		}
+		return false
+	}
+	for i, x := range t.entries {
+		if x.Key == e.Key && x.PrefixLen == e.PrefixLen && x.Lo == e.Lo &&
+			x.Hi == e.Hi && x.Mask == e.Mask && x.Priority == e.Priority {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// UpdateAction atomically replaces the action of the entry matching key
+// (exact tables only) and reports whether the entry existed.
+func (t *Table) UpdateAction(key uint64, a Action) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.exact[key]
+	if !ok {
+		return false
+	}
+	c := e.clone()
+	c.Action = a
+	t.exact[key] = c
+	return true
+}
+
+// Lookup finds the highest-priority matching entry for key, or the default
+// entry, or nil.
+func (t *Table) Lookup(key uint64) *Entry {
+	t.lookups.Add(1)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var hit *Entry
+	switch t.Kind {
+	case MatchExact:
+		hit = t.exact[key]
+	case MatchPrefix:
+		for _, e := range t.entries {
+			if prefixMatch(key, e.Key, e.PrefixLen) {
+				hit = e
+				break
+			}
+		}
+	case MatchRange:
+		for _, e := range t.entries {
+			if key >= e.Lo && key <= e.Hi {
+				hit = e
+				break
+			}
+		}
+	case MatchTernary:
+		for _, e := range t.entries {
+			if key&e.Mask == e.Key&e.Mask {
+				hit = e
+				break
+			}
+		}
+	}
+	if hit == nil {
+		t.misses.Add(1)
+		return t.deflt
+	}
+	hit.hits.Add(1)
+	return hit
+}
+
+func prefixMatch(key, val uint64, plen uint8) bool {
+	if plen == 0 {
+		return true
+	}
+	if plen >= 64 {
+		return key == val
+	}
+	shift := 64 - uint(plen)
+	return key>>shift == val>>shift
+}
+
+// Len reports the number of installed entries (excluding the default).
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.Kind == MatchExact {
+		return len(t.exact)
+	}
+	return len(t.entries)
+}
+
+// Entries returns a snapshot of the installed entries.
+func (t *Table) Entries() []*Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.Kind == MatchExact {
+		out := make([]*Entry, 0, len(t.exact))
+		for _, e := range t.exact {
+			out = append(out, e)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		return out
+	}
+	return append([]*Entry(nil), t.entries...)
+}
+
+// Stats reports lookup/miss counters.
+func (t *Table) Stats() (lookups, misses int64) {
+	return t.lookups.Load(), t.misses.Load()
+}

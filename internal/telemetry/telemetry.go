@@ -1,0 +1,152 @@
+// Package telemetry provides the lightweight counters and latency histograms
+// the kernel uses to account for RMT overhead ("lean monitoring" requires the
+// monitors themselves to be cheap, §2.1). All operations are lock-free on the
+// hot path.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load reads the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Histogram is a power-of-two bucketed latency/size histogram. Buckets are
+// [0,1), [1,2), [2,4), ... up to the last overflow bucket.
+type Histogram struct {
+	buckets [48]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func bucketFor(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	b := 0
+	for v > 0 && b < 47 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Observe records a value.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketFor(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the elapsed nanoseconds since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// Count reports total observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean reports the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0<=q<=1) using bucket
+// upper edges.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var seen int64
+	for b := 0; b < len(h.buckets); b++ {
+		seen += h.buckets[b].Load()
+		if seen > target {
+			if b == 0 {
+				return 0
+			}
+			return int64(1) << uint(b) // upper edge of bucket b
+		}
+	}
+	return int64(1) << 47
+}
+
+// Registry is a named collection of counters and histograms.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders all metrics as sorted "name value" lines.
+func (r *Registry) Snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, fmt.Sprintf("%s %d", name, c.Load()))
+	}
+	for name, h := range r.hists {
+		out = append(out, fmt.Sprintf("%s count=%d mean=%.1f p99<=%d", name, h.Count(), h.Mean(), h.Quantile(0.99)))
+	}
+	sort.Strings(out)
+	return out
+}

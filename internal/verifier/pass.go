@@ -1,0 +1,519 @@
+package verifier
+
+import (
+	"fmt"
+
+	"rmtk/internal/isa"
+)
+
+// Abstract vector-register lengths.
+const (
+	vecUnset   = -2 // never written on some path
+	vecUnknown = -1 // written, but length not statically known
+)
+
+// absState is the abstract machine state at an instruction boundary.
+type absState struct {
+	regs  uint32            // bitmask of initialized scalar registers
+	stack uint64            // bitmask of initialized stack slots
+	vecs  [isa.NumVRegs]int // abstract vector lengths
+	live  bool              // whether any path reaches this point
+}
+
+func entryState() absState {
+	s := absState{live: true}
+	s.regs = 1<<1 | 1<<2 | 1<<3 // R1..R3 initialized at hook dispatch
+	for i := range s.vecs {
+		s.vecs[i] = vecUnset
+	}
+	return s
+}
+
+// merge folds an incoming edge state into the accumulated state at a join.
+func (s *absState) merge(in absState) {
+	if !s.live {
+		*s = in
+		return
+	}
+	s.regs &= in.regs
+	s.stack &= in.stack
+	for i := range s.vecs {
+		switch {
+		case s.vecs[i] == vecUnset || in.vecs[i] == vecUnset:
+			s.vecs[i] = vecUnset
+		case s.vecs[i] != in.vecs[i]:
+			s.vecs[i] = vecUnknown
+		}
+	}
+}
+
+// pass verifies a single program (no tail recursion).
+type pass struct {
+	prog *isa.Program
+	cfg  Config
+	rep  *Report
+}
+
+func declared(ids []int64, id int64) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// run performs all per-program checks and returns the set of tail-call
+// target ids used by the program.
+func (p *pass) run() ([]int64, error) {
+	insns := p.prog.Insns
+	n := len(insns)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if n > isa.MaxProgInsns {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooLong, n, isa.MaxProgInsns)
+	}
+
+	// Structural pass: opcodes, registers, jump discipline.
+	for pc, in := range insns {
+		if !in.Op.Valid() {
+			return nil, fmt.Errorf("%w: pc %d opcode %d", ErrBadOpcode, pc, in.Op)
+		}
+		if err := p.checkRegs(pc, in); err != nil {
+			return nil, err
+		}
+		if in.Op.IsJump() {
+			tgt := pc + 1 + int(in.Off)
+			if tgt <= pc {
+				return nil, fmt.Errorf("%w: pc %d -> %d", ErrBackEdge, pc, tgt)
+			}
+			if tgt >= n {
+				return nil, fmt.Errorf("%w: pc %d -> %d (len %d)", ErrJumpRange, pc, tgt, n)
+			}
+		}
+		if pc == n-1 && !in.Op.IsTerminal() {
+			return nil, fmt.Errorf("%w: last instruction %s", ErrFallOff, in)
+		}
+	}
+
+	// Forward dataflow. Because all edges go forward, a single in-order
+	// sweep reaches the fixed point.
+	states := make([]absState, n)
+	states[0] = entryState()
+	var (
+		steps   = make([]int64, n) // worst-case instructions executed to reach pc (exclusive)
+		mlops   = make([]int64, n) // worst-case ML ops to reach pc (exclusive)
+		tailIDs []int64
+		seenRes = map[[2]int64]bool{} // kind,id -> counted in ModelBytes
+	)
+	flow := func(from, to int, s absState, stepCost, opCost int64) {
+		states[to].merge(s)
+		if v := steps[from] + stepCost; v > steps[to] {
+			steps[to] = v
+		}
+		if v := mlops[from] + opCost; v > mlops[to] {
+			mlops[to] = v
+		}
+	}
+	maxSteps, maxOps := int64(0), int64(0)
+
+	for pc := 0; pc < n; pc++ {
+		st := states[pc]
+		in := insns[pc]
+		if !st.live {
+			p.warnf("pc %d unreachable: %s", pc, in)
+			continue
+		}
+		out := st
+		opCost := int64(0)
+
+		if err := p.checkReads(pc, in, &st); err != nil {
+			return nil, err
+		}
+		if err := p.checkResources(pc, in, seenRes, &tailIDs); err != nil {
+			return nil, err
+		}
+		if c, err := p.applyEffects(pc, in, &out); err != nil {
+			return nil, err
+		} else {
+			opCost = c
+		}
+
+		// Propagate along successors.
+		switch {
+		case in.Op == isa.OpExit, in.Op == isa.OpTailCall:
+			if in.Op == isa.OpExit && st.regs&1 == 0 {
+				return nil, fmt.Errorf("%w: pc %d", ErrR0AtExit, pc)
+			}
+			if v := steps[pc] + 1; v > maxSteps {
+				maxSteps = v
+			}
+			if v := mlops[pc] + opCost; v > maxOps {
+				maxOps = v
+			}
+		case in.Op == isa.OpJmp:
+			flow(pc, pc+1+int(in.Off), out, 1, opCost)
+		case in.Op.IsCondJump():
+			flow(pc, pc+1+int(in.Off), out, 1, opCost)
+			flow(pc, pc+1, out, 1, opCost)
+		default:
+			flow(pc, pc+1, out, 1, opCost)
+		}
+	}
+
+	p.rep.MaxSteps += maxSteps
+	p.rep.MLOps += maxOps
+	return tailIDs, nil
+}
+
+func (p *pass) warnf(format string, args ...any) {
+	p.rep.Warnings = append(p.rep.Warnings, fmt.Sprintf("%s: %s", p.prog.Name, fmt.Sprintf(format, args...)))
+}
+
+// regClass describes which operand fields of an opcode name scalar (r) or
+// vector (v) registers.
+func (p *pass) checkRegs(pc int, in isa.Instr) error {
+	bad := func(what string, idx uint8) error {
+		return fmt.Errorf("%w: pc %d %s operand %s%d", ErrBadRegister, pc, in.Op, what, idx)
+	}
+	ckR := func(idx uint8) error {
+		if int(idx) >= isa.NumRegs {
+			return bad("r", idx)
+		}
+		return nil
+	}
+	ckV := func(idx uint8) error {
+		if int(idx) >= isa.NumVRegs {
+			return bad("v", idx)
+		}
+		return nil
+	}
+	switch in.Op {
+	case isa.OpNop, isa.OpExit, isa.OpJmp, isa.OpCall, isa.OpTailCall:
+		return nil
+	case isa.OpVecZero, isa.OpVecLd, isa.OpVecRelu, isa.OpVecQuant, isa.OpVecClamp:
+		return ckV(in.Dst)
+	case isa.OpVecSt:
+		return ckV(in.Src)
+	case isa.OpVecAdd, isa.OpVecMul, isa.OpMatMul:
+		if err := ckV(in.Dst); err != nil {
+			return err
+		}
+		return ckV(in.Src)
+	case isa.OpVecLdHist, isa.OpVecSet, isa.OpVecPush:
+		if err := ckV(in.Dst); err != nil {
+			return err
+		}
+		return ckR(in.Src)
+	case isa.OpScalarVal, isa.OpVecArgMax, isa.OpVecSum, isa.OpMLInfer:
+		if err := ckR(in.Dst); err != nil {
+			return err
+		}
+		return ckV(in.Src)
+	case isa.OpVecDot:
+		if err := ckR(in.Dst); err != nil {
+			return err
+		}
+		if err := ckV(in.Src); err != nil {
+			return err
+		}
+		return ckV(uint8(in.Imm))
+	case isa.OpLdStack, isa.OpMovImm, isa.OpAddImm, isa.OpMulImm, isa.OpNeg, isa.OpAbs,
+		isa.OpJEqImm, isa.OpJNeImm, isa.OpJGtImm, isa.OpJGeImm, isa.OpJLtImm, isa.OpJLeImm:
+		return ckR(in.Dst)
+	case isa.OpStStack:
+		return ckR(in.Src)
+	default:
+		if err := ckR(in.Dst); err != nil {
+			return err
+		}
+		return ckR(in.Src)
+	}
+}
+
+// checkReads verifies every register/stack/vector read is preceded by a
+// write on all paths.
+func (p *pass) checkReads(pc int, in isa.Instr, st *absState) error {
+	needR := func(idx uint8) error {
+		if st.regs&(1<<idx) == 0 {
+			return fmt.Errorf("%w: pc %d %s reads r%d", ErrUninitRead, pc, in.Op, idx)
+		}
+		return nil
+	}
+	needV := func(idx uint8) error {
+		if st.vecs[idx] == vecUnset {
+			return fmt.Errorf("%w: pc %d %s reads v%d", ErrUninitVec, pc, in.Op, idx)
+		}
+		return nil
+	}
+	switch in.Op {
+	case isa.OpNop, isa.OpMovImm, isa.OpJmp, isa.OpExit, isa.OpTailCall,
+		isa.OpVecZero, isa.OpVecLd:
+		return nil
+	case isa.OpMov:
+		return needR(in.Src)
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpMin, isa.OpMax, isa.OpDiv, isa.OpMod,
+		isa.OpJEq, isa.OpJNe, isa.OpJGt, isa.OpJGe, isa.OpJLt, isa.OpJLe:
+		if err := needR(in.Dst); err != nil {
+			return err
+		}
+		return needR(in.Src)
+	case isa.OpAddImm, isa.OpMulImm, isa.OpNeg, isa.OpAbs,
+		isa.OpJEqImm, isa.OpJNeImm, isa.OpJGtImm, isa.OpJGeImm, isa.OpJLtImm, isa.OpJLeImm:
+		return needR(in.Dst)
+	case isa.OpLdStack:
+		if in.Imm < 0 || in.Imm >= isa.StackWords {
+			return fmt.Errorf("%w: pc %d slot %d", ErrStackOOB, pc, in.Imm)
+		}
+		if st.stack&(1<<uint(in.Imm)) == 0 {
+			return fmt.Errorf("%w: pc %d slot %d", ErrUninitStack, pc, in.Imm)
+		}
+		return nil
+	case isa.OpStStack:
+		if in.Imm < 0 || in.Imm >= isa.StackWords {
+			return fmt.Errorf("%w: pc %d slot %d", ErrStackOOB, pc, in.Imm)
+		}
+		return needR(in.Src)
+	case isa.OpLdCtxt, isa.OpMatchCtxt:
+		return needR(in.Src)
+	case isa.OpStCtxt:
+		if err := needR(in.Dst); err != nil {
+			return err
+		}
+		return needR(in.Src)
+	case isa.OpHistPush:
+		if err := needR(in.Dst); err != nil {
+			return err
+		}
+		return needR(in.Src)
+	case isa.OpCall:
+		// Helper arguments are R1..R5; only initialized registers reach the
+		// helper, uninitialized ones read as whatever was left — so require
+		// the full window to be written. R4/R5 are often unused; treat only
+		// R1..R3 as required (hook-initialized) and warn on the rest.
+		for _, r := range []uint8{4, 5} {
+			if st.regs&(1<<r) == 0 {
+				p.warnf("pc %d call passes uninitialized r%d", pc, r)
+				// Treat as zero: the VM state zeroes registers at reset, so
+				// this is safe, but the program author likely made an error.
+			}
+		}
+		return nil
+	case isa.OpVecSt, isa.OpVecRelu, isa.OpVecQuant, isa.OpVecClamp:
+		idx := in.Dst
+		if in.Op == isa.OpVecSt {
+			idx = in.Src
+		}
+		return needV(idx)
+	case isa.OpVecLdHist:
+		return needR(in.Src)
+	case isa.OpVecSet, isa.OpVecPush:
+		if err := needV(in.Dst); err != nil {
+			return err
+		}
+		return needR(in.Src)
+	case isa.OpScalarVal, isa.OpVecArgMax, isa.OpVecSum, isa.OpMLInfer:
+		return needV(in.Src)
+	case isa.OpMatMul:
+		return needV(in.Src)
+	case isa.OpVecAdd, isa.OpVecMul:
+		if err := needV(in.Dst); err != nil {
+			return err
+		}
+		return needV(in.Src)
+	case isa.OpVecDot:
+		if err := needV(in.Src); err != nil {
+			return err
+		}
+		return needV(uint8(in.Imm))
+	}
+	return nil
+}
+
+// checkResources validates declared/registered resource ids and accumulates
+// the memory footprint of referenced models and matrices.
+func (p *pass) checkResources(pc int, in isa.Instr, seen map[[2]int64]bool, tails *[]int64) error {
+	und := func(kind string) error {
+		return fmt.Errorf("%w: pc %d %s %s %d", ErrUndeclared, pc, in.Op, kind, in.Imm)
+	}
+	unk := func(kind string) error {
+		return fmt.Errorf("%w: pc %d %s %s %d", ErrUnknownRes, pc, in.Op, kind, in.Imm)
+	}
+	switch in.Op {
+	case isa.OpCall:
+		if !declared(p.prog.Helpers, in.Imm) {
+			return und("helper")
+		}
+		h, ok := p.cfg.Helpers[in.Imm]
+		if !ok {
+			return unk("helper")
+		}
+		if h.AllocatesResources {
+			p.rep.NeedsRateLimit = true
+		}
+	case isa.OpMLInfer:
+		if !declared(p.prog.Models, in.Imm) {
+			return und("model")
+		}
+		mc, ok := p.cfg.Models[in.Imm]
+		if !ok {
+			return unk("model")
+		}
+		if k := [2]int64{1, in.Imm}; !seen[k] {
+			seen[k] = true
+			p.rep.ModelBytes += mc.Bytes
+		}
+	case isa.OpMatMul:
+		if !declared(p.prog.Mats, in.Imm) {
+			return und("matrix")
+		}
+		ms, ok := p.cfg.Mats[in.Imm]
+		if !ok {
+			return unk("matrix")
+		}
+		if k := [2]int64{2, in.Imm}; !seen[k] {
+			seen[k] = true
+			p.rep.ModelBytes += ms.Bytes
+		}
+	case isa.OpMatchCtxt:
+		if !declared(p.prog.Tables, in.Imm) {
+			return und("table")
+		}
+		if !p.cfg.Tables[in.Imm] {
+			return unk("table")
+		}
+	case isa.OpVecLd, isa.OpVecSt:
+		if !declared(p.prog.Vecs, in.Imm) {
+			return und("vector")
+		}
+		if _, ok := p.cfg.Vecs[in.Imm]; !ok {
+			return unk("vector")
+		}
+	case isa.OpTailCall:
+		if !declared(p.prog.Tails, in.Imm) {
+			return und("tail program")
+		}
+		if _, ok := p.cfg.Tails[in.Imm]; !ok {
+			return unk("tail program")
+		}
+		*tails = append(*tails, in.Imm)
+	case isa.OpLdCtxt, isa.OpStCtxt:
+		if in.Imm < 0 || in.Imm >= MaxCtxFields {
+			return fmt.Errorf("%w: pc %d field %d", ErrFieldRange, pc, in.Imm)
+		}
+	}
+	return nil
+}
+
+// applyEffects writes the instruction's defs into the abstract state and
+// returns its ML op cost.
+func (p *pass) applyEffects(pc int, in isa.Instr, out *absState) (int64, error) {
+	defR := func(idx uint8) { out.regs |= 1 << idx }
+	switch in.Op {
+	case isa.OpMov, isa.OpMovImm:
+		defR(in.Dst)
+	case isa.OpAdd, isa.OpAddImm, isa.OpSub, isa.OpMul, isa.OpMulImm,
+		isa.OpDiv, isa.OpMod, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl,
+		isa.OpShr, isa.OpNeg, isa.OpAbs, isa.OpMin, isa.OpMax:
+		defR(in.Dst)
+	case isa.OpLdStack:
+		defR(in.Dst)
+	case isa.OpStStack:
+		out.stack |= 1 << uint(in.Imm)
+	case isa.OpLdCtxt, isa.OpMatchCtxt:
+		defR(in.Dst)
+	case isa.OpStCtxt, isa.OpHistPush:
+		p.rep.WritesCtx = true
+	case isa.OpCall:
+		defR(0)
+		if h, ok := p.cfg.Helpers[in.Imm]; ok {
+			return h.Cost, nil
+		}
+	case isa.OpVecZero:
+		if in.Imm < 0 || in.Imm > isa.MaxVecLen {
+			return 0, fmt.Errorf("%w: pc %d len %d", ErrVecTooLong, pc, in.Imm)
+		}
+		out.vecs[in.Dst] = int(in.Imm)
+	case isa.OpVecLd:
+		n := p.cfg.Vecs[in.Imm]
+		if n > isa.MaxVecLen {
+			return 0, fmt.Errorf("%w: pc %d pool %d len %d", ErrVecTooLong, pc, in.Imm, n)
+		}
+		out.vecs[in.Dst] = n
+	case isa.OpVecLdHist:
+		if in.Imm < 0 || in.Imm > isa.MaxVecLen {
+			return 0, fmt.Errorf("%w: pc %d len %d", ErrVecTooLong, pc, in.Imm)
+		}
+		// The VM loads however much history exists, up to Imm.
+		out.vecs[in.Dst] = vecUnknown
+	case isa.OpVecSet:
+		n := out.vecs[in.Dst]
+		if n >= 0 && (in.Imm < 0 || int(in.Imm) >= n) {
+			return 0, fmt.Errorf("%w: pc %d v%d[%d] len %d", ErrShapeMismatch, pc, in.Dst, in.Imm, n)
+		}
+	case isa.OpScalarVal:
+		n := out.vecs[in.Src]
+		if n >= 0 && (in.Imm < 0 || int(in.Imm) >= n) {
+			return 0, fmt.Errorf("%w: pc %d v%d[%d] len %d", ErrShapeMismatch, pc, in.Src, in.Imm, n)
+		}
+		defR(in.Dst)
+	case isa.OpMatMul:
+		ms := p.cfg.Mats[in.Imm]
+		inLen := out.vecs[in.Src]
+		if inLen >= 0 && inLen != ms.In {
+			return 0, fmt.Errorf("%w: pc %d matmul %d wants in %d, v%d has %d",
+				ErrShapeMismatch, pc, in.Imm, ms.In, in.Src, inLen)
+		}
+		if inLen == vecUnknown {
+			p.warnf("pc %d matmul %d input length unknown", pc, in.Imm)
+		}
+		if ms.Out > isa.MaxVecLen {
+			return 0, fmt.Errorf("%w: pc %d matmul out %d", ErrVecTooLong, pc, ms.Out)
+		}
+		out.vecs[in.Dst] = ms.Out
+		return 2 * int64(ms.In) * int64(ms.Out), nil
+	case isa.OpVecAdd, isa.OpVecMul:
+		a, b := out.vecs[in.Dst], out.vecs[in.Src]
+		if a >= 0 && b >= 0 && a != b {
+			return 0, fmt.Errorf("%w: pc %d v%d len %d vs v%d len %d",
+				ErrShapeMismatch, pc, in.Dst, a, in.Src, b)
+		}
+		if a >= 0 {
+			return int64(a), nil
+		}
+		return int64(isa.MaxVecLen), nil
+	case isa.OpVecPush:
+		if n := out.vecs[in.Dst]; n >= 0 {
+			return int64(n), nil
+		}
+		return int64(isa.MaxVecLen), nil
+	case isa.OpVecRelu, isa.OpVecQuant, isa.OpVecClamp:
+		if n := out.vecs[in.Dst]; n >= 0 {
+			return int64(n), nil
+		}
+		return int64(isa.MaxVecLen), nil
+	case isa.OpVecArgMax, isa.OpVecSum:
+		defR(in.Dst)
+		if n := out.vecs[in.Src]; n >= 0 {
+			return int64(n), nil
+		}
+		return int64(isa.MaxVecLen), nil
+	case isa.OpVecDot:
+		a, b := out.vecs[in.Src], out.vecs[uint8(in.Imm)]
+		if a >= 0 && b >= 0 && a != b {
+			return 0, fmt.Errorf("%w: pc %d vecdot v%d len %d vs v%d len %d",
+				ErrShapeMismatch, pc, in.Src, a, uint8(in.Imm), b)
+		}
+		defR(in.Dst)
+		if a >= 0 {
+			return 2 * int64(a), nil
+		}
+		return 2 * int64(isa.MaxVecLen), nil
+	case isa.OpMLInfer:
+		defR(in.Dst)
+		return p.cfg.Models[in.Imm].Ops, nil
+	}
+	return 0, nil
+}

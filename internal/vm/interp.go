@@ -1,0 +1,109 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+
+	"rmtk/internal/isa"
+)
+
+// Interpreter executes a program from its wire-format byte encoding,
+// decoding each instruction as it is reached — the "interpreted mode" of
+// §3.1. Tail calls re-enter the interpreter on the target program's bytes.
+//
+// The execution environment is supplied per Run, so one Interpreter can
+// serve concurrent invocations with distinct per-invocation state.
+type Interpreter struct {
+	prog *isa.Program
+	code []byte
+	// tail cache avoids re-encoding tail-call targets on every invocation.
+	mu    sync.Mutex
+	tails map[int64][]byte
+}
+
+// NewInterpreter prepares an interpreter for prog. The program must already
+// have passed the verifier; the interpreter still enforces the runtime
+// envelope as defense in depth.
+func NewInterpreter(prog *isa.Program) (*Interpreter, error) {
+	if len(prog.Insns) > isa.MaxProgInsns {
+		return nil, ErrProgramTooBig
+	}
+	return &Interpreter{
+		prog:  prog,
+		code:  prog.Encode(),
+		tails: make(map[int64][]byte),
+	}, nil
+}
+
+// Name implements Engine.
+func (ip *Interpreter) Name() string { return "interp" }
+
+// Run implements Engine.
+func (ip *Interpreter) Run(env Env, st *State, r1, r2, r3 int64) (int64, error) {
+	st.reset(r1, r2, r3)
+	e := exec{env: env, st: st, budget: DefaultStepBudget}
+	code := ip.code
+	for depth := 0; ; depth++ {
+		if depth > isa.MaxTailCalls {
+			return 0, ErrTailDepth
+		}
+		tail, done, err := ip.runOne(&e, code)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			return st.Regs[0], nil
+		}
+		code, err = ip.tailCode(env, tail)
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+// runOne interprets a single program's bytecode until Exit or a tail call.
+func (ip *Interpreter) runOne(e *exec, code []byte) (tail int64, done bool, err error) {
+	n := len(code) / isa.InstrBytes
+	pc := 0
+	for {
+		if pc == n {
+			return 0, false, ErrFellOffEnd
+		}
+		if e.st.steps++; e.st.steps > e.budget {
+			return 0, false, ErrStepBudget
+		}
+		in, derr := isa.DecodeInstr(code[pc*isa.InstrBytes:])
+		if derr != nil {
+			return 0, false, fmt.Errorf("%w: pc %d: %v", ErrBadInstr, pc, derr)
+		}
+		next, done, tail, serr := e.step(in, pc, n)
+		if serr != nil {
+			return 0, false, fmt.Errorf("pc %d (%s): %w", pc, in, serr)
+		}
+		if done {
+			return 0, true, nil
+		}
+		if tail >= 0 {
+			return tail, false, nil
+		}
+		pc = next
+	}
+}
+
+func (ip *Interpreter) tailCode(env Env, id int64) ([]byte, error) {
+	ip.mu.Lock()
+	code, ok := ip.tails[id]
+	ip.mu.Unlock()
+	if ok {
+		return code, nil
+	}
+	target, err := env.TailProgram(id)
+	if err != nil {
+		return nil, err
+	}
+	code = target.Encode()
+	ip.mu.Lock()
+	ip.tails[id] = code
+	ip.mu.Unlock()
+	return code, nil
+}

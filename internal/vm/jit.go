@@ -1,0 +1,555 @@
+package vm
+
+import (
+	"fmt"
+
+	"rmtk/internal/isa"
+)
+
+// jitOp is one compiled instruction: it mutates the machine state and
+// returns the next pc. Negative return values are control sentinels.
+type jitOp func(e *exec) int
+
+const (
+	jitExit = -1 // program finished; R0 is the result
+	jitTrap = -2 // runtime trap; e.trap holds the error
+	// Tail calls return -(3+index) where index selects a pre-resolved
+	// target in the compiled tails slice.
+	jitTailBase = -3
+)
+
+// JIT compiles a verified program into a vector of Go closures with all
+// operand decoding, jump-target arithmetic and tail-call resolution done at
+// compile time. This stands in for JIT compilation to machine code (§3.1):
+// the per-instruction interpreter decode/dispatch cost disappears, leaving
+// only the operation itself.
+type JIT struct {
+	env   Env
+	prog  *isa.Program
+	ops   []jitOp
+	tails []*JIT // resolved tail-call targets, indexed by compile order
+}
+
+// Compile translates prog into a JIT engine bound to env. Tail-call targets
+// are resolved and compiled transitively; cycles among tail calls are
+// rejected (the verifier also rejects them, this is defense in depth).
+func Compile(env Env, prog *isa.Program) (*JIT, error) {
+	return compile(env, prog, map[string]bool{})
+}
+
+func compile(env Env, prog *isa.Program, inProgress map[string]bool) (*JIT, error) {
+	if len(prog.Insns) > isa.MaxProgInsns {
+		return nil, ErrProgramTooBig
+	}
+	if inProgress[prog.Name] {
+		return nil, fmt.Errorf("vm: tail-call cycle through %q", prog.Name)
+	}
+	inProgress[prog.Name] = true
+	defer delete(inProgress, prog.Name)
+
+	j := &JIT{env: env, prog: prog}
+	n := len(prog.Insns)
+	j.ops = make([]jitOp, n)
+	for pc, in := range prog.Insns {
+		op, err := j.compileInstr(pc, in, n, inProgress)
+		if err != nil {
+			return nil, fmt.Errorf("vm: compile %q pc %d (%s): %w", prog.Name, pc, in, err)
+		}
+		j.ops[pc] = op
+	}
+	return j, nil
+}
+
+// Name implements Engine.
+func (j *JIT) Name() string { return "jit" }
+
+// Run implements Engine.
+func (j *JIT) Run(env Env, st *State, r1, r2, r3 int64) (int64, error) {
+	st.reset(r1, r2, r3)
+	e := exec{env: env, st: st, budget: DefaultStepBudget}
+	cur := j
+	for depth := 0; ; depth++ {
+		if depth > isa.MaxTailCalls {
+			return 0, ErrTailDepth
+		}
+		tail, done, err := cur.runOps(&e)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			return st.Regs[0], nil
+		}
+		cur = tail
+	}
+}
+
+func (j *JIT) runOps(e *exec) (tail *JIT, done bool, err error) {
+	n := len(j.ops)
+	pc := 0
+	st := e.st
+	for {
+		if pc >= n || pc < 0 {
+			// Can only happen on unverified programs; trap rather than panic.
+			return nil, false, ErrBadJump
+		}
+		if st.steps++; st.steps > e.budget {
+			return nil, false, ErrStepBudget
+		}
+		next := j.ops[pc](e)
+		if next >= 0 {
+			pc = next
+			continue
+		}
+		switch {
+		case next == jitExit:
+			return nil, true, nil
+		case next == jitTrap:
+			terr := e.trap
+			e.trap = nil
+			return nil, false, fmt.Errorf("pc %d (%s): %w", pc, j.prog.Insns[pc], terr)
+		default:
+			return j.tails[jitTailBase-next], false, nil
+		}
+	}
+}
+
+// compileInstr translates one instruction. The returned closure captures
+// operand indices and immediates; jump offsets are converted to absolute
+// targets.
+func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[string]bool) (jitOp, error) {
+	next := pc + 1
+	tgt := pc + 1 + int(in.Off)
+	if in.Op.IsJump() {
+		if tgt < 0 || tgt >= progLen {
+			return nil, ErrBadJump
+		}
+	}
+	if next >= progLen && !in.Op.IsTerminal() {
+		return nil, ErrFellOffEnd
+	}
+	dst, src, imm := int(in.Dst), int(in.Src), in.Imm
+
+	// trap is a helper to record an error from inside a closure.
+	trap := func(e *exec, err error) int {
+		e.trap = err
+		return jitTrap
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+		return func(*exec) int { return next }, nil
+	case isa.OpMov:
+		return func(e *exec) int { e.st.Regs[dst] = e.st.Regs[src]; return next }, nil
+	case isa.OpMovImm:
+		return func(e *exec) int { e.st.Regs[dst] = imm; return next }, nil
+	case isa.OpAdd:
+		return func(e *exec) int { e.st.Regs[dst] += e.st.Regs[src]; return next }, nil
+	case isa.OpAddImm:
+		return func(e *exec) int { e.st.Regs[dst] += imm; return next }, nil
+	case isa.OpSub:
+		return func(e *exec) int { e.st.Regs[dst] -= e.st.Regs[src]; return next }, nil
+	case isa.OpMul:
+		return func(e *exec) int { e.st.Regs[dst] *= e.st.Regs[src]; return next }, nil
+	case isa.OpMulImm:
+		return func(e *exec) int { e.st.Regs[dst] *= imm; return next }, nil
+	case isa.OpDiv:
+		return func(e *exec) int {
+			d := e.st.Regs[src]
+			if d == 0 {
+				return trap(e, ErrDivByZero)
+			}
+			e.st.Regs[dst] /= d
+			return next
+		}, nil
+	case isa.OpMod:
+		return func(e *exec) int {
+			d := e.st.Regs[src]
+			if d == 0 {
+				return trap(e, ErrDivByZero)
+			}
+			e.st.Regs[dst] %= d
+			return next
+		}, nil
+	case isa.OpAnd:
+		return func(e *exec) int { e.st.Regs[dst] &= e.st.Regs[src]; return next }, nil
+	case isa.OpOr:
+		return func(e *exec) int { e.st.Regs[dst] |= e.st.Regs[src]; return next }, nil
+	case isa.OpXor:
+		return func(e *exec) int { e.st.Regs[dst] ^= e.st.Regs[src]; return next }, nil
+	case isa.OpShl:
+		return func(e *exec) int { e.st.Regs[dst] <<= uint64(e.st.Regs[src]) & 63; return next }, nil
+	case isa.OpShr:
+		return func(e *exec) int { e.st.Regs[dst] >>= uint64(e.st.Regs[src]) & 63; return next }, nil
+	case isa.OpNeg:
+		return func(e *exec) int { e.st.Regs[dst] = -e.st.Regs[dst]; return next }, nil
+	case isa.OpAbs:
+		return func(e *exec) int {
+			if e.st.Regs[dst] < 0 {
+				e.st.Regs[dst] = -e.st.Regs[dst]
+			}
+			return next
+		}, nil
+	case isa.OpMin:
+		return func(e *exec) int {
+			if e.st.Regs[src] < e.st.Regs[dst] {
+				e.st.Regs[dst] = e.st.Regs[src]
+			}
+			return next
+		}, nil
+	case isa.OpMax:
+		return func(e *exec) int {
+			if e.st.Regs[src] > e.st.Regs[dst] {
+				e.st.Regs[dst] = e.st.Regs[src]
+			}
+			return next
+		}, nil
+
+	case isa.OpJmp:
+		return func(*exec) int { return tgt }, nil
+	case isa.OpJEq:
+		return func(e *exec) int {
+			if e.st.Regs[dst] == e.st.Regs[src] {
+				return tgt
+			}
+			return next
+		}, nil
+	case isa.OpJNe:
+		return func(e *exec) int {
+			if e.st.Regs[dst] != e.st.Regs[src] {
+				return tgt
+			}
+			return next
+		}, nil
+	case isa.OpJGt:
+		return func(e *exec) int {
+			if e.st.Regs[dst] > e.st.Regs[src] {
+				return tgt
+			}
+			return next
+		}, nil
+	case isa.OpJGe:
+		return func(e *exec) int {
+			if e.st.Regs[dst] >= e.st.Regs[src] {
+				return tgt
+			}
+			return next
+		}, nil
+	case isa.OpJLt:
+		return func(e *exec) int {
+			if e.st.Regs[dst] < e.st.Regs[src] {
+				return tgt
+			}
+			return next
+		}, nil
+	case isa.OpJLe:
+		return func(e *exec) int {
+			if e.st.Regs[dst] <= e.st.Regs[src] {
+				return tgt
+			}
+			return next
+		}, nil
+	case isa.OpJEqImm:
+		return func(e *exec) int {
+			if e.st.Regs[dst] == imm {
+				return tgt
+			}
+			return next
+		}, nil
+	case isa.OpJNeImm:
+		return func(e *exec) int {
+			if e.st.Regs[dst] != imm {
+				return tgt
+			}
+			return next
+		}, nil
+	case isa.OpJGtImm:
+		return func(e *exec) int {
+			if e.st.Regs[dst] > imm {
+				return tgt
+			}
+			return next
+		}, nil
+	case isa.OpJGeImm:
+		return func(e *exec) int {
+			if e.st.Regs[dst] >= imm {
+				return tgt
+			}
+			return next
+		}, nil
+	case isa.OpJLtImm:
+		return func(e *exec) int {
+			if e.st.Regs[dst] < imm {
+				return tgt
+			}
+			return next
+		}, nil
+	case isa.OpJLeImm:
+		return func(e *exec) int {
+			if e.st.Regs[dst] <= imm {
+				return tgt
+			}
+			return next
+		}, nil
+
+	case isa.OpLdStack:
+		if imm < 0 || imm >= isa.StackWords {
+			return nil, ErrStackBounds
+		}
+		return func(e *exec) int { e.st.Regs[dst] = e.st.stack[imm]; return next }, nil
+	case isa.OpStStack:
+		if imm < 0 || imm >= isa.StackWords {
+			return nil, ErrStackBounds
+		}
+		return func(e *exec) int { e.st.stack[imm] = e.st.Regs[src]; return next }, nil
+
+	case isa.OpLdCtxt:
+		return func(e *exec) int {
+			e.st.Regs[dst] = e.env.CtxLoad(e.st.Regs[src], imm)
+			return next
+		}, nil
+	case isa.OpStCtxt:
+		return func(e *exec) int {
+			e.env.CtxStore(e.st.Regs[dst], imm, e.st.Regs[src])
+			return next
+		}, nil
+	case isa.OpMatchCtxt:
+		return func(e *exec) int {
+			e.st.Regs[dst] = e.env.Match(imm, e.st.Regs[src])
+			return next
+		}, nil
+	case isa.OpHistPush:
+		return func(e *exec) int {
+			e.env.CtxHistPush(e.st.Regs[dst], e.st.Regs[src])
+			return next
+		}, nil
+
+	case isa.OpCall:
+		return func(e *exec) int {
+			r := &e.st.Regs
+			args := [5]int64{r[1], r[2], r[3], r[4], r[5]}
+			ret, err := e.env.Call(imm, &args)
+			if err != nil {
+				return trap(e, fmt.Errorf("%w: helper %d: %v", ErrHelperFailed, imm, err))
+			}
+			r[0] = ret
+			return next
+		}, nil
+	case isa.OpTailCall:
+		target, err := j.env.TailProgram(imm)
+		if err != nil {
+			return nil, err
+		}
+		compiled, err := compile(j.env, target, inProgress)
+		if err != nil {
+			return nil, err
+		}
+		idx := len(j.tails)
+		j.tails = append(j.tails, compiled)
+		code := jitTailBase - idx
+		return func(*exec) int { return code }, nil
+	case isa.OpExit:
+		return func(*exec) int { return jitExit }, nil
+
+	case isa.OpVecZero:
+		if imm < 0 || imm > isa.MaxVecLen {
+			return nil, ErrVecTooLong
+		}
+		return func(e *exec) int {
+			v, _ := e.st.setVecLen(dst, int(imm))
+			for i := range v {
+				v[i] = 0
+			}
+			return next
+		}, nil
+	case isa.OpVecLd:
+		return func(e *exec) int {
+			n, err := e.env.VecLoad(imm, e.st.vbuf[dst][:])
+			if err != nil {
+				return trap(e, err)
+			}
+			if _, err = e.st.setVecLen(dst, n); err != nil {
+				return trap(e, err)
+			}
+			return next
+		}, nil
+	case isa.OpVecSt:
+		return func(e *exec) int {
+			if e.st.vecs[src] == nil {
+				return trap(e, ErrVecUnset)
+			}
+			if err := e.env.VecStore(imm, e.st.vecs[src]); err != nil {
+				return trap(e, err)
+			}
+			return next
+		}, nil
+	case isa.OpVecLdHist:
+		if imm < 0 || imm > isa.MaxVecLen {
+			return nil, ErrVecTooLong
+		}
+		return func(e *exec) int {
+			n := e.env.CtxHist(e.st.Regs[src], e.st.vbuf[dst][:imm])
+			if _, err := e.st.setVecLen(dst, n); err != nil {
+				return trap(e, err)
+			}
+			return next
+		}, nil
+	case isa.OpVecSet:
+		return func(e *exec) int {
+			v := e.st.vecs[dst]
+			if imm < 0 || int(imm) >= len(v) {
+				return trap(e, ErrVecBounds)
+			}
+			v[imm] = e.st.Regs[src]
+			return next
+		}, nil
+	case isa.OpVecPush:
+		return func(e *exec) int {
+			v := e.st.vecs[dst]
+			if len(v) == 0 {
+				return trap(e, ErrVecUnset)
+			}
+			copy(v, v[1:])
+			v[len(v)-1] = e.st.Regs[src]
+			return next
+		}, nil
+	case isa.OpScalarVal:
+		return func(e *exec) int {
+			v := e.st.vecs[src]
+			if imm < 0 || int(imm) >= len(v) {
+				return trap(e, ErrVecBounds)
+			}
+			e.st.Regs[dst] = v[imm]
+			return next
+		}, nil
+	case isa.OpMatMul:
+		return func(e *exec) int {
+			in := e.st.vecs[src]
+			if in == nil {
+				return trap(e, ErrVecUnset)
+			}
+			if dst == src {
+				var tmp [isa.MaxVecLen]int64
+				copy(tmp[:], in)
+				in = tmp[:len(in)]
+			}
+			n, err := e.env.MatVec(imm, in, e.st.vbuf[dst][:])
+			if err != nil {
+				return trap(e, err)
+			}
+			if _, err = e.st.setVecLen(dst, n); err != nil {
+				return trap(e, err)
+			}
+			return next
+		}, nil
+	case isa.OpVecAdd:
+		return func(e *exec) int {
+			d, s := e.st.vecs[dst], e.st.vecs[src]
+			if d == nil || len(d) != len(s) {
+				return trap(e, ErrVecLen)
+			}
+			for i := range d {
+				d[i] += s[i]
+			}
+			return next
+		}, nil
+	case isa.OpVecMul:
+		return func(e *exec) int {
+			d, s := e.st.vecs[dst], e.st.vecs[src]
+			if d == nil || len(d) != len(s) {
+				return trap(e, ErrVecLen)
+			}
+			for i := range d {
+				d[i] *= s[i]
+			}
+			return next
+		}, nil
+	case isa.OpVecRelu:
+		return func(e *exec) int {
+			d := e.st.vecs[dst]
+			for i := range d {
+				if d[i] < 0 {
+					d[i] = 0
+				}
+			}
+			return next
+		}, nil
+	case isa.OpVecQuant:
+		mul, shift := isa.UnpackQuant(imm)
+		return func(e *exec) int {
+			d := e.st.vecs[dst]
+			for i := range d {
+				d[i] = (d[i] * mul) >> shift
+			}
+			return next
+		}, nil
+	case isa.OpVecClamp:
+		lim := imm
+		if lim < 0 {
+			lim = -lim
+		}
+		return func(e *exec) int {
+			d := e.st.vecs[dst]
+			for i := range d {
+				if d[i] > lim {
+					d[i] = lim
+				} else if d[i] < -lim {
+					d[i] = -lim
+				}
+			}
+			return next
+		}, nil
+	case isa.OpVecArgMax:
+		return func(e *exec) int {
+			v := e.st.vecs[src]
+			if len(v) == 0 {
+				return trap(e, ErrVecUnset)
+			}
+			best := 0
+			for i := 1; i < len(v); i++ {
+				if v[i] > v[best] {
+					best = i
+				}
+			}
+			e.st.Regs[dst] = int64(best)
+			return next
+		}, nil
+	case isa.OpVecDot:
+		other := int(uint8(imm))
+		return func(e *exec) int {
+			a, b := e.st.vecs[src], e.st.vecs[other]
+			if a == nil || len(a) != len(b) {
+				return trap(e, ErrVecLen)
+			}
+			var sum int64
+			for i := range a {
+				sum += a[i] * b[i]
+			}
+			e.st.Regs[dst] = sum
+			return next
+		}, nil
+	case isa.OpVecSum:
+		return func(e *exec) int {
+			v := e.st.vecs[src]
+			var sum int64
+			for i := range v {
+				sum += v[i]
+			}
+			e.st.Regs[dst] = sum
+			return next
+		}, nil
+	case isa.OpMLInfer:
+		return func(e *exec) int {
+			v := e.st.vecs[src]
+			if v == nil {
+				return trap(e, ErrVecUnset)
+			}
+			ret, err := e.env.Infer(imm, v)
+			if err != nil {
+				return trap(e, err)
+			}
+			e.st.Regs[dst] = ret
+			return next
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: opcode %d", ErrBadInstr, in.Op)
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math/rand"
+
+	"rmtk/internal/schedsim"
+)
+
+// SchedConfig carries the shared knobs of the scheduler workload generators.
+type SchedConfig struct {
+	// Seed drives per-task variation.
+	Seed int64
+	// Scale multiplies task work (1.0 default) to calibrate absolute JCTs.
+	Scale float64
+}
+
+func (c SchedConfig) scale() float64 {
+	if c.Scale <= 0 {
+		return 1.0
+	}
+	return c.Scale
+}
+
+func jitterWork(rng *rand.Rand, base int64, frac float64) int64 {
+	f := 1 + (rng.Float64()*2-1)*frac
+	w := int64(float64(base) * f)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Blackscholes models the PARSEC option-pricing benchmark: one data-parallel
+// phase of identical CPU-bound workers, mild per-task variance from option
+// batch sizes.
+func Blackscholes(cfg SchedConfig) *schedsim.Workload {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const tasks = 64
+	base := int64(2300 * cfg.scale())
+	phase := make([]schedsim.TaskSpec, tasks)
+	for i := range phase {
+		phase[i] = schedsim.TaskSpec{
+			Work: jitterWork(rng, base, 0.10),
+			PID:  100,
+		}
+	}
+	return &schedsim.Workload{Name: "blackscholes", Phases: [][]schedsim.TaskSpec{phase}}
+}
+
+// Streamcluster models the PARSEC streaming-clustering benchmark: many
+// barrier-separated phases (one per point chunk) of memory-bound workers
+// that stall between bursts, giving the load balancer constant work.
+func Streamcluster(cfg SchedConfig) *schedsim.Workload {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	const (
+		phases        = 16
+		tasksPerPhase = 32
+	)
+	base := int64(900 * cfg.scale())
+	all := make([][]schedsim.TaskSpec, phases)
+	for p := range all {
+		phase := make([]schedsim.TaskSpec, tasksPerPhase)
+		for i := range phase {
+			phase[i] = schedsim.TaskSpec{
+				Work:       jitterWork(rng, base, 0.25),
+				SleepEvery: 40,
+				SleepTicks: 6, // memory stalls between bursts
+				PID:        200,
+			}
+		}
+		all[p] = phase
+	}
+	return &schedsim.Workload{Name: "streamcluster", Phases: all}
+}
+
+// Fib models a recursive Fibonacci task spawn: a heavy-tailed, unbalanced
+// tree of tasks arriving over time — the classic work-stealing stress test.
+// Task sizes follow the recursion (geometric tail) and arrivals stagger as
+// the tree unfolds.
+func Fib(cfg SchedConfig) *schedsim.Workload {
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	var phase []schedsim.TaskSpec
+	// Levels of the recursion tree: at level l there are ~fib(l) tasks of
+	// geometrically shrinking work, spawned progressively later.
+	type level struct {
+		count int
+		work  int64
+		at    int64
+	}
+	levels := []level{
+		{1, int64(14000 * cfg.scale()), 0},
+		{2, int64(7000 * cfg.scale()), 12},
+		{4, int64(3500 * cfg.scale()), 36},
+		{8, int64(1750 * cfg.scale()), 82},
+		{16, int64(875 * cfg.scale()), 164},
+		{32, int64(440 * cfg.scale()), 292},
+		{64, int64(220 * cfg.scale()), 525},
+	}
+	for _, lv := range levels {
+		for i := 0; i < lv.count; i++ {
+			phase = append(phase, schedsim.TaskSpec{
+				Work:        jitterWork(rng, lv.work, 0.15),
+				SpawnOffset: lv.at + rng.Int63n(lv.at/4+1),
+				PID:         300,
+			})
+		}
+	}
+	return &schedsim.Workload{Name: "fib", Phases: [][]schedsim.TaskSpec{phase}}
+}
+
+// MatMul models a blocked matrix multiplication: uniform blocks in one
+// phase, each block a pure CPU task; block-boundary cache effects appear as
+// small work variance.
+func MatMul(cfg SchedConfig) *schedsim.Workload {
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	const blocks = 64
+	base := int64(2050 * cfg.scale())
+	phase := make([]schedsim.TaskSpec, blocks)
+	for i := range phase {
+		phase[i] = schedsim.TaskSpec{
+			Work: jitterWork(rng, base, 0.05),
+			PID:  400,
+		}
+	}
+	return &schedsim.Workload{Name: "matmul", Phases: [][]schedsim.TaskSpec{phase}}
+}
+
+// SchedBenchmarks returns the four Table-2 workloads in paper order.
+func SchedBenchmarks(cfg SchedConfig) []*schedsim.Workload {
+	return []*schedsim.Workload{
+		Blackscholes(cfg),
+		Streamcluster(cfg),
+		Fib(cfg),
+		MatMul(cfg),
+	}
+}

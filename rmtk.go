@@ -1,0 +1,149 @@
+// Package rmtk is a reconfigurable-kernel-datapaths toolkit: a reproduction
+// of "Toward Reconfigurable Kernel Datapaths with Learned Optimizations"
+// (HotOS '21) as a Go library.
+//
+// The package re-exports the system's public surface:
+//
+//   - an in-kernel RMT virtual machine (match/action tables installed at
+//     kernel hook points, a verified bytecode ISA with dedicated ML vector
+//     instructions, interpreted or JIT execution);
+//   - lightweight integer ML (decision trees, quantized MLPs, integer SVMs)
+//     with training in userspace floating point and integer-only inference;
+//   - a control plane for installing programs, reconfiguring entries,
+//     pushing retrained models, and monitoring prediction accuracy;
+//   - simulated kernel substrates (a swap/memory subsystem and a CFS-style
+//     scheduler) that reproduce the paper's two case studies.
+//
+// Quick start:
+//
+//	k := rmtk.New(rmtk.Config{})
+//	plane := rmtk.NewControlPlane(k)
+//	insns, _ := rmtk.Assemble("movimm r0, 42\nexit")
+//	id, report, _ := plane.LoadProgram(&rmtk.Program{Name: "answer", Insns: insns})
+//	_ = id
+//	_ = report
+//	verdict, _, _ := k.RunProgramByName("answer", 0, 0, 0) // 42
+//
+// See examples/ for the paper's case studies end to end and DESIGN.md for
+// the system inventory.
+package rmtk
+
+import (
+	"rmtk/internal/core"
+	"rmtk/internal/ctrl"
+	"rmtk/internal/dp"
+	"rmtk/internal/isa"
+	"rmtk/internal/table"
+	"rmtk/internal/verifier"
+)
+
+// Kernel is the in-kernel RMT virtual machine: registries for tables,
+// programs, models, matrices and helpers, plus hook dispatch.
+type Kernel = core.Kernel
+
+// Config parameterizes kernel construction.
+type Config = core.Config
+
+// ExecMode selects interpretation or JIT compilation.
+type ExecMode = core.ExecMode
+
+// Execution modes.
+const (
+	ModeJIT    = core.ModeJIT
+	ModeInterp = core.ModeInterp
+)
+
+// Model is a registered inference model callable from RMT programs.
+type Model = core.Model
+
+// Matrix is a registered integer weight matrix for RMT_MAT_MUL.
+type Matrix = core.Matrix
+
+// FireResult reports the outcome of one hook dispatch.
+type FireResult = core.FireResult
+
+// Invocation carries per-dispatch state visible to helpers.
+type Invocation = core.Invocation
+
+// Program is a unit of admission: bytecode plus declared resources.
+type Program = isa.Program
+
+// Instr is a single RMT instruction.
+type Instr = isa.Instr
+
+// Table is one reconfigurable match table.
+type Table = table.Table
+
+// Entry is one match/action row.
+type Entry = table.Entry
+
+// Action is what a matched entry does.
+type Action = table.Action
+
+// Match kinds.
+const (
+	MatchExact   = table.MatchExact
+	MatchPrefix  = table.MatchPrefix
+	MatchRange   = table.MatchRange
+	MatchTernary = table.MatchTernary
+)
+
+// Action kinds.
+const (
+	ActionPass    = table.ActionPass
+	ActionCollect = table.ActionCollect
+	ActionInfer   = table.ActionInfer
+	ActionProgram = table.ActionProgram
+	ActionParam   = table.ActionParam
+)
+
+// ControlPlane is the userland API for program/entry/model management and
+// accuracy monitoring.
+type ControlPlane = ctrl.Plane
+
+// AccuracyMonitor tracks windowed prediction accuracy and drives
+// reconfiguration.
+type AccuracyMonitor = ctrl.AccuracyMonitor
+
+// Report is the verifier's admission report.
+type Report = verifier.Report
+
+// PrivacyAccountant tracks a differential-privacy budget over aggregate
+// context queries.
+type PrivacyAccountant = dp.Accountant
+
+// New constructs a kernel with the standard helper set registered.
+func New(cfg Config) *Kernel { return core.NewKernel(cfg) }
+
+// NewControlPlane creates a control plane over k.
+func NewControlPlane(k *Kernel) *ControlPlane { return ctrl.New(k) }
+
+// NewTable creates an empty match table for a hook point.
+func NewTable(name, hook string, kind table.MatchKind) *Table {
+	return table.New(name, hook, kind)
+}
+
+// NewPrivacyAccountant creates a DP budget with the given total epsilon.
+func NewPrivacyAccountant(epsilon float64, seed int64) (*PrivacyAccountant, error) {
+	return dp.NewAccountant(epsilon, seed)
+}
+
+// Assemble parses RMT assembler text into instructions.
+func Assemble(src string) ([]Instr, error) { return isa.Assemble(src) }
+
+// Verify statically checks a program against explicit registries (the
+// kernel runs this automatically at InstallProgram; this entry point serves
+// offline toolchains like rmtkctl).
+func Verify(prog *Program, cfg verifier.Config) (*Report, error) {
+	return verifier.Verify(prog, cfg)
+}
+
+// Standard helper ids available to programs.
+const (
+	HelperEmit       = core.HelperEmit
+	HelperCtxSum     = core.HelperCtxSum
+	HelperCtxCount   = core.HelperCtxCount
+	HelperClampDelta = core.HelperClampDelta
+	HelperHistLen    = core.HelperHistLen
+	HelperUserBase   = core.HelperUserBase
+)
