@@ -1,0 +1,104 @@
+// Fault containment end to end: a learned program serves a kernel hook, a
+// deterministic fault storm breaks it mid-run, and the supervisor walks the
+// full breaker lifecycle — trip on consecutive traps, quarantine with the
+// hook degraded to a registered baseline fallback, half-open probes with
+// exponential backoff while the storm lasts, and recovery once it passes.
+//
+// The paper's safety argument (§3.3) is static: the verifier admits only
+// programs that fail soft. The supervisor is the dynamic half: even an
+// admitted program that starts failing at runtime is contained to "never
+// worse than the stock heuristic it replaced".
+//
+// Run with: go run ./examples/chaos
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rmtk"
+)
+
+const (
+	hook     = "mm/demo_hook"
+	pid      = int64(7)
+	stormAt  = 20 // firing index where faults begin
+	stormLen = 60 // firings the storm lasts
+)
+
+func main() {
+	k := rmtk.New(rmtk.Config{})
+	plane := rmtk.NewControlPlane(k)
+
+	// A learned program: verdict 1 ("act") for every event.
+	insns, err := rmtk.Assemble("movimm r0, 1\nexit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	progID, _, err := plane.LoadProgram(&rmtk.Program{Name: "learned", Hook: hook, Insns: insns})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := rmtk.NewTable("demo_tab", hook, rmtk.MatchExact)
+	if _, err := k.CreateTable(t); err != nil {
+		log.Fatal(err)
+	}
+	if err := t.Insert(&rmtk.Entry{Key: uint64(pid), Action: rmtk.Action{Kind: rmtk.ActionProgram, ProgID: progID}}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The baseline the hook degrades to while the program is quarantined:
+	// verdict 0 ("don't act") — the conservative stock heuristic.
+	k.RegisterFallback("mm/*", rmtk.FallbackFunc{
+		Label: "conservative-baseline",
+		Fn:    func(string, int64, int64, int64) (int64, []int64) { return 0, nil },
+	})
+
+	// Supervisor: trip after 3 consecutive failures, first probe after 8
+	// quarantined fires, cooldown doubling on failed probes, 2 clean probes
+	// to close.
+	sup := k.Supervise(rmtk.SupervisorConfig{
+		TripConsecutive:   3,
+		CooldownFires:     8,
+		BackoffFactor:     2,
+		JitterFrac:        0, // exact timeline for the demo
+		HalfOpenSuccesses: 2,
+	})
+
+	// The storm: every firing in [stormAt, stormAt+stormLen) traps.
+	k.SetFaultInjector(rmtk.NewFaultInjector(1, rmtk.FaultRule{
+		Target: hook,
+		Kind:   rmtk.FaultVMTrap,
+		Start:  stormAt,
+		Count:  stormLen,
+	}))
+
+	last := ""
+	for i := 0; i < 240; i++ {
+		res := k.Fire(hook, pid, 0, 0)
+		state := sup.State(progID).String()
+		mode := "learned"
+		switch {
+		case res.FellBack:
+			mode = "fallback"
+		case res.Trapped:
+			mode = "trapped"
+		}
+		line := fmt.Sprintf("state=%-9s via=%-8s verdict=%d", state, mode, res.Verdict)
+		if line != last {
+			fmt.Printf("fire %3d: %s\n", i, line)
+			last = line
+		}
+	}
+
+	trips, fallbacks, probes, recoveries := sup.Counts()
+	fmt.Printf("\nlifecycle: trips=%d fallbacks=%d probes=%d recoveries=%d\n",
+		trips, fallbacks, probes, recoveries)
+	fmt.Printf("telemetry: reopens=%d errors=%d\n",
+		k.Metrics.Counter("supervisor.reopens").Load(),
+		k.Metrics.Counter("supervisor.errors."+hook).Load())
+	if sup.State(progID) != rmtk.BreakerClosed {
+		log.Fatalf("program did not recover: %v", sup.State(progID))
+	}
+	fmt.Println("\nprogram re-admitted: the learned datapath is live again.")
+}

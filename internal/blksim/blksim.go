@@ -177,6 +177,14 @@ func GenRequests(n int, meanGapNs int64, seed int64) []Request {
 	return reqs
 }
 
+// Delayer is an optional Router extension: routers that accumulate
+// synchronous stall out of band (e.g. fault-injected latency spikes from
+// core.FireResult.DelayNs) report it here and the simulator charges it to the
+// request's service path. TakeDelay drains the pending stall.
+type Delayer interface {
+	TakeDelay() int64
+}
+
 // Router decides which replica serves a request.
 type Router interface {
 	// Name identifies the policy.
@@ -252,13 +260,19 @@ func Run(cfg Config, router Router, reqs []Request) Result {
 		if primary < 0 || primary >= len(devs) {
 			primary = 0
 		}
+		if d, ok := router.(Delayer); ok {
+			// A routing decision that stalled synchronously (injected latency
+			// spike) delays the submit; the request still measures its
+			// latency from arrival, so the stall shows up in the tail.
+			now += d.TakeDelay()
+		}
 		doneAt, slow := devs[primary].Submit(now)
-		lat := doneAt - now
+		lat := doneAt - rq.ArriveNs
 		served := primary
 		if hedge && lat > cfg.HedgeAfterNs && hedgeTo >= 0 && hedgeTo < len(devs) && hedgeTo != primary {
 			res.ExtraIOs++
 			hDone, hSlow := devs[hedgeTo].Submit(now + cfg.HedgeAfterNs)
-			if hLat := hDone - now; hLat < lat {
+			if hLat := hDone - rq.ArriveNs; hLat < lat {
 				lat = hLat
 				slow = hSlow
 				served = hedgeTo

@@ -39,13 +39,27 @@ func (e *env) Match(tableID, key int64) int64 {
 	return entry.Action.Param
 }
 
-func (e *env) Call(helperID int64, args *[5]int64) (int64, error) {
+func (e *env) Call(helperID int64, args *[5]int64) (ret int64, err error) {
+	if e.inv != nil && e.inv.injectHelperErr != nil {
+		herr := e.inv.injectHelperErr
+		e.inv.injectHelperErr = nil
+		return 0, herr
+	}
 	e.k.mu.RLock()
 	h, ok := e.k.helpers[helperID]
 	e.k.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("%w: helper %d", ErrNotFound, helperID)
 	}
+	// A panicking helper traps the calling program instead of killing the
+	// process: helpers are kernel code, but the blast radius of a bug in one
+	// must stay inside the invocation (§3.3).
+	defer func() {
+		if r := recover(); r != nil {
+			e.k.Metrics.Counter("core.helper_panics").Inc()
+			err = fmt.Errorf("%w: helper %d: %v", ErrHelperPanic, helperID, r)
+		}
+	}()
 	return h.fn(e.k, e.inv, args)
 }
 

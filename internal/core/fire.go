@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"rmtk/internal/fault"
 	"rmtk/internal/table"
 	"rmtk/internal/vm"
 )
@@ -19,6 +20,10 @@ type Invocation struct {
 	emissions  []int64
 	emitBudget int
 	rateHits   int64
+
+	// injectHelperErr, when non-nil, is consumed by the next helper call
+	// (fault.KindHelperError).
+	injectHelperErr error
 }
 
 // Emissions returns the values emitted during the invocation.
@@ -41,6 +46,13 @@ type FireResult struct {
 	// TrapErr is the trap error for diagnostics (programs failing soft do
 	// not propagate errors into the datapath).
 	TrapErr error
+	// FellBack reports that the supervisor quarantined the matched program
+	// and a registered baseline fallback produced the verdict/emissions.
+	FellBack bool
+	// DelayNs is synchronous stall injected by the fault framework on this
+	// fire; virtual-clock simulators charge it to their clocks (real hooks
+	// would simply have stalled).
+	DelayNs int64
 }
 
 // DefaultVerdict is returned when no table matched or no action produced a
@@ -55,7 +67,10 @@ const DefaultVerdict = int64(-1)
 // Fire never returns an error for datapath-level failures: a trapping
 // program or a missing model degrades to the default action, matching §3.3's
 // fail-soft stance (admitted programs "only influence kernel decisions in a
-// constrained manner").
+// constrained manner"). With a supervisor attached the degradation is
+// stronger still: a program whose breaker has tripped is quarantined and the
+// hook routes to its registered baseline fallback until half-open probes
+// re-admit it.
 func (k *Kernel) Fire(hook string, key, arg2, arg3 int64) FireResult {
 	inv := Invocation{
 		Hook: hook, Key: key, Arg2: arg2, Arg3: arg3,
@@ -65,12 +80,18 @@ func (k *Kernel) Fire(hook string, key, arg2, arg3 int64) FireResult {
 
 	k.mu.RLock()
 	tableIDs := k.hooks[hook]
-	mode := k.cfg.Mode
+	sup := k.sup
+	inj := k.inj
 	k.mu.RUnlock()
 	if len(tableIDs) == 0 {
 		return res
 	}
 	k.Metrics.Counter("core.fires").Inc()
+
+	// One injector decision per firing index of this hook; whether it
+	// strikes depends on the supervisor routing below (a quarantined program
+	// does not run, so scheduled faults pass it by).
+	out := inj.Check(hook)
 
 	for _, tid := range tableIDs {
 		t, err := k.Table(tid)
@@ -82,16 +103,15 @@ func (k *Kernel) Fire(hook string, key, arg2, arg3 int64) FireResult {
 			continue
 		}
 		res.Matched++
-		k.runAction(t, entry, &inv, &res)
+		k.runAction(t, entry, &inv, &res, sup, out)
 	}
 	res.Emissions = inv.emissions
 	res.RateLimited = inv.rateHits
-	_ = mode
 	return res
 }
 
 // runAction executes one matched entry's action.
-func (k *Kernel) runAction(t *table.Table, entry *table.Entry, inv *Invocation, res *FireResult) {
+func (k *Kernel) runAction(t *table.Table, entry *table.Entry, inv *Invocation, res *FireResult, sup *Supervisor, out *fault.Outcome) {
 	switch entry.Action.Kind {
 	case table.ActionPass:
 		// Default behaviour; nothing to do.
@@ -117,29 +137,101 @@ func (k *Kernel) runAction(t *table.Table, entry *table.Entry, inv *Invocation, 
 		res.Verdict = m.Predict(feats)
 		k.Metrics.Counter("core.inferences").Inc()
 	case table.ActionProgram:
-		verdict, trapped, err := k.runProgram(entry.Action.ProgID, inv, entry.Action.Param)
-		if trapped {
-			res.Trapped = true
-			res.TrapErr = err
-			k.Metrics.Counter("core.traps").Inc()
-			return
-		}
-		if err != nil {
-			k.Metrics.Counter("core.program_missing").Inc()
-			return
-		}
-		res.Verdict = verdict
+		k.runProgramAction(entry, inv, res, sup, out)
 	}
 }
 
-// runProgram executes an installed program under the configured engine.
-func (k *Kernel) runProgram(progID int64, inv *Invocation, param int64) (verdict int64, trapped bool, err error) {
+// runProgramAction routes one program action through the supervisor (if
+// attached), applies scheduled faults, and records the outcome.
+func (k *Kernel) runProgramAction(entry *table.Entry, inv *Invocation, res *FireResult, sup *Supervisor, out *fault.Outcome) {
+	progID := entry.Action.ProgID
+
+	if sup != nil && sup.Allow(progID) == DecisionFallback {
+		k.runFallback(inv, res)
+		return
+	}
+
+	verdict, steps, trapped, err := k.runProgram(progID, inv, entry.Action.Param, out)
+	var latency int64
+	if out != nil {
+		// The learned path ran, so a scheduled latency spike strikes it.
+		latency = out.LatencyNs
+		res.DelayNs += latency
+	}
+
+	var runErr error
+	if trapped {
+		runErr = err
+	}
+	if sup != nil {
+		if failure, _ := sup.RecordRun(progID, inv.Hook, steps, latency, runErr); failure != nil && runErr == nil {
+			// SLO violation on an otherwise successful fire: the verdict
+			// stands (the program behaved), but the breaker has seen it.
+			k.Metrics.Counter("core.slo_violations").Inc()
+		}
+	}
+
+	if trapped {
+		res.Trapped = true
+		res.TrapErr = err
+		k.Metrics.Counter("core.traps").Inc()
+		return
+	}
+	if err != nil {
+		k.Metrics.Counter("core.program_missing").Inc()
+		return
+	}
+	if out != nil && out.Corrupt {
+		// Silent result corruption: no error for the breaker to see — this
+		// is the fault class only accuracy monitoring can catch.
+		verdict = out.CorruptVal
+		k.Metrics.Counter("core.corrupted_verdicts").Inc()
+	}
+	res.Verdict = verdict
+}
+
+// runFallback substitutes the hook's registered baseline policy for a
+// quarantined program. Emissions stay under the invocation's rate-limit
+// budget: the baseline lives inside the same resource envelope the verifier
+// imposed on the program it replaces.
+func (k *Kernel) runFallback(inv *Invocation, res *FireResult) {
+	fb := k.fallbackFor(inv.Hook)
+	if fb == nil {
+		return // no baseline registered: default action applies
+	}
+	verdict, emissions := fb.Decide(inv.Hook, inv.Key, inv.Arg2, inv.Arg3)
+	res.Verdict = verdict
+	for _, e := range emissions {
+		if len(inv.emissions) >= inv.emitBudget {
+			inv.rateHits++
+			k.Metrics.Counter("core.rate_limited").Inc()
+			break
+		}
+		inv.emissions = append(inv.emissions, e)
+	}
+	res.FellBack = true
+	k.Metrics.Counter("core.fallback_decisions").Inc()
+}
+
+// runProgram executes an installed program under the configured engine,
+// applying any scheduled fault outcome. A panicking engine or helper is
+// recovered into a trap — a buggy learned datapath must not take the kernel
+// down with it.
+func (k *Kernel) runProgram(progID int64, inv *Invocation, param int64, out *fault.Outcome) (verdict int64, steps int64, trapped bool, err error) {
 	k.mu.RLock()
 	p, ok := k.progs[progID]
 	mode := k.cfg.Mode
 	k.mu.RUnlock()
 	if !ok {
-		return 0, false, fmt.Errorf("%w: program %d", ErrNotFound, progID)
+		return 0, 0, false, fmt.Errorf("%w: program %d", ErrNotFound, progID)
+	}
+	if out != nil {
+		if out.Trap {
+			return 0, 0, true, out.TrapErr
+		}
+		if out.HelperErr != nil {
+			inv.injectHelperErr = out.HelperErr
+		}
 	}
 	st := k.statePool.Get().(*vm.State)
 	defer k.statePool.Put(st)
@@ -153,23 +245,39 @@ func (k *Kernel) runProgram(progID int64, inv *Invocation, param int64) (verdict
 	if mode == ModeInterp {
 		engine = p.interp
 	}
-	ret, rerr := engine.Run(e, st, inv.Key, inv.Arg2, arg3)
-	k.Metrics.Histogram("core.program_steps").Observe(st.Steps())
+	ret, rerr := runEngine(engine, e, st, inv.Key, inv.Arg2, arg3)
+	inv.injectHelperErr = nil // unconsumed injections do not leak across runs
+	steps = st.Steps()
+	k.Metrics.Histogram("core.program_steps").Observe(steps)
 	if rerr != nil {
-		return 0, true, rerr
+		return 0, steps, true, rerr
 	}
-	return ret, false, nil
+	return ret, steps, false, nil
+}
+
+// runEngine runs one engine invocation with panic containment.
+func runEngine(engine vm.Engine, e *env, st *vm.State, r1, r2, r3 int64) (ret int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrProgramPanic, r)
+		}
+	}()
+	return engine.Run(e, st, r1, r2, r3)
 }
 
 // RunProgramByName executes an installed program directly (outside a hook
-// pipeline) — used by tests, rmtkctl and examples.
+// pipeline) — used by tests, rmtkctl and examples. A quarantined program is
+// refused with ErrQuarantined.
 func (k *Kernel) RunProgramByName(name string, r1, r2, r3 int64) (int64, []int64, error) {
 	id, err := k.ProgramID(name)
 	if err != nil {
 		return 0, nil, err
 	}
+	if sup := k.Supervisor(); sup != nil && sup.State(id) != BreakerClosed {
+		return 0, nil, fmt.Errorf("%w: program %q", ErrQuarantined, name)
+	}
 	inv := Invocation{Key: r1, Arg2: r2, Arg3: r3, emitBudget: k.cfg.RateLimit}
-	verdict, trapped, err := k.runProgram(id, &inv, 0)
+	verdict, _, trapped, err := k.runProgram(id, &inv, 0, nil)
 	if trapped || err != nil {
 		return 0, nil, err
 	}

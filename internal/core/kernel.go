@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"rmtk/internal/dp"
+	"rmtk/internal/fault"
 	"rmtk/internal/isa"
 	"rmtk/internal/table"
 	"rmtk/internal/telemetry"
@@ -142,6 +143,12 @@ type Kernel struct {
 	vecs     map[int64][]int64
 	helpers  map[int64]helper
 
+	// Fault containment: the supervisor's circuit breakers, the per-hook
+	// baseline fallbacks, and the (test/chaos-only) fault injector.
+	sup       *Supervisor
+	fallbacks map[string]Fallback
+	inj       *fault.Injector
+
 	nextTable int64
 	nextProg  int64
 	nextModel int64
@@ -153,29 +160,34 @@ type Kernel struct {
 	statePool sync.Pool
 }
 
-// Sentinel errors.
+// Sentinel errors. Callers (including the supervisor and the control plane's
+// retry loop) branch with errors.Is rather than string matching.
 var (
-	ErrNotFound   = errors.New("core: not found")
-	ErrDuplicate  = errors.New("core: duplicate name")
-	ErrNoDatapath = errors.New("core: no datapath attached to hook")
+	ErrNotFound        = errors.New("core: not found")
+	ErrDuplicate       = errors.New("core: duplicate name")
+	ErrNoDatapath      = errors.New("core: no datapath attached to hook")
+	ErrMalformedMatrix = errors.New("core: malformed matrix")
+	ErrHelperPanic     = errors.New("core: helper panicked")
+	ErrProgramPanic    = errors.New("core: program execution panicked")
 )
 
 // NewKernel constructs a kernel and registers the standard helpers.
 func NewKernel(cfg Config) *Kernel {
 	cfg = cfg.withDefaults()
 	k := &Kernel{
-		cfg:      cfg,
-		ctx:      table.NewCtxStore(cfg.CtxFields, cfg.CtxHistory),
-		tables:   make(map[int64]*table.Table),
-		tableIDs: make(map[string]int64),
-		hooks:    make(map[string][]int64),
-		progs:    make(map[int64]*progEntry),
-		progIDs:  make(map[string]int64),
-		models:   make(map[int64]Model),
-		mats:     make(map[int64]*Matrix),
-		vecs:     make(map[int64][]int64),
-		helpers:  make(map[int64]helper),
-		Metrics:  telemetry.NewRegistry(),
+		cfg:       cfg,
+		ctx:       table.NewCtxStore(cfg.CtxFields, cfg.CtxHistory),
+		tables:    make(map[int64]*table.Table),
+		tableIDs:  make(map[string]int64),
+		hooks:     make(map[string][]int64),
+		progs:     make(map[int64]*progEntry),
+		progIDs:   make(map[string]int64),
+		models:    make(map[int64]Model),
+		mats:      make(map[int64]*Matrix),
+		vecs:      make(map[int64][]int64),
+		helpers:   make(map[int64]helper),
+		fallbacks: make(map[string]Fallback),
+		Metrics:   telemetry.NewRegistry(),
 	}
 	k.statePool.New = func() any { return vm.NewState() }
 	registerStandardHelpers(k)
@@ -246,8 +258,14 @@ func (k *Kernel) RegisterModel(m Model) int64 {
 }
 
 // SwapModel replaces model id in place (online training pushes refreshed
-// models through this).
+// models through this). An attached fault injector may fail the swap
+// transiently (fault.ErrInjectedSwap); the control plane's retry loop is
+// expected to absorb those.
 func (k *Kernel) SwapModel(id int64, m Model) error {
+	if out := k.FaultInjector().Check(fault.TargetModelSwap); out != nil && out.SwapErr != nil {
+		k.Metrics.Counter("core.model_swap_faults").Inc()
+		return fmt.Errorf("core: model %d: %w", id, out.SwapErr)
+	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if _, ok := k.models[id]; !ok {
@@ -255,6 +273,22 @@ func (k *Kernel) SwapModel(id int64, m Model) error {
 	}
 	k.models[id] = m
 	return nil
+}
+
+// SetFaultInjector attaches (or with nil detaches) a fault injector. Only
+// tests and the chaos experiment use this; production kernels run without
+// one at zero cost.
+func (k *Kernel) SetFaultInjector(inj *fault.Injector) {
+	k.mu.Lock()
+	k.inj = inj
+	k.mu.Unlock()
+}
+
+// FaultInjector returns the attached injector, or nil.
+func (k *Kernel) FaultInjector() *fault.Injector {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.inj
 }
 
 // Model resolves a model by id.
@@ -271,7 +305,7 @@ func (k *Kernel) Model(id int64) (Model, error) {
 // RegisterMatrix adds a weight matrix and returns its id.
 func (k *Kernel) RegisterMatrix(m *Matrix) (int64, error) {
 	if m.In <= 0 || m.Out <= 0 || len(m.W) != m.In*m.Out || len(m.B) != m.Out {
-		return 0, fmt.Errorf("core: malformed matrix %dx%d (w=%d b=%d)", m.Out, m.In, len(m.W), len(m.B))
+		return 0, fmt.Errorf("%w: %dx%d (w=%d b=%d)", ErrMalformedMatrix, m.Out, m.In, len(m.W), len(m.B))
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()

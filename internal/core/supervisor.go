@@ -1,0 +1,448 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"rmtk/internal/telemetry"
+)
+
+// This file implements the kernel's fault-containment supervisor: a
+// per-program circuit breaker that quarantines a misbehaving learned datapath
+// and routes its hook to a registered baseline fallback policy, then probes
+// it half-open with exponential backoff until sustained success re-admits it.
+// It is the runtime half of §3.3's safety argument — the verifier admits
+// programs statically, the supervisor contains them dynamically, so a learned
+// datapath is never worse than the stock heuristic it replaced.
+
+// BreakerState is the circuit-breaker state of one program.
+type BreakerState int
+
+const (
+	// BreakerClosed: the program runs normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the program is quarantined; its hook uses the fallback.
+	BreakerOpen
+	// BreakerHalfOpen: the program is being probed; each fire runs it and a
+	// failure re-opens the breaker with a longer cooldown.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Supervisor SLO / quarantine sentinels.
+var (
+	// ErrStepSLO marks a fire whose executed step count exceeded the
+	// configured per-fire SLO.
+	ErrStepSLO = errors.New("core: per-fire step SLO violated")
+	// ErrLatencySLO marks a fire whose charged latency exceeded the
+	// configured per-fire SLO.
+	ErrLatencySLO = errors.New("core: per-fire latency SLO violated")
+	// ErrQuarantined is reported when a quarantined program is addressed
+	// directly (e.g. RunProgramByName).
+	ErrQuarantined = errors.New("core: program quarantined by supervisor")
+)
+
+// SupervisorConfig parameterizes the breaker state machine.
+type SupervisorConfig struct {
+	// TripConsecutive trips the breaker after this many consecutive fire
+	// failures. <=0 selects 3.
+	TripConsecutive int
+	// WindowK / WindowM trip the breaker when K of the last M fires failed
+	// (catching intermittent faults that never run consecutively). 0
+	// disables; WindowM is clamped to >= WindowK.
+	WindowK int
+	WindowM int
+	// StepSLO fails a fire whose executed VM steps exceed it. 0 disables.
+	StepSLO int64
+	// LatencySLONs fails a fire whose charged latency exceeds it. 0
+	// disables.
+	LatencySLONs int64
+	// CooldownFires is how many fires of the program's hook pass in
+	// quarantine before the first half-open probe. <=0 selects 64.
+	CooldownFires int64
+	// BackoffFactor multiplies the cooldown after each failed probe.
+	// <=0 selects 2.0.
+	BackoffFactor float64
+	// MaxCooldownFires caps the backoff. <=0 selects 4096.
+	MaxCooldownFires int64
+	// JitterFrac randomizes each cooldown by ±this fraction (seeded,
+	// deterministic). <0 selects 0.1.
+	JitterFrac float64
+	// HalfOpenSuccesses is how many consecutive probe successes close the
+	// breaker. <=0 selects 4.
+	HalfOpenSuccesses int
+	// Seed drives the jitter.
+	Seed int64
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.TripConsecutive <= 0 {
+		c.TripConsecutive = 3
+	}
+	if c.WindowK > 0 && c.WindowM < c.WindowK {
+		c.WindowM = c.WindowK
+	}
+	if c.CooldownFires <= 0 {
+		c.CooldownFires = 64
+	}
+	if c.BackoffFactor <= 0 {
+		c.BackoffFactor = 2.0
+	}
+	if c.MaxCooldownFires <= 0 {
+		c.MaxCooldownFires = 4096
+	}
+	if c.JitterFrac < 0 {
+		c.JitterFrac = 0.1
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 4
+	}
+	return c
+}
+
+// Decision is the supervisor's routing verdict for one program fire.
+type Decision int
+
+const (
+	// DecisionRun executes the program normally.
+	DecisionRun Decision = iota
+	// DecisionProbe executes the program as a half-open probe.
+	DecisionProbe
+	// DecisionFallback skips the program and uses the hook's fallback.
+	DecisionFallback
+)
+
+// breaker is the per-program containment state.
+type breaker struct {
+	state       BreakerState
+	consecFails int
+	window      []bool // ring of recent fire outcomes (true = failed)
+	windowPos   int
+	windowN     int
+	cooldown    int64 // current backoff, in hook fires
+	wait        int64 // fires remaining before the next probe
+	probeOK     int
+	trips       int64
+	lastErr     error
+}
+
+// Supervisor owns the breakers of every supervised program on one kernel.
+type Supervisor struct {
+	cfg     SupervisorConfig
+	metrics *telemetry.Registry
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	progs map[int64]*breaker
+
+	trips      int64
+	fallbacks  int64
+	probes     int64
+	recoveries int64
+}
+
+// newSupervisor builds a supervisor bound to a metrics registry.
+func newSupervisor(cfg SupervisorConfig, metrics *telemetry.Registry) *Supervisor {
+	cfg = cfg.withDefaults()
+	return &Supervisor{
+		cfg:     cfg,
+		metrics: metrics,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		progs:   make(map[int64]*breaker),
+	}
+}
+
+func (s *Supervisor) breakerFor(progID int64) *breaker {
+	b, ok := s.progs[progID]
+	if !ok {
+		b = &breaker{cooldown: s.cfg.CooldownFires}
+		if s.cfg.WindowM > 0 {
+			b.window = make([]bool, s.cfg.WindowM)
+		}
+		s.progs[progID] = b
+	}
+	return b
+}
+
+// Allow decides how the next fire of progID is routed. Open breakers count
+// the call against their cooldown — the hook's firing rate is the
+// supervisor's clock, so quarantine and backoff are deterministic in
+// simulation.
+func (s *Supervisor) Allow(progID int64) Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakerFor(progID)
+	switch b.state {
+	case BreakerClosed:
+		return DecisionRun
+	case BreakerHalfOpen:
+		return DecisionProbe
+	default: // BreakerOpen
+		if b.wait--; b.wait > 0 {
+			s.fallbacks++
+			s.metrics.Counter("supervisor.fallbacks").Inc()
+			return DecisionFallback
+		}
+		b.state = BreakerHalfOpen
+		b.probeOK = 0
+		return DecisionProbe
+	}
+}
+
+// RecordRun feeds the outcome of one executed fire (normal or probe) back
+// into the breaker. steps and latencyNs are checked against the configured
+// SLOs even when runErr is nil. It returns the effective failure (nil on
+// success) and whether this outcome tripped the breaker.
+func (s *Supervisor) RecordRun(progID int64, hook string, steps, latencyNs int64, runErr error) (failure error, tripped bool) {
+	failure = runErr
+	if failure == nil && s.cfg.StepSLO > 0 && steps > s.cfg.StepSLO {
+		failure = fmt.Errorf("%w: %d > %d steps", ErrStepSLO, steps, s.cfg.StepSLO)
+	}
+	if failure == nil && s.cfg.LatencySLONs > 0 && latencyNs > s.cfg.LatencySLONs {
+		failure = fmt.Errorf("%w: %dns > %dns", ErrLatencySLO, latencyNs, s.cfg.LatencySLONs)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakerFor(progID)
+	if len(b.window) > 0 {
+		b.window[b.windowPos] = failure != nil
+		b.windowPos = (b.windowPos + 1) % len(b.window)
+		if b.windowN < len(b.window) {
+			b.windowN++
+		}
+	}
+
+	if failure == nil {
+		b.consecFails = 0
+		if b.state == BreakerHalfOpen {
+			s.probes++
+			s.metrics.Counter("supervisor.probes").Inc()
+			if b.probeOK++; b.probeOK >= s.cfg.HalfOpenSuccesses {
+				b.state = BreakerClosed
+				b.cooldown = s.cfg.CooldownFires
+				b.lastErr = nil
+				s.recoveries++
+				s.metrics.Counter("supervisor.recoveries").Inc()
+			}
+		}
+		return nil, false
+	}
+
+	b.lastErr = failure
+	s.metrics.Counter("supervisor.errors." + hook).Inc()
+	s.metrics.Histogram("supervisor.fail_steps." + hook).Observe(steps)
+
+	if b.state == BreakerHalfOpen {
+		// Failed probe: back off exponentially (with jitter) and re-open.
+		s.probes++
+		s.metrics.Counter("supervisor.probes").Inc()
+		b.cooldown = s.nextCooldown(b.cooldown)
+		s.open(b)
+		s.metrics.Counter("supervisor.reopens").Inc()
+		return failure, false
+	}
+
+	b.consecFails++
+	windowed := false
+	if s.cfg.WindowK > 0 && b.windowN >= s.cfg.WindowM {
+		fails := 0
+		for _, f := range b.window {
+			if f {
+				fails++
+			}
+		}
+		windowed = fails >= s.cfg.WindowK
+	}
+	if b.state == BreakerClosed && (b.consecFails >= s.cfg.TripConsecutive || windowed) {
+		b.trips++
+		s.trips++
+		s.metrics.Counter("supervisor.trips").Inc()
+		s.open(b)
+		return failure, true
+	}
+	return failure, false
+}
+
+// open moves a breaker into quarantine with its current cooldown (jittered).
+func (s *Supervisor) open(b *breaker) {
+	b.state = BreakerOpen
+	b.consecFails = 0
+	b.probeOK = 0
+	wait := b.cooldown
+	if s.cfg.JitterFrac > 0 {
+		j := 1 + s.cfg.JitterFrac*(2*s.rng.Float64()-1)
+		wait = int64(float64(wait) * j)
+	}
+	if wait < 1 {
+		wait = 1
+	}
+	b.wait = wait
+}
+
+func (s *Supervisor) nextCooldown(cur int64) int64 {
+	next := int64(float64(cur) * s.cfg.BackoffFactor)
+	if next <= cur {
+		next = cur + 1
+	}
+	if next > s.cfg.MaxCooldownFires {
+		next = s.cfg.MaxCooldownFires
+	}
+	return next
+}
+
+// State reports a program's breaker state (closed for unknown programs).
+func (s *Supervisor) State(progID int64) BreakerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.progs[progID]; ok {
+		return b.state
+	}
+	return BreakerClosed
+}
+
+// LastError reports the most recent failure recorded for a program.
+func (s *Supervisor) LastError(progID int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.progs[progID]; ok {
+		return b.lastErr
+	}
+	return nil
+}
+
+// Quarantined lists programs currently open or half-open.
+func (s *Supervisor) Quarantined() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int64
+	for id, b := range s.progs {
+		if b.state != BreakerClosed {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Counts reports aggregate trip / fallback / probe / recovery totals.
+func (s *Supervisor) Counts() (trips, fallbacks, probes, recoveries int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trips, s.fallbacks, s.probes, s.recoveries
+}
+
+// Trip force-quarantines a program (the control plane uses this when the
+// accuracy monitor degrades hard enough that conservative reconfiguration is
+// not sufficient).
+func (s *Supervisor) Trip(progID int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakerFor(progID)
+	if b.state == BreakerOpen {
+		return
+	}
+	b.trips++
+	s.trips++
+	s.metrics.Counter("supervisor.trips").Inc()
+	s.open(b)
+}
+
+// Reinstate force-closes a program's breaker (operator override).
+func (s *Supervisor) Reinstate(progID int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakerFor(progID)
+	b.state = BreakerClosed
+	b.consecFails = 0
+	b.probeOK = 0
+	b.cooldown = s.cfg.CooldownFires
+}
+
+// Supervise attaches a fault-containment supervisor to the kernel; subsequent
+// Fire calls route every program action through its breakers. Passing a
+// second supervisor replaces the first (breaker state is not carried over).
+func (k *Kernel) Supervise(cfg SupervisorConfig) *Supervisor {
+	s := newSupervisor(cfg, k.Metrics)
+	k.mu.Lock()
+	k.sup = s
+	k.mu.Unlock()
+	return s
+}
+
+// Supervisor returns the attached supervisor, or nil.
+func (k *Kernel) Supervisor() *Supervisor {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.sup
+}
+
+// Fallback is a baseline policy a hook degrades to while its learned program
+// is quarantined: Linux readahead for mm/*, the CFS can_migrate_task
+// heuristic for sched/*, shortest-queue for blk/* and net/* (§3.3: the
+// control plane "recomputes ML decisions to be more conservative" — here the
+// most conservative decision of all, the stock heuristic).
+type Fallback interface {
+	// Name identifies the baseline in diagnostics.
+	Name() string
+	// Decide produces the baseline verdict and emissions for one hook event.
+	Decide(hook string, key, arg2, arg3 int64) (verdict int64, emissions []int64)
+}
+
+// FallbackFunc adapts a function to Fallback.
+type FallbackFunc struct {
+	Label string
+	Fn    func(hook string, key, arg2, arg3 int64) (int64, []int64)
+}
+
+// Name implements Fallback.
+func (f FallbackFunc) Name() string { return f.Label }
+
+// Decide implements Fallback.
+func (f FallbackFunc) Decide(hook string, key, arg2, arg3 int64) (int64, []int64) {
+	return f.Fn(hook, key, arg2, arg3)
+}
+
+// RegisterFallback registers a baseline policy for a hook. pattern is either
+// an exact hook name or a prefix ending in "*" (e.g. "mm/*"). Registering the
+// same pattern again replaces the previous baseline (fallbacks are
+// idempotent wiring, not a registry of distinct resources).
+func (k *Kernel) RegisterFallback(pattern string, fb Fallback) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.fallbacks[pattern] = fb
+}
+
+// fallbackFor resolves the baseline for a hook: exact match first, then the
+// longest matching "*" prefix. Caller holds no kernel lock.
+func (k *Kernel) fallbackFor(hook string) Fallback {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	if fb, ok := k.fallbacks[hook]; ok {
+		return fb
+	}
+	var best Fallback
+	bestLen := -1
+	for pat, fb := range k.fallbacks {
+		if len(pat) == 0 || pat[len(pat)-1] != '*' {
+			continue
+		}
+		prefix := pat[:len(pat)-1]
+		if len(prefix) > bestLen && len(hook) >= len(prefix) && hook[:len(prefix)] == prefix {
+			best, bestLen = fb, len(prefix)
+		}
+	}
+	return best
+}

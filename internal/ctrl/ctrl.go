@@ -7,6 +7,7 @@
 package ctrl
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -15,6 +16,17 @@ import (
 	"rmtk/internal/ml/mlp"
 	"rmtk/internal/table"
 	"rmtk/internal/verifier"
+)
+
+// Control-plane sentinels, exported so callers can branch with errors.Is
+// instead of matching message strings.
+var (
+	// ErrNoEntry is wrapped when a table mutation addresses an entry that
+	// does not exist.
+	ErrNoEntry = errors.New("ctrl: no such entry")
+	// ErrEmptyTrainingSet is wrapped when a train/push pipeline is invoked
+	// with no samples.
+	ErrEmptyTrainingSet = errors.New("ctrl: empty training set")
 )
 
 // Plane is a control-plane handle over one kernel.
@@ -62,7 +74,7 @@ func (p *Plane) RemoveEntry(tableName string, e *table.Entry) error {
 		return err
 	}
 	if !t.Delete(e) {
-		return fmt.Errorf("ctrl: no such entry in %q", tableName)
+		return fmt.Errorf("%w in %q", ErrNoEntry, tableName)
 	}
 	return nil
 }
@@ -76,7 +88,7 @@ func (p *Plane) UpdateAction(tableName string, key uint64, a table.Action) error
 		return err
 	}
 	if !t.UpdateAction(key, a) {
-		return fmt.Errorf("ctrl: no entry with key %d in %q", key, tableName)
+		return fmt.Errorf("%w with key %d in %q", ErrNoEntry, key, tableName)
 	}
 	return nil
 }
@@ -116,7 +128,7 @@ type TrainPushConfig struct {
 // programs), and the quantized network.
 func (p *Plane) TrainAndPush(X [][]float64, y []int, cfg TrainPushConfig) (modelID int64, matIDs []int64, q *mlp.QMLP, err error) {
 	if len(X) == 0 {
-		return 0, nil, nil, fmt.Errorf("ctrl: empty training set")
+		return 0, nil, nil, ErrEmptyTrainingSet
 	}
 	hidden := cfg.Hidden
 	if len(hidden) == 0 {

@@ -10,14 +10,28 @@ import "sync"
 type AccuracyMonitor struct {
 	// Window is the number of outcomes per evaluation window.
 	Window int
-	// Threshold is the accuracy below which OnDegrade fires.
+	// Threshold is the accuracy below which OnDegrade fires. Exactly 0 is
+	// the "never degrade" sentinel: window accuracy can never be < 0, so the
+	// monitor only accumulates statistics. (Degradation at literally-zero
+	// accuracy is indistinguishable from "off": a window with any hits is
+	// above 0, and a window with none compares 0 < 0, false.)
 	Threshold float64
-	// OnDegrade is invoked (outside the lock) at the end of each window
-	// whose accuracy fell below Threshold.
+	// OnDegrade is invoked at the end of each window whose accuracy fell
+	// below Threshold. Callbacks are serialized under their own lock, so
+	// degrade/recover events are observed in the exact order the windows
+	// closed; a callback must not call Record on the same monitor.
 	OnDegrade func(accuracy float64)
 	// OnRecover is invoked at the end of each window at/above Threshold
 	// following a degraded window.
 	OnRecover func(accuracy float64)
+
+	// cbMu serializes window evaluation and callback invocation so that a
+	// degrade and the recover that follows it cannot be delivered out of
+	// order when Record is called concurrently. mu alone cannot give that
+	// guarantee: callbacks fire outside mu (so readers don't block on user
+	// code), and two goroutines finishing adjacent windows could otherwise
+	// race to the callback.
+	cbMu sync.Mutex
 
 	mu       sync.Mutex
 	hits     int
@@ -31,13 +45,13 @@ type AccuracyMonitor struct {
 	everHits  int
 }
 
-// NewAccuracyMonitor creates a monitor; window <=0 selects 256, threshold
-// <=0 selects 0.5.
+// NewAccuracyMonitor creates a monitor; window <=0 selects 256. threshold <0
+// selects 0.5; exactly 0 is kept as the documented "never degrade" sentinel.
 func NewAccuracyMonitor(window int, threshold float64) *AccuracyMonitor {
 	if window <= 0 {
 		window = 256
 	}
-	if threshold <= 0 {
+	if threshold < 0 {
 		threshold = 0.5
 	}
 	return &AccuracyMonitor{Window: window, Threshold: threshold}
@@ -46,6 +60,13 @@ func NewAccuracyMonitor(window int, threshold float64) *AccuracyMonitor {
 // Record feeds one prediction outcome. At each window boundary the
 // accuracy is evaluated and the degrade/recover callbacks fire.
 func (m *AccuracyMonitor) Record(correct bool) {
+	// cbMu is taken first and held across the callback: evaluation order and
+	// delivery order stay identical even under concurrent Record calls.
+	// Readers (LastWindowAccuracy etc.) only need mu and never block on a
+	// slow callback.
+	m.cbMu.Lock()
+	defer m.cbMu.Unlock()
+
 	var (
 		fire func(float64)
 		acc  float64

@@ -1,0 +1,90 @@
+package ctrl
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMonitorNeverDegradeSentinel: Threshold == 0 must be preserved (not
+// coerced to 0.5) and must never fire OnDegrade, even for all-miss windows.
+func TestMonitorNeverDegradeSentinel(t *testing.T) {
+	m := NewAccuracyMonitor(4, 0)
+	if m.Threshold != 0 {
+		t.Fatalf("threshold 0 coerced to %v; want sentinel preserved", m.Threshold)
+	}
+	degrades := 0
+	m.OnDegrade = func(float64) { degrades++ }
+	for i := 0; i < 64; i++ {
+		m.Record(false) // every window is 0.0 accuracy
+	}
+	if degrades != 0 {
+		t.Fatalf("threshold-0 monitor degraded %d times; want never", degrades)
+	}
+	if m.Degrades() != 0 || m.Degraded() {
+		t.Fatalf("degrade state leaked: degrades=%d degraded=%v", m.Degrades(), m.Degraded())
+	}
+	if m.LifetimeAccuracy() != 0 {
+		t.Fatalf("lifetime accuracy = %v, want 0", m.LifetimeAccuracy())
+	}
+}
+
+// TestMonitorNegativeThresholdDefaults: the old <=0 default now only applies
+// to negative values.
+func TestMonitorNegativeThresholdDefaults(t *testing.T) {
+	if m := NewAccuracyMonitor(0, -1); m.Threshold != 0.5 || m.Window != 256 {
+		t.Fatalf("defaults: got window=%d threshold=%v, want 256/0.5", m.Window, m.Threshold)
+	}
+}
+
+// TestMonitorCallbackOrdering hammers Record from many goroutines (run under
+// -race) and asserts the degrade/recover event stream is well formed.
+// OnDegrade fires at the end of every below-threshold window, so consecutive
+// degrades are legal; but a recover only ever follows a degrade — so the
+// stream must start with 'd' and can never contain "rr". Without callback
+// serialization, two goroutines closing adjacent windows can deliver a
+// recover before the degrade that preceded it and violate both.
+func TestMonitorCallbackOrdering(t *testing.T) {
+	const (
+		window     = 8
+		goroutines = 8
+		perG       = 4000
+	)
+	m := NewAccuracyMonitor(window, 0.5)
+	var events []byte // 'd' = degrade, 'r' = recover, appended in delivery order
+	m.OnDegrade = func(float64) { events = append(events, 'd') }
+	m.OnRecover = func(float64) { events = append(events, 'r') }
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Phase-shifted blocks of hits and misses: windows land on
+				// both sides of the threshold, so both callbacks fire many
+				// times under any interleaving.
+				m.Record(((g*5+i)/16)%2 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if len(events) == 0 {
+		t.Fatal("no degrade/recover events fired")
+	}
+	if events[0] != 'd' {
+		t.Fatalf("first event = %q, want degrade (recover delivered out of order)", events[0])
+	}
+	recovers := 0
+	for i := 1; i < len(events); i++ {
+		if events[i] == 'r' {
+			recovers++
+			if events[i-1] == 'r' {
+				t.Fatalf("event %d: recover follows recover; a recover must follow a degrade", i)
+			}
+		}
+	}
+	if recovers == 0 {
+		t.Fatal("stream never recovered; workload should cross the threshold both ways")
+	}
+}

@@ -172,3 +172,42 @@ func TestOversample(t *testing.T) {
 		t.Fatal("balanced set resampled")
 	}
 }
+
+// TestChaosContainment runs the fault-containment experiment and checks the
+// acceptance shape: the supervised datapath stays within 5% of the stock
+// readahead baseline under the fault storm (it is usually faster — the
+// learned policy runs clean outside the storm), the unsupervised datapath is
+// measurably worse than both, and the full breaker lifecycle — trip,
+// fallback, probe, recovery — shows up in the counters.
+func TestChaosContainment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos run")
+	}
+	r, err := Chaos(1, core.ModeJIT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r)
+	if r.ContainedJCT > r.BaselineJCT*1.05 {
+		t.Errorf("contained JCT %.2fs exceeds 105%% of baseline %.2fs — containment failed",
+			r.ContainedJCT, r.BaselineJCT)
+	}
+	if r.UncontainedJCT <= r.BaselineJCT*1.05 {
+		t.Errorf("uncontained JCT %.2fs not measurably worse than baseline %.2fs — storm too weak to test containment",
+			r.UncontainedJCT, r.BaselineJCT)
+	}
+	if r.UncontainedJCT <= r.ContainedJCT {
+		t.Errorf("uncontained %.2fs <= contained %.2fs", r.UncontainedJCT, r.ContainedJCT)
+	}
+	if r.Trips == 0 || r.Fallbacks == 0 || r.Probes == 0 || r.Recoveries == 0 {
+		t.Errorf("breaker lifecycle incomplete: trips=%d fallbacks=%d probes=%d recoveries=%d",
+			r.Trips, r.Fallbacks, r.Probes, r.Recoveries)
+	}
+	if r.InjectedTraps == 0 || r.InjectedHelperErrs == 0 {
+		t.Errorf("fault storm did not inject: traps=%d helper-errs=%d", r.InjectedTraps, r.InjectedHelperErrs)
+	}
+	if r.InjectedSwapFaults == 0 || r.SwapFaultsRetried != r.InjectedSwapFaults {
+		t.Errorf("model-swap faults not absorbed by retry: injected=%d retried=%d",
+			r.InjectedSwapFaults, r.SwapFaultsRetried)
+	}
+}

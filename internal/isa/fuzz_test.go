@@ -1,0 +1,54 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the wire decoder. Invariants:
+//
+//  1. DecodeProgram never panics, whatever the input.
+//  2. When decode succeeds, re-encoding the instructions and decoding again
+//     reproduces the same instruction slice (decode∘encode is the identity on
+//     decoded programs).
+//  3. The re-encoding is canonical: encoding twice yields identical bytes.
+//
+// Raw input bytes are NOT compared against the re-encoding: the wire layout
+// has reserved bytes (3, 6-7) that decode ignores, so inputs with junk there
+// decode fine but re-encode with zeros. The canonical form is the fixed point.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Add(make([]byte, InstrBytes))
+	f.Add(make([]byte, InstrBytes-1))
+	f.Add(EncodeProgram(MustAssemble("movimm r0, 42\nexit")))
+	f.Add(EncodeProgram(MustAssemble("addimm r1, 3\njgti r1, 5, +1\nmovimm r0, 1\nexit")))
+	// An instruction with every operand field exercised.
+	f.Add(EncodeProgram([]Instr{{Op: OpAdd, Dst: 3, Src: 9, Off: -2, Imm: -1 << 40}}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		insns, err := DecodeProgram(data)
+		if err != nil {
+			return // rejected input: only the no-panic invariant applies
+		}
+		enc := EncodeProgram(insns)
+		if len(enc) != len(insns)*InstrBytes {
+			t.Fatalf("re-encoded %d insns into %d bytes", len(insns), len(enc))
+		}
+		insns2, err := DecodeProgram(enc)
+		if err != nil {
+			t.Fatalf("re-decode of valid program failed: %v", err)
+		}
+		if len(insns2) != len(insns) {
+			t.Fatalf("round-trip length %d != %d", len(insns2), len(insns))
+		}
+		for i := range insns {
+			if insns[i] != insns2[i] {
+				t.Fatalf("insn %d round-trip mismatch: %+v != %+v", i, insns[i], insns2[i])
+			}
+		}
+		if enc2 := EncodeProgram(insns2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not canonical:\n%x\n%x", enc, enc2)
+		}
+	})
+}

@@ -46,6 +46,14 @@ type Prefetcher interface {
 	OnAccess(pid, page int64, hit bool) []int64
 }
 
+// Delayer is an optional Prefetcher extension: policies that accumulate
+// synchronous stall out of band (e.g. fault-injected latency spikes from
+// core.FireResult.DelayNs) report it here and the simulator charges it to the
+// virtual clock. TakeDelay drains the pending stall.
+type Delayer interface {
+	TakeDelay() int64
+}
+
 // Config parameterizes the cost model.
 type Config struct {
 	// CacheSlots is the swap-cache capacity in pages. <=0 selects 1024.
@@ -222,6 +230,11 @@ func (s *Sim) Step(a Access) {
 	}
 
 	pages := s.policy.OnAccess(a.PID, a.Page, hit)
+	if d, ok := s.policy.(Delayer); ok {
+		// A policy that stalled synchronously (injected latency spike) holds
+		// the fault path for that long.
+		s.clock += d.TakeDelay()
+	}
 	if len(pages) == 0 {
 		return
 	}

@@ -87,6 +87,7 @@ type Router struct {
 	trains   int
 	routes   int
 	pending  map[int64][]int64 // features staged for in-flight primaries
+	delayNs  int64             // injected stall pending charge to the simulator
 }
 
 type devState struct {
@@ -142,6 +143,16 @@ func New(k *core.Kernel, plane *ctrl.Plane, cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("rmtio: admission: %w", err)
 	}
 	r.progID = progID
+
+	// Baseline fallback for the blk/* hooks: verdict 0 ("fast") for every
+	// device degrades Route to plain shortest-queue load balancing — the
+	// queue-aware, GC-blind stock heuristic.
+	k.RegisterFallback("blk/*", core.FallbackFunc{
+		Label: "shortest-queue",
+		Fn: func(string, int64, int64, int64) (int64, []int64) {
+			return 0, nil
+		},
+	})
 	return r, nil
 }
 
@@ -203,7 +214,16 @@ func (r *Router) predict(i int, feats []int64) bool {
 		return false
 	}
 	res := r.K.Fire(blksim.HookSubmitIO, int64(i), 0, 0)
+	r.delayNs += res.DelayNs
 	return res.Verdict == 1
+}
+
+// TakeDelay implements blksim.Delayer: it drains injected stall accumulated
+// by the fault framework so the simulator charges it to the request path.
+func (r *Router) TakeDelay() int64 {
+	d := r.delayNs
+	r.delayNs = 0
+	return d
 }
 
 // Route implements blksim.Router: pick the shortest-queue device among
@@ -311,4 +331,7 @@ func (r *Router) trainFromWindow() *dt.Tree {
 // Trains reports completed model pushes.
 func (r *Router) Trains() int { return r.trains }
 
-var _ blksim.Router = (*Router)(nil)
+var (
+	_ blksim.Router  = (*Router)(nil)
+	_ blksim.Delayer = (*Router)(nil)
+)

@@ -12,12 +12,14 @@ package rmtprefetch
 
 import (
 	"fmt"
+	"time"
 
 	"rmtk/internal/core"
 	"rmtk/internal/ctrl"
 	"rmtk/internal/isa"
 	"rmtk/internal/memsim"
 	"rmtk/internal/ml/dt"
+	"rmtk/internal/prefetch"
 	"rmtk/internal/table"
 )
 
@@ -54,6 +56,10 @@ type Config struct {
 	// OpsBudget/MemBudget gate model pushes (0 = unlimited).
 	OpsBudget int64
 	MemBudget int64
+	// PushBackoff configures retry-with-backoff on model pushes. A nil
+	// Sleep is replaced with a no-op so simulated runs never block on wall
+	// time — the backoff schedule is still exercised deterministically.
+	PushBackoff ctrl.BackoffConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Tree.MaxDepth <= 0 {
 		c.Tree = dt.Config{MaxDepth: 12, MinSamples: 2, MaxThresholds: 48}
+	}
+	if c.PushBackoff.Sleep == nil {
+		c.PushBackoff.Sleep = func(time.Duration) {}
 	}
 	return c
 }
@@ -143,6 +152,7 @@ type Prefetcher struct {
 
 	collectID int64
 	procs     map[int64]*proc
+	delayNs   int64 // injected stall pending charge to the simulator clock
 }
 
 type proc struct {
@@ -176,6 +186,22 @@ func New(k *core.Kernel, plane *ctrl.Plane, cfg Config) (*Prefetcher, error) {
 		return nil, fmt.Errorf("rmtprefetch: collect admission: %w", err)
 	}
 	p.collectID = id
+
+	// Baseline fallback for the mm/* hooks: when the supervisor quarantines a
+	// prefetch program, its hook degrades to stock Linux readahead — the
+	// learned datapath is contained to "never worse than the heuristic it
+	// replaced". The readahead state warms up from the quarantined stream
+	// itself (streak detection needs only a couple of accesses).
+	ra := prefetch.NewReadahead()
+	k.RegisterFallback("mm/*", core.FallbackFunc{
+		Label: ra.Name(),
+		Fn: func(hook string, key, arg2, arg3 int64) (int64, []int64) {
+			if hook != memsim.HookSwapClusterReadahead {
+				return core.DefaultVerdict, nil
+			}
+			return 0, ra.OnAccess(key, arg2, arg3 != 0)
+		},
+	})
 	return p, nil
 }
 
@@ -245,7 +271,8 @@ func (p *Prefetcher) OnAccess(pid, page int64, hit bool) []int64 {
 			return nil
 		}
 	}
-	p.K.Fire(memsim.HookLookupSwapCache, pid, page, 0)
+	cres := p.K.Fire(memsim.HookLookupSwapCache, pid, page, 0)
+	p.delayNs += cres.DelayNs
 
 	pr.accesses++
 	if pr.accesses%p.cfg.TrainEvery == 0 &&
@@ -253,8 +280,24 @@ func (p *Prefetcher) OnAccess(pid, page int64, hit bool) []int64 {
 		p.retrain(pid, pr)
 	}
 
-	res := p.K.Fire(memsim.HookSwapClusterReadahead, pid, page, 0)
+	// arg3 carries the hit/miss outcome so the readahead fallback (which is
+	// fault-driven) can decide; the learned program's R3 is the prefetch
+	// degree from its table entry's parameter and is unaffected.
+	hitArg := int64(0)
+	if hit {
+		hitArg = 1
+	}
+	res := p.K.Fire(memsim.HookSwapClusterReadahead, pid, page, hitArg)
+	p.delayNs += res.DelayNs
 	return res.Emissions
+}
+
+// TakeDelay implements memsim.Delayer: it drains injected stall accumulated
+// by the fault framework so the simulator charges it to the virtual clock.
+func (p *Prefetcher) TakeDelay() int64 {
+	d := p.delayNs
+	p.delayNs = 0
+	return d
 }
 
 // retrain pulls the process's collected delta history out of the execution
@@ -279,8 +322,8 @@ func (p *Prefetcher) retrain(pid int64, pr *proc) {
 	if err != nil {
 		return
 	}
-	if err := p.Plane.PushModel(pr.modelID, core.NewTreeModel(tree), p.cfg.OpsBudget, p.cfg.MemBudget); err != nil {
-		return // over budget: keep the previous model
+	if err := p.Plane.PushModelRetry(pr.modelID, core.NewTreeModel(tree), p.cfg.OpsBudget, p.cfg.MemBudget, p.cfg.PushBackoff); err != nil {
+		return // over budget or persistently failing: keep the previous model
 	}
 	pr.trains++
 }
@@ -315,4 +358,7 @@ func (p *Prefetcher) Trains(pid int64) int {
 	return 0
 }
 
-var _ memsim.Prefetcher = (*Prefetcher)(nil)
+var (
+	_ memsim.Prefetcher = (*Prefetcher)(nil)
+	_ memsim.Delayer    = (*Prefetcher)(nil)
+)

@@ -31,6 +31,12 @@ type Decider struct {
 	label string
 	vecID int64
 	cols  []int // optional lean-feature projection
+
+	// lastFeatures is the raw feature struct staged by the in-flight
+	// CanMigrate call; the registered sched/* fallback closes over it so the
+	// stock CFS heuristic can decide from the same inputs when the learned
+	// program is quarantined.
+	lastFeatures *schedsim.Features
 }
 
 // Install compiles the quantized network to bytecode, admits it, creates the
@@ -71,7 +77,26 @@ func Install(k *core.Kernel, plane *ctrl.Plane, q *mlp.QMLP, label string, cols 
 	}); err != nil {
 		return nil, err
 	}
-	return &Decider{K: k, label: label, vecID: vecID, cols: cols}, nil
+	d := &Decider{K: k, label: label, vecID: vecID, cols: cols}
+
+	// Baseline fallback for the sched/* hooks: the stock CFS
+	// can_migrate_task heuristic, fed the raw features CanMigrate staged just
+	// before firing. Fire's hook arguments cannot carry the whole feature
+	// struct, so the fallback closes over the decider's staging slot.
+	cfs := schedsim.CFSDecider{}
+	k.RegisterFallback("sched/*", core.FallbackFunc{
+		Label: cfs.Name(),
+		Fn: func(string, int64, int64, int64) (int64, []int64) {
+			if d.lastFeatures == nil {
+				return 0, nil // no migration without evidence
+			}
+			if cfs.CanMigrate(d.lastFeatures) {
+				return 1, nil
+			}
+			return 0, nil
+		},
+	})
+	return d, nil
 }
 
 // Name implements schedsim.Decider.
@@ -86,7 +111,9 @@ func (d *Decider) CanMigrate(f *schedsim.Features) bool {
 	if err := d.K.SetVec(d.vecID, x); err != nil {
 		return false
 	}
+	d.lastFeatures = f
 	res := d.K.Fire(Hook, 0, 0, 0)
+	d.lastFeatures = nil
 	return res.Verdict == 1
 }
 

@@ -329,7 +329,7 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 			args := [5]int64{r[1], r[2], r[3], r[4], r[5]}
 			ret, err := e.env.Call(imm, &args)
 			if err != nil {
-				return trap(e, fmt.Errorf("%w: helper %d: %v", ErrHelperFailed, imm, err))
+				return trap(e, fmt.Errorf("%w: helper %d: %w", ErrHelperFailed, imm, err))
 			}
 			r[0] = ret
 			return next

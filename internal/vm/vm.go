@@ -276,7 +276,7 @@ func (e *exec) step(in isa.Instr, pc int, progLen int) (next int, done bool, tai
 		args := [5]int64{r[1], r[2], r[3], r[4], r[5]}
 		ret, herr := e.env.Call(in.Imm, &args)
 		if herr != nil {
-			return 0, false, -1, fmt.Errorf("%w: helper %d: %v", ErrHelperFailed, in.Imm, herr)
+			return 0, false, -1, fmt.Errorf("%w: helper %d: %w", ErrHelperFailed, in.Imm, herr)
 		}
 		r[0] = ret
 	case isa.OpTailCall:

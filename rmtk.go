@@ -32,6 +32,7 @@ import (
 	"rmtk/internal/core"
 	"rmtk/internal/ctrl"
 	"rmtk/internal/dp"
+	"rmtk/internal/fault"
 	"rmtk/internal/isa"
 	"rmtk/internal/table"
 	"rmtk/internal/verifier"
@@ -147,3 +148,57 @@ const (
 	HelperHistLen    = core.HelperHistLen
 	HelperUserBase   = core.HelperUserBase
 )
+
+// Fault containment (see DESIGN.md "Fault containment & graceful
+// degradation"): a per-program circuit breaker quarantines a misbehaving
+// learned datapath and routes its hook to a registered baseline fallback,
+// probing half-open with exponential backoff until sustained success
+// re-admits it.
+
+// Supervisor owns the circuit breakers of every supervised program.
+type Supervisor = core.Supervisor
+
+// SupervisorConfig parameterizes the breaker state machine.
+type SupervisorConfig = core.SupervisorConfig
+
+// BreakerState is the circuit-breaker state of one program.
+type BreakerState = core.BreakerState
+
+// Breaker states.
+const (
+	BreakerClosed   = core.BreakerClosed
+	BreakerOpen     = core.BreakerOpen
+	BreakerHalfOpen = core.BreakerHalfOpen
+)
+
+// Fallback is a baseline policy a hook degrades to during quarantine.
+type Fallback = core.Fallback
+
+// FallbackFunc adapts a function to Fallback.
+type FallbackFunc = core.FallbackFunc
+
+// FaultInjector is the deterministic, seeded fault-injection framework.
+type FaultInjector = fault.Injector
+
+// FaultRule schedules one fault kind against one target.
+type FaultRule = fault.Rule
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind = fault.Kind
+
+// Injectable fault classes.
+const (
+	FaultHelperError    = fault.KindHelperError
+	FaultVMTrap         = fault.KindVMTrap
+	FaultModelSwapFail  = fault.KindModelSwapFail
+	FaultCorruptVerdict = fault.KindCorruptVerdict
+	FaultLatencySpike   = fault.KindLatencySpike
+)
+
+// NewFaultInjector builds a deterministic injector over a rule schedule.
+func NewFaultInjector(seed int64, rules ...FaultRule) *FaultInjector {
+	return fault.NewInjector(seed, rules...)
+}
+
+// BackoffConfig parameterizes the control plane's retry-with-backoff.
+type BackoffConfig = ctrl.BackoffConfig
