@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rmtbench [-exp table1|table2|adapt|io|net|dp|chaos|all] [-seed N] [-mode jit|interp]
+//	rmtbench [-exp table1|table2|adapt|io|net|dp|chaos|canary|all] [-seed N] [-mode jit|interp]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, chaos, all")
+		exp  = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, chaos, canary, all")
 		seed = flag.Int64("seed", 1, "workload seed")
 		mode = flag.String("mode", "jit", "RMT execution mode: jit or interp")
 	)
@@ -108,6 +108,17 @@ func main() {
 	run("chaos", func() error {
 		fmt.Printf("== Experiment H: fault containment under a deterministic fault storm (mode=%s) ==\n", execMode)
 		res, err := experiments.Chaos(*seed, execMode)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		fmt.Println()
+		return nil
+	})
+
+	run("canary", func() error {
+		fmt.Printf("== Experiment I: shadow-canaried rollout under a poisoned training pipeline (mode=%s) ==\n", execMode)
+		res, err := experiments.CanaryRollout(*seed, execMode)
 		if err != nil {
 			return err
 		}

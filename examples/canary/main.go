@@ -1,0 +1,113 @@
+// Staged rollout end to end: a learned model serves a kernel hook, a
+// retrained candidate is pushed through the control plane behind a
+// shadow-mode canary, and the rollout lifecycle plays out on live traffic —
+// the candidate decides every invocation in shadow (zero datapath cost,
+// writes suppressed), the gates judge its divergence and trap rate, a good
+// candidate is promoted and survives probation, and a corrupted one is
+// rejected without the datapath ever serving a wrong verdict.
+//
+// The paper's reconfigurability story (§3.1) is that the control plane can
+// swap models "without recompilation"; the canary is the safety half of
+// that story: a swap is not a leap of faith, it is a vetted transition with
+// an automatic way back.
+//
+// Run with: go run ./examples/canary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rmtk"
+)
+
+const (
+	hook = "mm/demo_hook"
+	key  = int64(7)
+)
+
+func main() {
+	k := rmtk.New(rmtk.Config{})
+	plane := rmtk.NewControlPlane(k)
+
+	// Incumbent model: predicts class 1 for every event.
+	incumbent := &rmtk.FuncModel{Fn: func([]int64) int64 { return 1 }, Feats: 2}
+	modelID := k.RegisterModel(incumbent)
+
+	t := rmtk.NewTable("demo_tab", hook, rmtk.MatchExact)
+	if _, err := k.CreateTable(t); err != nil {
+		log.Fatal(err)
+	}
+	if err := t.Insert(&rmtk.Entry{Key: uint64(key), Action: rmtk.Action{Kind: rmtk.ActionInfer, ModelID: modelID}}); err != nil {
+		log.Fatal(err)
+	}
+	// Two history samples so inference has features.
+	k.Ctx().HistPush(key, 3)
+	k.Ctx().HistPush(key, 4)
+
+	fire := func(c *rmtk.Canary, n int) rmtk.CanaryState {
+		st := c.State()
+		for i := 0; i < n && !st.Terminal() && st != rmtk.CanaryProbation; i++ {
+			k.Fire(hook, key, 0, 0)
+			st = c.Advance()
+		}
+		return st
+	}
+
+	// Rollout 1: a corrupted retrain — panics on every inference. The trap
+	// gate rejects it; the incumbent never stops serving.
+	corrupt := &rmtk.FuncModel{Fn: func([]int64) int64 { panic("corrupt weights") }, Feats: 2}
+	c, err := plane.PushModelCanary(hook, modelID, corrupt, 0, 0, rmtk.CanaryConfig{MinShadowFires: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := fire(c, 32)
+	fmt.Printf("corrupt rollout: %-10s gate: %v\n", st, c.GateErr())
+	fmt.Printf("                 report: %+v\n", c.Report())
+	if m, _ := k.Model(modelID); m != rmtk.Model(incumbent) {
+		log.Fatal("corrupt candidate went live")
+	}
+
+	// Rollout 2: a well-behaved retrain that agrees with the incumbent,
+	// watched by an accuracy monitor so promotion enters probation.
+	mon := rmtk.NewAccuracyMonitor(8, 0.5)
+	plane.WatchModel(modelID, mon)
+	good := &rmtk.FuncModel{Fn: func([]int64) int64 { return 1 }, Feats: 2}
+	c, err = plane.PushModelCanary(hook, modelID, good, 0, 0, rmtk.CanaryConfig{MinShadowFires: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st = fire(c, 32)
+	fmt.Printf("\ngood rollout:    %-10s (shadow gates cleared, candidate live on probation)\n", st)
+	// A clean probation window graduates it.
+	for i := 0; i < 8 && c.State() == rmtk.CanaryProbation; i++ {
+		plane.RecordOutcome(modelID, true)
+		c.Advance()
+	}
+	fmt.Printf("after probation: %-10s\n", c.State())
+
+	// Rollout 3: a candidate that looks fine in shadow but regresses once
+	// live — probation catches it and rolls the prior version back.
+	sneaky := &rmtk.FuncModel{Fn: func([]int64) int64 { return 1 }, Feats: 2}
+	c, err = plane.PushModelCanary(hook, modelID, sneaky, 0, 0, rmtk.CanaryConfig{MinShadowFires: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st = fire(c, 32)
+	fmt.Printf("\nsneaky rollout:  %-10s\n", st)
+	for i := 0; i < 8; i++ {
+		plane.RecordOutcome(modelID, false) // live accuracy collapses
+	}
+	fmt.Printf("after regress:   %-10s\n", c.Advance())
+	if m, _ := k.Model(modelID); m != rmtk.Model(good) {
+		log.Fatal("rollback did not restore the prior version")
+	}
+
+	fmt.Printf("\ntelemetry: staged=%d promotions=%d rejections=%d rollbacks=%d shadow-fires=%d\n",
+		k.Metrics.Counter("ctrl.canary_staged").Load(),
+		k.Metrics.Counter("ctrl.canary_promotions").Load(),
+		k.Metrics.Counter("ctrl.canary_rejections").Load(),
+		k.Metrics.Counter("ctrl.canary_rollbacks").Load(),
+		k.Metrics.Counter("core.shadow_fires").Load())
+	fmt.Println("\nthe incumbent was never displaced by a bad candidate.")
+}

@@ -15,15 +15,34 @@ type env struct {
 	// inv is the current invocation (set by Fire around each run). Helpers
 	// use it for emissions and rate limiting.
 	inv *Invocation
+	// overlay redirects model-id lookups for shadow execution: Infer consults
+	// it before the kernel registry, so a candidate model can ride the
+	// incumbent's program without being registered.
+	overlay map[int64]Model
+	// shadow marks a shadow-lane run: globally visible writes (context store,
+	// history, vec pool) are suppressed so the candidate cannot perturb state
+	// the incumbent reads. Emissions still land in inv — they belong to the
+	// private shadow invocation and feed divergence accounting.
+	shadow bool
 }
 
 var _ vm.Env = (*env)(nil)
 
 func (e *env) CtxLoad(key, field int64) int64 { return e.k.ctx.Load(key, field) }
 
-func (e *env) CtxStore(key, field, val int64) { e.k.ctx.Store(key, field, val) }
+func (e *env) CtxStore(key, field, val int64) {
+	if e.shadow {
+		return
+	}
+	e.k.ctx.Store(key, field, val)
+}
 
-func (e *env) CtxHistPush(key, val int64) { e.k.ctx.HistPush(key, val) }
+func (e *env) CtxHistPush(key, val int64) {
+	if e.shadow {
+		return
+	}
+	e.k.ctx.HistPush(key, val)
+}
 
 func (e *env) CtxHist(key int64, dst []int64) int { return e.k.ctx.Hist(key, dst) }
 
@@ -98,9 +117,13 @@ func (e *env) MatOutLen(id int64) (int, error) {
 }
 
 func (e *env) Infer(modelID int64, features []int64) (int64, error) {
-	m, err := e.k.Model(modelID)
-	if err != nil {
-		return 0, err
+	m, ok := e.overlay[modelID]
+	if !ok {
+		var err error
+		m, err = e.k.Model(modelID)
+		if err != nil {
+			return 0, err
+		}
 	}
 	e.k.Metrics.Counter("core.inferences").Inc()
 	return m.Predict(features), nil
@@ -122,6 +145,9 @@ func (e *env) VecLoad(id int64, dst []int64) (int, error) {
 }
 
 func (e *env) VecStore(id int64, src []int64) error {
+	if e.shadow {
+		return nil
+	}
 	return e.k.SetVec(id, src)
 }
 

@@ -49,6 +49,9 @@ type FireResult struct {
 	// FellBack reports that the supervisor quarantined the matched program
 	// and a registered baseline fallback produced the verdict/emissions.
 	FellBack bool
+	// Steps is the total VM steps executed by program actions on this fire
+	// (zero for pure infer/param dispatches). Shadow runs never add to it.
+	Steps int64
 	// DelayNs is synchronous stall injected by the fault framework on this
 	// fire; virtual-clock simulators charge it to their clocks (real hooks
 	// would simply have stalled).
@@ -82,6 +85,7 @@ func (k *Kernel) Fire(hook string, key, arg2, arg3 int64) FireResult {
 	tableIDs := k.hooks[hook]
 	sup := k.sup
 	inj := k.inj
+	sh := k.shadows[hook]
 	k.mu.RUnlock()
 	if len(tableIDs) == 0 {
 		return res
@@ -93,6 +97,12 @@ func (k *Kernel) Fire(hook string, key, arg2, arg3 int64) FireResult {
 	// does not run, so scheduled faults pass it by).
 	out := inj.Check(hook)
 
+	// The shadow candidate re-runs the last decision-bearing entry (program
+	// or inference) after the live pipeline completes, so it observes exactly
+	// the context state the incumbent observed plus the incumbent's own
+	// writes — the state it would inherit if promoted.
+	var shadowEntry *table.Entry
+
 	for _, tid := range tableIDs {
 		t, err := k.Table(tid)
 		if err != nil {
@@ -103,10 +113,16 @@ func (k *Kernel) Fire(hook string, key, arg2, arg3 int64) FireResult {
 			continue
 		}
 		res.Matched++
+		if sh != nil && (entry.Action.Kind == table.ActionProgram || entry.Action.Kind == table.ActionInfer) {
+			shadowEntry = entry
+		}
 		k.runAction(t, entry, &inv, &res, sup, out)
 	}
 	res.Emissions = inv.emissions
 	res.RateLimited = inv.rateHits
+	if shadowEntry != nil {
+		k.runShadow(sh, shadowEntry, &inv, &res)
+	}
 	return res
 }
 
@@ -152,6 +168,7 @@ func (k *Kernel) runProgramAction(entry *table.Entry, inv *Invocation, res *Fire
 	}
 
 	verdict, steps, trapped, err := k.runProgram(progID, inv, entry.Action.Param, out)
+	res.Steps += steps
 	var latency int64
 	if out != nil {
 		// The learned path ran, so a scheduled latency spike strikes it.

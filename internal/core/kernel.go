@@ -149,6 +149,9 @@ type Kernel struct {
 	fallbacks map[string]Fallback
 	inj       *fault.Injector
 
+	// shadows are attached canary candidates, at most one per hook.
+	shadows map[string]*Shadow
+
 	nextTable int64
 	nextProg  int64
 	nextModel int64
@@ -187,6 +190,7 @@ func NewKernel(cfg Config) *Kernel {
 		vecs:      make(map[int64][]int64),
 		helpers:   make(map[int64]helper),
 		fallbacks: make(map[string]Fallback),
+		shadows:   make(map[string]*Shadow),
 		Metrics:   telemetry.NewRegistry(),
 	}
 	k.statePool.New = func() any { return vm.NewState() }
@@ -224,6 +228,34 @@ func (k *Kernel) CreateTable(t *table.Table) (int64, error) {
 		k.hooks[t.Hook] = append(k.hooks[t.Hook], id)
 	}
 	return id, nil
+}
+
+// RemoveTable detaches a table from its hook pipeline and unregisters it.
+// In-flight Fire calls that already resolved the id fail soft (Table returns
+// ErrNotFound and the pipeline skips it). Transactions use this to undo
+// CreateTable steps on rollback.
+func (k *Kernel) RemoveTable(id int64) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	t, ok := k.tables[id]
+	if !ok {
+		return fmt.Errorf("%w: table %d", ErrNotFound, id)
+	}
+	delete(k.tables, id)
+	delete(k.tableIDs, t.Name)
+	if t.Hook != "" {
+		ids := k.hooks[t.Hook]
+		for i, tid := range ids {
+			if tid == id {
+				k.hooks[t.Hook] = append(ids[:i:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(k.hooks[t.Hook]) == 0 {
+			delete(k.hooks, t.Hook)
+		}
+	}
+	return nil
 }
 
 // Table resolves a table by id.

@@ -1,0 +1,373 @@
+package ctrl
+
+import (
+	"fmt"
+	"sync"
+
+	"rmtk/internal/core"
+	"rmtk/internal/table"
+	"rmtk/internal/verifier"
+)
+
+// This file implements staged rollout: a candidate model (or program) is
+// first run in shadow against live hook traffic (core/shadow.go), promoted
+// only after its shadow record clears configurable gates, watched through a
+// post-promotion probation window, and automatically rolled back to the
+// prior version if probation regresses. The lifecycle is
+//
+//	stage → shadow → (gates) → promote → probation → promoted
+//	                    ↓ fail                ↓ regress
+//	                 rejected             rolled back
+//
+// All timing is event-driven (shadow fires, monitor outcomes), never
+// wall-clock: canary decisions are deterministic under the repo's seeded
+// virtual-clock workloads.
+
+// CanaryState is the rollout state of one candidate.
+type CanaryState int
+
+const (
+	// CanaryShadowing: the candidate runs in shadow; gates not yet cleared.
+	CanaryShadowing CanaryState = iota
+	// CanaryProbation: promoted to live, still watched for regression.
+	CanaryProbation
+	// CanaryPromoted: probation passed; the rollout is complete.
+	CanaryPromoted
+	// CanaryRejected: the candidate failed a shadow gate and never went live.
+	CanaryRejected
+	// CanaryRolledBack: the candidate regressed during probation and the
+	// prior version was restored.
+	CanaryRolledBack
+)
+
+// String names the state.
+func (s CanaryState) String() string {
+	switch s {
+	case CanaryShadowing:
+		return "shadowing"
+	case CanaryProbation:
+		return "probation"
+	case CanaryPromoted:
+		return "promoted"
+	case CanaryRejected:
+		return "rejected"
+	case CanaryRolledBack:
+		return "rolled-back"
+	default:
+		return fmt.Sprintf("canarystate(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s CanaryState) Terminal() bool {
+	return s == CanaryPromoted || s == CanaryRejected || s == CanaryRolledBack
+}
+
+// CanaryConfig parameterizes the rollout gates. The zero value is the
+// strictest sensible policy: no shadow traps, no divergence from the
+// incumbent, no accuracy gate, one monitor window of probation.
+type CanaryConfig struct {
+	// MinShadowFires is how many shadow firings must accumulate before the
+	// gates are evaluated. <=0 selects 256.
+	MinShadowFires int64
+	// MaxDivergenceFrac is the ceiling on the fraction of shadow fires whose
+	// verdict or emissions differed from the incumbent's. 0 means the
+	// candidate must agree exactly; 1 disables the gate (datapaths whose
+	// candidates are *supposed* to decide differently — e.g. a retrained
+	// prefetcher — gate on shadow accuracy instead).
+	MaxDivergenceFrac float64
+	// MaxTrapFrac is the ceiling on the fraction of shadow fires that
+	// trapped. 0 means any trap rejects; 1 disables the gate.
+	MaxTrapFrac float64
+	// MinShadowAccuracy, when >0, requires the labeled shadow outcomes
+	// (RecordShadowOutcome) to reach this accuracy before promotion.
+	MinShadowAccuracy float64
+	// MinShadowOutcomes is how many labeled outcomes the accuracy gate
+	// needs; shadowing continues until they accumulate. <=0 selects 64.
+	MinShadowOutcomes int64
+	// ProbationOutcomes is how many post-promotion AccuracyMonitor outcomes
+	// must pass without a degraded window before the canary graduates. <=0
+	// selects one full monitor window. Without a monitor attached to the
+	// model, probation completes immediately.
+	ProbationOutcomes int
+}
+
+func (c CanaryConfig) withDefaults() CanaryConfig {
+	if c.MinShadowFires <= 0 {
+		c.MinShadowFires = 256
+	}
+	if c.MinShadowOutcomes <= 0 {
+		c.MinShadowOutcomes = 64
+	}
+	return c
+}
+
+// Canary drives one candidate through the rollout lifecycle. Advance is
+// called from the datapath's event loop (e.g. once per hook event); it is
+// cheap when nothing is ready to change state.
+type Canary struct {
+	p    *Plane
+	cfg  CanaryConfig
+	hook string
+
+	sh       *core.Shadow
+	promote  func() error
+	rollback func() error
+	monitor  *AccuracyMonitor
+
+	mu          sync.Mutex
+	state       CanaryState
+	shadowHits  int64
+	shadowTotal int64
+	gateErr     error
+
+	baseDegrades int
+	baseOutcomes int
+	baseWindows  int
+}
+
+// PushModelCanary stages candidate as a replacement for model id behind a
+// shadow canary on hook: the candidate is budget-checked immediately, then
+// shadow-executed on live traffic until cfg's gates pass, then promoted with
+// the displaced version kept for rollback, then watched through probation
+// via the monitor attached to the model (if any). The caller drives the
+// lifecycle by calling Advance from its event loop and labels shadow
+// predictions via RecordShadowOutcome when using the accuracy gate.
+func (p *Plane) PushModelCanary(hook string, id int64, candidate core.Model, opsBudget, memBudget int64, cfg CanaryConfig) (*Canary, error) {
+	ops, bytes := candidate.Cost()
+	if opsBudget > 0 && ops > opsBudget {
+		return nil, fmt.Errorf("%w: %w: model %d: %d > %d", ErrBudgetExceeded, verifier.ErrOpsBudget, id, ops, opsBudget)
+	}
+	if memBudget > 0 && bytes > memBudget {
+		return nil, fmt.Errorf("%w: %w: model %d: %d > %d", ErrBudgetExceeded, verifier.ErrMemBudget, id, bytes, memBudget)
+	}
+	if _, err := p.K.Model(id); err != nil {
+		return nil, err
+	}
+	sh := core.NewModelShadow(hook, id, candidate)
+	if err := p.K.AttachShadow(sh); err != nil {
+		return nil, err
+	}
+	c := &Canary{
+		p: p, cfg: cfg.withDefaults(), hook: hook, sh: sh,
+		monitor: p.Monitor(id),
+		promote: func() error {
+			return p.PushModel(id, candidate, 0, 0) // budgets already admitted
+		},
+		rollback: func() error { return p.RollbackModel(id) },
+	}
+	p.K.Metrics.Counter("ctrl.canary_staged").Inc()
+	return c, nil
+}
+
+// PushProgramCanary stages candidate program candID as a replacement for
+// program incID behind a shadow canary on hook. Promotion atomically
+// retargets every ActionProgram entry in tableName from incID to candID;
+// rollback retargets them back. Program canaries gate on divergence and
+// traps (there is no model accuracy to monitor), so a candidate that agrees
+// with — or deliberately improves on — the incumbent should be gated with an
+// appropriate MaxDivergenceFrac.
+func (p *Plane) PushProgramCanary(hook, tableName string, incID, candID int64, cfg CanaryConfig) (*Canary, error) {
+	if _, _, err := p.K.TableByName(tableName); err != nil {
+		return nil, err
+	}
+	sh := core.NewProgramShadow(hook, candID)
+	if err := p.K.AttachShadow(sh); err != nil {
+		return nil, err
+	}
+	retarget := func(from, to int64) func() error {
+		return func() error {
+			t, _, err := p.K.TableByName(tableName)
+			if err != nil {
+				return err
+			}
+			n := t.RewriteActions(func(a table.Action) (table.Action, bool) {
+				if a.Kind != table.ActionProgram || a.ProgID != from {
+					return a, false
+				}
+				a.ProgID = to
+				return a, true
+			})
+			if n == 0 {
+				return fmt.Errorf("%w: no entries running program %d in %q", ErrNoEntry, from, tableName)
+			}
+			return nil
+		}
+	}
+	c := &Canary{
+		p: p, cfg: cfg.withDefaults(), hook: hook, sh: sh,
+		promote:  retarget(incID, candID),
+		rollback: retarget(candID, incID),
+	}
+	p.K.Metrics.Counter("ctrl.canary_staged").Inc()
+	return c, nil
+}
+
+// Shadow returns the attached shadow (datapaths hang their labeling
+// callback off it).
+func (c *Canary) Shadow() *core.Shadow { return c.sh }
+
+// State reports the current lifecycle state.
+func (c *Canary) State() CanaryState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// GateErr explains a rejection or rollback, or nil.
+func (c *Canary) GateErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gateErr
+}
+
+// Report returns the shadow-execution statistics accumulated so far.
+func (c *Canary) Report() core.CanaryReport { return c.sh.Report() }
+
+// ShadowAccuracy reports the labeled shadow outcome accuracy and the label
+// count.
+func (c *Canary) ShadowAccuracy() (float64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shadowTotal == 0 {
+		return 0, 0
+	}
+	return float64(c.shadowHits) / float64(c.shadowTotal), c.shadowTotal
+}
+
+// RecordShadowOutcome labels one shadow prediction as correct or not (e.g.
+// a shadow-predicted page was — or was never — actually accessed). Feeds
+// the MinShadowAccuracy gate.
+func (c *Canary) RecordShadowOutcome(correct bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shadowTotal++
+	if correct {
+		c.shadowHits++
+	}
+}
+
+// Abort cancels the rollout: a shadowing canary is detached and rejected; a
+// canary in probation is rolled back. Terminal canaries are left alone.
+func (c *Canary) Abort() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case CanaryShadowing:
+		c.p.K.DetachShadow(c.hook)
+		c.state = CanaryRejected
+		c.gateErr = fmt.Errorf("ctrl: canary aborted")
+		c.p.K.Metrics.Counter("ctrl.canary_rejections").Inc()
+		return nil
+	case CanaryProbation:
+		return c.doRollback(fmt.Errorf("ctrl: canary aborted during probation"))
+	default:
+		return nil
+	}
+}
+
+// Advance evaluates the lifecycle against current statistics and performs
+// any due transition (gate evaluation, promotion, rollback, graduation). It
+// returns the resulting state. Call it from the datapath event loop.
+func (c *Canary) Advance() CanaryState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case CanaryShadowing:
+		c.advanceShadowing()
+	case CanaryProbation:
+		c.advanceProbation()
+	}
+	return c.state
+}
+
+func (c *Canary) advanceShadowing() {
+	rep := c.sh.Report()
+	if rep.Fires < c.cfg.MinShadowFires {
+		return
+	}
+	if frac := rep.TrapFrac(); frac > c.cfg.MaxTrapFrac {
+		c.reject(fmt.Errorf("ctrl: canary trap rate %.3f > %.3f over %d shadow fires",
+			frac, c.cfg.MaxTrapFrac, rep.Fires))
+		return
+	}
+	if frac := rep.DivergenceFrac(); frac > c.cfg.MaxDivergenceFrac {
+		c.reject(fmt.Errorf("ctrl: canary divergence %.3f > %.3f over %d shadow fires",
+			frac, c.cfg.MaxDivergenceFrac, rep.Fires))
+		return
+	}
+	if c.cfg.MinShadowAccuracy > 0 {
+		if c.shadowTotal < c.cfg.MinShadowOutcomes {
+			return // keep shadowing until enough labels accumulate
+		}
+		acc := float64(c.shadowHits) / float64(c.shadowTotal)
+		if acc < c.cfg.MinShadowAccuracy {
+			c.reject(fmt.Errorf("ctrl: canary shadow accuracy %.3f < %.3f over %d labeled outcomes",
+				acc, c.cfg.MinShadowAccuracy, c.shadowTotal))
+			return
+		}
+	}
+	// Gates cleared: go live.
+	c.p.K.DetachShadow(c.hook)
+	c.p.commitMu.Lock()
+	err := c.promote()
+	if err == nil {
+		c.p.version.Add(1)
+	}
+	c.p.commitMu.Unlock()
+	if err != nil {
+		c.state = CanaryRejected
+		c.gateErr = fmt.Errorf("ctrl: canary promotion failed: %w", err)
+		c.p.K.Metrics.Counter("ctrl.canary_rejections").Inc()
+		return
+	}
+	c.p.K.Metrics.Counter("ctrl.canary_promotions").Inc()
+	if c.monitor == nil {
+		c.state = CanaryPromoted
+		return
+	}
+	c.state = CanaryProbation
+	c.baseDegrades = c.monitor.Degrades()
+	c.baseOutcomes = c.monitor.TotalOutcomes()
+	c.baseWindows = c.monitor.Windows()
+}
+
+func (c *Canary) advanceProbation() {
+	if c.monitor.Degrades() > c.baseDegrades {
+		_ = c.doRollback(fmt.Errorf("ctrl: accuracy degraded during probation (window accuracy %.3f)",
+			c.monitor.LastWindowAccuracy()))
+		return
+	}
+	need := c.cfg.ProbationOutcomes
+	if need <= 0 {
+		need = c.monitor.Window
+	}
+	if c.monitor.TotalOutcomes()-c.baseOutcomes >= need && c.monitor.Windows() > c.baseWindows {
+		c.state = CanaryPromoted
+	}
+}
+
+// reject detaches the shadow and finalizes a gate failure.
+func (c *Canary) reject(reason error) {
+	c.p.K.DetachShadow(c.hook)
+	c.state = CanaryRejected
+	c.gateErr = reason
+	c.p.K.Metrics.Counter("ctrl.canary_rejections").Inc()
+}
+
+// doRollback restores the prior version. Caller holds c.mu.
+func (c *Canary) doRollback(reason error) error {
+	c.p.commitMu.Lock()
+	err := c.rollback()
+	if err == nil {
+		c.p.version.Add(1)
+	}
+	c.p.commitMu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.state = CanaryRolledBack
+	c.gateErr = reason
+	c.p.K.Metrics.Counter("ctrl.canary_rollbacks").Inc()
+	return nil
+}

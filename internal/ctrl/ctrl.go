@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rmtk/internal/core"
 	"rmtk/internal/isa"
@@ -27,7 +28,17 @@ var (
 	// ErrEmptyTrainingSet is wrapped when a train/push pipeline is invoked
 	// with no samples.
 	ErrEmptyTrainingSet = errors.New("ctrl: empty training set")
+	// ErrBudgetExceeded is wrapped (alongside the verifier's specific
+	// ErrOpsBudget/ErrMemBudget) when a model push is rejected for exceeding
+	// a FLOP or memory budget. Callers that only care about "too expensive,
+	// do not retry" branch on this one sentinel.
+	ErrBudgetExceeded = errors.New("ctrl: model budget exceeded")
+	// ErrNoHistory is wrapped when a model rollback finds no prior version.
+	ErrNoHistory = errors.New("ctrl: no prior model version")
 )
+
+// ModelHistoryLimit bounds the per-model version history kept for rollback.
+const ModelHistoryLimit = 4
 
 // Plane is a control-plane handle over one kernel.
 type Plane struct {
@@ -35,11 +46,75 @@ type Plane struct {
 
 	mu       sync.Mutex
 	monitors map[int64]*AccuracyMonitor
+	history  map[int64][]core.Model // prior model versions, oldest first
+
+	// version counts committed control-plane reconfigurations (transaction
+	// commits, canary promotions, rollbacks). commitMu serializes them.
+	version  atomic.Uint64
+	commitMu sync.Mutex
 }
 
 // New creates a control plane for k.
 func New(k *core.Kernel) *Plane {
-	return &Plane{K: k, monitors: make(map[int64]*AccuracyMonitor)}
+	return &Plane{
+		K:        k,
+		monitors: make(map[int64]*AccuracyMonitor),
+		history:  make(map[int64][]core.Model),
+	}
+}
+
+// Version reports the count of committed control-plane reconfigurations.
+// Transactions are staged against the version observed at Begin and refuse
+// to commit over a conflicting one.
+func (p *Plane) Version() uint64 { return p.version.Load() }
+
+// pushHistory records prior as model id's previous version, bounded at
+// ModelHistoryLimit (oldest versions fall off).
+func (p *Plane) pushHistory(id int64, prior core.Model) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := append(p.history[id], prior)
+	if len(h) > ModelHistoryLimit {
+		h = h[len(h)-ModelHistoryLimit:]
+	}
+	p.history[id] = h
+}
+
+// popHistory removes and returns model id's most recent prior version.
+func (p *Plane) popHistory(id int64) (core.Model, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.history[id]
+	if len(h) == 0 {
+		return nil, false
+	}
+	prior := h[len(h)-1]
+	p.history[id] = h[:len(h)-1]
+	return prior, true
+}
+
+// ModelHistoryLen reports how many prior versions of model id are held for
+// rollback.
+func (p *Plane) ModelHistoryLen(id int64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.history[id])
+}
+
+// RollbackModel restores model id's most recent prior version — the manual
+// form of the rollback the canary controller performs automatically.
+func (p *Plane) RollbackModel(id int64) error {
+	prior, ok := p.popHistory(id)
+	if !ok {
+		return fmt.Errorf("%w: model %d", ErrNoHistory, id)
+	}
+	if err := p.K.SwapModel(id, prior); err != nil {
+		// Swap refused (e.g. injected fault): keep the version available.
+		p.pushHistory(id, prior)
+		return err
+	}
+	p.K.Metrics.Counter("ctrl.model_rollbacks").Inc()
+	return nil
 }
 
 // LoadProgram verifies and installs an RMT program (the syscall path). The
@@ -95,16 +170,26 @@ func (p *Plane) UpdateAction(tableName string, key uint64, a table.Action) error
 
 // PushModel swaps model id for a retrained replacement after re-checking it
 // against the kernel's cost budgets — the verifier's model-efficiency
-// admission applied to model updates, not just programs.
+// admission applied to model updates, not just programs. Budget rejections
+// wrap both ErrBudgetExceeded and the specific verifier sentinel. The
+// replaced version is kept in the bounded rollback history.
 func (p *Plane) PushModel(id int64, m core.Model, opsBudget, memBudget int64) error {
 	ops, bytes := m.Cost()
 	if opsBudget > 0 && ops > opsBudget {
-		return fmt.Errorf("%w: model %d: %d > %d", verifier.ErrOpsBudget, id, ops, opsBudget)
+		return fmt.Errorf("%w: %w: model %d: %d > %d", ErrBudgetExceeded, verifier.ErrOpsBudget, id, ops, opsBudget)
 	}
 	if memBudget > 0 && bytes > memBudget {
-		return fmt.Errorf("%w: model %d: %d > %d", verifier.ErrMemBudget, id, bytes, memBudget)
+		return fmt.Errorf("%w: %w: model %d: %d > %d", ErrBudgetExceeded, verifier.ErrMemBudget, id, bytes, memBudget)
 	}
-	return p.K.SwapModel(id, m)
+	prior, err := p.K.Model(id)
+	if err != nil {
+		return err
+	}
+	if err := p.K.SwapModel(id, m); err != nil {
+		return err
+	}
+	p.pushHistory(id, prior)
+	return nil
 }
 
 // TrainPushConfig parameterizes the offline train→quantize→push pipeline.
@@ -154,10 +239,10 @@ func (p *Plane) TrainAndPush(X [][]float64, y []int, cfg TrainPushConfig) (model
 	model := &core.QMLPModel{Net: q}
 	ops, bytes := model.Cost()
 	if cfg.OpsBudget > 0 && ops > cfg.OpsBudget {
-		return 0, nil, nil, fmt.Errorf("%w: %d > %d", verifier.ErrOpsBudget, ops, cfg.OpsBudget)
+		return 0, nil, nil, fmt.Errorf("%w: %w: %d > %d", ErrBudgetExceeded, verifier.ErrOpsBudget, ops, cfg.OpsBudget)
 	}
 	if cfg.MemBudget > 0 && bytes > cfg.MemBudget {
-		return 0, nil, nil, fmt.Errorf("%w: %d > %d", verifier.ErrMemBudget, bytes, cfg.MemBudget)
+		return 0, nil, nil, fmt.Errorf("%w: %w: %d > %d", ErrBudgetExceeded, verifier.ErrMemBudget, bytes, cfg.MemBudget)
 	}
 	matIDs, modelID, err = p.K.RegisterQMLP(q)
 	if err != nil {

@@ -115,6 +115,21 @@ func (m *AccuracyMonitor) LifetimeAccuracy() float64 {
 	return float64(m.everHits) / float64(m.everTotal)
 }
 
+// TotalOutcomes reports how many outcomes have ever been recorded (the
+// canary controller uses it to size probation windows in event time).
+func (m *AccuracyMonitor) TotalOutcomes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.everTotal
+}
+
+// Windows reports how many evaluation windows have completed.
+func (m *AccuracyMonitor) Windows() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.windows
+}
+
 // Degrades reports how many windows fell below the threshold.
 func (m *AccuracyMonitor) Degrades() int {
 	m.mu.Lock()

@@ -88,3 +88,82 @@ func TestMonitorCallbackOrdering(t *testing.T) {
 		t.Fatal("stream never recovered; workload should cross the threshold both ways")
 	}
 }
+
+// TestMonitorPartialWindow: before the first window completes, the monitor
+// must report zero statistics — LastWindowAccuracy stays 0 and no callback
+// fires, no matter how the partial window looks.
+func TestMonitorPartialWindow(t *testing.T) {
+	m := NewAccuracyMonitor(8, 0.5)
+	fired := false
+	m.OnDegrade = func(float64) { fired = true }
+	m.OnRecover = func(float64) { fired = true }
+	for i := 0; i < 7; i++ {
+		m.Record(false) // 7 straight misses: still no completed window
+		if got := m.LastWindowAccuracy(); got != 0 {
+			t.Fatalf("LastWindowAccuracy = %v before first window", got)
+		}
+		if m.Windows() != 0 {
+			t.Fatalf("windows = %d before boundary", m.Windows())
+		}
+		if fired {
+			t.Fatal("callback fired inside a partial window")
+		}
+	}
+	// Lifetime statistics do accumulate inside the partial window.
+	if m.TotalOutcomes() != 7 {
+		t.Fatalf("TotalOutcomes = %d", m.TotalOutcomes())
+	}
+	if m.LifetimeAccuracy() != 0 {
+		t.Fatalf("LifetimeAccuracy = %v", m.LifetimeAccuracy())
+	}
+	// The eighth outcome closes the window: now everything updates at once.
+	m.Record(false)
+	if !fired || m.Windows() != 1 || m.LastWindowAccuracy() != 0 || !m.Degraded() {
+		t.Fatalf("boundary: fired=%v windows=%d acc=%v degraded=%v",
+			fired, m.Windows(), m.LastWindowAccuracy(), m.Degraded())
+	}
+}
+
+// TestMonitorThresholdBoundary: degrade is strictly-below, recover is
+// at-or-above — a window landing exactly on the threshold must not degrade,
+// and must recover a degraded monitor.
+func TestMonitorThresholdBoundary(t *testing.T) {
+	m := NewAccuracyMonitor(4, 0.5)
+	var events []byte
+	m.OnDegrade = func(acc float64) {
+		if acc >= 0.5 {
+			t.Errorf("OnDegrade at accuracy %v >= threshold", acc)
+		}
+		events = append(events, 'd')
+	}
+	m.OnRecover = func(acc float64) {
+		if acc < 0.5 {
+			t.Errorf("OnRecover at accuracy %v < threshold", acc)
+		}
+		events = append(events, 'r')
+	}
+	window := func(hits int) {
+		for i := 0; i < 4; i++ {
+			m.Record(i < hits)
+		}
+	}
+	window(2) // exactly 0.5: not a degrade, and nothing to recover from
+	if len(events) != 0 || m.Degraded() {
+		t.Fatalf("exact-threshold window degraded: events=%q degraded=%v", events, m.Degraded())
+	}
+	window(1) // 0.25 < 0.5: degrade
+	if string(events) != "d" || !m.Degraded() {
+		t.Fatalf("below-threshold window: events=%q degraded=%v", events, m.Degraded())
+	}
+	window(2) // exactly 0.5 again: recovers the degraded monitor
+	if string(events) != "dr" || m.Degraded() {
+		t.Fatalf("exact-threshold recovery: events=%q degraded=%v", events, m.Degraded())
+	}
+	window(2) // still at threshold: steady state, no duplicate recover
+	if string(events) != "dr" {
+		t.Fatalf("steady state re-fired: events=%q", events)
+	}
+	if m.Windows() != 4 || m.Degrades() != 1 {
+		t.Fatalf("windows=%d degrades=%d", m.Windows(), m.Degrades())
+	}
+}

@@ -1,0 +1,166 @@
+package ctrl
+
+import (
+	"sync"
+	"testing"
+
+	"rmtk/internal/core"
+	"rmtk/internal/isa"
+	"rmtk/internal/table"
+)
+
+// TestPlaneEntryRaces hammers the control plane's entry mutations —
+// AddEntry, RemoveEntry, UpdateAction, PushModel and a canary rollout —
+// concurrently with hook firings. Run under -race it proves the
+// clone-and-replace discipline in the table layer: a Fire observes either
+// the old or the new row, never a torn one. Verdict correctness under
+// interleaving is checked by the firing goroutines themselves: every fire
+// must land on one of the actions ever installed for its key.
+func TestPlaneEntryRaces(t *testing.T) {
+	p := newPlane(t)
+	progA, _, err := p.LoadProgram(&isa.Program{
+		Name: "race_a", Insns: isa.MustAssemble("movimm r0, 1\nexit"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progB, _, err := p.LoadProgram(&isa.Program{
+		Name: "race_b", Insns: isa.MustAssemble("movimm r0, 2\nexit"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := p.K.RegisterModel(&core.FuncModel{Fn: func([]int64) int64 { return 3 }, Feats: 1})
+	p.K.Ctx().HistPush(2, 5) // features for the ActionInfer key
+
+	if _, _, err := p.CreateTable("race_tab", "hook/race", table.MatchExact); err != nil {
+		t.Fatal(err)
+	}
+	// Key 1 flips between two programs and a param; key 2 serves inference
+	// while its model is re-pushed; key 3 churns through add/remove.
+	if err := p.AddEntry("race_tab", &table.Entry{Key: 1, Action: table.Action{Kind: table.ActionProgram, ProgID: progA}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEntry("race_tab", &table.Entry{Key: 2, Action: table.Action{Kind: table.ActionInfer, ModelID: mid}}); err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 2000
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	run := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				fn(i)
+			}
+		}()
+	}
+
+	// Firing goroutines: verdicts must always be one of the installed
+	// actions' outcomes (or the miss default while key 3 is absent).
+	run(func(i int) {
+		res := p.K.Fire("hook/race", 1, 0, 0)
+		if v := res.Verdict; v != 1 && v != 2 && v != 9 {
+			t.Errorf("key 1 verdict = %d", v)
+		}
+	})
+	run(func(i int) {
+		res := p.K.Fire("hook/race", 2, 0, 0)
+		if v := res.Verdict; v != 3 && v != 4 {
+			t.Errorf("key 2 verdict = %d", v)
+		}
+	})
+	run(func(i int) {
+		res := p.K.Fire("hook/race", 3, 0, 0)
+		if v := res.Verdict; v != 7 && v != core.DefaultVerdict {
+			t.Errorf("key 3 verdict = %d", v)
+		}
+	})
+
+	// Mutators.
+	run(func(i int) {
+		a := table.Action{Kind: table.ActionProgram, ProgID: progA}
+		switch i % 3 {
+		case 1:
+			a = table.Action{Kind: table.ActionProgram, ProgID: progB}
+		case 2:
+			a = table.Action{Kind: table.ActionParam, Param: 9}
+		}
+		if err := p.UpdateAction("race_tab", 1, a); err != nil {
+			t.Errorf("update: %v", err)
+		}
+	})
+	run(func(i int) {
+		e := &table.Entry{Key: 3, Action: table.Action{Kind: table.ActionParam, Param: 7}}
+		if i%2 == 0 {
+			if err := p.AddEntry("race_tab", e); err != nil {
+				t.Errorf("add: %v", err)
+			}
+		} else {
+			p.RemoveEntry("race_tab", e) // ErrNoEntry is fine under interleaving
+		}
+	})
+	run(func(i int) {
+		v := int64(3 + i%2) // flip the model between predict-3 and predict-4
+		if err := p.PushModel(mid, &core.FuncModel{Fn: func([]int64) int64 { return v }, Feats: 1}, 0, 0); err != nil {
+			t.Errorf("push: %v", err)
+		}
+	})
+
+	close(start)
+	wg.Wait()
+}
+
+// TestCanaryRaces attaches and resolves shadow rollouts while firings are in
+// flight: attach/detach, shadow execution, report reads and promotion all
+// interleave with the datapath.
+func TestCanaryRaces(t *testing.T) {
+	p := newPlane(t)
+	mid := p.K.RegisterModel(&core.FuncModel{Fn: func([]int64) int64 { return 10 }, Feats: 1})
+	if _, _, err := p.CreateTable("crace_tab", "hook/crace", table.MatchExact); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEntry("crace_tab", &table.Entry{Key: 1, Action: table.Action{Kind: table.ActionInfer, ModelID: mid}}); err != nil {
+		t.Fatal(err)
+	}
+	p.K.Ctx().HistPush(1, 5)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				res := p.K.Fire("hook/crace", 1, 0, 0)
+				if v := res.Verdict; v != 10 {
+					t.Errorf("live verdict = %d (shadow leaked)", v)
+				}
+			}
+		}
+	}()
+
+	for round := 0; round < 50; round++ {
+		c, err := p.PushModelCanary("hook/crace", mid,
+			&core.FuncModel{Fn: func([]int64) int64 { return 10 }, Feats: 1},
+			0, 0, CanaryConfig{MinShadowFires: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !c.Advance().Terminal() {
+			p.K.Fire("hook/crace", 1, 0, 0)
+			c.Report() // concurrent report reads
+		}
+		if st := c.State(); st != CanaryPromoted {
+			t.Fatalf("round %d state = %v (gate err %v)", round, st, c.GateErr())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

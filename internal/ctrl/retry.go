@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"rmtk/internal/core"
-	"rmtk/internal/verifier"
 )
 
 // This file is the control-plane half of the fault-containment loop: model
@@ -100,8 +99,7 @@ func Retry(cfg BackoffConfig, permanent func(error) bool, fn func() error) error
 func (p *Plane) PushModelRetry(id int64, m core.Model, opsBudget, memBudget int64, cfg BackoffConfig) error {
 	permanent := func(err error) bool {
 		return errors.Is(err, core.ErrNotFound) ||
-			errors.Is(err, verifier.ErrOpsBudget) ||
-			errors.Is(err, verifier.ErrMemBudget)
+			errors.Is(err, ErrBudgetExceeded)
 	}
 	return Retry(cfg, permanent, func() error {
 		return p.PushModel(id, m, opsBudget, memBudget)

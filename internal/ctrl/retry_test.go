@@ -151,3 +151,42 @@ func TestCtrlSentinelErrors(t *testing.T) {
 		t.Fatalf("train err = %v, want ErrEmptyTrainingSet", err)
 	}
 }
+
+// TestErrBudgetExceededClassification: budget rejections wrap both the
+// umbrella ErrBudgetExceeded sentinel and the specific verifier sentinel, on
+// every push path, and the retry loop treats them as permanent.
+func TestErrBudgetExceededClassification(t *testing.T) {
+	p := newPlane(t)
+	id := p.K.RegisterModel(&core.FuncModel{Fn: func([]int64) int64 { return 0 }, Feats: 1})
+
+	costly := &core.FuncModel{Fn: func([]int64) int64 { return 1 }, Feats: 1, Ops: 1000}
+	err := p.PushModel(id, costly, 100, 0)
+	if !errors.Is(err, ErrBudgetExceeded) || !errors.Is(err, verifier.ErrOpsBudget) {
+		t.Fatalf("ops err = %v, want ErrBudgetExceeded and ErrOpsBudget", err)
+	}
+	fat := &core.FuncModel{Fn: func([]int64) int64 { return 1 }, Feats: 1, Size: 1 << 20}
+	err = p.PushModel(id, fat, 0, 1024)
+	if !errors.Is(err, ErrBudgetExceeded) || !errors.Is(err, verifier.ErrMemBudget) {
+		t.Fatalf("mem err = %v, want ErrBudgetExceeded and ErrMemBudget", err)
+	}
+	// The retry loop classifies the umbrella sentinel as permanent: zero
+	// sleeps regardless of which budget tripped.
+	cfg, slept := recordedSleeps(5)
+	if err := p.PushModelRetry(id, fat, 0, 1024, cfg); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("retry err = %v", err)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("budget violation slept %v; must fail immediately", *slept)
+	}
+	// A transient swap fault is NOT classified as a budget error.
+	if errors.Is(errors.Join(ErrRetriesExhausted), ErrBudgetExceeded) {
+		t.Fatal("unrelated error classified as budget exceeded")
+	}
+	// TrainAndPush rejections carry the same classification.
+	X := [][]float64{{0, 1}, {1, 0}, {0, 0}, {1, 1}}
+	y := []int{0, 1, 0, 1}
+	_, _, _, err = p.TrainAndPush(X, y, TrainPushConfig{OpsBudget: 1})
+	if !errors.Is(err, ErrBudgetExceeded) || !errors.Is(err, verifier.ErrOpsBudget) {
+		t.Fatalf("train err = %v, want ErrBudgetExceeded and ErrOpsBudget", err)
+	}
+}

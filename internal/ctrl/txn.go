@@ -1,0 +1,216 @@
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"rmtk/internal/core"
+	"rmtk/internal/isa"
+	"rmtk/internal/table"
+	"rmtk/internal/verifier"
+)
+
+// This file implements transactional reconfiguration: a multi-step control
+// operation (create tables, add entries, push models, load programs) is
+// staged against the plane version observed at Begin and applied atomically
+// at Commit — either every step lands and the version advances, or the
+// already-applied prefix is undone in reverse and the kernel is back where
+// it started. A half-applied reconfiguration can therefore never leave a
+// hook firing against inconsistent tables (§3.1's reconfiguration loop,
+// made safe).
+
+// Transaction sentinels.
+var (
+	// ErrTxnDone is returned when a committed or rolled-back transaction is
+	// reused.
+	ErrTxnDone = errors.New("ctrl: transaction already finished")
+	// ErrTxnConflict is returned by Commit when another reconfiguration
+	// committed after this transaction began; nothing has been applied and
+	// the caller should restage against current state.
+	ErrTxnConflict = errors.New("ctrl: transaction conflict")
+)
+
+// txnStep is one staged operation: apply performs it, undo reverts it.
+// undo is only called after apply succeeded.
+type txnStep struct {
+	name  string
+	apply func() error
+	undo  func() error
+}
+
+// TableRef is a handle to a table staged by Txn.CreateTable; ID and T are
+// valid after a successful Commit.
+type TableRef struct {
+	T  *table.Table
+	ID int64
+}
+
+// ProgRef is a handle to a program staged by Txn.LoadProgram; fields are
+// valid after a successful Commit.
+type ProgRef struct {
+	ID     int64
+	Report *verifier.Report
+}
+
+// Txn is a staged control-plane transaction. Staging methods record intent
+// only; nothing touches the kernel until Commit. A Txn is not safe for
+// concurrent use.
+type Txn struct {
+	p     *Plane
+	base  uint64
+	steps []txnStep
+	done  bool
+}
+
+// Begin opens a transaction against the current plane version.
+func (p *Plane) Begin() *Txn {
+	return &Txn{p: p, base: p.Version()}
+}
+
+// CreateTable stages a table registration. The returned ref resolves after
+// Commit; rollback unregisters the table.
+func (t *Txn) CreateTable(name, hook string, kind table.MatchKind) *TableRef {
+	ref := &TableRef{}
+	t.steps = append(t.steps, txnStep{
+		name: fmt.Sprintf("create table %q", name),
+		apply: func() error {
+			tb, id, err := t.p.CreateTable(name, hook, kind)
+			if err != nil {
+				return err
+			}
+			ref.T, ref.ID = tb, id
+			return nil
+		},
+		undo: func() error { return t.p.K.RemoveTable(ref.ID) },
+	})
+	return ref
+}
+
+// AddEntry stages an entry insertion into a table named now or staged
+// earlier in this transaction; rollback deletes the entry.
+func (t *Txn) AddEntry(tableName string, e *table.Entry) {
+	t.steps = append(t.steps, txnStep{
+		name: fmt.Sprintf("add entry to %q", tableName),
+		apply: func() error {
+			return t.p.AddEntry(tableName, e)
+		},
+		undo: func() error {
+			tb, _, err := t.p.K.TableByName(tableName)
+			if err != nil {
+				return err
+			}
+			if !tb.Delete(e) {
+				return fmt.Errorf("%w in %q", ErrNoEntry, tableName)
+			}
+			return nil
+		},
+	})
+}
+
+// UpdateAction stages an action replacement on an exact-match entry;
+// rollback restores the action found at apply time.
+func (t *Txn) UpdateAction(tableName string, key uint64, a table.Action) {
+	var prior table.Action
+	t.steps = append(t.steps, txnStep{
+		name: fmt.Sprintf("update action %q key %d", tableName, key),
+		apply: func() error {
+			tb, _, err := t.p.K.TableByName(tableName)
+			if err != nil {
+				return err
+			}
+			old := tb.Lookup(key)
+			if old == nil {
+				return fmt.Errorf("%w with key %d in %q", ErrNoEntry, key, tableName)
+			}
+			prior = old.Action
+			if !tb.UpdateAction(key, a) {
+				return fmt.Errorf("%w with key %d in %q", ErrNoEntry, key, tableName)
+			}
+			return nil
+		},
+		undo: func() error {
+			tb, _, err := t.p.K.TableByName(tableName)
+			if err != nil {
+				return err
+			}
+			if !tb.UpdateAction(key, prior) {
+				return fmt.Errorf("%w with key %d in %q", ErrNoEntry, key, tableName)
+			}
+			return nil
+		},
+	})
+}
+
+// PushModel stages a model swap (with budget admission); rollback restores
+// the version the swap displaced.
+func (t *Txn) PushModel(id int64, m core.Model, opsBudget, memBudget int64) {
+	t.steps = append(t.steps, txnStep{
+		name: fmt.Sprintf("push model %d", id),
+		apply: func() error {
+			return t.p.PushModel(id, m, opsBudget, memBudget)
+		},
+		undo: func() error { return t.p.RollbackModel(id) },
+	})
+}
+
+// LoadProgram stages program admission (verify → compile → register);
+// rollback uninstalls it. The returned ref resolves after Commit.
+func (t *Txn) LoadProgram(prog *isa.Program) *ProgRef {
+	ref := &ProgRef{}
+	t.steps = append(t.steps, txnStep{
+		name: fmt.Sprintf("load program %q", prog.Name),
+		apply: func() error {
+			id, rep, err := t.p.LoadProgram(prog)
+			if err != nil {
+				return err
+			}
+			ref.ID, ref.Report = id, rep
+			return nil
+		},
+		undo: func() error { return t.p.K.RemoveProgram(ref.ID) },
+	})
+	return ref
+}
+
+// Do stages an arbitrary apply/undo pair — the escape hatch for operations
+// the built-in steps do not cover (canary promotions use it internally).
+func (t *Txn) Do(name string, apply, undo func() error) {
+	t.steps = append(t.steps, txnStep{name: name, apply: apply, undo: undo})
+}
+
+// Len reports the number of staged steps.
+func (t *Txn) Len() int { return len(t.steps) }
+
+// Commit applies the staged steps in order. If any step fails, every
+// already-applied step is undone in reverse and the first failure is
+// returned (undo failures are joined onto it); the plane version is only
+// advanced on full success. A version conflict aborts before any step runs.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	t.p.commitMu.Lock()
+	defer t.p.commitMu.Unlock()
+	if v := t.p.Version(); v != t.base {
+		t.p.K.Metrics.Counter("ctrl.txn_conflicts").Inc()
+		return fmt.Errorf("%w: began at version %d, now %d", ErrTxnConflict, t.base, v)
+	}
+	for i, step := range t.steps {
+		err := step.apply()
+		if err == nil {
+			continue
+		}
+		err = fmt.Errorf("ctrl: txn step %d (%s): %w", i, step.name, err)
+		for j := i - 1; j >= 0; j-- {
+			if uerr := t.steps[j].undo(); uerr != nil {
+				err = errors.Join(err, fmt.Errorf("ctrl: txn rollback of step %d (%s): %w", j, t.steps[j].name, uerr))
+			}
+		}
+		t.p.K.Metrics.Counter("ctrl.txn_rollbacks").Inc()
+		return err
+	}
+	t.p.version.Add(1)
+	t.p.K.Metrics.Counter("ctrl.txn_commits").Inc()
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rmtk/internal/core"
+	"rmtk/internal/ctrl"
 )
 
 // TestTable1Shape regenerates Table 1 and checks every qualitative claim the
@@ -209,5 +210,50 @@ func TestChaosContainment(t *testing.T) {
 	if r.InjectedSwapFaults == 0 || r.SwapFaultsRetried != r.InjectedSwapFaults {
 		t.Errorf("model-swap faults not absorbed by retry: injected=%d retried=%d",
 			r.InjectedSwapFaults, r.SwapFaultsRetried)
+	}
+}
+
+// TestCanaryRollback runs the staged-rollout experiment and checks the
+// acceptance shape: under a compromised training pipeline pushing a
+// corrupted tree from mid-trace onward, the canaried datapath holds JCT
+// within 5% of the clean run and never lets the corruption go live (the
+// hostile rollout ends rejected or rolled back, counted in telemetry), the
+// uncanaried datapath regresses JCT by more than 10%, and good background
+// retrains still clear the shadow gates and keep accuracy high.
+func TestCanaryRollback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full canary run")
+	}
+	r, err := CanaryRollout(1, core.ModeJIT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r)
+	if r.CanariedJCT > r.CleanJCT*1.05 {
+		t.Errorf("canaried JCT %.2fs exceeds 105%% of clean %.2fs — the corruption leaked into the datapath",
+			r.CanariedJCT, r.CleanJCT)
+	}
+	if r.UncanariedJCT <= r.CleanJCT*1.10 {
+		t.Errorf("uncanaried JCT %.2fs not measurably worse than clean %.2fs — corruption too weak to test the canary",
+			r.UncanariedJCT, r.CleanJCT)
+	}
+	if r.CorruptState != ctrl.CanaryRejected && r.CorruptState != ctrl.CanaryRolledBack {
+		t.Errorf("hostile rollout ended %v, want rejected or rolled back", r.CorruptState)
+	}
+	if r.Rejections == 0 && r.Rollbacks == 0 {
+		t.Error("no rejections or rollbacks counted — the gate never fired")
+	}
+	if r.Promotions == 0 {
+		t.Error("no promotions counted — good retrains never cleared the shadow gate")
+	}
+	if r.ShadowFires == 0 {
+		t.Error("no shadow fires counted — candidates never ran in shadow")
+	}
+	if r.CanariedAccuracy <= r.UncanariedAccuracy {
+		t.Errorf("canaried accuracy %.2f%% not better than uncanaried %.2f%%",
+			r.CanariedAccuracy, r.UncanariedAccuracy)
+	}
+	if r.CleanAccuracy < 50 {
+		t.Errorf("clean canaried accuracy %.2f%% — promoted models are not improving the policy", r.CleanAccuracy)
 	}
 }

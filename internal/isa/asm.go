@@ -394,6 +394,12 @@ func parseOperands(op Opcode, ops []string) (in Instr, labelRef string, err erro
 			err = fmt.Errorf("vecquant shift %d out of range", shift)
 			return
 		}
+		// PackQuant stores mul in the Imm's high bits; an out-of-range
+		// multiplier would silently wrap through the <<8.
+		if mul < -(1<<47) || mul >= 1<<47 {
+			err = fmt.Errorf("vecquant multiplier %d out of 48-bit range", mul)
+			return
+		}
 		in.Imm = PackQuant(mul, uint8(shift))
 	case OpVecArgMax, OpVecSum:
 		if err = need(2); err != nil {

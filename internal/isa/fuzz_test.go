@@ -2,6 +2,7 @@ package isa
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -49,6 +50,61 @@ func FuzzDecode(f *testing.F) {
 		}
 		if enc2 := EncodeProgram(insns2); !bytes.Equal(enc, enc2) {
 			t.Fatalf("encoding not canonical:\n%x\n%x", enc, enc2)
+		}
+	})
+}
+
+// FuzzAssemble feeds arbitrary text to the assembler. Invariants:
+//
+//  1. Assemble never panics, whatever the input.
+//  2. When assembly succeeds, rendering each instruction with Instr.String
+//     and re-assembling reproduces the same instruction slice (labels have
+//     been resolved to offsets, so the rendering is self-contained).
+//  3. The rendering is canonical: rendering the re-assembled program yields
+//     identical text. Source-level freedoms — labels, hex immediates,
+//     comments, spacing — normalize away at the first assembly.
+func FuzzAssemble(f *testing.F) {
+	f.Add("")
+	f.Add("movimm r0, 42\nexit")
+	f.Add("  ldctxt r4, r1, 0 ; comment\n jgti r4, 100, hot\n movimm r0, 0\n exit\nhot: movimm r0, 1\n exit")
+	f.Add("loop: addimm r1, -1\njgti r1, 0, loop\njmp +0\nexit")
+	f.Add("vecld v0, 4\nvecquant v0, 300, 7\nvecdot r2, v0, v1\nvecargmax r0, v0\nexit")
+	f.Add("ldstack r3, [2]\nststack [0x10], r3\nstctxt r1, 3, r2\ncall 5\nexit")
+	f.Add("matmul v1, v0, 9\nvecrelu v1\nmlinfer r0, v1, 2\nhistpush r1, r2\nexit")
+	f.Add("a: b: exit")
+	f.Add("jmp nowhere")
+	f.Add("vecquant v0, 99999999999999999999, 1")
+	f.Add("movimm r99, 1")
+	f.Add(";\n#\n\t\n")
+
+	render := func(insns []Instr) string {
+		lines := make([]string, len(insns))
+		for i, in := range insns {
+			lines[i] = in.String()
+		}
+		return strings.Join(lines, "\n")
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		insns, err := Assemble(src)
+		if err != nil {
+			return // rejected input: only the no-panic invariant applies
+		}
+		text := render(insns)
+		insns2, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("re-assembly of rendered program failed: %v\n%s", err, text)
+		}
+		if len(insns2) != len(insns) {
+			t.Fatalf("round-trip length %d != %d\n%s", len(insns2), len(insns), text)
+		}
+		for i := range insns {
+			if insns[i] != insns2[i] {
+				t.Fatalf("insn %d round-trip mismatch: %+v != %+v\n%s", i, insns[i], insns2[i], text)
+			}
+		}
+		if text2 := render(insns2); text2 != text {
+			t.Fatalf("rendering not canonical:\n%s\n---\n%s", text, text2)
 		}
 	})
 }

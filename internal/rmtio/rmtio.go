@@ -55,6 +55,30 @@ type Config struct {
 	// OpsBudget/MemBudget gate model pushes.
 	OpsBudget int64
 	MemBudget int64
+	// Canary, when non-nil, routes retrained model pushes through a
+	// shadow-mode canary: the candidate tree predicts in shadow on live
+	// submit traffic, its per-device verdicts are labeled against the
+	// completion outcomes the simulator later reports, and only a
+	// candidate whose labeled shadow accuracy clears the gate goes live.
+	// At most one rollout is in flight; retrain boundaries hit while one
+	// is pending are skipped and retried at the next boundary.
+	Canary *ctrl.CanaryConfig
+}
+
+// DefaultCanaryConfig returns the gate policy suited to the IO datapath: a
+// retrained tree is *supposed* to disagree with the fast-by-default
+// incumbent on GC-phase devices, so the divergence gate is disabled and
+// promotion rides on labeled shadow accuracy — the shadow's slow/fast
+// verdict checked against the completion outcome; any shadow trap still
+// rejects.
+func DefaultCanaryConfig() ctrl.CanaryConfig {
+	return ctrl.CanaryConfig{
+		MinShadowFires:    64,
+		MaxDivergenceFrac: 1,
+		MaxTrapFrac:       0,
+		MinShadowAccuracy: 0.5,
+		MinShadowOutcomes: 32,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +112,15 @@ type Router struct {
 	routes   int
 	pending  map[int64][]int64 // features staged for in-flight primaries
 	delayNs  int64             // injected stall pending charge to the simulator
+
+	// Canary rollout state: the in-flight rollout (nil when none), whether
+	// its candidate has been observed live, the last terminal state, and
+	// the per-device shadow verdicts awaiting completion labels.
+	canary     *ctrl.Canary
+	live       bool
+	lastState  ctrl.CanaryState
+	ended      int
+	shadowPred map[int64]int64
 }
 
 type devState struct {
@@ -297,6 +330,27 @@ func (r *Router) OnComplete(dev int64, slow bool, latencyNs int64) {
 	}
 	r.learner.Observe(feats, label)
 	r.observed++
+	if r.canary != nil {
+		// Label the shadow's last verdict for this device against the
+		// ground truth the completion just revealed, then pump the
+		// rollout lifecycle on the datapath's own event clock.
+		if pred, ok := r.shadowPred[dev]; ok {
+			delete(r.shadowPred, dev)
+			r.canary.RecordShadowOutcome((pred == 1) == slow)
+		}
+		st := r.canary.Advance()
+		if !r.live && (st == ctrl.CanaryProbation || st == ctrl.CanaryPromoted) {
+			r.live = true
+			r.trains++
+		}
+		if st.Terminal() {
+			r.lastState = st
+			r.ended++
+			r.canary = nil
+			r.live = false
+			r.shadowPred = nil
+		}
+	}
 	if r.observed%r.cfg.TrainEvery == 0 {
 		r.retrain()
 	}
@@ -309,10 +363,47 @@ func (r *Router) retrain() {
 	if tree == nil {
 		return
 	}
-	if err := r.Plane.PushModel(r.modelID, core.NewTreeModel(tree), r.cfg.OpsBudget, r.cfg.MemBudget); err != nil {
+	m := core.NewTreeModel(tree)
+	if r.cfg.Canary != nil {
+		r.stageCanary(m)
+		return
+	}
+	if err := r.Plane.PushModel(r.modelID, m, r.cfg.OpsBudget, r.cfg.MemBudget); err != nil {
 		return
 	}
 	r.trains++
+}
+
+// stageCanary stages a retrained model behind a shadow canary. Only one
+// rollout is in flight at a time; a push that cannot stage right now is
+// simply skipped — the next retrain boundary produces a fresher candidate.
+func (r *Router) stageCanary(m core.Model) {
+	if r.canary != nil {
+		return
+	}
+	c, err := r.Plane.PushModelCanary(blksim.HookSubmitIO, r.modelID, m,
+		r.cfg.OpsBudget, r.cfg.MemBudget, *r.cfg.Canary)
+	if err != nil {
+		return // budget-rejected, or another rollout holds the hook
+	}
+	r.canary = c
+	r.shadowPred = make(map[int64]int64)
+	c.Shadow().SetOnResult(func(key, verdict int64, _ []int64, trapped bool) {
+		if trapped || r.shadowPred == nil {
+			return
+		}
+		r.shadowPred[key] = verdict
+	})
+}
+
+// CanaryState reports the rollout state: the in-flight canary's if one is
+// active, otherwise the last terminal state. ok is false if no rollout was
+// ever staged. Ended counts completed rollouts.
+func (r *Router) CanaryState() (st ctrl.CanaryState, ended int, ok bool) {
+	if r.canary != nil {
+		return r.canary.State(), r.ended, true
+	}
+	return r.lastState, r.ended, r.ended > 0
 }
 
 // trainFromWindow induces a fresh tree from the learner's current window.

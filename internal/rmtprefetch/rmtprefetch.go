@@ -60,6 +60,16 @@ type Config struct {
 	// Sleep is replaced with a no-op so simulated runs never block on wall
 	// time — the backoff schedule is still exercised deterministically.
 	PushBackoff ctrl.BackoffConfig
+	// Canary, when non-nil, routes retrained model pushes through a
+	// shadow-mode canary instead of cutting the hot path over directly: the
+	// candidate tree runs in shadow on live prefetch traffic, its predicted
+	// pages are labeled against the pages the process actually accesses
+	// next, and only a candidate whose shadow accuracy clears the gate is
+	// promoted (with automatic rollback if accuracy then regresses under a
+	// watched monitor). At most one rollout is in flight per hook; retrain
+	// boundaries hit while one is pending are skipped and retried at the
+	// next boundary.
+	Canary *ctrl.CanaryConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +170,37 @@ type proc struct {
 	progID   int64
 	accesses int
 	trains   int
+
+	// Canary rollout state: the in-flight rollout (nil when none), whether
+	// its candidate has been observed live, the last terminal state, and the
+	// shadow-predicted pages awaiting labeling (oldest first).
+	canary    *ctrl.Canary
+	live      bool
+	lastState ctrl.CanaryState
+	ended     int
+	pending   []int64
+}
+
+// pendingCap bounds the per-process set of unlabeled shadow predictions: a
+// predicted page still unaccessed when capacity forces it out is labeled
+// incorrect — capacity eviction is what turns never-hit predictions into
+// negative labels.
+const pendingCap = 64
+
+// DefaultCanaryConfig returns the gate policy suited to the prefetch
+// datapath: prefetch programs always return verdict 0 and a retrained tree
+// is *supposed* to emit different pages than the model it replaces, so the
+// divergence gate is disabled and promotion rides on labeled shadow accuracy
+// (predicted pages actually getting accessed); any shadow trap still
+// rejects.
+func DefaultCanaryConfig() ctrl.CanaryConfig {
+	return ctrl.CanaryConfig{
+		MinShadowFires:    64,
+		MaxDivergenceFrac: 1,
+		MaxTrapFrac:       0,
+		MinShadowAccuracy: 0.5,
+		MinShadowOutcomes: 32,
+	}
 }
 
 // New installs the tables and the shared collect program on k and returns
@@ -271,6 +312,13 @@ func (p *Prefetcher) OnAccess(pid, page int64, hit bool) []int64 {
 			return nil
 		}
 	}
+	// Label in-flight shadow predictions against this real access before
+	// anything else sees it: a pending predicted page being accessed is a
+	// shadow hit.
+	if pr.canary != nil {
+		p.labelAccess(pr, page)
+	}
+
 	cres := p.K.Fire(memsim.HookLookupSwapCache, pid, page, 0)
 	p.delayNs += cres.DelayNs
 
@@ -289,7 +337,117 @@ func (p *Prefetcher) OnAccess(pid, page int64, hit bool) []int64 {
 	}
 	res := p.K.Fire(memsim.HookSwapClusterReadahead, pid, page, hitArg)
 	p.delayNs += res.DelayNs
+
+	// Pump the rollout lifecycle on the datapath's own event clock.
+	if pr.canary != nil {
+		st := pr.canary.Advance()
+		if !pr.live && (st == ctrl.CanaryProbation || st == ctrl.CanaryPromoted) {
+			pr.live = true
+			pr.trains++
+		}
+		if st.Terminal() {
+			pr.lastState = st
+			pr.ended++
+			pr.canary = nil
+			pr.live = false
+			pr.pending = nil
+		}
+	}
 	return res.Emissions
+}
+
+// labelAccess marks a pending shadow prediction of page (if any) correct.
+func (p *Prefetcher) labelAccess(pr *proc, page int64) {
+	for i, pg := range pr.pending {
+		if pg == page {
+			pr.pending = append(pr.pending[:i], pr.pending[i+1:]...)
+			pr.canary.RecordShadowOutcome(true)
+			return
+		}
+	}
+}
+
+// addPending queues shadow-predicted pages for labeling; predictions forced
+// out by capacity before being accessed are labeled incorrect. Consecutive
+// rollouts predict overlapping page windows, so pages already pending are
+// not re-queued — without dedupe a healthy candidate's own overlap would
+// evict (and mislabel) its deeper predictions.
+func (p *Prefetcher) addPending(pr *proc, pages []int64) {
+	if pr.canary == nil {
+		return
+	}
+next:
+	for _, pg := range pages {
+		for _, have := range pr.pending {
+			if have == pg {
+				continue next
+			}
+		}
+		if len(pr.pending) >= pendingCap {
+			pr.pending = pr.pending[1:]
+			pr.canary.RecordShadowOutcome(false)
+		}
+		pr.pending = append(pr.pending, pg)
+	}
+}
+
+// stageCanary stages a retrained model behind a shadow canary. Only one
+// rollout is in flight per process (and per hook); a push that cannot stage
+// right now is simply skipped — the next retrain boundary produces a fresher
+// candidate anyway.
+func (p *Prefetcher) stageCanary(pid int64, pr *proc, m core.Model) {
+	if pr.canary != nil {
+		return
+	}
+	c, err := p.Plane.PushModelCanary(memsim.HookSwapClusterReadahead, pr.modelID, m,
+		p.cfg.OpsBudget, p.cfg.MemBudget, *p.cfg.Canary)
+	if err != nil {
+		return // budget-rejected, or another process's rollout holds the hook
+	}
+	pr.canary = c
+	pr.pending = nil
+	c.Shadow().SetOnResult(func(key, verdict int64, emissions []int64, trapped bool) {
+		if key != pid || trapped {
+			return
+		}
+		p.addPending(pr, emissions)
+	})
+}
+
+// PushModel pushes an externally supplied model for pid through the same
+// path the background trainer uses: behind the shadow canary when Canary is
+// configured, as a direct cost-checked swap otherwise. With a canary it
+// fails if a rollout is already in flight — callers retry at a later event.
+func (p *Prefetcher) PushModel(pid int64, m core.Model) error {
+	pr, ok := p.procs[pid]
+	if !ok {
+		return fmt.Errorf("rmtprefetch: unknown pid %d", pid)
+	}
+	if p.cfg.Canary != nil {
+		if pr.canary != nil {
+			return fmt.Errorf("rmtprefetch: rollout already in flight for pid %d", pid)
+		}
+		p.stageCanary(pid, pr, m)
+		if pr.canary == nil {
+			return fmt.Errorf("rmtprefetch: canary staging failed for pid %d", pid)
+		}
+		return nil
+	}
+	return p.Plane.PushModel(pr.modelID, m, p.cfg.OpsBudget, p.cfg.MemBudget)
+}
+
+// CanaryState reports the process's rollout state: the in-flight canary's
+// if one is active, otherwise the last terminal state. ok is false if no
+// rollout was ever staged. Ended counts completed rollouts.
+func (p *Prefetcher) CanaryState(pid int64) (st ctrl.CanaryState, ended int, ok bool) {
+	pr, found := p.procs[pid]
+	if !found {
+		return 0, 0, false
+	}
+	if pr.canary != nil {
+		return pr.canary.State(), pr.ended, true
+	}
+	return pr.lastState, pr.ended, pr.ended > 0
 }
 
 // TakeDelay implements memsim.Delayer: it drains injected stall accumulated
@@ -322,7 +480,12 @@ func (p *Prefetcher) retrain(pid int64, pr *proc) {
 	if err != nil {
 		return
 	}
-	if err := p.Plane.PushModelRetry(pr.modelID, core.NewTreeModel(tree), p.cfg.OpsBudget, p.cfg.MemBudget, p.cfg.PushBackoff); err != nil {
+	m := core.NewTreeModel(tree)
+	if p.cfg.Canary != nil {
+		p.stageCanary(pid, pr, m)
+		return
+	}
+	if err := p.Plane.PushModelRetry(pr.modelID, m, p.cfg.OpsBudget, p.cfg.MemBudget, p.cfg.PushBackoff); err != nil {
 		return // over budget or persistently failing: keep the previous model
 	}
 	pr.trains++

@@ -1,0 +1,155 @@
+package rmtsched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rmtk/internal/core"
+	"rmtk/internal/ctrl"
+	"rmtk/internal/ml/mlp"
+	"rmtk/internal/schedsim"
+)
+
+// driveMigrations feeds random features through the decider until the
+// rollout reaches a terminal state (or the budget of calls runs out).
+func driveMigrations(t *testing.T, dec *Decider, seed int64, calls int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < calls; i++ {
+		var f schedsim.Features
+		f.V[schedsim.FImbalance] = rng.Int63n(4096)
+		f.V[schedsim.FCacheHot] = rng.Int63n(2)
+		f.V[schedsim.FSrcNrRunning] = rng.Int63n(8)
+		dec.CanMigrate(&f)
+		if st, _, ok := dec.CanaryState(); ok && st.Terminal() {
+			return
+		}
+	}
+}
+
+// TestPushCanaryPromotion: a retrained policy that agrees with the incumbent
+// clears the divergence gate, the table entry is retargeted, and the
+// candidate becomes the incumbent for the next rollout.
+func TestPushCanaryPromotion(t *testing.T) {
+	q := trainToy(t, nil)
+	k := core.NewKernel(core.Config{})
+	plane := ctrl.New(k)
+	dec, err := Install(k, plane, q, "toy", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incumbent := dec.progID
+
+	cfg := DefaultCanaryConfig()
+	cfg.MinShadowFires = 16
+	if err := dec.PushCanary(q, cfg); err != nil { // identical weights: zero divergence
+		t.Fatal(err)
+	}
+	if err := dec.PushCanary(q, cfg); err == nil || !strings.Contains(err.Error(), "in flight") {
+		t.Fatalf("second stage err = %v, want in-flight refusal", err)
+	}
+	driveMigrations(t, dec, 7, 200)
+	st, ended, ok := dec.CanaryState()
+	if !ok || st != ctrl.CanaryPromoted || ended != 1 {
+		t.Fatalf("state = %v ended=%d ok=%v", st, ended, ok)
+	}
+	if dec.progID == incumbent {
+		t.Fatal("promotion did not advance the incumbent program")
+	}
+	// Decisions must still equal native predictions (the candidate has the
+	// same weights, so promotion must not perturb behavior).
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		var f schedsim.Features
+		f.V[schedsim.FImbalance] = rng.Int63n(4096)
+		f.V[schedsim.FCacheHot] = rng.Int63n(2)
+		want := q.Predict(f.Normalized()) == 1
+		if got := dec.CanMigrate(&f); got != want {
+			t.Fatal("post-promotion decision diverges from native prediction")
+		}
+	}
+	if k.ShadowAt(Hook) != nil {
+		t.Fatal("shadow leaked after promotion")
+	}
+	// The hook is free again: a follow-up rollout stages cleanly.
+	if err := dec.PushCanary(q, cfg); err != nil {
+		t.Fatalf("second rollout after promotion: %v", err)
+	}
+}
+
+// TestPushCanaryDivergenceRejection: a policy trained on inverted labels
+// flips most decisions; the divergence gate rejects it and the incumbent
+// keeps deciding.
+func TestPushCanaryDivergenceRejection(t *testing.T) {
+	q := trainToy(t, nil)
+	k := core.NewKernel(core.Config{})
+	plane := ctrl.New(k)
+	dec, err := Install(k, plane, q, "toy", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incumbent := dec.progID
+
+	bad := trainInvertedToy(t)
+	cfg := DefaultCanaryConfig()
+	cfg.MinShadowFires = 32
+	if err := dec.PushCanary(bad, cfg); err != nil {
+		t.Fatal(err)
+	}
+	driveMigrations(t, dec, 7, 200)
+	st, ended, ok := dec.CanaryState()
+	if !ok || st != ctrl.CanaryRejected || ended != 1 {
+		t.Fatalf("state = %v ended=%d ok=%v", st, ended, ok)
+	}
+	if dec.progID != incumbent {
+		t.Fatal("rejected candidate displaced the incumbent")
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		var f schedsim.Features
+		f.V[schedsim.FImbalance] = rng.Int63n(4096)
+		f.V[schedsim.FCacheHot] = rng.Int63n(2)
+		want := q.Predict(f.Normalized()) == 1
+		if got := dec.CanMigrate(&f); got != want {
+			t.Fatal("post-rejection decision diverges from incumbent")
+		}
+	}
+}
+
+// trainInvertedToy trains a policy on the toy rule with labels flipped, so
+// its decisions disagree with trainToy's on most inputs.
+func trainInvertedToy(t *testing.T) *mlp.QMLP {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 1200; i++ {
+		var f schedsim.Features
+		f.V[schedsim.FImbalance] = rng.Int63n(4096)
+		f.V[schedsim.FCacheHot] = rng.Int63n(2)
+		f.V[schedsim.FSrcNrRunning] = rng.Int63n(8)
+		row := make([]float64, schedsim.NumFeatures)
+		for j, v := range f.Normalized() {
+			row[j] = float64(v)
+		}
+		label := 1
+		if f.V[schedsim.FImbalance] > 1024 && f.V[schedsim.FCacheHot] == 0 {
+			label = 0
+		}
+		X = append(X, row)
+		y = append(y, label)
+	}
+	net, err := mlp.New([]int{schedsim.NumFeatures, 12, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.TrainStandardized(X, y, mlp.TrainConfig{Epochs: 50, LR: 0.05, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := mlp.Quantize(net, X, mlp.QuantizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

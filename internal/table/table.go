@@ -256,6 +256,44 @@ func (t *Table) UpdateAction(key uint64, a Action) bool {
 	return true
 }
 
+// RewriteActions applies fn to every entry's action (including the default
+// entry, if set) under one write lock: fn returns the replacement action and
+// whether to rewrite. Rewritten entries are cloned, so concurrent Lookup
+// callers see either the old or the new action, never a torn one. It returns
+// the number of entries rewritten. This is the promotion primitive for
+// program canaries: retargeting every ActionProgram entry from the incumbent
+// to the promoted candidate is one atomic step, on any match kind.
+func (t *Table) RewriteActions(fn func(Action) (Action, bool)) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for key, e := range t.exact {
+		if a, ok := fn(e.Action); ok {
+			c := e.clone()
+			c.Action = a
+			t.exact[key] = c
+			n++
+		}
+	}
+	for i, e := range t.entries {
+		if a, ok := fn(e.Action); ok {
+			c := e.clone()
+			c.Action = a
+			t.entries[i] = c
+			n++
+		}
+	}
+	if t.deflt != nil {
+		if a, ok := fn(t.deflt.Action); ok {
+			c := t.deflt.clone()
+			c.Action = a
+			t.deflt = c
+			n++
+		}
+	}
+	return n
+}
+
 // Lookup finds the highest-priority matching entry for key, or the default
 // entry, or nil.
 func (t *Table) Lookup(key uint64) *Entry {

@@ -57,6 +57,9 @@ const (
 // Model is a registered inference model callable from RMT programs.
 type Model = core.Model
 
+// FuncModel adapts a Go function to Model with declared cost.
+type FuncModel = core.FuncModel
+
 // Matrix is a registered integer weight matrix for RMT_MAT_MUL.
 type Matrix = core.Matrix
 
@@ -105,6 +108,12 @@ type ControlPlane = ctrl.Plane
 // AccuracyMonitor tracks windowed prediction accuracy and drives
 // reconfiguration.
 type AccuracyMonitor = ctrl.AccuracyMonitor
+
+// NewAccuracyMonitor builds a monitor over a sliding outcome window that
+// degrades below threshold and recovers at or above it.
+func NewAccuracyMonitor(window int, threshold float64) *AccuracyMonitor {
+	return ctrl.NewAccuracyMonitor(window, threshold)
+}
 
 // Report is the verifier's admission report.
 type Report = verifier.Report
@@ -202,3 +211,62 @@ func NewFaultInjector(seed int64, rules ...FaultRule) *FaultInjector {
 
 // BackoffConfig parameterizes the control plane's retry-with-backoff.
 type BackoffConfig = ctrl.BackoffConfig
+
+// Transactional reconfiguration and staged rollout (see DESIGN.md
+// "Transactional control plane & canary rollout"): multi-step control
+// operations stage against a versioned snapshot and commit atomically with
+// full rollback on failure; model and program pushes can ride a shadow-mode
+// canary that vets the candidate on live traffic before promotion, with
+// automatic rollback if it regresses after going live.
+
+// Txn is a staged multi-step control-plane transaction.
+type Txn = ctrl.Txn
+
+// TableRef resolves to the created table after a transaction commits.
+type TableRef = ctrl.TableRef
+
+// ProgRef resolves to the admitted program after a transaction commits.
+type ProgRef = ctrl.ProgRef
+
+// Canary drives one staged rollout through shadow vetting, promotion,
+// probation and rollback.
+type Canary = ctrl.Canary
+
+// CanaryConfig sets the promotion gates of a staged rollout.
+type CanaryConfig = ctrl.CanaryConfig
+
+// CanaryState is the lifecycle state of a staged rollout.
+type CanaryState = ctrl.CanaryState
+
+// Canary lifecycle states.
+const (
+	CanaryShadowing  = ctrl.CanaryShadowing
+	CanaryProbation  = ctrl.CanaryProbation
+	CanaryPromoted   = ctrl.CanaryPromoted
+	CanaryRejected   = ctrl.CanaryRejected
+	CanaryRolledBack = ctrl.CanaryRolledBack
+)
+
+// Shadow runs a candidate program or model alongside the incumbent at a
+// hook, observing the same invocations with writes suppressed and zero
+// virtual-clock cost.
+type Shadow = core.Shadow
+
+// CanaryReport aggregates a shadow's divergence/trap/step telemetry.
+type CanaryReport = core.CanaryReport
+
+// NewModelShadow builds a shadow substituting candidate for the model
+// modelID wherever the hook's programs invoke it.
+func NewModelShadow(hook string, modelID int64, candidate Model) *Shadow {
+	return core.NewModelShadow(hook, modelID, candidate)
+}
+
+// NewProgramShadow builds a shadow running candidate program progID in place
+// of the matched entry's program.
+func NewProgramShadow(hook string, progID int64) *Shadow {
+	return core.NewProgramShadow(hook, progID)
+}
+
+// ErrBudgetExceeded classifies model pushes rejected by the verifier's
+// FLOP/memory cost gate (wrapped alongside the specific sentinel).
+var ErrBudgetExceeded = ctrl.ErrBudgetExceeded
