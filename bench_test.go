@@ -20,6 +20,7 @@ import (
 	"rmtk/internal/ml/svm"
 	"rmtk/internal/rmtprefetch"
 	"rmtk/internal/table"
+	"rmtk/internal/verifier"
 	"rmtk/internal/vm"
 )
 
@@ -162,6 +163,119 @@ big:    movimm r0, 100
 			}
 		})
 	}
+}
+
+// --- Ablation A2: proof-carrying check elision ----------------------------
+
+// proofBenchPrograms builds a check-heavy verified program twice: once bare
+// (every runtime check executes) and once carrying the verifier's proof
+// artifacts (proven checks elided, static step bound reserved up front). The
+// program models a fire path that shells out to contracted helpers — the
+// shape where admission-time proofs pay: every call site's argument
+// contract is discharged statically, and the stack/division epilogue
+// exercises the bounds and nonzero proofs. No vector ops, so iterations
+// are allocation-free and the measurement is not polluted by GC.
+func proofBenchPrograms(b testing.TB) (checked, elided *isa.Program) {
+	b.Helper()
+	prog := &isa.Program{Name: "checks", Helpers: []int64{1, 2, 3, 4}, Insns: isa.MustAssemble(`
+        movimm  r1, 9
+        movimm  r2, 12
+        movimm  r3, 33
+        movimm  r4, 4
+        movimm  r5, 7
+        call    1
+        call    2
+        call    3
+        call    4
+        call    1
+        call    2
+        call    3
+        call    4
+        call    1
+        call    2
+        call    3
+        call    4
+        call    1
+        call    2
+        call    3
+        call    4
+        ststack [0], r5
+        ststack [1], r3
+        ldstack r6, [0]
+        ldstack r7, [1]
+        div     r7, r6
+        mod     r7, r5
+        jgti    r7, 0, pos
+        movimm  r7, 1
+pos:    div     r2, r7
+        mov     r0, r2
+        exit`)}
+	arg := isa.Range(0, 100)
+	spec := verifier.HelperSpec{Name: "nop", Cost: 1, Args: []isa.Interval{arg, arg, arg, arg, arg}}
+	rep, err := verifier.Verify(prog, verifier.Config{
+		Helpers: map[int64]verifier.HelperSpec{1: spec, 2: spec, 3: spec, 4: spec},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.ElidedChecks == 0 {
+		b.Fatal("benchmark program discharged no checks; it measures nothing")
+	}
+	// Both variants carry the helper contracts (runtime enforcement is part
+	// of admitted semantics); only the elided variant carries the proofs
+	// that let the engines skip the enforced-at-runtime checks.
+	checked = prog.Clone()
+	checked.HelperContracts = rep.HelperContracts
+	elided = prog.Clone()
+	elided.Proofs = rep.Proofs
+	elided.HelperContracts = rep.HelperContracts
+	elided.StaticSteps = rep.MaxSteps
+	return checked, elided
+}
+
+func benchProofProgram(b *testing.B, jit bool, pick func(checked, elided *isa.Program) *isa.Program) {
+	checked, elided := proofBenchPrograms(b)
+	prog := pick(checked, elided)
+	env := nopEnv{}
+	var (
+		eng vm.Engine
+		err error
+	)
+	if jit {
+		eng, err = vm.Compile(env, prog)
+	} else {
+		eng, err = vm.NewInterpreter(prog)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := vm.NewState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(env, st, int64(i), 3, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpChecked runs the interpreter with every runtime check.
+func BenchmarkInterpChecked(b *testing.B) {
+	benchProofProgram(b, false, func(c, _ *isa.Program) *isa.Program { return c })
+}
+
+// BenchmarkInterpElided runs the interpreter with proven checks elided.
+func BenchmarkInterpElided(b *testing.B) {
+	benchProofProgram(b, false, func(_, e *isa.Program) *isa.Program { return e })
+}
+
+// BenchmarkJITChecked runs the JIT closure chain with every runtime check.
+func BenchmarkJITChecked(b *testing.B) {
+	benchProofProgram(b, true, func(c, _ *isa.Program) *isa.Program { return c })
+}
+
+// BenchmarkJITElided runs the JIT closure chain with proven checks elided.
+func BenchmarkJITElided(b *testing.B) {
+	benchProofProgram(b, true, func(_, e *isa.Program) *isa.Program { return e })
 }
 
 // --- Ablation B: inference cost on the critical path ---------------------

@@ -5,11 +5,15 @@
 //
 //	rmtkctl [-O] asm <prog.rmt>                 assemble to <prog.bin>
 //	rmtkctl dis <prog.bin>                      disassemble wire format
-//	rmtkctl [-O] verify <prog.rmt>              run the verifier, print the report
+//	rmtkctl [-O] [-v] verify <prog.rmt>         run the verifier, print the report
 //	rmtkctl [-O] run <prog.rmt> [r1 [r2 [r3]]]  install and execute, print R0
 //
-// -O runs the machine-independent optimizer (constant folding, branch
-// folding, jump threading, dead-code elimination) before the operation.
+// -O runs the machine-independent optimizer (constant folding, interval
+// range folding, jump threading, dead-code elimination) before the
+// operation. -v makes verify print the proof artifacts: a per-instruction
+// disassembly annotated with the runtime checks the abstract interpreter
+// discharged, the elided-check and dead-edge totals, and any helper
+// argument contracts in force.
 //
 // Assembly files may declare resources in directive comments:
 //
@@ -33,7 +37,10 @@ import (
 	"rmtk/internal/isa"
 )
 
-var optimize = flag.Bool("O", false, "optimize bytecode before the operation")
+var (
+	optimize = flag.Bool("O", false, "optimize bytecode before the operation")
+	verbose  = flag.Bool("v", false, "verify: print per-instruction proofs and contracts")
+)
 
 func main() {
 	flag.Parse()
@@ -172,8 +179,27 @@ func doVerify(path string) error {
 	fmt.Printf("  model bytes: %d\n", report.ModelBytes)
 	fmt.Printf("  rate limit:  %v\n", report.NeedsRateLimit)
 	fmt.Printf("  writes ctx:  %v\n", report.WritesCtx)
+	fmt.Printf("  elided:      %d runtime checks\n", report.ElidedChecks)
+	fmt.Printf("  dead edges:  %d\n", report.DeadEdges)
 	for _, w := range report.Warnings {
 		fmt.Printf("  warning: %s\n", w)
+	}
+	if *verbose {
+		fmt.Println("  proofs:")
+		for pc, in := range prog.Insns {
+			var pm isa.ProofMask
+			if pc < len(report.Proofs) {
+				pm = report.Proofs[pc]
+			}
+			fmt.Printf("    %3d: %-28s %s\n", pc, in.String(), pm)
+		}
+		for id, cs := range report.HelperContracts {
+			parts := make([]string, len(cs))
+			for i, c := range cs {
+				parts[i] = c.String()
+			}
+			fmt.Printf("  contract: helper %d args %s\n", id, strings.Join(parts, " "))
+		}
 	}
 	return nil
 }

@@ -1,0 +1,163 @@
+// Command rmtlint runs the repo's custom analyzers (internal/lint) as a
+// `go vet -vettool`. It speaks the vet unitchecker protocol by hand —
+// version/flags probes, the per-package *.cfg JSON handed over by cmd/go,
+// type checking against the export data of already-built dependencies, and
+// the facts output file — so the suite runs with full type information on
+// every package without any dependency outside the standard library:
+//
+//	go build -o rmtlint ./cmd/rmtlint
+//	go vet -vettool=$(pwd)/rmtlint ./...
+//
+// Diagnostics are printed one per line as file:line:col: analyzer: message
+// and make vet exit nonzero, which is how CI gates on them.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"rmtk/internal/lint"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each package
+// when invoking a vet tool (see cmd/go/internal/work and
+// golang.org/x/tools/go/analysis/unitchecker for the de-facto schema).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	args := os.Args[1:]
+	// Probes from cmd/go: tool identity for the build cache (the output
+	// must be exactly "<basename> version <v>" for cmd/go's buildID
+	// parser), then the tool's flag schema.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("%s version v0.1.0\n", filepath.Base(os.Args[0]))
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintln(os.Stderr, "usage: go vet -vettool=/path/to/rmtlint ./...")
+		os.Exit(2)
+	}
+	diags, err := runUnit(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmtlint: %v\n", err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+// runUnit analyzes one package unit per its vet config and returns rendered
+// diagnostics.
+func runUnit(cfgPath string) ([]string, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// cmd/go expects a facts file for every unit, even when the analysis
+	// produced none (our analyzers keep no cross-package facts).
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: cmd/go only wants the (empty) facts.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Resolve imports through the export data cmd/go already built: the
+	// import path as written maps through ImportMap to a canonical package
+	// path, whose compiled export file is listed in PackageFile.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tcfg := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Sizes:    types.SizesFor(compiler, runtime.GOARCH),
+	}
+	if strings.HasPrefix(cfg.GoVersion, "go1") {
+		tcfg.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	found, err := lint.RunAnalyzers(fset, files, pkg, info)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(found))
+	for i, d := range found {
+		out[i] = fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message)
+	}
+	return out, nil
+}

@@ -398,6 +398,7 @@ func (k *Kernel) verifierConfig() verifier.Config {
 		OpsBudget:  k.cfg.OpsBudget,
 		MemBudget:  k.cfg.MemBudget,
 		StepBudget: k.cfg.StepBudget,
+		CtxFields:  k.cfg.CtxFields,
 	}
 	for id, h := range k.helpers {
 		cfg.Helpers[id] = h.spec
@@ -438,15 +439,21 @@ func (k *Kernel) InstallProgram(prog *isa.Program) (int64, *verifier.Report, err
 	if dup {
 		return 0, nil, fmt.Errorf("%w: program %q", ErrDuplicate, prog.Name)
 	}
+	// Clone before verification so the caller's Program is never mutated:
+	// the verifier's proof artifacts (per-instruction check proofs and
+	// helper contracts) are attached to the admitted copy only, and only
+	// after the program passed — an unadmitted program carries no proofs.
+	prog = prog.Clone()
 	if optimize {
-		opt := prog.Clone()
-		opt.Insns = isa.Optimize(opt.Insns)
-		prog = opt
+		prog.Insns = isa.Optimize(prog.Insns)
 	}
 	report, err := verifier.Verify(prog, vcfg)
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: admission of %q failed: %w", prog.Name, err)
 	}
+	prog.Proofs = report.Proofs
+	prog.HelperContracts = report.HelperContracts
+	prog.StaticSteps = report.MaxSteps
 	interp, err := vm.NewInterpreter(prog)
 	if err != nil {
 		return 0, nil, err

@@ -90,6 +90,16 @@ type CanaryConfig struct {
 	// selects one full monitor window. Without a monitor attached to the
 	// model, probation completes immediately.
 	ProbationOutcomes int
+	// MaxStaticSteps, when >0, rejects a program canary at staging if the
+	// candidate's admission report proves a worst-case instruction count
+	// above it. The bound comes from the verifier's interval analysis —
+	// statically dead branches are excluded — so policies can be tightened
+	// to the real worst case rather than the structural one.
+	MaxStaticSteps int64
+	// MaxStaticOps, when >0, rejects a canary at staging if the candidate's
+	// statically proven worst-case ML ops (program report MLOps, or model
+	// Cost) exceed it.
+	MaxStaticOps int64
 }
 
 func (c CanaryConfig) withDefaults() CanaryConfig {
@@ -141,6 +151,9 @@ func (p *Plane) PushModelCanary(hook string, id int64, candidate core.Model, ops
 	if memBudget > 0 && bytes > memBudget {
 		return nil, fmt.Errorf("%w: %w: model %d: %d > %d", ErrBudgetExceeded, verifier.ErrMemBudget, id, bytes, memBudget)
 	}
+	if cfg.MaxStaticOps > 0 && ops > cfg.MaxStaticOps {
+		return nil, fmt.Errorf("%w: model %d: %d ops > %d", ErrStaticCost, id, ops, cfg.MaxStaticOps)
+	}
 	if _, err := p.K.Model(id); err != nil {
 		return nil, err
 	}
@@ -170,6 +183,20 @@ func (p *Plane) PushModelCanary(hook string, id int64, candidate core.Model, ops
 func (p *Plane) PushProgramCanary(hook, tableName string, incID, candID int64, cfg CanaryConfig) (*Canary, error) {
 	if _, _, err := p.K.TableByName(tableName); err != nil {
 		return nil, err
+	}
+	if cfg.MaxStaticSteps > 0 || cfg.MaxStaticOps > 0 {
+		rep, err := p.K.ProgramReport(candID)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.MaxStaticSteps > 0 && rep.MaxSteps > cfg.MaxStaticSteps {
+			return nil, fmt.Errorf("%w: program %d: %d steps > %d",
+				ErrStaticCost, candID, rep.MaxSteps, cfg.MaxStaticSteps)
+		}
+		if cfg.MaxStaticOps > 0 && rep.MLOps > cfg.MaxStaticOps {
+			return nil, fmt.Errorf("%w: program %d: %d ML ops > %d",
+				ErrStaticCost, candID, rep.MLOps, cfg.MaxStaticOps)
+		}
 	}
 	sh := core.NewProgramShadow(hook, candID)
 	if err := p.K.AttachShadow(sh); err != nil {

@@ -35,6 +35,11 @@ var (
 	ErrBudgetExceeded = errors.New("ctrl: model budget exceeded")
 	// ErrNoHistory is wrapped when a model rollback finds no prior version.
 	ErrNoHistory = errors.New("ctrl: no prior model version")
+	// ErrStaticCost is wrapped when a canary is rejected up front because
+	// the candidate's verifier-proven worst-case cost (steps or ML ops)
+	// exceeds the rollout policy's static ceiling, before any shadow
+	// traffic is spent on it.
+	ErrStaticCost = errors.New("ctrl: static worst-case cost exceeds canary policy")
 )
 
 // ModelHistoryLimit bounds the per-model version history kept for rollback.

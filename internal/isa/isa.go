@@ -388,6 +388,26 @@ type Program struct {
 	Tables  []int64 // table ids the program may OpMatchCtxt
 	Vecs    []int64 // vector-pool ids the program may OpVecLd/OpVecSt
 	Tails   []int64 // program ids the program may OpTailCall
+
+	// Admission artifacts. Both are attached by the kernel after the
+	// verifier accepts the program; they are never part of the wire
+	// encoding, so a decoded or hand-built program carries none until it is
+	// re-verified.
+	//
+	// Proofs holds one ProofMask per instruction recording which runtime
+	// checks the verifier statically discharged; the VM engines elide
+	// exactly those checks. HelperContracts holds the argument-range
+	// contracts of every contracted helper the program calls; call sites
+	// whose ProofHelperArgs bit is unset enforce them at runtime.
+	Proofs          []ProofMask
+	HelperContracts map[int64][]Interval
+	// StaticSteps is the verifier's worst-case step count for this program
+	// (Report.MaxSteps). When set alongside Proofs, the engines reserve the
+	// whole bound against the step budget up front and drop the per-step
+	// budget and bounds checks: the verified CFG is a forward-only DAG, so
+	// execution is structurally bounded by this figure. Executed steps are
+	// still counted exactly. Zero means unknown (per-step checks stay).
+	StaticSteps int64
 }
 
 // Encode returns the wire form of the program's instructions.
@@ -403,6 +423,13 @@ func (p *Program) Clone() *Program {
 	q.Tables = append([]int64(nil), p.Tables...)
 	q.Vecs = append([]int64(nil), p.Vecs...)
 	q.Tails = append([]int64(nil), p.Tails...)
+	q.Proofs = append([]ProofMask(nil), p.Proofs...)
+	if p.HelperContracts != nil {
+		q.HelperContracts = make(map[int64][]Interval, len(p.HelperContracts))
+		for id, args := range p.HelperContracts {
+			q.HelperContracts[id] = append([]Interval(nil), args...)
+		}
+	}
 	return &q
 }
 

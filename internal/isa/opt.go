@@ -3,14 +3,18 @@ package isa
 // Optimize is the machine-independent optimizer that sits between program
 // authoring and admission (§3.1: programs are "compiled into
 // machine-independent bytecode" before the verifier sees them). It runs
-// three semantics-preserving passes to fixpoint:
+// four semantics-preserving passes to fixpoint:
 //
 //  1. block-local constant folding and branch folding — registers with
 //     statically known values fold ALU results and decide conditional
 //     branches (a decided branch becomes an unconditional jump or a nop);
-//  2. jump threading — jumps that land on unconditional jumps are
+//  2. interval range folding — a program-wide forward dataflow over the
+//     same interval domain the verifier uses; branch narrowing lets it
+//     decide conditionals and fold point-valued ALU results across join
+//     points that block-local analysis must give up on;
+//  3. jump threading — jumps that land on unconditional jumps are
 //     retargeted to the final destination;
-//  3. dead-code elimination — instructions unreachable from the entry are
+//  4. dead-code elimination — instructions unreachable from the entry are
 //     removed, with all jump offsets re-resolved.
 //
 // Trapping operations (division, helper calls, context/vector accesses) are
@@ -23,6 +27,9 @@ func Optimize(insns []Instr) []Instr {
 	for pass := 0; pass < 8; pass++ {
 		changed := false
 		if foldConstants(out) {
+			changed = true
+		}
+		if foldRanges(out) {
 			changed = true
 		}
 		if threadJumps(out) {
@@ -215,6 +222,185 @@ func foldConstants(insns []Instr) bool {
 		default:
 			// Unknown/future opcode: drop all knowledge defensively.
 			reset()
+		}
+	}
+	return changed
+}
+
+// rangeState is the foldRanges dataflow fact at an instruction boundary:
+// the covering value range of each scalar register on every path reaching
+// it. All registers start at Top — hook arguments are arbitrary, and
+// registers and the scratch stack can carry caller values into tail-called
+// programs — so only locally established facts ever fold.
+type rangeState struct {
+	live bool
+	riv  [NumRegs]Interval
+}
+
+// foldRanges runs a program-wide forward interval analysis (the optimizer's
+// counterpart of the verifier's value-range domain) and rewrites:
+//
+//   - conditional branches the ranges decide — always-taken becomes OpJmp,
+//     never-taken becomes OpNop (the dead arm is swept by eliminateDead);
+//   - pure ALU instructions whose result range is a single point — replaced
+//     by OpMovImm, which in turn feeds foldConstants and further branch
+//     decisions.
+//
+// Unlike foldConstants it survives join points (ranges union rather than
+// reset) and exploits branch narrowing: after `jlt r1, 10, L` the
+// fall-through knows r1 >= 10 even though r1's value is unknown. Trapping
+// operations (OpDiv/OpMod) are never rewritten. Programs with malformed
+// jumps are left untouched — the verifier rejects them with a proper error.
+func foldRanges(insns []Instr) bool {
+	n := len(insns)
+	if n == 0 {
+		return false
+	}
+	for pc, in := range insns {
+		if in.Op.IsJump() {
+			if tgt := pc + 1 + int(in.Off); tgt <= pc || tgt >= n {
+				return false
+			}
+		}
+	}
+	states := make([]rangeState, n)
+	entry := rangeState{live: true}
+	for i := range entry.riv {
+		entry.riv[i] = TopInterval()
+	}
+	states[0] = entry
+	merge := func(dst *rangeState, in rangeState) {
+		if !dst.live {
+			*dst = in
+			return
+		}
+		for i := range dst.riv {
+			dst.riv[i] = dst.riv[i].Union(in.riv[i])
+		}
+	}
+	changed := false
+	for pc := 0; pc < n; pc++ {
+		st := states[pc]
+		if !st.live {
+			continue
+		}
+		in := &insns[pc]
+		out := st
+		riv := &out.riv
+
+		// fold rewrites a pure instruction whose result is a known point.
+		fold := func(iv Interval) {
+			riv[in.Dst] = iv
+			if iv.IsPoint() && !(in.Op == OpMovImm && in.Imm == iv.Lo) {
+				*in = Instr{Op: OpMovImm, Dst: in.Dst, Imm: iv.Lo}
+				changed = true
+			}
+		}
+
+		switch in.Op {
+		case OpMov:
+			fold(riv[in.Src])
+		case OpMovImm:
+			fold(Point(in.Imm))
+		case OpAdd:
+			fold(riv[in.Dst].Add(riv[in.Src]))
+		case OpAddImm:
+			fold(riv[in.Dst].Add(Point(in.Imm)))
+		case OpSub:
+			fold(riv[in.Dst].Sub(riv[in.Src]))
+		case OpMul:
+			fold(riv[in.Dst].Mul(riv[in.Src]))
+		case OpMulImm:
+			fold(riv[in.Dst].Mul(Point(in.Imm)))
+		case OpAnd:
+			fold(riv[in.Dst].And(riv[in.Src]))
+		case OpOr:
+			fold(riv[in.Dst].Or(riv[in.Src]))
+		case OpXor:
+			fold(riv[in.Dst].Xor(riv[in.Src]))
+		case OpShl:
+			fold(riv[in.Dst].Shl(riv[in.Src]))
+		case OpShr:
+			fold(riv[in.Dst].Shr(riv[in.Src]))
+		case OpNeg:
+			fold(riv[in.Dst].Neg())
+		case OpAbs:
+			fold(riv[in.Dst].Abs())
+		case OpMin:
+			fold(riv[in.Dst].Min(riv[in.Src]))
+		case OpMax:
+			fold(riv[in.Dst].Max(riv[in.Src]))
+		case OpDiv:
+			// Tracked but never rewritten: a zero divisor must still trap.
+			riv[in.Dst] = riv[in.Dst].Div(riv[in.Src])
+		case OpMod:
+			riv[in.Dst] = riv[in.Dst].Mod(riv[in.Src])
+		case OpVecArgMax:
+			riv[in.Dst] = Range(0, MaxVecLen-1)
+		case OpLdStack, OpLdCtxt, OpMatchCtxt, OpScalarVal,
+			OpVecSum, OpVecDot, OpMLInfer:
+			riv[in.Dst] = TopInterval()
+		case OpCall:
+			riv[0] = TopInterval()
+		case OpJmp, OpExit, OpTailCall, OpNop, OpStStack, OpStCtxt,
+			OpHistPush, OpVecSt, OpVecRelu, OpVecQuant, OpVecClamp,
+			OpVecZero, OpVecLd, OpVecLdHist, OpVecSet, OpVecPush,
+			OpVecAdd, OpVecMul, OpMatMul:
+			// No scalar destination.
+		default:
+			if in.Op.IsCondJump() {
+				break
+			}
+			// Unknown/future opcode: drop all knowledge defensively.
+			for i := range riv {
+				riv[i] = TopInterval()
+			}
+		}
+
+		switch {
+		case in.Op == OpExit || in.Op == OpTailCall:
+			// Terminal: no successors.
+		case in.Op == OpJmp:
+			merge(&states[pc+1+int(in.Off)], out)
+		case in.Op.IsCondJump():
+			rel, isImm, ok := CondRel(in.Op)
+			if !ok {
+				merge(&states[pc+1+int(in.Off)], out)
+				merge(&states[pc+1], out)
+				break
+			}
+			a := riv[in.Dst]
+			b := Point(in.Imm)
+			if !isImm {
+				b = riv[in.Src]
+			}
+			switch {
+			case RelAlways(rel, a, b):
+				*in = Instr{Op: OpJmp, Off: in.Off}
+				changed = true
+				merge(&states[pc+1+int(in.Off)], out)
+			case RelNever(rel, a, b):
+				*in = Instr{Op: OpNop}
+				changed = true
+				merge(&states[pc+1], out)
+			default:
+				flow := func(r Rel, to int) {
+					na, nb, feasible := Narrow(r, a, b)
+					if !feasible {
+						return
+					}
+					e := out
+					e.riv[in.Dst] = na
+					if !isImm {
+						e.riv[in.Src] = nb
+					}
+					merge(&states[to], e)
+				}
+				flow(rel, pc+1+int(in.Off))
+				flow(rel.Negate(), pc+1)
+			}
+		default:
+			merge(&states[pc+1], out)
 		}
 	}
 	return changed

@@ -179,3 +179,116 @@ big:    addimm r0, 1
 		}
 	}
 }
+
+// --- range-based folding (foldRanges) ------------------------------------
+
+func TestFoldRangesDecidesBranchAcrossJoin(t *testing.T) {
+	// r1 is 2 on one arm and 7 on the other — not a single constant, so
+	// constant folding can't decide the later branch, but its range [2,7]
+	// can: r1 > 0 always holds.
+	insns := MustAssemble(`
+        movimm r1, 2
+        jgti   r2, 0, a
+        movimm r1, 7
+a:      jgti   r1, 0, good
+        movimm r0, 111        ; dead: r1 in [2,7] is always > 0
+        exit
+good:   movimm r0, 222
+        exit`)
+	out := Optimize(insns)
+	conds := 0
+	for _, in := range out {
+		if in.Op.IsCondJump() {
+			conds++
+		}
+		if in.Op == OpMovImm && in.Imm == 111 {
+			t.Fatalf("range-dead arm survived:\n%s", (&Program{Insns: out}).Disassemble())
+		}
+	}
+	// The r2 branch stays (r2 unknown); the r1 branch must be decided.
+	if conds != 1 {
+		t.Fatalf("cond jumps = %d, want 1:\n%s", conds, (&Program{Insns: out}).Disassemble())
+	}
+}
+
+func TestFoldRangesNarrowsThroughBranch(t *testing.T) {
+	// After `jlei r1, 9` falls through, r1 > 9; combined with the earlier
+	// `jgti r1, 100` fall-through (r1 <= 100) the second comparison
+	// r1 > 0 is decided by narrowing alone — no constants anywhere.
+	insns := MustAssemble(`
+        jgti   r1, 100, big
+        jlei   r1, 0, small
+        jgti   r1, 0, mid     ; always: fall-throughs pin r1 to [1,100]
+        movimm r0, 111        ; dead
+        exit
+big:    movimm r0, 1
+        exit
+small:  movimm r0, 2
+        exit
+mid:    movimm r0, 3
+        exit`)
+	out := Optimize(insns)
+	for _, in := range out {
+		if in.Op == OpMovImm && in.Imm == 111 {
+			t.Fatalf("narrowing-dead arm survived:\n%s", (&Program{Insns: out}).Disassemble())
+		}
+	}
+}
+
+func TestFoldRangesPointThroughJoin(t *testing.T) {
+	// Both arms leave r4 at the same value through different instructions;
+	// the join is a point interval and the copy folds to a constant.
+	insns := MustAssemble(`
+        jgti   r1, 0, a
+        movimm r4, 6
+        jmp    b
+a:      movimm r4, 2
+        mulimm r4, 3
+b:      mov    r0, r4
+        exit`)
+	out := Optimize(insns)
+	found := false
+	for _, in := range out {
+		if in.Op == OpMovImm && in.Dst == 0 && in.Imm == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("point join [6] not folded:\n%s", (&Program{Insns: out}).Disassemble())
+	}
+}
+
+func TestFoldRangesKeepsDivTraps(t *testing.T) {
+	// Division results are tracked but never rewritten, so a potential
+	// divide-by-zero trap survives even when the result would be a point.
+	insns := MustAssemble(`
+        movimm r1, 0
+        movimm r2, 0
+        div    r1, r2
+        movimm r0, 0
+        exit`)
+	out := Optimize(insns)
+	for _, in := range out {
+		if in.Op == OpDiv {
+			return
+		}
+	}
+	t.Fatalf("trapping div folded away:\n%s", (&Program{Insns: out}).Disassemble())
+}
+
+func TestFoldRangesPreservesSemanticsOnUnknownInput(t *testing.T) {
+	// A branch on caller-controlled r1 must never be decided.
+	insns := MustAssemble(`
+        jgti   r1, 5, a
+        movimm r0, 1
+        exit
+a:      movimm r0, 2
+        exit`)
+	out := Optimize(insns)
+	for _, in := range out {
+		if in.Op.IsCondJump() {
+			return
+		}
+	}
+	t.Fatalf("branch on unknown input was decided:\n%s", (&Program{Insns: out}).Disassemble())
+}

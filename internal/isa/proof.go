@@ -1,0 +1,63 @@
+package isa
+
+import "strings"
+
+// ProofMask records, per instruction, which runtime safety checks the
+// verifier statically discharged. The masks are admission artifacts: they
+// are produced by the verifier's abstract interpreter, attached to the
+// admitted Program, and consumed by the VM engines, which elide exactly the
+// proven checks. They are never encoded on the wire — a program arriving
+// from outside the kernel carries no proofs until it is verified.
+type ProofMask uint16
+
+const (
+	// ProofDivNonZero: the divisor of this OpDiv/OpMod is provably nonzero.
+	ProofDivNonZero ProofMask = 1 << iota
+	// ProofStackInBounds: this OpLdStack/OpStStack slot is provably within
+	// [0, StackWords).
+	ProofStackInBounds
+	// ProofVecIndexInBounds: this OpVecSet/OpScalarVal element index is
+	// provably within the vector's length.
+	ProofVecIndexInBounds
+	// ProofVecSet: the vector operand is provably initialized (and, for
+	// ops that require it, provably non-empty) on every path reaching here.
+	ProofVecSet
+	// ProofVecLenMatch: the two vector operands of this element-wise op
+	// provably have equal lengths.
+	ProofVecLenMatch
+	// ProofNoOverflow: the quantized multiply of this OpVecQuant provably
+	// cannot overflow int64. There is no runtime check to elide — the bit
+	// is reported so operators can see which quantizations are exact.
+	ProofNoOverflow
+	// ProofHelperArgs: the R1..R5 argument ranges of this OpCall provably
+	// satisfy the helper's declared argument contracts.
+	ProofHelperArgs
+)
+
+var proofNames = []struct {
+	bit  ProofMask
+	name string
+}{
+	{ProofDivNonZero, "div-nonzero"},
+	{ProofStackInBounds, "stack-bounds"},
+	{ProofVecIndexInBounds, "vec-index"},
+	{ProofVecSet, "vec-set"},
+	{ProofVecLenMatch, "vec-len"},
+	{ProofNoOverflow, "no-overflow"},
+	{ProofHelperArgs, "helper-args"},
+}
+
+// String lists the set bits, e.g. "div-nonzero|vec-set"; the empty mask
+// renders as "-".
+func (m ProofMask) String() string {
+	if m == 0 {
+		return "-"
+	}
+	var parts []string
+	for _, p := range proofNames {
+		if m&p.bit != 0 {
+			parts = append(parts, p.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}

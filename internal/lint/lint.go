@@ -1,0 +1,80 @@
+// Package lint is a small, dependency-free static-analysis framework plus
+// the repo's custom analyzers. It mirrors the shape of go/analysis —
+// Analyzer, Pass, Reportf — but is built purely on the standard library's
+// go/ast and go/types so it can run in hermetic build environments.
+// cmd/rmtlint adapts it to the `go vet -vettool` unitchecker protocol so CI
+// runs the analyzers over every package with full type information.
+//
+// Analyzers:
+//
+//   - simclock: simulation packages (package name ending in "sim") model
+//     virtual time; calling the wall clock (time.Now/Since/Until) inside
+//     one silently couples simulated behavior to host timing.
+//   - lockedcallback: invoking a caller-supplied callback (a func-typed
+//     struct field) while holding that object's own mutex invites deadlock —
+//     callbacks may re-enter the locked owner. The repo convention is to
+//     copy the field under the lock and call the copy after unlocking.
+//   - ctrlerrors: exported error sentinels (package-level `Err...` vars)
+//     must be wrapped with %w, never stringified with %v/%s, so callers
+//     can branch with errors.Is.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's syntax and type information through an
+// Analyzer's Run function.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Analyzers is the repo's full analyzer suite, in the order they run.
+var Analyzers = []*Analyzer{
+	SimClockAnalyzer,
+	LockedCallbackAnalyzer,
+	CtrlErrorsAnalyzer,
+}
+
+// RunAnalyzers applies every analyzer in the suite to one type-checked
+// package and returns the combined diagnostics in source order.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range Analyzers {
+		pass := &Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			d.Message = a.Name + ": " + d.Message
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,263 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"rmtk/internal/lint"
+)
+
+// analyze type-checks a single-file fixture package (imports resolved from
+// source, so fixtures can use time/sync/fmt) and runs the full analyzer
+// suite over it.
+func analyze(t *testing.T, pkgPath, src string) []lint.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(pkgPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture: %v", err)
+	}
+	diags, err := lint.RunAnalyzers(fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	return diags
+}
+
+// wantDiags asserts that the diagnostics contain exactly the expected
+// substrings, one per finding, in order.
+func wantDiags(t *testing.T, diags []lint.Diagnostic, want ...string) {
+	t.Helper()
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(want), renderDiags(diags))
+	}
+	for i, w := range want {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diag %d = %q, want substring %q", i, diags[i].Message, w)
+		}
+	}
+}
+
+func renderDiags(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.Message + "\n")
+	}
+	return b.String()
+}
+
+func TestSimClockFlagsWallClockInSimPackage(t *testing.T) {
+	const src = `package netsim
+
+import "time"
+
+var base time.Time
+
+func Tick() time.Time      { return time.Now() }
+func Age() time.Duration   { return time.Since(base) }
+func Until() time.Duration { return time.Until(base) }
+`
+	diags := analyze(t, "rmtk/internal/netsim", src)
+	wantDiags(t, diags,
+		"simclock: time.Now in simulation package netsim",
+		"simclock: time.Since in simulation package netsim",
+		"simclock: time.Until in simulation package netsim",
+	)
+}
+
+func TestSimClockIgnoresNonSimPackages(t *testing.T) {
+	const src = `package engine
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`
+	wantDiags(t, analyze(t, "rmtk/internal/engine", src))
+}
+
+func TestSimClockIgnoresVirtualClockMethods(t *testing.T) {
+	// A method named Now on the simulator's own clock is exactly the
+	// sanctioned replacement and must not be flagged.
+	const src = `package blksim
+
+type Clock struct{ t int64 }
+
+func (c *Clock) Now() int64 { return c.t }
+
+func Tick(c *Clock) int64 { return c.Now() }
+`
+	wantDiags(t, analyze(t, "rmtk/internal/blksim", src))
+}
+
+func TestLockedCallbackFlagsSameOwnerInvocation(t *testing.T) {
+	const src = `package hooks
+
+import "sync"
+
+type Hooks struct {
+	mu     sync.Mutex
+	onFire func(int)
+}
+
+func (h *Hooks) Bad(v int) {
+	h.mu.Lock()
+	h.onFire(v)
+	h.mu.Unlock()
+}
+
+func (h *Hooks) DeferBad(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.onFire(v)
+}
+`
+	diags := analyze(t, "rmtk/internal/hooks", src)
+	wantDiags(t, diags,
+		"lockedcallback: callback h.onFire invoked while h's mutex is held",
+		"lockedcallback: callback h.onFire invoked while h's mutex is held",
+	)
+}
+
+func TestLockedCallbackAllowsCopyThenCall(t *testing.T) {
+	const src = `package hooks
+
+import "sync"
+
+type Hooks struct {
+	mu     sync.RWMutex
+	onFire func(int)
+}
+
+func (h *Hooks) Good(v int) {
+	h.mu.RLock()
+	cb := h.onFire
+	h.mu.RUnlock()
+	if cb != nil {
+		cb(v)
+	}
+}
+`
+	wantDiags(t, analyze(t, "rmtk/internal/hooks", src))
+}
+
+func TestLockedCallbackAllowsSerializationLock(t *testing.T) {
+	// Running another object's step closures under a plane-level commit
+	// mutex is the transaction engine's sanctioned pattern: the closure
+	// belongs to the step, not to the locked plane, so it cannot re-enter
+	// the held lock through its owner.
+	const src = `package hooks
+
+import "sync"
+
+type Plane struct{ commitMu sync.Mutex }
+
+type Step struct{ apply func() error }
+
+func Commit(p *Plane, steps []Step) error {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	for _, s := range steps {
+		if err := s.apply(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`
+	wantDiags(t, analyze(t, "rmtk/internal/hooks", src))
+}
+
+func TestLockedCallbackIgnoresFuncLiterals(t *testing.T) {
+	// A func literal defined under the lock runs later (goroutine or
+	// defer), outside the critical section observed here.
+	const src = `package hooks
+
+import "sync"
+
+type Hooks struct {
+	mu     sync.Mutex
+	onFire func(int)
+}
+
+func (h *Hooks) Spawn(v int) {
+	h.mu.Lock()
+	go func() { h.onFire(v) }()
+	h.mu.Unlock()
+}
+`
+	wantDiags(t, analyze(t, "rmtk/internal/hooks", src))
+}
+
+func TestCtrlErrorsFlagsStringifiedSentinel(t *testing.T) {
+	const src = `package ctrl
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGate = errors.New("ctrl: gate refused")
+
+func bad(id int64) error  { return fmt.Errorf("model %d: %v", id, ErrGate) }
+func alsoBad() error      { return fmt.Errorf("during commit: %s", ErrGate) }
+func good(id int64) error { return fmt.Errorf("model %d: %w", id, ErrGate) }
+`
+	diags := analyze(t, "rmtk/internal/ctrl", src)
+	wantDiags(t, diags,
+		"ctrlerrors: ctrl sentinel ErrGate formatted with %v",
+		"ctrlerrors: ctrl sentinel ErrGate formatted with %s",
+	)
+}
+
+func TestCtrlErrorsIgnoresOtherPackages(t *testing.T) {
+	// The discipline is scoped to ctrl's sentinels; other packages keep
+	// their own conventions.
+	const src = `package other
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrLocal = errors.New("other: local")
+
+func f() error { return fmt.Errorf("context: %v", ErrLocal) }
+`
+	wantDiags(t, analyze(t, "rmtk/internal/other", src))
+}
+
+func TestCtrlErrorsHandlesWidthAndLiteralPercent(t *testing.T) {
+	// Star widths consume arguments of their own and %% consumes none;
+	// the verb/argument alignment must survive both.
+	const src = `package ctrl
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGate = errors.New("ctrl: gate refused")
+
+func bad(w int) error { return fmt.Errorf("100%% over %*d: %v", w, 3, ErrGate) }
+`
+	diags := analyze(t, "rmtk/internal/ctrl", src)
+	wantDiags(t, diags,
+		"ctrlerrors: ctrl sentinel ErrGate formatted with %v",
+	)
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockedCallbackAnalyzer flags calls to func-typed struct fields made while
+// the owning object's sync.Mutex or sync.RWMutex is held. Such fields are
+// caller-supplied callbacks (hook handlers, labelers, fault hooks);
+// invoking one under the owner's lock hands the critical section to
+// arbitrary user code, which may re-enter the owner and deadlock. The
+// sanctioned pattern is to copy the field into a local under the lock and
+// invoke the copy after unlocking — calling a local copy is never flagged.
+//
+// The check is scoped to the lock's owner: `h.mu.Lock(); h.onFire()` is
+// flagged because onFire can re-enter h while h is locked, but running a
+// step closure under an unrelated serialization lock (e.g. a transaction
+// engine applying steps under its plane's commit mutex) is not — the
+// closure cannot re-acquire that lock through the object it belongs to.
+var LockedCallbackAnalyzer = &Analyzer{
+	Name: "lockedcallback",
+	Doc:  "forbid invoking an object's func-typed fields while that object's mutex is held",
+	Run:  runLockedCallback,
+}
+
+func runLockedCallback(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockedCallbacks(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkLockedCallbacks walks one function body in source order, tracking
+// which objects have their mutex held (keyed by the owner expression: for
+// `c.p.mu.Lock()` the owner is `c.p`). The tracking is linear (a Lock is
+// held until the matching Unlock appears later in the source), which
+// matches how critical sections are written in this codebase; deferred
+// unlocks keep the mutex held for the remainder of the body.
+func checkLockedCallbacks(pass *Pass, body *ast.BlockStmt) {
+	held := map[string]bool{}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A function literal runs in its own execution context (often a
+			// goroutine or a deferred cleanup), not under the current lock.
+			return false
+		case *ast.DeferStmt:
+			// `defer mu.Unlock()` releases at return; the rest of the body
+			// still runs under the lock, so it is not an unlock event here.
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				if owner, ok := mutexOwner(pass, sel.X); ok {
+					held[owner] = true
+					return true
+				}
+			case "Unlock", "RUnlock":
+				if owner, ok := mutexOwner(pass, sel.X); ok {
+					delete(held, owner)
+					return true
+				}
+			}
+			if len(held) > 0 && isFuncField(pass, sel) && held[types.ExprString(sel.X)] {
+				pass.Reportf(n.Pos(),
+					"callback %s invoked while %s's mutex is held; copy the field under the lock and call the copy after unlocking",
+					types.ExprString(sel), types.ExprString(sel.X))
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// mutexOwner returns the owner expression of a mutex value: for `h.mu` it
+// is `h`, the object whose fields the mutex guards. Bare mutex variables
+// have no owner object and are ignored.
+func mutexOwner(pass *Pass, expr ast.Expr) (string, bool) {
+	if !isMutex(pass, expr) {
+		return "", false
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// isMutex reports whether expr's type is sync.Mutex or sync.RWMutex
+// (directly or through a pointer).
+func isMutex(pass *Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isFuncField reports whether sel selects a struct field of function type.
+func isFuncField(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	_, isSig := s.Type().Underlying().(*types.Signature)
+	return isSig
+}

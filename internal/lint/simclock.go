@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimClockAnalyzer flags wall-clock reads inside simulation packages. The
+// *sim packages (schedsim, memsim, blksim, ...) advance a virtual clock;
+// a time.Now/Since/Until call inside one makes simulated results depend on
+// host scheduling and wall time, which breaks reproducibility.
+var SimClockAnalyzer = &Analyzer{
+	Name: "simclock",
+	Doc:  "forbid time.Now/Since/Until in *sim packages (virtual-clock discipline)",
+	Run:  runSimClock,
+}
+
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runSimClock(pass *Pass) error {
+	if !strings.HasSuffix(pass.Pkg.Name(), "sim") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s in simulation package %s: use the simulator's virtual clock",
+				sel.Sel.Name, pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil
+}

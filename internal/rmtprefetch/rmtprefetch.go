@@ -200,6 +200,7 @@ func DefaultCanaryConfig() ctrl.CanaryConfig {
 		MaxTrapFrac:       0,
 		MinShadowAccuracy: 0.5,
 		MinShadowOutcomes: 32,
+		MaxStaticOps:      1 << 20,
 	}
 }
 

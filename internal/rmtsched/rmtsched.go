@@ -11,6 +11,7 @@ import (
 
 	"rmtk/internal/core"
 	"rmtk/internal/ctrl"
+	"rmtk/internal/isa"
 	"rmtk/internal/ml/feature"
 	"rmtk/internal/ml/mlp"
 	"rmtk/internal/schedsim"
@@ -56,12 +57,16 @@ type Decider struct {
 // datapath: the MLP's verdict *is* the decision, so divergence against the
 // incumbent is meaningful — a retrained policy may legitimately flip some
 // decisions, but one that flips more than half of them is rejected, and any
-// shadow trap rejects outright.
+// shadow trap rejects outright. A candidate whose verifier-proven worst
+// case exceeds one program's instruction budget or a million ML ops is
+// rejected before any shadow traffic is spent on it.
 func DefaultCanaryConfig() ctrl.CanaryConfig {
 	return ctrl.CanaryConfig{
 		MinShadowFires:    64,
 		MaxDivergenceFrac: 0.5,
 		MaxTrapFrac:       0,
+		MaxStaticSteps:    isa.MaxProgInsns,
+		MaxStaticOps:      1 << 20,
 	}
 }
 

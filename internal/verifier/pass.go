@@ -12,12 +12,25 @@ const (
 	vecUnknown = -1 // written, but length not statically known
 )
 
-// absState is the abstract machine state at an instruction boundary.
+// absState is the abstract machine state at an instruction boundary: the
+// init-tracking domains (register/stack bitmasks, vector lengths) joined
+// with the interval (value-range) domain over scalar registers, stack slots
+// and vector elements.
 type absState struct {
 	regs  uint32            // bitmask of initialized scalar registers
 	stack uint64            // bitmask of initialized stack slots
 	vecs  [isa.NumVRegs]int // abstract vector lengths
 	live  bool              // whether any path reaches this point
+
+	// Value ranges. riv/siv/velem track scalar registers, stack slots and
+	// the covering range of each vector register's elements. All entries
+	// start at Top: registers can carry arbitrary caller values across tail
+	// calls, the scratch stack persists across invocations, and the
+	// init-tracking domains above already reject reads that precede a
+	// local write.
+	riv   [isa.NumRegs]isa.Interval
+	siv   [isa.StackWords]isa.Interval
+	velem [isa.NumVRegs]isa.Interval
 }
 
 func entryState() absState {
@@ -26,10 +39,21 @@ func entryState() absState {
 	for i := range s.vecs {
 		s.vecs[i] = vecUnset
 	}
+	for i := range s.riv {
+		s.riv[i] = isa.TopInterval()
+	}
+	for i := range s.siv {
+		s.siv[i] = isa.TopInterval()
+	}
+	for i := range s.velem {
+		s.velem[i] = isa.TopInterval()
+	}
 	return s
 }
 
 // merge folds an incoming edge state into the accumulated state at a join.
+// Init masks intersect (a fact must hold on every path), vector lengths
+// meet, and intervals union.
 func (s *absState) merge(in absState) {
 	if !s.live {
 		*s = in
@@ -45,6 +69,15 @@ func (s *absState) merge(in absState) {
 			s.vecs[i] = vecUnknown
 		}
 	}
+	for i := range s.riv {
+		s.riv[i] = s.riv[i].Union(in.riv[i])
+	}
+	for i := range s.siv {
+		s.siv[i] = s.siv[i].Union(in.siv[i])
+	}
+	for i := range s.velem {
+		s.velem[i] = s.velem[i].Union(in.velem[i])
+	}
 }
 
 // pass verifies a single program (no tail recursion).
@@ -52,6 +85,10 @@ type pass struct {
 	prog *isa.Program
 	cfg  Config
 	rep  *Report
+	// collect is set for the root program of a tail chain: its proofs,
+	// dead-edge counts and helper contracts are recorded into the report.
+	collect bool
+	proofs  []isa.ProofMask
 }
 
 func declared(ids []int64, id int64) bool {
@@ -74,6 +111,7 @@ func (p *pass) run() ([]int64, error) {
 	if n > isa.MaxProgInsns {
 		return nil, fmt.Errorf("%w: %d > %d", ErrTooLong, n, isa.MaxProgInsns)
 	}
+	p.proofs = make([]isa.ProofMask, n)
 
 	// Structural pass: opcodes, registers, jump discipline.
 	for pc, in := range insns {
@@ -134,13 +172,19 @@ func (p *pass) run() ([]int64, error) {
 		if err := p.checkResources(pc, in, seenRes, &tailIDs); err != nil {
 			return nil, err
 		}
+		if err := p.proveChecks(pc, in, &st); err != nil {
+			return nil, err
+		}
 		if c, err := p.applyEffects(pc, in, &out); err != nil {
 			return nil, err
 		} else {
 			opCost = c
 		}
 
-		// Propagate along successors.
+		// Propagate along successors. Conditional branches narrow the
+		// compared intervals per edge; an edge whose narrowing is
+		// infeasible is statically dead and contributes neither state nor
+		// worst-case cost.
 		switch {
 		case in.Op == isa.OpExit, in.Op == isa.OpTailCall:
 			if in.Op == isa.OpExit && st.regs&1 == 0 {
@@ -155,8 +199,30 @@ func (p *pass) run() ([]int64, error) {
 		case in.Op == isa.OpJmp:
 			flow(pc, pc+1+int(in.Off), out, 1, opCost)
 		case in.Op.IsCondJump():
-			flow(pc, pc+1+int(in.Off), out, 1, opCost)
-			flow(pc, pc+1, out, 1, opCost)
+			rel, isImm, _ := isa.CondRel(in.Op)
+			a := out.riv[in.Dst]
+			b := isa.Point(in.Imm)
+			if !isImm {
+				b = out.riv[in.Src]
+			}
+			branch := func(r isa.Rel, to int) {
+				na, nb, feasible := isa.Narrow(r, a, b)
+				if !feasible {
+					if p.collect {
+						p.rep.DeadEdges++
+					}
+					p.warnf("pc %d branch edge to %d infeasible: %s", pc, to, in)
+					return
+				}
+				e := out
+				e.riv[in.Dst] = na
+				if !isImm {
+					e.riv[in.Src] = nb
+				}
+				flow(pc, to, e, 1, opCost)
+			}
+			branch(rel, pc+1+int(in.Off))
+			branch(rel.Negate(), pc+1)
 		default:
 			flow(pc, pc+1, out, 1, opCost)
 		}
@@ -164,11 +230,107 @@ func (p *pass) run() ([]int64, error) {
 
 	p.rep.MaxSteps += maxSteps
 	p.rep.MLOps += maxOps
+	if p.collect {
+		p.rep.Proofs = p.proofs
+	}
 	return tailIDs, nil
 }
 
 func (p *pass) warnf(format string, args ...any) {
 	p.rep.Warnings = append(p.rep.Warnings, fmt.Sprintf("%s: %s", p.prog.Name, fmt.Sprintf(format, args...)))
+}
+
+// prove marks a runtime check at pc as statically discharged.
+func (p *pass) prove(pc int, bit isa.ProofMask) {
+	p.proofs[pc] |= bit
+	if p.collect && bit != isa.ProofNoOverflow {
+		p.rep.ElidedChecks++
+	}
+}
+
+// proveChecks inspects the incoming abstract state and records which of the
+// instruction's runtime checks are statically discharged. Helper-argument
+// contracts are also *refuted* here: a call site whose argument interval is
+// disjoint from the helper's contract can never succeed and is rejected.
+func (p *pass) proveChecks(pc int, in isa.Instr, st *absState) error {
+	switch in.Op {
+	case isa.OpDiv, isa.OpMod:
+		if !st.riv[in.Src].Contains(0) {
+			p.prove(pc, isa.ProofDivNonZero)
+		}
+	case isa.OpLdStack, isa.OpStStack:
+		// checkReads already rejected out-of-range slots, so the remaining
+		// runtime bounds check is always discharged.
+		p.prove(pc, isa.ProofStackInBounds)
+	case isa.OpVecSet:
+		if n := st.vecs[in.Dst]; n >= 0 && in.Imm >= 0 && int(in.Imm) < n {
+			p.prove(pc, isa.ProofVecIndexInBounds)
+		}
+	case isa.OpScalarVal:
+		if n := st.vecs[in.Src]; n >= 0 && in.Imm >= 0 && int(in.Imm) < n {
+			p.prove(pc, isa.ProofVecIndexInBounds)
+		}
+	case isa.OpVecSt:
+		if st.vecs[in.Src] != vecUnset {
+			p.prove(pc, isa.ProofVecSet)
+		}
+	case isa.OpMatMul, isa.OpMLInfer:
+		if st.vecs[in.Src] != vecUnset {
+			p.prove(pc, isa.ProofVecSet)
+		}
+	case isa.OpVecPush:
+		if st.vecs[in.Dst] >= 1 {
+			p.prove(pc, isa.ProofVecSet)
+		}
+	case isa.OpVecArgMax:
+		if st.vecs[in.Src] >= 1 {
+			p.prove(pc, isa.ProofVecSet)
+		}
+	case isa.OpVecAdd, isa.OpVecMul:
+		a, b := st.vecs[in.Dst], st.vecs[in.Src]
+		if a >= 0 && a == b {
+			p.prove(pc, isa.ProofVecLenMatch)
+		}
+	case isa.OpVecDot:
+		a, b := st.vecs[in.Src], st.vecs[uint8(in.Imm)]
+		if a >= 0 && a == b {
+			p.prove(pc, isa.ProofVecLenMatch)
+		}
+	case isa.OpVecQuant:
+		mul, _ := isa.UnpackQuant(in.Imm)
+		if st.vecs[in.Dst] != vecUnset && !st.velem[in.Dst].MulOverflows(isa.Point(mul)) {
+			p.prove(pc, isa.ProofNoOverflow)
+		}
+	case isa.OpCall:
+		spec, ok := p.cfg.Helpers[in.Imm]
+		if !ok || len(spec.Args) == 0 {
+			return nil
+		}
+		proven := true
+		for i, c := range spec.Args {
+			if i >= 5 || c.IsTop() {
+				continue
+			}
+			arg := st.riv[1+i]
+			if _, overlaps := arg.Intersect(c); !overlaps {
+				return fmt.Errorf("%w: pc %d helper %d (%s) r%d in %s outside contract %s",
+					ErrHelperArg, pc, in.Imm, spec.Name, 1+i, arg, c)
+			}
+			if !c.ContainsInterval(arg) {
+				proven = false
+			}
+		}
+		if proven {
+			p.prove(pc, isa.ProofHelperArgs)
+		}
+		if p.collect {
+			if p.rep.HelperContracts == nil {
+				p.rep.HelperContracts = make(map[int64][]isa.Interval)
+			}
+			p.rep.HelperContracts[in.Imm] = spec.Args
+		}
+	}
+	return nil
 }
 
 // regClass describes which operand fields of an opcode name scalar (r) or
@@ -400,65 +562,113 @@ func (p *pass) checkResources(pc int, in isa.Instr, seen map[[2]int64]bool, tail
 		}
 		*tails = append(*tails, in.Imm)
 	case isa.OpLdCtxt, isa.OpStCtxt:
-		if in.Imm < 0 || in.Imm >= MaxCtxFields {
-			return fmt.Errorf("%w: pc %d field %d", ErrFieldRange, pc, in.Imm)
+		limit := int64(MaxCtxFields)
+		if p.cfg.CtxFields > 0 && int64(p.cfg.CtxFields) < limit {
+			limit = int64(p.cfg.CtxFields)
+		}
+		if in.Imm < 0 || in.Imm >= limit {
+			return fmt.Errorf("%w: pc %d field %d (limit %d)", ErrFieldRange, pc, in.Imm, limit)
 		}
 	}
 	return nil
 }
 
-// applyEffects writes the instruction's defs into the abstract state and
-// returns its ML op cost.
+// applyEffects writes the instruction's defs — init bits, vector shapes and
+// value ranges — into the abstract state and returns its ML op cost.
 func (p *pass) applyEffects(pc int, in isa.Instr, out *absState) (int64, error) {
-	defR := func(idx uint8) { out.regs |= 1 << idx }
+	defR := func(idx uint8, iv isa.Interval) {
+		out.regs |= 1 << idx
+		out.riv[idx] = iv
+	}
+	riv := &out.riv
 	switch in.Op {
-	case isa.OpMov, isa.OpMovImm:
-		defR(in.Dst)
-	case isa.OpAdd, isa.OpAddImm, isa.OpSub, isa.OpMul, isa.OpMulImm,
-		isa.OpDiv, isa.OpMod, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl,
-		isa.OpShr, isa.OpNeg, isa.OpAbs, isa.OpMin, isa.OpMax:
-		defR(in.Dst)
+	case isa.OpMov:
+		defR(in.Dst, riv[in.Src])
+	case isa.OpMovImm:
+		defR(in.Dst, isa.Point(in.Imm))
+	case isa.OpAdd:
+		defR(in.Dst, riv[in.Dst].Add(riv[in.Src]))
+	case isa.OpAddImm:
+		defR(in.Dst, riv[in.Dst].Add(isa.Point(in.Imm)))
+	case isa.OpSub:
+		defR(in.Dst, riv[in.Dst].Sub(riv[in.Src]))
+	case isa.OpMul:
+		defR(in.Dst, riv[in.Dst].Mul(riv[in.Src]))
+	case isa.OpMulImm:
+		defR(in.Dst, riv[in.Dst].Mul(isa.Point(in.Imm)))
+	case isa.OpDiv:
+		defR(in.Dst, riv[in.Dst].Div(riv[in.Src]))
+	case isa.OpMod:
+		defR(in.Dst, riv[in.Dst].Mod(riv[in.Src]))
+	case isa.OpAnd:
+		defR(in.Dst, riv[in.Dst].And(riv[in.Src]))
+	case isa.OpOr:
+		defR(in.Dst, riv[in.Dst].Or(riv[in.Src]))
+	case isa.OpXor:
+		defR(in.Dst, riv[in.Dst].Xor(riv[in.Src]))
+	case isa.OpShl:
+		defR(in.Dst, riv[in.Dst].Shl(riv[in.Src]))
+	case isa.OpShr:
+		defR(in.Dst, riv[in.Dst].Shr(riv[in.Src]))
+	case isa.OpNeg:
+		defR(in.Dst, riv[in.Dst].Neg())
+	case isa.OpAbs:
+		defR(in.Dst, riv[in.Dst].Abs())
+	case isa.OpMin:
+		defR(in.Dst, riv[in.Dst].Min(riv[in.Src]))
+	case isa.OpMax:
+		defR(in.Dst, riv[in.Dst].Max(riv[in.Src]))
 	case isa.OpLdStack:
-		defR(in.Dst)
+		defR(in.Dst, out.siv[in.Imm])
 	case isa.OpStStack:
 		out.stack |= 1 << uint(in.Imm)
+		out.siv[in.Imm] = riv[in.Src]
 	case isa.OpLdCtxt, isa.OpMatchCtxt:
-		defR(in.Dst)
+		defR(in.Dst, isa.TopInterval())
 	case isa.OpStCtxt, isa.OpHistPush:
 		p.rep.WritesCtx = true
 	case isa.OpCall:
-		defR(0)
+		ret := isa.TopInterval()
 		if h, ok := p.cfg.Helpers[in.Imm]; ok {
+			if h.Ret != nil {
+				ret = *h.Ret
+			}
+			defR(0, ret)
 			return h.Cost, nil
 		}
+		defR(0, ret)
 	case isa.OpVecZero:
 		if in.Imm < 0 || in.Imm > isa.MaxVecLen {
 			return 0, fmt.Errorf("%w: pc %d len %d", ErrVecTooLong, pc, in.Imm)
 		}
 		out.vecs[in.Dst] = int(in.Imm)
+		out.velem[in.Dst] = isa.Point(0)
 	case isa.OpVecLd:
 		n := p.cfg.Vecs[in.Imm]
 		if n > isa.MaxVecLen {
 			return 0, fmt.Errorf("%w: pc %d pool %d len %d", ErrVecTooLong, pc, in.Imm, n)
 		}
 		out.vecs[in.Dst] = n
+		out.velem[in.Dst] = isa.TopInterval()
 	case isa.OpVecLdHist:
 		if in.Imm < 0 || in.Imm > isa.MaxVecLen {
 			return 0, fmt.Errorf("%w: pc %d len %d", ErrVecTooLong, pc, in.Imm)
 		}
 		// The VM loads however much history exists, up to Imm.
 		out.vecs[in.Dst] = vecUnknown
+		out.velem[in.Dst] = isa.TopInterval()
 	case isa.OpVecSet:
 		n := out.vecs[in.Dst]
 		if n >= 0 && (in.Imm < 0 || int(in.Imm) >= n) {
 			return 0, fmt.Errorf("%w: pc %d v%d[%d] len %d", ErrShapeMismatch, pc, in.Dst, in.Imm, n)
 		}
+		out.velem[in.Dst] = out.velem[in.Dst].Union(riv[in.Src])
 	case isa.OpScalarVal:
 		n := out.vecs[in.Src]
 		if n >= 0 && (in.Imm < 0 || int(in.Imm) >= n) {
 			return 0, fmt.Errorf("%w: pc %d v%d[%d] len %d", ErrShapeMismatch, pc, in.Src, in.Imm, n)
 		}
-		defR(in.Dst)
+		defR(in.Dst, out.velem[in.Src])
 	case isa.OpMatMul:
 		ms := p.cfg.Mats[in.Imm]
 		inLen := out.vecs[in.Src]
@@ -473,6 +683,7 @@ func (p *pass) applyEffects(pc int, in isa.Instr, out *absState) (int64, error) 
 			return 0, fmt.Errorf("%w: pc %d matmul out %d", ErrVecTooLong, pc, ms.Out)
 		}
 		out.vecs[in.Dst] = ms.Out
+		out.velem[in.Dst] = isa.TopInterval()
 		return 2 * int64(ms.In) * int64(ms.Out), nil
 	case isa.OpVecAdd, isa.OpVecMul:
 		a, b := out.vecs[in.Dst], out.vecs[in.Src]
@@ -480,23 +691,53 @@ func (p *pass) applyEffects(pc int, in isa.Instr, out *absState) (int64, error) 
 			return 0, fmt.Errorf("%w: pc %d v%d len %d vs v%d len %d",
 				ErrShapeMismatch, pc, in.Dst, a, in.Src, b)
 		}
+		if in.Op == isa.OpVecAdd {
+			out.velem[in.Dst] = out.velem[in.Dst].Add(out.velem[in.Src])
+		} else {
+			out.velem[in.Dst] = out.velem[in.Dst].Mul(out.velem[in.Src])
+		}
 		if a >= 0 {
 			return int64(a), nil
 		}
 		return int64(isa.MaxVecLen), nil
 	case isa.OpVecPush:
+		out.velem[in.Dst] = out.velem[in.Dst].Union(riv[in.Src])
 		if n := out.vecs[in.Dst]; n >= 0 {
 			return int64(n), nil
 		}
 		return int64(isa.MaxVecLen), nil
 	case isa.OpVecRelu, isa.OpVecQuant, isa.OpVecClamp:
+		e := out.velem[in.Dst]
+		switch in.Op {
+		case isa.OpVecRelu:
+			e = e.Max(isa.Point(0))
+		case isa.OpVecQuant:
+			mul, shift := isa.UnpackQuant(in.Imm)
+			e = e.Mul(isa.Point(mul)).Shr(isa.Point(int64(shift)))
+		case isa.OpVecClamp:
+			e = e.Clamp(in.Imm)
+		}
+		out.velem[in.Dst] = e
 		if n := out.vecs[in.Dst]; n >= 0 {
 			return int64(n), nil
 		}
 		return int64(isa.MaxVecLen), nil
 	case isa.OpVecArgMax, isa.OpVecSum:
-		defR(in.Dst)
-		if n := out.vecs[in.Src]; n >= 0 {
+		n := out.vecs[in.Src]
+		lenIv := isa.Range(0, isa.MaxVecLen)
+		if n >= 0 {
+			lenIv = isa.Point(int64(n))
+		}
+		if in.Op == isa.OpVecArgMax {
+			hi := lenIv.Hi - 1
+			if hi < 0 {
+				hi = 0
+			}
+			defR(in.Dst, isa.Range(0, hi))
+		} else {
+			defR(in.Dst, lenIv.Mul(out.velem[in.Src]))
+		}
+		if n >= 0 {
 			return int64(n), nil
 		}
 		return int64(isa.MaxVecLen), nil
@@ -506,13 +747,17 @@ func (p *pass) applyEffects(pc int, in isa.Instr, out *absState) (int64, error) 
 			return 0, fmt.Errorf("%w: pc %d vecdot v%d len %d vs v%d len %d",
 				ErrShapeMismatch, pc, in.Src, a, uint8(in.Imm), b)
 		}
-		defR(in.Dst)
+		lenIv := isa.Range(0, isa.MaxVecLen)
+		if a >= 0 {
+			lenIv = isa.Point(int64(a))
+		}
+		defR(in.Dst, lenIv.Mul(out.velem[in.Src].Mul(out.velem[uint8(in.Imm)])))
 		if a >= 0 {
 			return 2 * int64(a), nil
 		}
 		return 2 * int64(isa.MaxVecLen), nil
 	case isa.OpMLInfer:
-		defR(in.Dst)
+		defR(in.Dst, isa.TopInterval())
 		return p.cfg.Models[in.Imm].Ops, nil
 	}
 	return 0, nil

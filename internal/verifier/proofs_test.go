@@ -1,0 +1,277 @@
+package verifier
+
+import (
+	"strings"
+	"testing"
+
+	"rmtk/internal/isa"
+)
+
+// --- absState.merge join edge cases -------------------------------------
+
+func TestMergeIntoDeadStateCopies(t *testing.T) {
+	var s absState // not live: join target never reached yet
+	in := entryState()
+	in.vecs[1] = 4
+	in.riv[2] = isa.Range(3, 9)
+	s.merge(in)
+	if !s.live || s.vecs[1] != 4 || s.riv[2] != isa.Range(3, 9) {
+		t.Fatalf("merge into dead state must copy the incoming edge verbatim: %+v", s)
+	}
+}
+
+func TestMergeVectorLengthLattice(t *testing.T) {
+	cases := []struct {
+		a, b, want int
+	}{
+		{4, 4, 4},                        // equal lengths survive
+		{4, 5, vecUnknown},               // conflicting lengths lose precision
+		{4, vecUnknown, vecUnknown},      // unknown absorbs known
+		{4, vecUnset, vecUnset},          // unset on any path means unset
+		{vecUnknown, vecUnset, vecUnset}, // unset dominates unknown too
+	}
+	for _, c := range cases {
+		s, in := entryState(), entryState()
+		s.vecs[0], in.vecs[0] = c.a, c.b
+		s.merge(in)
+		if s.vecs[0] != c.want {
+			t.Errorf("merge(%d, %d) = %d, want %d", c.a, c.b, s.vecs[0], c.want)
+		}
+		// The join must be symmetric.
+		s, in = entryState(), entryState()
+		s.vecs[0], in.vecs[0] = c.b, c.a
+		s.merge(in)
+		if s.vecs[0] != c.want {
+			t.Errorf("merge(%d, %d) = %d, want %d", c.b, c.a, s.vecs[0], c.want)
+		}
+	}
+}
+
+func TestMergeIntersectsInitMasksAndUnionsIntervals(t *testing.T) {
+	s, in := entryState(), entryState()
+	s.regs |= 1 << 6
+	s.riv[6] = isa.Point(2)
+	s.stack |= 1 << 3
+	s.siv[3] = isa.Range(0, 1)
+
+	in.regs |= 1 << 7 // r6 not initialized on this edge
+	in.riv[6] = isa.Point(9)
+	in.siv[3] = isa.Range(5, 8) // slot 3 not initialized on this edge
+
+	s.merge(in)
+	if s.regs&(1<<6) != 0 || s.regs&(1<<7) != 0 {
+		t.Fatal("init masks must intersect: a register written on one path only is uninitialized")
+	}
+	if s.stack&(1<<3) != 0 {
+		t.Fatal("stack init mask must intersect")
+	}
+	if s.riv[6] != isa.Range(2, 9) {
+		t.Fatalf("interval join = %s, want [2, 9]", s.riv[6])
+	}
+	if s.siv[3] != isa.Range(0, 8) {
+		t.Fatalf("stack interval join = %s, want [0, 8]", s.siv[3])
+	}
+}
+
+// --- proof emission ------------------------------------------------------
+
+func TestProofDivByProvenNonZero(t *testing.T) {
+	rep := wantOK(t, prog("movimm r4, 5\ndiv r1, r4\nmov r0, r1\nexit"), cfg())
+	if rep.Proofs[1]&isa.ProofDivNonZero == 0 {
+		t.Fatalf("div by the constant 5 should carry ProofDivNonZero; proofs = %v", rep.Proofs)
+	}
+	if rep.ElidedChecks == 0 {
+		t.Fatal("ElidedChecks must count the discharged division check")
+	}
+}
+
+func TestProofDivByUnknownNotGranted(t *testing.T) {
+	rep := wantOK(t, prog("div r1, r2\nmov r0, r1\nexit"), cfg())
+	if rep.Proofs[0]&isa.ProofDivNonZero != 0 {
+		t.Fatal("r2 is caller-controlled (Top) and may be zero; the check must stay")
+	}
+}
+
+func TestProofStackAlwaysDischarged(t *testing.T) {
+	rep := wantOK(t, prog("ststack [3], r1\nldstack r0, [3]\nexit"), cfg())
+	if rep.Proofs[0]&isa.ProofStackInBounds == 0 || rep.Proofs[1]&isa.ProofStackInBounds == 0 {
+		t.Fatalf("verified stack accesses are always in bounds; proofs = %v", rep.Proofs)
+	}
+}
+
+// TestProofBranchNarrowingBoundary pins the off-by-one behavior of branch
+// narrowing: `jgti r1, 0` proves r1 >= 1 on the taken edge (division safe),
+// while `jgti r1, -1` only proves r1 >= 0 (division check must stay).
+func TestProofBranchNarrowingBoundary(t *testing.T) {
+	const tmpl = `
+        jgti   r1, %IMM%, pos
+        jmp    done
+pos:    div    r2, r1
+done:   movimm r0, 1
+        exit`
+	run := func(imm string) *Report {
+		return wantOK(t, prog(strings.ReplaceAll(tmpl[1:], "%IMM%", imm)), cfg())
+	}
+	if rep := run("0"); rep.Proofs[2]&isa.ProofDivNonZero == 0 {
+		t.Fatalf("taken edge of jgti r1, 0 narrows r1 to [1, +inf); div should be proven: %v", rep.Proofs)
+	}
+	if rep := run("-1"); rep.Proofs[2]&isa.ProofDivNonZero != 0 {
+		t.Fatalf("taken edge of jgti r1, -1 narrows r1 to [0, +inf); div must keep its check: %v", rep.Proofs)
+	}
+}
+
+// TestProofSurvivesJoinWhenBothArmsNonZero: the union of the two arms'
+// intervals decides the proof at the join, not either arm alone.
+func TestProofSurvivesJoinWhenBothArmsNonZero(t *testing.T) {
+	const src = `        movimm r4, 2
+        jgti   r1, 0, join
+        movimm r4, 3
+join:   div    r1, r4
+        mov    r0, r1
+        exit`
+	rep := wantOK(t, prog(src), cfg())
+	if rep.Proofs[3]&isa.ProofDivNonZero == 0 {
+		t.Fatalf("r4 is [2,3] at the join; div should be proven: %v", rep.Proofs)
+	}
+
+	const srcZero = `        movimm r4, 0
+        jgti   r1, 0, join
+        movimm r4, 3
+join:   div    r1, r4
+        mov    r0, r1
+        exit`
+	rep = wantOK(t, prog(srcZero), cfg())
+	if rep.Proofs[3]&isa.ProofDivNonZero != 0 {
+		t.Fatal("r4 is [0,3] at the join; the zero arm must kill the proof")
+	}
+}
+
+// TestDeadEdgeExcludedFromWorstCase: a statically infeasible branch edge is
+// counted in DeadEdges, warned about, and its instructions do not inflate
+// the worst-case step count.
+func TestDeadEdgeExcludedFromWorstCase(t *testing.T) {
+	const src = `        movimm r0, 1
+        movimm r1, 5
+        jgti   r1, 3, done
+        movimm r0, 9
+done:   exit`
+	rep := wantOK(t, prog(src), cfg())
+	if rep.DeadEdges != 1 {
+		t.Fatalf("DeadEdges = %d, want 1 (fall-through of 5 > 3 is infeasible)", rep.DeadEdges)
+	}
+	if rep.MaxSteps != 4 {
+		t.Fatalf("MaxSteps = %d, want 4: the dead arm must not count", rep.MaxSteps)
+	}
+	if len(rep.Warnings) == 0 {
+		t.Fatal("the unreachable instruction should produce a warning")
+	}
+}
+
+// --- vector proofs -------------------------------------------------------
+
+func TestVectorProofs(t *testing.T) {
+	const src = `        veczero v0, 4
+        veczero v1, 4
+        vecset  v0, 2, r1
+        vecadd  v0, v1
+        scalarval r0, v0, 1
+        exit`
+	rep := wantOK(t, prog(src), cfg())
+	if rep.Proofs[2]&isa.ProofVecIndexInBounds == 0 {
+		t.Fatal("vecset index 2 into a length-4 vector should be proven in bounds")
+	}
+	if rep.Proofs[3]&isa.ProofVecLenMatch == 0 {
+		t.Fatal("vecadd of two length-4 vectors should be proven shape-safe")
+	}
+	if rep.Proofs[4]&isa.ProofVecIndexInBounds == 0 {
+		t.Fatal("scalarval index 1 should be proven in bounds")
+	}
+}
+
+func TestVectorProofNotGrantedForUnknownLength(t *testing.T) {
+	// vecldhist loads however much history exists: length statically
+	// unknown, so index and shape proofs must not be granted.
+	const src = `        vecldhist v0, r1, 4
+        veczero  v1, 4
+        vecadd   v1, v0
+        vecset   v0, 0, r1
+        movimm   r0, 1
+        exit`
+	rep := wantOK(t, prog(src), cfg())
+	if rep.Proofs[2]&isa.ProofVecLenMatch != 0 {
+		t.Fatal("vecadd with an unknown-length operand must keep its runtime check")
+	}
+	if rep.Proofs[3]&isa.ProofVecIndexInBounds != 0 {
+		t.Fatal("vecset into an unknown-length vector must keep its runtime check")
+	}
+	// The vector is still known to be written, so the nil check is proven.
+	if rep.Proofs[2]&isa.ProofVecSet != 0 {
+		// vecadd carries no ProofVecSet bit; just ensure no spurious grant.
+		t.Fatal("vecadd should not carry ProofVecSet")
+	}
+}
+
+// --- helper argument contracts ------------------------------------------
+
+func contractCfg() Config {
+	c := cfg()
+	ret := isa.Range(0, 100)
+	c.Helpers[6] = HelperSpec{
+		Name: "bounded", Cost: 1,
+		Args: []isa.Interval{isa.Range(0, 10)},
+		Ret:  &ret,
+	}
+	return c
+}
+
+func declHelper6(p *isa.Program) { p.Helpers = append(p.Helpers, 6) }
+
+func TestHelperContractProvenAtBoundary(t *testing.T) {
+	rep := wantOK(t, prog("movimm r1, 10\ncall 6\nexit", declHelper6), contractCfg())
+	if rep.Proofs[1]&isa.ProofHelperArgs == 0 {
+		t.Fatal("r1 = 10 is inside [0, 10]; the contract check should be elided")
+	}
+	if got := rep.HelperContracts[6]; len(got) != 1 || got[0] != isa.Range(0, 10) {
+		t.Fatalf("HelperContracts[6] = %v, want the declared ranges", got)
+	}
+}
+
+func TestHelperContractRefutedWhenDisjoint(t *testing.T) {
+	wantErr(t, prog("movimm r1, 11\ncall 6\nexit", declHelper6), contractCfg(), ErrHelperArg)
+	wantErr(t, prog("movimm r1, -1\ncall 6\nexit", declHelper6), contractCfg(), ErrHelperArg)
+}
+
+func TestHelperContractRuntimeEnforcedWhenOverlapping(t *testing.T) {
+	// r1 comes from the context: Top overlaps the contract without being
+	// contained, so no proof — the VM enforces it at the call site.
+	rep := wantOK(t, prog("ldctxt r1, r1, 0\ncall 6\nexit", declHelper6), contractCfg())
+	if rep.Proofs[1]&isa.ProofHelperArgs != 0 {
+		t.Fatal("Top argument cannot be proven inside [0, 10]")
+	}
+	if _, ok := rep.HelperContracts[6]; !ok {
+		t.Fatal("contracts must still be exported for runtime enforcement")
+	}
+}
+
+func TestHelperRetIntervalFlowsIntoProofs(t *testing.T) {
+	// The helper's declared return range [0, 100] shifts to [1, 101] after
+	// addimm, which excludes zero — proving the following division safe.
+	rep := wantOK(t, prog("movimm r1, 5\ncall 6\naddimm r0, 1\ndiv r1, r0\nmov r0, r1\nexit",
+		declHelper6), contractCfg())
+	if rep.Proofs[3]&isa.ProofDivNonZero == 0 {
+		t.Fatalf("Ret contract [0,100]+1 excludes zero; div should be proven: %v", rep.Proofs)
+	}
+}
+
+// --- proofs are per-program, root only ----------------------------------
+
+func TestTailTargetProofsNotCollectedIntoRoot(t *testing.T) {
+	c := cfg()
+	c.Tails[4] = prog("movimm r4, 5\ndiv r1, r4\nmov r0, r1\nexit",
+		func(p *isa.Program) { p.Name = "callee" })
+	root := prog("tailcall 4", func(p *isa.Program) { p.Tails = []int64{4} })
+	rep := wantOK(t, root, c)
+	if len(rep.Proofs) != 1 {
+		t.Fatalf("Proofs must describe the root program only: len = %d, want 1", len(rep.Proofs))
+	}
+}

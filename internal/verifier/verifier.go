@@ -38,6 +38,17 @@ type HelperSpec struct {
 	// resources (IO bandwidth, memory); programs calling them must be rate
 	// limited by the kernel (Report.NeedsRateLimit).
 	AllocatesResources bool
+	// Args declares range contracts for the helper's arguments R1..R5
+	// (position i constrains R(1+i); missing or Top entries are
+	// unconstrained). A call site whose argument intervals provably satisfy
+	// every contract gets ProofHelperArgs and runs unchecked; a site whose
+	// argument interval is disjoint from a contract is rejected at
+	// admission (ErrHelperArg); everything in between is enforced by the
+	// VM at runtime.
+	Args []isa.Interval
+	// Ret, when non-nil, declares the range of the helper's return value,
+	// letting the interval domain reason past the call.
+	Ret *isa.Interval
 }
 
 // ModelCost is the admission cost of one registered ML model: worst-case ops
@@ -73,6 +84,10 @@ type Config struct {
 	// MemBudget bounds total referenced model/matrix bytes; 0 means
 	// unlimited.
 	MemBudget int64
+	// CtxFields, when >0, tightens the context-field range check from the
+	// architectural MaxCtxFields down to the attached context store's actual
+	// field count (kernels pass their CtxStore configuration here).
+	CtxFields int
 }
 
 // Report summarizes what the verifier proved about the program.
@@ -93,6 +108,25 @@ type Report struct {
 	WritesCtx bool
 	// Warnings are non-fatal findings (unreachable code, unknown shapes).
 	Warnings []string
+
+	// Proofs holds one ProofMask per instruction of the root program,
+	// recording which runtime checks the abstract interpreter statically
+	// discharged. Tail-call targets are admitted separately and carry their
+	// own proofs. The kernel attaches this slice to the admitted program so
+	// the VM engines elide exactly the proven checks.
+	Proofs []isa.ProofMask
+	// ElidedChecks counts the runtime check sites of the root program that
+	// Proofs discharges (ProofNoOverflow is informational and not counted).
+	ElidedChecks int
+	// DeadEdges counts conditional-branch edges of the root program the
+	// interval domain proved infeasible; they are excluded from the
+	// worst-case cost accounting above.
+	DeadEdges int
+	// HelperContracts maps each contracted helper the root program calls to
+	// its declared argument ranges. The kernel attaches it to the admitted
+	// program; the VM enforces the contracts at call sites whose
+	// ProofHelperArgs bit is unset.
+	HelperContracts map[int64][]isa.Interval
 }
 
 // Sentinel verification errors (wrapped with position detail).
@@ -119,6 +153,7 @@ var (
 	ErrTailCycle     = errors.New("verifier: tail-call cycle")
 	ErrTailDepth     = errors.New("verifier: tail-call chain too deep")
 	ErrFieldRange    = errors.New("verifier: context field index out of range")
+	ErrHelperArg     = errors.New("verifier: helper argument violates contract")
 )
 
 // MaxCtxFields bounds the context field index a program may reference; it
@@ -159,7 +194,10 @@ func verifyChain(prog *isa.Program, cfg Config, rep *Report, inChain map[string]
 	inChain[prog.Name] = true
 	defer delete(inChain, prog.Name)
 
-	v := &pass{prog: prog, cfg: cfg, rep: rep}
+	// Proof artifacts describe exactly one program's instructions, so only
+	// the root of the chain collects them; tail targets are admitted (and
+	// get their own proofs) separately.
+	v := &pass{prog: prog, cfg: cfg, rep: rep, collect: depth == 0}
 	tails, err := v.run()
 	if err != nil {
 		return fmt.Errorf("program %q: %w", prog.Name, err)

@@ -17,13 +17,22 @@ type Interpreter struct {
 	prog *isa.Program
 	code []byte
 	// tail cache avoids re-encoding tail-call targets on every invocation.
+	// Entries are keyed by target id and remember which Program they were
+	// encoded from, so a control-plane swap of the target is picked up on
+	// the next fire instead of serving stale bytes forever.
 	mu    sync.Mutex
-	tails map[int64][]byte
+	tails map[int64]tailEntry
+}
+
+type tailEntry struct {
+	prog *isa.Program
+	code []byte
 }
 
 // NewInterpreter prepares an interpreter for prog. The program must already
 // have passed the verifier; the interpreter still enforces the runtime
-// envelope as defense in depth.
+// envelope as defense in depth. If the verifier attached per-instruction
+// proofs (prog.Proofs), the runtime checks they discharge are elided.
 func NewInterpreter(prog *isa.Program) (*Interpreter, error) {
 	if len(prog.Insns) > isa.MaxProgInsns {
 		return nil, ErrProgramTooBig
@@ -31,7 +40,7 @@ func NewInterpreter(prog *isa.Program) (*Interpreter, error) {
 	return &Interpreter{
 		prog:  prog,
 		code:  prog.Encode(),
-		tails: make(map[int64][]byte),
+		tails: make(map[int64]tailEntry),
 	}, nil
 }
 
@@ -42,29 +51,68 @@ func (ip *Interpreter) Name() string { return "interp" }
 func (ip *Interpreter) Run(env Env, st *State, r1, r2, r3 int64) (int64, error) {
 	st.reset(r1, r2, r3)
 	e := exec{env: env, st: st, budget: DefaultStepBudget}
-	code := ip.code
+	code, proofs := ip.code, ip.prog.Proofs
+	static := ip.prog.StaticSteps
+	e.contracts = ip.prog.HelperContracts
 	for depth := 0; ; depth++ {
 		if depth > isa.MaxTailCalls {
 			return 0, ErrTailDepth
 		}
-		tail, done, err := ip.runOne(&e, code)
+		tail, done, err := ip.runOne(&e, code, proofs, static)
 		if err != nil {
 			return 0, err
 		}
 		if done {
 			return st.Regs[0], nil
 		}
-		code, err = ip.tailCode(env, tail)
+		var target *isa.Program
+		target, code, err = ip.tailSegment(env, tail)
 		if err != nil {
 			return 0, err
 		}
+		proofs = target.Proofs
+		static = target.StaticSteps
+		e.contracts = target.HelperContracts
 	}
 }
 
 // runOne interprets a single program's bytecode until Exit or a tail call.
-func (ip *Interpreter) runOne(e *exec, code []byte) (tail int64, done bool, err error) {
+// proofs, when non-nil, carries one ProofMask per instruction. static is
+// the verifier's worst-case step bound for the segment (0 when unknown).
+func (ip *Interpreter) runOne(e *exec, code []byte, proofs []isa.ProofMask, static int64) (tail int64, done bool, err error) {
 	n := len(code) / isa.InstrBytes
 	pc := 0
+	// Proof-carrying segments with a static cost certificate reserve the
+	// whole bound up front: the verified CFG is a forward-only DAG, so pc
+	// strictly increases and execution cannot exceed the bound or run off
+	// the end — the per-step budget and fall-off checks are elided. Steps
+	// are still counted (locally, charged at segment exit) so st.steps
+	// keeps its executed-count semantics for SLOs and telemetry.
+	if static > 0 && proofs != nil && e.st.steps+static <= e.budget {
+		var sc int64
+		for {
+			sc++
+			in, derr := isa.DecodeInstr(code[pc*isa.InstrBytes:])
+			if derr != nil {
+				e.st.steps += sc
+				return 0, false, fmt.Errorf("%w: pc %d: %v", ErrBadInstr, pc, derr)
+			}
+			var pm isa.ProofMask
+			if pc < len(proofs) {
+				pm = proofs[pc]
+			}
+			next, done, tail, serr := e.step(in, pc, n, pm)
+			if serr != nil {
+				e.st.steps += sc
+				return 0, false, fmt.Errorf("pc %d (%s): %w", pc, in, serr)
+			}
+			if done || tail >= 0 {
+				e.st.steps += sc
+				return tail, done, nil
+			}
+			pc = next
+		}
+	}
 	for {
 		if pc == n {
 			return 0, false, ErrFellOffEnd
@@ -76,7 +124,11 @@ func (ip *Interpreter) runOne(e *exec, code []byte) (tail int64, done bool, err 
 		if derr != nil {
 			return 0, false, fmt.Errorf("%w: pc %d: %v", ErrBadInstr, pc, derr)
 		}
-		next, done, tail, serr := e.step(in, pc, n)
+		var pm isa.ProofMask
+		if pc < len(proofs) {
+			pm = proofs[pc]
+		}
+		next, done, tail, serr := e.step(in, pc, n, pm)
 		if serr != nil {
 			return 0, false, fmt.Errorf("pc %d (%s): %w", pc, in, serr)
 		}
@@ -90,20 +142,20 @@ func (ip *Interpreter) runOne(e *exec, code []byte) (tail int64, done bool, err 
 	}
 }
 
-func (ip *Interpreter) tailCode(env Env, id int64) ([]byte, error) {
-	ip.mu.Lock()
-	code, ok := ip.tails[id]
-	ip.mu.Unlock()
-	if ok {
-		return code, nil
-	}
+// tailSegment resolves tail-call target id to its current program and
+// encoded bytes, re-encoding when the installed program changed since the
+// cached entry was built.
+func (ip *Interpreter) tailSegment(env Env, id int64) (*isa.Program, []byte, error) {
 	target, err := env.TailProgram(id)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	code = target.Encode()
 	ip.mu.Lock()
-	ip.tails[id] = code
+	ent, ok := ip.tails[id]
+	if !ok || ent.prog != target {
+		ent = tailEntry{prog: target, code: target.Encode()}
+		ip.tails[id] = ent
+	}
 	ip.mu.Unlock()
-	return code, nil
+	return target, ent.code, nil
 }

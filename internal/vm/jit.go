@@ -87,6 +87,34 @@ func (j *JIT) runOps(e *exec) (tail *JIT, done bool, err error) {
 	n := len(j.ops)
 	pc := 0
 	st := e.st
+	// Proof-carrying programs with a static cost certificate reserve the
+	// whole bound up front; compile-time jump validation plus the
+	// verifier's forward-only CFG make the per-step bounds and budget
+	// checks redundant, so the dispatch loop drops them. Steps are still
+	// counted (locally, charged at segment exit) so st.steps keeps its
+	// executed-count semantics for SLOs and telemetry.
+	if s := j.prog.StaticSteps; s > 0 && j.prog.Proofs != nil && st.steps+s <= e.budget {
+		var sc int64
+		for {
+			sc++
+			next := j.ops[pc](e)
+			if next >= 0 {
+				pc = next
+				continue
+			}
+			st.steps += sc
+			switch {
+			case next == jitExit:
+				return nil, true, nil
+			case next == jitTrap:
+				terr := e.trap
+				e.trap = nil
+				return nil, false, fmt.Errorf("pc %d (%s): %w", pc, j.prog.Insns[pc], terr)
+			default:
+				return j.tails[jitTailBase-next], false, nil
+			}
+		}
+	}
 	for {
 		if pc >= n || pc < 0 {
 			// Can only happen on unverified programs; trap rather than panic.
@@ -129,6 +157,14 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 	}
 	dst, src, imm := int(in.Dst), int(in.Src), in.Imm
 
+	// pm carries the verifier's proofs for this instruction; a set bit
+	// selects an unchecked closure variant with the corresponding runtime
+	// check compiled out entirely.
+	var pm isa.ProofMask
+	if pc < len(j.prog.Proofs) {
+		pm = j.prog.Proofs[pc]
+	}
+
 	// trap is a helper to record an error from inside a closure.
 	trap := func(e *exec, err error) int {
 		e.trap = err
@@ -153,6 +189,9 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 	case isa.OpMulImm:
 		return func(e *exec) int { e.st.Regs[dst] *= imm; return next }, nil
 	case isa.OpDiv:
+		if pm&isa.ProofDivNonZero != 0 {
+			return func(e *exec) int { e.st.Regs[dst] /= e.st.Regs[src]; return next }, nil
+		}
 		return func(e *exec) int {
 			d := e.st.Regs[src]
 			if d == 0 {
@@ -162,6 +201,9 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 			return next
 		}, nil
 	case isa.OpMod:
+		if pm&isa.ProofDivNonZero != 0 {
+			return func(e *exec) int { e.st.Regs[dst] %= e.st.Regs[src]; return next }, nil
+		}
 		return func(e *exec) int {
 			d := e.st.Regs[src]
 			if d == 0 {
@@ -324,6 +366,24 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 		}, nil
 
 	case isa.OpCall:
+		// Helper-argument contracts are captured at compile time; only call
+		// sites the verifier could not prove carry the runtime check.
+		contracts := j.prog.HelperContracts[imm]
+		if len(contracts) > 0 && pm&isa.ProofHelperArgs == 0 {
+			return func(e *exec) int {
+				r := &e.st.Regs
+				args := [5]int64{r[1], r[2], r[3], r[4], r[5]}
+				if err := checkHelperArgs(contracts, &args); err != nil {
+					return trap(e, err)
+				}
+				ret, err := e.env.Call(imm, &args)
+				if err != nil {
+					return trap(e, fmt.Errorf("%w: helper %d: %w", ErrHelperFailed, imm, err))
+				}
+				r[0] = ret
+				return next
+			}, nil
+		}
 		return func(e *exec) int {
 			r := &e.st.Regs
 			args := [5]int64{r[1], r[2], r[3], r[4], r[5]}
@@ -373,6 +433,14 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 			return next
 		}, nil
 	case isa.OpVecSt:
+		if pm&isa.ProofVecSet != 0 {
+			return func(e *exec) int {
+				if err := e.env.VecStore(imm, e.st.vecs[src]); err != nil {
+					return trap(e, err)
+				}
+				return next
+			}, nil
+		}
 		return func(e *exec) int {
 			if e.st.vecs[src] == nil {
 				return trap(e, ErrVecUnset)
@@ -394,6 +462,9 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 			return next
 		}, nil
 	case isa.OpVecSet:
+		if pm&isa.ProofVecIndexInBounds != 0 {
+			return func(e *exec) int { e.st.vecs[dst][imm] = e.st.Regs[src]; return next }, nil
+		}
 		return func(e *exec) int {
 			v := e.st.vecs[dst]
 			if imm < 0 || int(imm) >= len(v) {
@@ -403,6 +474,14 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 			return next
 		}, nil
 	case isa.OpVecPush:
+		if pm&isa.ProofVecSet != 0 {
+			return func(e *exec) int {
+				v := e.st.vecs[dst]
+				copy(v, v[1:])
+				v[len(v)-1] = e.st.Regs[src]
+				return next
+			}, nil
+		}
 		return func(e *exec) int {
 			v := e.st.vecs[dst]
 			if len(v) == 0 {
@@ -413,6 +492,9 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 			return next
 		}, nil
 	case isa.OpScalarVal:
+		if pm&isa.ProofVecIndexInBounds != 0 {
+			return func(e *exec) int { e.st.Regs[dst] = e.st.vecs[src][imm]; return next }, nil
+		}
 		return func(e *exec) int {
 			v := e.st.vecs[src]
 			if imm < 0 || int(imm) >= len(v) {
@@ -422,6 +504,24 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 			return next
 		}, nil
 	case isa.OpMatMul:
+		if pm&isa.ProofVecSet != 0 {
+			return func(e *exec) int {
+				in := e.st.vecs[src]
+				if dst == src {
+					var tmp [isa.MaxVecLen]int64
+					copy(tmp[:], in)
+					in = tmp[:len(in)]
+				}
+				n, err := e.env.MatVec(imm, in, e.st.vbuf[dst][:])
+				if err != nil {
+					return trap(e, err)
+				}
+				if _, err = e.st.setVecLen(dst, n); err != nil {
+					return trap(e, err)
+				}
+				return next
+			}, nil
+		}
 		return func(e *exec) int {
 			in := e.st.vecs[src]
 			if in == nil {
@@ -442,6 +542,15 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 			return next
 		}, nil
 	case isa.OpVecAdd:
+		if pm&isa.ProofVecLenMatch != 0 {
+			return func(e *exec) int {
+				d, s := e.st.vecs[dst], e.st.vecs[src]
+				for i := range d {
+					d[i] += s[i]
+				}
+				return next
+			}, nil
+		}
 		return func(e *exec) int {
 			d, s := e.st.vecs[dst], e.st.vecs[src]
 			if d == nil || len(d) != len(s) {
@@ -453,6 +562,15 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 			return next
 		}, nil
 	case isa.OpVecMul:
+		if pm&isa.ProofVecLenMatch != 0 {
+			return func(e *exec) int {
+				d, s := e.st.vecs[dst], e.st.vecs[src]
+				for i := range d {
+					d[i] *= s[i]
+				}
+				return next
+			}, nil
+		}
 		return func(e *exec) int {
 			d, s := e.st.vecs[dst], e.st.vecs[src]
 			if d == nil || len(d) != len(s) {
@@ -499,6 +617,19 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 			return next
 		}, nil
 	case isa.OpVecArgMax:
+		if pm&isa.ProofVecSet != 0 {
+			return func(e *exec) int {
+				v := e.st.vecs[src]
+				best := 0
+				for i := 1; i < len(v); i++ {
+					if v[i] > v[best] {
+						best = i
+					}
+				}
+				e.st.Regs[dst] = int64(best)
+				return next
+			}, nil
+		}
 		return func(e *exec) int {
 			v := e.st.vecs[src]
 			if len(v) == 0 {
@@ -515,6 +646,17 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 		}, nil
 	case isa.OpVecDot:
 		other := int(uint8(imm))
+		if pm&isa.ProofVecLenMatch != 0 {
+			return func(e *exec) int {
+				a, b := e.st.vecs[src], e.st.vecs[other]
+				var sum int64
+				for i := range a {
+					sum += a[i] * b[i]
+				}
+				e.st.Regs[dst] = sum
+				return next
+			}, nil
+		}
 		return func(e *exec) int {
 			a, b := e.st.vecs[src], e.st.vecs[other]
 			if a == nil || len(a) != len(b) {
@@ -538,6 +680,16 @@ func (j *JIT) compileInstr(pc int, in isa.Instr, progLen int, inProgress map[str
 			return next
 		}, nil
 	case isa.OpMLInfer:
+		if pm&isa.ProofVecSet != 0 {
+			return func(e *exec) int {
+				ret, err := e.env.Infer(imm, e.st.vecs[src])
+				if err != nil {
+					return trap(e, err)
+				}
+				e.st.Regs[dst] = ret
+				return next
+			}, nil
+		}
 		return func(e *exec) int {
 			v := e.st.vecs[src]
 			if v == nil {

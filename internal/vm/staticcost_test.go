@@ -1,0 +1,49 @@
+package vm
+
+import (
+	"testing"
+
+	"rmtk/internal/isa"
+	"rmtk/internal/verifier"
+)
+
+// TestFastPathCountsExecutedStepsExactly pins the executed-step semantics
+// of the static-certificate fast path: a proof-carrying program whose
+// actual path is shorter than its worst case must report actual steps,
+// not the reserved bound — the supervisor's per-fire step SLO depends on
+// it.
+func TestFastPathCountsExecutedStepsExactly(t *testing.T) {
+	// Taken branch skips the dead arm: actual 5 steps, worst case 6.
+	prog := &isa.Program{Name: "short", Insns: isa.MustAssemble(`
+        movimm r1, 5
+        jgti   r1, 3, done
+        movimm r0, 9
+        nop
+done:   movimm r0, 1
+        exit`)}
+	rep, err := verifier.Verify(prog, verifier.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elided := prog.Clone()
+	elided.Proofs = rep.Proofs
+	elided.StaticSteps = rep.MaxSteps
+	for _, jit := range []bool{false, true} {
+		var eng Engine
+		if jit {
+			eng, err = Compile(newFakeEnv(), elided)
+		} else {
+			eng, err = NewInterpreter(elided)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewState()
+		if _, err := eng.Run(newFakeEnv(), st, 0, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if st.steps != 4 {
+			t.Errorf("%s: steps = %d, want 4 (movimm, jgti, movimm, exit)", eng.Name(), st.steps)
+		}
+	}
+}

@@ -85,6 +85,7 @@ var (
 	ErrHelperFailed  = errors.New("vm: helper call failed")
 	ErrVecTooLong    = errors.New("vm: vector longer than MaxVecLen")
 	ErrProgramTooBig = errors.New("vm: program exceeds MaxProgInsns")
+	ErrHelperArgs    = errors.New("vm: helper argument outside declared contract")
 )
 
 // State is the per-invocation machine state. A State may be reused across
@@ -141,11 +142,31 @@ type exec struct {
 	st     *State
 	budget int64
 	trap   error // set by compiled code when it returns jitTrap
+	// contracts holds the helper argument contracts of the currently
+	// executing program segment; call sites without a ProofHelperArgs proof
+	// enforce them at runtime.
+	contracts map[int64][]isa.Interval
+}
+
+// checkHelperArgs enforces a helper's declared argument contracts against
+// the live R1..R5 values at an unproven call site.
+func checkHelperArgs(cs []isa.Interval, args *[5]int64) error {
+	for i, c := range cs {
+		if i >= len(args) {
+			break
+		}
+		if !c.Contains(args[i]) {
+			return fmt.Errorf("%w: r%d=%d outside %s", ErrHelperArgs, i+1, args[i], c)
+		}
+	}
+	return nil
 }
 
 // step dispatches one decoded instruction. It returns the next pc, a
-// done flag (Exit), a tail-call target (or -1), or an error.
-func (e *exec) step(in isa.Instr, pc int, progLen int) (next int, done bool, tail int64, err error) {
+// done flag (Exit), a tail-call target (or -1), or an error. pm carries the
+// verifier's proofs for this instruction: a set bit means the corresponding
+// runtime check was statically discharged and is elided here.
+func (e *exec) step(in isa.Instr, pc int, progLen int, pm isa.ProofMask) (next int, done bool, tail int64, err error) {
 	st := e.st
 	r := &st.Regs
 	next = pc + 1
@@ -167,12 +188,12 @@ func (e *exec) step(in isa.Instr, pc int, progLen int) (next int, done bool, tai
 	case isa.OpMulImm:
 		r[in.Dst] *= in.Imm
 	case isa.OpDiv:
-		if r[in.Src] == 0 {
+		if pm&isa.ProofDivNonZero == 0 && r[in.Src] == 0 {
 			return 0, false, -1, ErrDivByZero
 		}
 		r[in.Dst] /= r[in.Src]
 	case isa.OpMod:
-		if r[in.Src] == 0 {
+		if pm&isa.ProofDivNonZero == 0 && r[in.Src] == 0 {
 			return 0, false, -1, ErrDivByZero
 		}
 		r[in.Dst] %= r[in.Src]
@@ -253,15 +274,15 @@ func (e *exec) step(in isa.Instr, pc int, progLen int) (next int, done bool, tai
 		}
 
 	case isa.OpLdStack:
-		if in.Imm < 0 || in.Imm >= isa.StackWords {
+		if pm&isa.ProofStackInBounds == 0 && (in.Imm < 0 || in.Imm >= isa.StackWords) {
 			return 0, false, -1, ErrStackBounds
 		}
-		r[in.Dst] = st.stack[in.Imm]
+		r[in.Dst] = st.stack[uint8(in.Imm)&(isa.StackWords-1)]
 	case isa.OpStStack:
-		if in.Imm < 0 || in.Imm >= isa.StackWords {
+		if pm&isa.ProofStackInBounds == 0 && (in.Imm < 0 || in.Imm >= isa.StackWords) {
 			return 0, false, -1, ErrStackBounds
 		}
-		st.stack[in.Imm] = r[in.Src]
+		st.stack[uint8(in.Imm)&(isa.StackWords-1)] = r[in.Src]
 
 	case isa.OpLdCtxt:
 		r[in.Dst] = e.env.CtxLoad(r[in.Src], in.Imm)
@@ -274,6 +295,13 @@ func (e *exec) step(in isa.Instr, pc int, progLen int) (next int, done bool, tai
 
 	case isa.OpCall:
 		args := [5]int64{r[1], r[2], r[3], r[4], r[5]}
+		if pm&isa.ProofHelperArgs == 0 && e.contracts != nil {
+			if cs, ok := e.contracts[in.Imm]; ok {
+				if herr := checkHelperArgs(cs, &args); herr != nil {
+					return 0, false, -1, herr
+				}
+			}
+		}
 		ret, herr := e.env.Call(in.Imm, &args)
 		if herr != nil {
 			return 0, false, -1, fmt.Errorf("%w: helper %d: %w", ErrHelperFailed, in.Imm, herr)
@@ -301,7 +329,7 @@ func (e *exec) step(in isa.Instr, pc int, progLen int) (next int, done bool, tai
 			return 0, false, -1, verr
 		}
 	case isa.OpVecSt:
-		if st.vecs[in.Src] == nil {
+		if pm&isa.ProofVecSet == 0 && st.vecs[in.Src] == nil {
 			return 0, false, -1, ErrVecUnset
 		}
 		if verr := e.env.VecStore(in.Imm, st.vecs[in.Src]); verr != nil {
@@ -317,26 +345,26 @@ func (e *exec) step(in isa.Instr, pc int, progLen int) (next int, done bool, tai
 		}
 	case isa.OpVecSet:
 		v := st.vecs[in.Dst]
-		if in.Imm < 0 || int(in.Imm) >= len(v) {
+		if pm&isa.ProofVecIndexInBounds == 0 && (in.Imm < 0 || int(in.Imm) >= len(v)) {
 			return 0, false, -1, ErrVecBounds
 		}
 		v[in.Imm] = r[in.Src]
 	case isa.OpVecPush:
 		v := st.vecs[in.Dst]
-		if len(v) == 0 {
+		if pm&isa.ProofVecSet == 0 && len(v) == 0 {
 			return 0, false, -1, ErrVecUnset
 		}
 		copy(v, v[1:])
 		v[len(v)-1] = r[in.Src]
 	case isa.OpScalarVal:
 		v := st.vecs[in.Src]
-		if in.Imm < 0 || int(in.Imm) >= len(v) {
+		if pm&isa.ProofVecIndexInBounds == 0 && (in.Imm < 0 || int(in.Imm) >= len(v)) {
 			return 0, false, -1, ErrVecBounds
 		}
 		r[in.Dst] = v[in.Imm]
 	case isa.OpMatMul:
 		src := st.vecs[in.Src]
-		if src == nil {
+		if pm&isa.ProofVecSet == 0 && src == nil {
 			return 0, false, -1, ErrVecUnset
 		}
 		if in.Dst == in.Src {
@@ -355,7 +383,7 @@ func (e *exec) step(in isa.Instr, pc int, progLen int) (next int, done bool, tai
 		}
 	case isa.OpVecAdd:
 		d, s := st.vecs[in.Dst], st.vecs[in.Src]
-		if len(d) != len(s) || d == nil {
+		if pm&isa.ProofVecLenMatch == 0 && (len(d) != len(s) || d == nil) {
 			return 0, false, -1, ErrVecLen
 		}
 		for i := range d {
@@ -363,7 +391,7 @@ func (e *exec) step(in isa.Instr, pc int, progLen int) (next int, done bool, tai
 		}
 	case isa.OpVecMul:
 		d, s := st.vecs[in.Dst], st.vecs[in.Src]
-		if len(d) != len(s) || d == nil {
+		if pm&isa.ProofVecLenMatch == 0 && (len(d) != len(s) || d == nil) {
 			return 0, false, -1, ErrVecLen
 		}
 		for i := range d {
@@ -397,7 +425,7 @@ func (e *exec) step(in isa.Instr, pc int, progLen int) (next int, done bool, tai
 		}
 	case isa.OpVecArgMax:
 		v := st.vecs[in.Src]
-		if len(v) == 0 {
+		if pm&isa.ProofVecSet == 0 && len(v) == 0 {
 			return 0, false, -1, ErrVecUnset
 		}
 		best := 0
@@ -410,7 +438,7 @@ func (e *exec) step(in isa.Instr, pc int, progLen int) (next int, done bool, tai
 	case isa.OpVecDot:
 		a := st.vecs[in.Src]
 		b := st.vecs[uint8(in.Imm)]
-		if len(a) != len(b) || a == nil {
+		if pm&isa.ProofVecLenMatch == 0 && (len(a) != len(b) || a == nil) {
 			return 0, false, -1, ErrVecLen
 		}
 		var sum int64
@@ -427,7 +455,7 @@ func (e *exec) step(in isa.Instr, pc int, progLen int) (next int, done bool, tai
 		r[in.Dst] = sum
 	case isa.OpMLInfer:
 		v := st.vecs[in.Src]
-		if v == nil {
+		if pm&isa.ProofVecSet == 0 && v == nil {
 			return 0, false, -1, ErrVecUnset
 		}
 		ret, ierr := e.env.Infer(in.Imm, v)

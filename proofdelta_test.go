@@ -1,0 +1,67 @@
+package rmtk_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"rmtk/internal/isa"
+	"rmtk/internal/vm"
+)
+
+// TestInterleavedProofDelta is the drift-robust companion to the Ablation
+// A2 benchmarks: on a noisy host, grouped `go test -bench` runs can smear
+// a real checked-vs-elided delta across thermal/frequency drift, so this
+// probe alternates checked and elided batches in one process and reports
+// batch medians. It asserts nothing about magnitude — the soundness
+// property lives in FuzzVerifierSoundness; this prints the measurement.
+func TestInterleavedProofDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement probe")
+	}
+	checked, elided := proofBenchPrograms(t)
+	env := nopEnv{}
+	for _, jit := range []bool{false, true} {
+		build := func(p *isa.Program) vm.Engine {
+			var eng vm.Engine
+			var err error
+			if jit {
+				eng, err = vm.Compile(env, p)
+			} else {
+				eng, err = vm.NewInterpreter(p)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			return eng
+		}
+		ec, ee := build(checked), build(elided)
+		measure := func(eng vm.Engine, iters int) float64 {
+			st := vm.NewState()
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := eng.Run(env, st, int64(i%50), 3, 9); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return float64(time.Since(start).Nanoseconds()) / float64(iters)
+		}
+		measure(ec, 2000) // warmup
+		measure(ee, 2000)
+		var cs, es []float64
+		for round := 0; round < 40; round++ {
+			cs = append(cs, measure(ec, 5000))
+			es = append(es, measure(ee, 5000))
+		}
+		sort.Float64s(cs)
+		sort.Float64s(es)
+		med := func(x []float64) float64 { return x[len(x)/2] }
+		name := "interp"
+		if jit {
+			name = "jit"
+		}
+		fmt.Printf("proof-delta %s: checked med=%.0f ns | elided med=%.0f ns | speedup=%.1f%%\n",
+			name, med(cs), med(es), 100*(med(cs)-med(es))/med(cs))
+	}
+}
