@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkHotPath/jit/cached/g1-4   9273154   114.3 ns/op   0 B/op ...
+//
+// The -4 GOMAXPROCS suffix is stripped so baselines recorded on machines
+// with different core counts still key the same benchmark.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// ParseBench reads `go test -bench` output and returns median ns/op per
+// benchmark name. With -count=N each benchmark contributes N lines; the
+// median absorbs scheduler noise far better than the mean.
+func ParseBench(r io.Reader) (map[string]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil || ns <= 0 {
+			return nil, fmt.Errorf("bad ns/op on line %q", sc.Text())
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(samples))
+	for name, s := range samples {
+		out[name] = median(s)
+	}
+	return out, nil
+}
+
+func median(s []float64) float64 {
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// baselineFile is the committed BENCH_BASELINE.json shape.
+type baselineFile struct {
+	// Note documents how to regenerate; carried verbatim on -update.
+	Note string `json:"note"`
+	// NsPerOp maps benchmark name -> median ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+const baselineNote = "median ns/op per benchmark; regenerate with: go test -bench=BenchmarkHotPath -benchmem -count=6 -run='^$' . | go run ./cmd/benchgate -update"
+
+// ReadBaseline loads a committed baseline file.
+func ReadBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.NsPerOp) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in baseline", path)
+	}
+	return bf.NsPerOp, nil
+}
+
+// WriteBaseline writes the baseline file with stable key order.
+func WriteBaseline(path string, ns map[string]float64) error {
+	data, err := json.MarshalIndent(baselineFile{Note: baselineNote, NsPerOp: ns}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0644)
+}
+
+// Report is the outcome of one gate comparison.
+type Report struct {
+	Threshold float64
+	Geomean   float64  // geomean of current/baseline over shared benchmarks
+	Shared    []Row    // shared benchmarks, worst ratio first
+	Missing   []string // in baseline, absent from run: fails the gate
+	New       []string // in run, absent from baseline: reported, not gated
+}
+
+// Row is one shared benchmark's comparison.
+type Row struct {
+	Name              string
+	Baseline, Current float64
+	Ratio             float64
+}
+
+// Pass reports whether the gate clears: every baseline benchmark ran and
+// the geomean ratio is within threshold.
+func (r Report) Pass() bool {
+	return len(r.Missing) == 0 && r.Geomean <= r.Threshold
+}
+
+func (r Report) String() string {
+	var b strings.Builder
+	for _, row := range r.Shared {
+		fmt.Fprintf(&b, "%-50s %10.1f -> %10.1f ns/op  (%.3fx)\n",
+			row.Name, row.Baseline, row.Current, row.Ratio)
+	}
+	for _, name := range r.New {
+		fmt.Fprintf(&b, "%-50s not in baseline (run with -update to accept)\n", name)
+	}
+	for _, name := range r.Missing {
+		fmt.Fprintf(&b, "%-50s MISSING from this run\n", name)
+	}
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "benchgate: geomean ratio %.3fx over %d benchmarks (threshold %.2fx): %s\n",
+		r.Geomean, len(r.Shared), r.Threshold, verdict)
+	return b.String()
+}
+
+// Compare gates current medians against the baseline.
+func Compare(baseline, current map[string]float64, threshold float64) Report {
+	rep := Report{Threshold: threshold, Geomean: 1}
+	var logSum float64
+	for name, base := range baseline {
+		cur, ok := current[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name)
+			continue
+		}
+		ratio := cur / base
+		rep.Shared = append(rep.Shared, Row{Name: name, Baseline: base, Current: cur, Ratio: ratio})
+		logSum += math.Log(ratio)
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			rep.New = append(rep.New, name)
+		}
+	}
+	if len(rep.Shared) > 0 {
+		rep.Geomean = math.Exp(logSum / float64(len(rep.Shared)))
+	}
+	sort.Slice(rep.Shared, func(i, j int) bool { return rep.Shared[i].Ratio > rep.Shared[j].Ratio })
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.New)
+	return rep
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: rmtk
+BenchmarkHotPath/jit/cached/g1-4         9273154	       110.0 ns/op	       0 B/op
+BenchmarkHotPath/jit/cached/g1-4         9100000	       114.0 ns/op	       0 B/op
+BenchmarkHotPath/jit/cached/g1-4         9050000	       190.0 ns/op	       0 B/op
+BenchmarkHotPath/jit/uncached/g1-4       2800000	       350.0 ns/op	       0 B/op
+BenchmarkHotPath/jit/uncached/g1-4       2850000	       348.0 ns/op	       0 B/op
+PASS
+ok  	rmtk	12.3s
+`
+
+func TestParseBenchMedians(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median of {110, 114, 190} is 114 — the one noisy run is absorbed.
+	if ns := got["BenchmarkHotPath/jit/cached/g1"]; ns != 114 {
+		t.Errorf("cached median = %v, want 114", ns)
+	}
+	// Even sample count: midpoint of {348, 350}.
+	if ns := got["BenchmarkHotPath/jit/uncached/g1"]; ns != 349 {
+		t.Errorf("uncached median = %v, want 349", ns)
+	}
+	if len(got) != 2 {
+		t.Errorf("parsed %d benchmarks, want 2", len(got))
+	}
+}
+
+func TestParseBenchStripsGomaxprocsSuffix(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(
+		"BenchmarkX-16   100   50.0 ns/op\nBenchmarkX-1   100   52.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := got["BenchmarkX"]; ns != 51 {
+		t.Errorf("runs from different core counts not merged: %v", got)
+	}
+}
+
+func TestCompareSeededRegressionFails(t *testing.T) {
+	baseline := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200}
+	// Seed a uniform 15% regression: >10% geomean, must fail the gate.
+	rep := Compare(baseline, map[string]float64{"BenchmarkA": 115, "BenchmarkB": 230}, 1.10)
+	if rep.Pass() {
+		t.Fatalf("15%% regression passed the gate: %+v", rep)
+	}
+	if math.Abs(rep.Geomean-1.15) > 1e-9 {
+		t.Errorf("geomean = %v, want 1.15", rep.Geomean)
+	}
+	if !strings.Contains(rep.String(), "FAIL") {
+		t.Errorf("report does not say FAIL:\n%s", rep.String())
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	baseline := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200}
+	// One bench 8% slower, one 3% faster: geomean ~1.022, within 10%.
+	rep := Compare(baseline, map[string]float64{"BenchmarkA": 108, "BenchmarkB": 194}, 1.10)
+	if !rep.Pass() {
+		t.Fatalf("small drift failed the gate: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "PASS") {
+		t.Errorf("report does not say PASS:\n%s", rep.String())
+	}
+}
+
+func TestCompareSingleOutlierDoesNotFailGeomean(t *testing.T) {
+	// One sub-benchmark 30% slower among five stable ones: geomean stays
+	// under 10% — the gate targets broad slowdowns, not one noisy arm.
+	baseline := map[string]float64{"A": 100, "B": 100, "C": 100, "D": 100, "E": 100}
+	rep := Compare(baseline, map[string]float64{"A": 130, "B": 100, "C": 100, "D": 100, "E": 100}, 1.10)
+	if !rep.Pass() {
+		t.Fatalf("single outlier failed the gate: geomean %v", rep.Geomean)
+	}
+	if rep.Shared[0].Name != "A" {
+		t.Errorf("worst ratio not sorted first: %+v", rep.Shared[0])
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	rep := Compare(map[string]float64{"A": 100, "B": 100}, map[string]float64{"A": 100}, 1.10)
+	if rep.Pass() {
+		t.Fatal("missing benchmark passed the gate")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "B" {
+		t.Errorf("missing = %v, want [B]", rep.Missing)
+	}
+}
+
+func TestCompareNewBenchmarkReportedNotGated(t *testing.T) {
+	rep := Compare(map[string]float64{"A": 100}, map[string]float64{"A": 100, "NEW": 999}, 1.10)
+	if !rep.Pass() {
+		t.Fatal("new benchmark failed the gate")
+	}
+	if len(rep.New) != 1 || rep.New[0] != "NEW" {
+		t.Errorf("new = %v, want [NEW]", rep.New)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	want := map[string]float64{"BenchmarkHotPath/jit/cached/g1": 114.5, "BenchmarkHotPath/interp/uncached/g4": 501}
+	if err := WriteBaseline(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost benchmarks: %v", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}

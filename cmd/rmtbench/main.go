@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rmtbench [-exp table1|table2|adapt|io|net|dp|chaos|canary|all] [-seed N] [-mode jit|interp]
+//	rmtbench [-exp table1|table2|adapt|io|net|dp|chaos|canary|shardscale|all] [-seed N] [-mode jit|interp]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, chaos, canary, all")
+		exp  = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, chaos, canary, shardscale, all")
 		seed = flag.Int64("seed", 1, "workload seed")
 		mode = flag.String("mode", "jit", "RMT execution mode: jit or interp")
 	)
@@ -123,6 +123,19 @@ func main() {
 			return err
 		}
 		fmt.Println(res)
+		fmt.Println()
+		return nil
+	})
+
+	run("shardscale", func() error {
+		fmt.Printf("== Experiment J: sharded hot-path scaling and decision caching (mode=%s) ==\n", execMode)
+		_, lines, err := experiments.ShardScale(execMode)
+		if err != nil {
+			return err
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
 		fmt.Println()
 		return nil
 	})

@@ -1,0 +1,90 @@
+// Hot-path benchmark suite: the fire-dispatch measurements the CI perf gate
+// (cmd/benchgate, .github/workflows/ci.yml "bench" job) tracks against
+// BENCH_BASELINE.json. Each benchmark drives the shared shardscale fixture —
+// a verifier-certified pure ALU+matmul program behind a 256-entry exact
+// table — through batched fires, varying execution mode (interp/jit), verdict
+// caching (cached/uncached) and firing goroutines (1/4/16). ns/op is per
+// fire.
+package rmtk_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rmtk/internal/core"
+	"rmtk/internal/experiments"
+)
+
+const hotPathBatch = 64
+
+// fireHotPath issues fires [from, to) as batches on k.
+func fireHotPath(k *core.Kernel, from, to int64) {
+	events := make([]core.Event, hotPathBatch)
+	out := make([]core.FireResult, hotPathBatch)
+	for i := from; i < to; i += hotPathBatch {
+		n := int64(hotPathBatch)
+		if i+n > to {
+			n = to - i
+		}
+		for j := int64(0); j < n; j++ {
+			key := (i + j) % experiments.HotPathKeys
+			events[j] = core.Event{Hook: experiments.HotPathHook, Key: key, Arg2: key & 7, Arg3: 3}
+		}
+		k.FireBatch(events[:n], out[:n])
+	}
+}
+
+func benchHotPath(b *testing.B, mode core.ExecMode, cached bool, goroutines int) {
+	k, err := experiments.NewHotPathKernel(mode, cached)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fireHotPath(k, 0, 4*experiments.HotPathKeys) // warm JIT, memo and verdict caches
+	b.ResetTimer()
+	if goroutines == 1 {
+		fireHotPath(k, 0, int64(b.N))
+		return
+	}
+	// Workers claim disjoint chunks of the b.N fire budget.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	const chunk = 4 * hotPathBatch
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				from := next.Add(chunk) - chunk
+				if from >= int64(b.N) {
+					return
+				}
+				to := from + chunk
+				if to > int64(b.N) {
+					to = int64(b.N)
+				}
+				fireHotPath(k, from, to)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkHotPath is the CI-gated suite: mode × caching × goroutines.
+func BenchmarkHotPath(b *testing.B) {
+	for _, mode := range []core.ExecMode{core.ModeJIT, core.ModeInterp} {
+		for _, cached := range []bool{true, false} {
+			for _, g := range []int{1, 4, 16} {
+				mode, cached, g := mode, cached, g
+				name := fmt.Sprintf("%s/uncached/g%d", mode, g)
+				if cached {
+					name = fmt.Sprintf("%s/cached/g%d", mode, g)
+				}
+				b.Run(name, func(b *testing.B) {
+					benchHotPath(b, mode, cached, g)
+				})
+			}
+		}
+	}
+}

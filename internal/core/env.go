@@ -7,11 +7,16 @@ import (
 	"rmtk/internal/vm"
 )
 
-// env implements vm.Env against the kernel registries. It is the only
+// env implements vm.Env against one immutable route snapshot. It is the only
 // surface admitted bytecode can touch; everything here is covered by the
-// verifier's resource whitelists.
+// verifier's resource whitelists. Resolving resources through the snapshot
+// (not the kernel's mutable maps) keeps program execution lock-free: the only
+// locks ever taken are the context-store shard and the vector slot being
+// accessed.
 type env struct {
 	k *Kernel
+	// rt is the route snapshot the enclosing Fire dispatched through.
+	rt *routes
 	// inv is the current invocation (set by Fire around each run). Helpers
 	// use it for emissions and rate limiting.
 	inv *Invocation
@@ -47,8 +52,8 @@ func (e *env) CtxHistPush(key, val int64) {
 func (e *env) CtxHist(key int64, dst []int64) int { return e.k.ctx.Hist(key, dst) }
 
 func (e *env) Match(tableID, key int64) int64 {
-	t, err := e.k.Table(tableID)
-	if err != nil {
+	t, ok := e.rt.tables[tableID]
+	if !ok {
 		return -1
 	}
 	entry := t.Lookup(uint64(key))
@@ -64,9 +69,7 @@ func (e *env) Call(helperID int64, args *[5]int64) (ret int64, err error) {
 		e.inv.injectHelperErr = nil
 		return 0, herr
 	}
-	e.k.mu.RLock()
-	h, ok := e.k.helpers[helperID]
-	e.k.mu.RUnlock()
+	h, ok := e.rt.helpers[helperID]
 	if !ok {
 		return 0, fmt.Errorf("%w: helper %d", ErrNotFound, helperID)
 	}
@@ -83,9 +86,7 @@ func (e *env) Call(helperID int64, args *[5]int64) (ret int64, err error) {
 }
 
 func (e *env) MatVec(id int64, in []int64, out []int64) (int, error) {
-	e.k.mu.RLock()
-	m, ok := e.k.mats[id]
-	e.k.mu.RUnlock()
+	m, ok := e.rt.mats[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: matrix %d", ErrNotFound, id)
 	}
@@ -107,9 +108,7 @@ func (e *env) MatVec(id int64, in []int64, out []int64) (int, error) {
 }
 
 func (e *env) MatOutLen(id int64) (int, error) {
-	e.k.mu.RLock()
-	m, ok := e.k.mats[id]
-	e.k.mu.RUnlock()
+	m, ok := e.rt.mats[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: matrix %d", ErrNotFound, id)
 	}
@@ -119,26 +118,28 @@ func (e *env) MatOutLen(id int64) (int, error) {
 func (e *env) Infer(modelID int64, features []int64) (int64, error) {
 	m, ok := e.overlay[modelID]
 	if !ok {
-		var err error
-		m, err = e.k.Model(modelID)
-		if err != nil {
-			return 0, err
+		m, ok = e.rt.models[modelID]
+		if !ok {
+			return 0, fmt.Errorf("%w: model %d", ErrNotFound, modelID)
 		}
 	}
-	e.k.Metrics.Counter("core.inferences").Inc()
+	if e.inv != nil {
+		e.inv.inferences++
+	}
 	return m.Predict(features), nil
 }
 
 func (e *env) VecLoad(id int64, dst []int64) (int, error) {
-	e.k.mu.RLock()
-	v, ok := e.k.vecs[id]
+	slot, ok := e.rt.vecs[id]
 	if !ok {
-		e.k.mu.RUnlock()
 		return 0, fmt.Errorf("%w: vec %d", ErrNotFound, id)
 	}
+	slot.mu.RLock()
+	v := slot.v
 	n := copy(dst, v)
-	e.k.mu.RUnlock()
-	if n < len(v) {
+	short := n < len(v)
+	slot.mu.RUnlock()
+	if short {
 		return 0, vm.ErrVecTooLong
 	}
 	return n, nil
@@ -148,13 +149,22 @@ func (e *env) VecStore(id int64, src []int64) error {
 	if e.shadow {
 		return nil
 	}
-	return e.k.SetVec(id, src)
+	slot, ok := e.rt.vecs[id]
+	if !ok {
+		return fmt.Errorf("%w: vec %d", ErrNotFound, id)
+	}
+	slot.mu.Lock()
+	if len(slot.v) != len(src) {
+		slot.v = append([]int64(nil), src...)
+	} else {
+		copy(slot.v, src)
+	}
+	slot.mu.Unlock()
+	return nil
 }
 
 func (e *env) TailProgram(id int64) (*isa.Program, error) {
-	e.k.mu.RLock()
-	defer e.k.mu.RUnlock()
-	p, ok := e.k.progs[id]
+	p, ok := e.rt.progs[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: program %d", ErrNotFound, id)
 	}

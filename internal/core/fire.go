@@ -20,6 +20,7 @@ type Invocation struct {
 	emissions  []int64
 	emitBudget int
 	rateHits   int64
+	inferences int64 // OpMLInfer/ActionInfer count, flushed to the shard stats
 
 	// injectHelperErr, when non-nil, is consumed by the next helper call
 	// (fault.KindHelperError).
@@ -56,11 +57,26 @@ type FireResult struct {
 	// fire; virtual-clock simulators charge it to their clocks (real hooks
 	// would simply have stalled).
 	DelayNs int64
+	// CacheHit reports that the verdict was replayed from the verdict cache
+	// (the pipeline was memoized for these arguments under the current
+	// datapath generation).
+	CacheHit bool
 }
 
 // DefaultVerdict is returned when no table matched or no action produced a
 // value: the kernel's built-in behaviour applies.
 const DefaultVerdict = int64(-1)
+
+// Event is one pending hook event for FireBatch. Prep, when non-nil, runs
+// immediately before the event dispatches — subsystems use it to stage
+// per-event state (e.g. SetVec of a feature vector) inside the batch.
+type Event struct {
+	Hook string
+	Key  int64
+	Arg2 int64
+	Arg3 int64
+	Prep func()
+}
 
 // Fire dispatches a kernel event at a hook point through the attached table
 // pipeline: each table is looked up with key; matched entries run their
@@ -74,28 +90,128 @@ const DefaultVerdict = int64(-1)
 // stronger still: a program whose breaker has tripped is quarantined and the
 // hook routes to its registered baseline fallback until half-open probes
 // re-admit it.
+//
+// The hot path is lock-free: dispatch runs against an immutable route
+// snapshot (atomic pointer), table lookups read copy-on-write table
+// snapshots, and for verifier-certified pure pipelines the whole verdict is
+// memoized per (hook, args) and replayed until the datapath generation moves.
 func (k *Kernel) Fire(hook string, key, arg2, arg3 int64) FireResult {
+	// Generation before route: mutators publish route-then-generation, so a
+	// verdict computed against this snapshot is cached under a generation no
+	// newer than the snapshot — it can go stale, never wrong.
+	gen := k.gen.Load()
+	rt := k.route.Load()
+	res := FireResult{Verdict: DefaultVerdict}
+	k.fireOne(rt, gen, hook, key, arg2, arg3, &res)
+	return res
+}
+
+// FireBatch dispatches n pending events through one route-snapshot
+// acquisition and one dispatch loop, writing out[i] for events[i]. The whole
+// batch runs against a single consistent snapshot: a control-plane commit
+// that lands mid-batch applies to the next batch, exactly as if the batch had
+// fired before it. len(out) must be >= len(events); extra out entries are
+// left untouched. Each event's Prep hook (if any) runs just before that
+// event dispatches.
+func (k *Kernel) FireBatch(events []Event, out []FireResult) {
+	if len(events) == 0 {
+		return
+	}
+	gen := k.gen.Load()
+	rt := k.route.Load()
+	for i := range events {
+		ev := &events[i]
+		if ev.Prep != nil {
+			ev.Prep()
+		}
+		out[i] = FireResult{Verdict: DefaultVerdict}
+		k.fireOne(rt, gen, ev.Hook, ev.Key, ev.Arg2, ev.Arg3, &out[i])
+	}
+}
+
+// fireOne dispatches one event against a route snapshot. res must arrive
+// initialized to {Verdict: DefaultVerdict}.
+func (k *Kernel) fireOne(rt *routes, gen uint64, hook string, key, arg2, arg3 int64, res *FireResult) {
+	hr := rt.hooks[hook]
+	if hr == nil || len(hr.tables) == 0 {
+		return
+	}
+	shard := shardIndex(key)
+	k.ctrFires.Inc(shard)
+
+	// The verdict cache applies only when nothing non-replayable is attached:
+	// no fault injector (scheduled faults must strike), no shadow (the
+	// candidate must observe real runs).
+	cacheable := k.vcache != nil && rt.inj == nil && hr.shadow == nil
+	var fk table.FlowKey
+	if cacheable {
+		fk = table.FlowKey{Hook: hr.id, Key: uint64(key), Arg2: arg2, Arg3: arg3}
+		if cf, ok := k.vcache.Get(fk, gen); ok {
+			if pre, ok := k.replayCached(rt, cf, shard, hook, key, res); ok {
+				return
+			} else if pre != nil {
+				// The supervisor re-routed the cached program (probe or
+				// fallback); run the slow path, handing it the already-taken
+				// Allow decision so the breaker clock ticks exactly once.
+				k.fireSlow(rt, gen, hr, shard, hook, key, arg2, arg3, res, false, fk, pre)
+				return
+			}
+		}
+	}
+	k.fireSlow(rt, gen, hr, shard, hook, key, arg2, arg3, res, cacheable, fk, nil)
+}
+
+// preDecision hands a supervisor Allow verdict taken during cache replay to
+// the slow path, so the breaker is consulted exactly once per fire.
+type preDecision struct {
+	progID int64
+	d      Decision
+}
+
+// replayCached replays one memoized fire. It returns ok=false when the
+// supervisor routed the program away from a plain run — the caller then
+// executes the slow path, passing along the returned preDecision (nil when
+// the miss was not supervisor-related, which cannot happen today).
+func (k *Kernel) replayCached(rt *routes, cf *cachedFire, shard int, hook string, key int64, res *FireResult) (*preDecision, bool) {
+	if cf.hasProg && rt.sup != nil {
+		d := rt.sup.Allow(cf.progID)
+		if d != DecisionRun {
+			return &preDecision{progID: cf.progID, d: d}, false
+		}
+	}
+	for i := range cf.rows {
+		cf.rows[i].t.CreditLookup(uint64(key), cf.rows[i].hit)
+	}
+	res.Matched = cf.matched
+	res.Verdict = cf.verdict
+	res.Steps = cf.steps
+	res.CacheHit = true
+	if cf.hasProg {
+		k.histSteps.Observe(shard, cf.steps)
+		if rt.sup != nil {
+			if failure, _ := rt.sup.RecordRun(cf.progID, hook, cf.steps, 0, nil); failure != nil {
+				k.Metrics.Counter("core.slo_violations").Inc()
+			}
+		}
+	}
+	if cf.infers > 0 {
+		k.ctrInfers.Add(shard, cf.infers)
+	}
+	return nil, true
+}
+
+// fireSlow runs the full pipeline and, when the fire proved replayable,
+// memoizes the outcome under (fk, gen).
+func (k *Kernel) fireSlow(rt *routes, gen uint64, hr *hookRoute, shard int, hook string, key, arg2, arg3 int64, res *FireResult, record bool, fk table.FlowKey, pre *preDecision) {
 	inv := Invocation{
 		Hook: hook, Key: key, Arg2: arg2, Arg3: arg3,
 		emitBudget: k.cfg.RateLimit,
 	}
-	res := FireResult{Verdict: DefaultVerdict}
-
-	k.mu.RLock()
-	tableIDs := k.hooks[hook]
-	sup := k.sup
-	inj := k.inj
-	sh := k.shadows[hook]
-	k.mu.RUnlock()
-	if len(tableIDs) == 0 {
-		return res
-	}
-	k.Metrics.Counter("core.fires").Inc()
 
 	// One injector decision per firing index of this hook; whether it
 	// strikes depends on the supervisor routing below (a quarantined program
 	// does not run, so scheduled faults pass it by).
-	out := inj.Check(hook)
+	out := rt.inj.Check(hook)
 
 	// The shadow candidate re-runs the last decision-bearing entry (program
 	// or inference) after the live pipeline completes, so it observes exactly
@@ -103,31 +219,50 @@ func (k *Kernel) Fire(hook string, key, arg2, arg3 int64) FireResult {
 	// writes — the state it would inherit if promoted.
 	var shadowEntry *table.Entry
 
-	for _, tid := range tableIDs {
-		t, err := k.Table(tid)
-		if err != nil {
-			continue
-		}
+	rec := fireRec{ok: record}
+	for _, t := range hr.tables {
 		entry := t.Lookup(uint64(key))
 		if entry == nil {
+			rec.addRow(t, nil)
 			continue
 		}
 		res.Matched++
-		if sh != nil && (entry.Action.Kind == table.ActionProgram || entry.Action.Kind == table.ActionInfer) {
+		if hr.shadow != nil && (entry.Action.Kind == table.ActionProgram || entry.Action.Kind == table.ActionInfer) {
 			shadowEntry = entry
 		}
-		k.runAction(t, entry, &inv, &res, sup, out)
+		if entry == t.Default() {
+			rec.addRow(t, nil)
+		} else {
+			rec.addRow(t, entry)
+		}
+		k.runAction(rt, shard, entry, &inv, res, &rec, pre, out)
 	}
 	res.Emissions = inv.emissions
 	res.RateLimited = inv.rateHits
-	if shadowEntry != nil {
-		k.runShadow(sh, shadowEntry, &inv, &res)
+	if inv.inferences > 0 {
+		k.ctrInfers.Add(shard, inv.inferences)
 	}
-	return res
+	if shadowEntry != nil {
+		k.runShadow(rt, hr.shadow, shadowEntry, &inv, res)
+	}
+
+	if rec.ok && rec.progs <= 1 && !res.Trapped && !res.FellBack &&
+		len(inv.emissions) == 0 && inv.rateHits == 0 {
+		cf := &cachedFire{
+			rows:    append([]cachedRow(nil), rec.rows[:rec.nrows]...),
+			matched: res.Matched,
+			verdict: res.Verdict,
+			steps:   res.Steps,
+			infers:  inv.inferences,
+			progID:  rec.progID,
+			hasProg: rec.progs > 0,
+		}
+		k.vcache.Put(fk, gen, cf)
+	}
 }
 
 // runAction executes one matched entry's action.
-func (k *Kernel) runAction(t *table.Table, entry *table.Entry, inv *Invocation, res *FireResult, sup *Supervisor, out *fault.Outcome) {
+func (k *Kernel) runAction(rt *routes, shard int, entry *table.Entry, inv *Invocation, res *FireResult, rec *fireRec, pre *preDecision, out *fault.Outcome) {
 	switch entry.Action.Kind {
 	case table.ActionPass:
 		// Default behaviour; nothing to do.
@@ -135,12 +270,16 @@ func (k *Kernel) runAction(t *table.Table, entry *table.Entry, inv *Invocation, 
 		res.Verdict = entry.Action.Param
 	case table.ActionCollect:
 		// Record the event value into the key's history — the
-		// data-collection phase of learning.
+		// data-collection phase of learning. Context writes are invisible to
+		// the datapath generation, so collecting fires are never cached.
+		rec.ok = false
 		k.ctx.HistPush(inv.Key, inv.Arg2)
-		k.Metrics.Counter("core.collects").Inc()
+		k.ctrCollects.Inc(shard)
 	case table.ActionInfer:
-		m, err := k.Model(entry.Action.ModelID)
-		if err != nil {
+		// Reads the mutable history ring: not cacheable.
+		rec.ok = false
+		m, ok := rt.models[entry.Action.ModelID]
+		if !ok {
 			k.Metrics.Counter("core.infer_missing_model").Inc()
 			return
 		}
@@ -151,29 +290,50 @@ func (k *Kernel) runAction(t *table.Table, entry *table.Entry, inv *Invocation, 
 			return // not enough history yet; default behaviour applies
 		}
 		res.Verdict = m.Predict(feats)
-		k.Metrics.Counter("core.inferences").Inc()
+		inv.inferences++
 	case table.ActionProgram:
-		k.runProgramAction(entry, inv, res, sup, out)
+		k.runProgramAction(rt, shard, entry, inv, res, rec, pre, out)
 	}
 }
 
 // runProgramAction routes one program action through the supervisor (if
 // attached), applies scheduled faults, and records the outcome.
-func (k *Kernel) runProgramAction(entry *table.Entry, inv *Invocation, res *FireResult, sup *Supervisor, out *fault.Outcome) {
+func (k *Kernel) runProgramAction(rt *routes, shard int, entry *table.Entry, inv *Invocation, res *FireResult, rec *fireRec, pre *preDecision, out *fault.Outcome) {
 	progID := entry.Action.ProgID
+	sup := rt.sup
 
-	if sup != nil && sup.Allow(progID) == DecisionFallback {
-		k.runFallback(inv, res)
-		return
+	if sup != nil {
+		d := DecisionRun
+		if pre != nil && pre.progID == progID {
+			d = pre.d
+			pre.progID = -1 // consumed
+		} else {
+			d = sup.Allow(progID)
+		}
+		if d != DecisionRun {
+			// A probe or fallback run must not be memoized: the breaker's
+			// state machine has to see every subsequent fire.
+			rec.ok = false
+			if d == DecisionFallback {
+				k.runFallback(inv, res)
+				return
+			}
+		}
 	}
 
-	verdict, steps, trapped, err := k.runProgram(progID, inv, entry.Action.Param, out)
+	verdict, steps, trapped, err := k.runProgram(rt, shard, progID, inv, entry.Action.Param, out)
 	res.Steps += steps
 	var latency int64
 	if out != nil {
 		// The learned path ran, so a scheduled latency spike strikes it.
 		latency = out.LatencyNs
 		res.DelayNs += latency
+	}
+
+	rec.progs++
+	rec.progID = progID
+	if p, ok := rt.progs[progID]; !ok || !p.prog.Pure {
+		rec.ok = false
 	}
 
 	var runErr error
@@ -189,12 +349,14 @@ func (k *Kernel) runProgramAction(entry *table.Entry, inv *Invocation, res *Fire
 	}
 
 	if trapped {
+		rec.ok = false
 		res.Trapped = true
 		res.TrapErr = err
 		k.Metrics.Counter("core.traps").Inc()
 		return
 	}
 	if err != nil {
+		rec.ok = false
 		k.Metrics.Counter("core.program_missing").Inc()
 		return
 	}
@@ -234,11 +396,8 @@ func (k *Kernel) runFallback(inv *Invocation, res *FireResult) {
 // applying any scheduled fault outcome. A panicking engine or helper is
 // recovered into a trap — a buggy learned datapath must not take the kernel
 // down with it.
-func (k *Kernel) runProgram(progID int64, inv *Invocation, param int64, out *fault.Outcome) (verdict int64, steps int64, trapped bool, err error) {
-	k.mu.RLock()
-	p, ok := k.progs[progID]
-	mode := k.cfg.Mode
-	k.mu.RUnlock()
+func (k *Kernel) runProgram(rt *routes, shard int, progID int64, inv *Invocation, param int64, out *fault.Outcome) (verdict int64, steps int64, trapped bool, err error) {
+	p, ok := rt.progs[progID]
 	if !ok {
 		return 0, 0, false, fmt.Errorf("%w: program %d", ErrNotFound, progID)
 	}
@@ -257,15 +416,15 @@ func (k *Kernel) runProgram(progID int64, inv *Invocation, param int64, out *fau
 	if param != 0 {
 		arg3 = param
 	}
-	e := &env{k: k, inv: inv}
+	e := &env{k: k, rt: rt, inv: inv}
 	var engine vm.Engine = p.jit
-	if mode == ModeInterp {
+	if rt.mode == ModeInterp {
 		engine = p.interp
 	}
 	ret, rerr := runEngine(engine, e, st, inv.Key, inv.Arg2, arg3)
 	inv.injectHelperErr = nil // unconsumed injections do not leak across runs
 	steps = st.Steps()
-	k.Metrics.Histogram("core.program_steps").Observe(steps)
+	k.histSteps.Observe(shard, steps)
 	if rerr != nil {
 		return 0, steps, true, rerr
 	}
@@ -293,8 +452,12 @@ func (k *Kernel) RunProgramByName(name string, r1, r2, r3 int64) (int64, []int64
 	if sup := k.Supervisor(); sup != nil && sup.State(id) != BreakerClosed {
 		return 0, nil, fmt.Errorf("%w: program %q", ErrQuarantined, name)
 	}
+	rt := k.route.Load()
 	inv := Invocation{Key: r1, Arg2: r2, Arg3: r3, emitBudget: k.cfg.RateLimit}
-	verdict, _, trapped, err := k.runProgram(id, &inv, 0, nil)
+	verdict, _, trapped, err := k.runProgram(rt, shardIndex(r1), id, &inv, 0, nil)
+	if inv.inferences > 0 {
+		k.ctrInfers.Add(shardIndex(r1), inv.inferences)
+	}
 	if trapped || err != nil {
 		return 0, nil, err
 	}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rmtk/internal/isa"
+	"rmtk/internal/table"
+)
+
+// This file tests the sharded hot path: FireBatch equivalence with sequential
+// Fire (verdicts and telemetry), concurrent-batch equivalence under -race,
+// and verdict-cache invalidation across table, model and program swaps.
+
+const hpTestHook = "test/hotpath"
+
+// newHotPathTestKernel installs a verifier-certified pure program — verdict =
+// model(key, arg2) — behind an exact table with keys 0..keys-1.
+func newHotPathTestKernel(t testing.TB, keys int) (*Kernel, int64, int64, *table.Table) {
+	t.Helper()
+	k := NewKernel(Config{})
+	modelID := k.RegisterModel(&FuncModel{
+		Fn:    func(x []int64) int64 { return 10*x[0] + x[1] },
+		Feats: 2,
+	})
+	prog := &isa.Program{
+		Name: "hp_pure",
+		Hook: hpTestHook,
+		Insns: isa.MustAssemble(fmt.Sprintf(`
+        veczero v0, 2
+        vecset  v0, 0, r1
+        vecset  v0, 1, r2
+        mlinfer r0, v0, %d
+        exit`, modelID)),
+		Models: []int64{modelID},
+	}
+	progID, rep, err := k.InstallProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pure {
+		t.Fatalf("test program not certified pure: %+v", rep)
+	}
+	tb := table.New("hp_tab", hpTestHook, table.MatchExact)
+	if _, err := k.CreateTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	for key := 0; key < keys; key++ {
+		if err := tb.Insert(&table.Entry{
+			Key:    uint64(key),
+			Action: table.Action{Kind: table.ActionProgram, ProgID: progID},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k, modelID, progID, tb
+}
+
+type hpTelemetry struct {
+	fires, infers       int64
+	stepsCount, stepSum int64
+	lookups, misses     int64
+	entryHits           int64
+	cacheLookups        int64 // verdict cache hits+misses
+}
+
+func readHPTelemetry(k *Kernel, tb *table.Table) hpTelemetry {
+	lookups, misses := tb.Stats()
+	var hits int64
+	for _, e := range tb.Entries() {
+		hits += e.Hits()
+	}
+	vs := k.VerdictCacheStats()
+	return hpTelemetry{
+		fires:        k.ctrFires.Load(),
+		infers:       k.ctrInfers.Load(),
+		stepsCount:   k.histSteps.Count(),
+		stepSum:      k.histSteps.Sum(),
+		lookups:      lookups,
+		misses:       misses,
+		entryHits:    hits,
+		cacheLookups: vs.Hits + vs.Misses,
+	}
+}
+
+// hpEvents builds a deterministic event mix: mostly present keys (cache
+// hits after warmup), some absent (table misses).
+func hpEvents(n, keys int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		key := int64(i % (keys + keys/4)) // ~20% miss the table
+		evs[i] = Event{Hook: hpTestHook, Key: key, Arg2: int64(i % 5), Arg3: 3}
+	}
+	return evs
+}
+
+// TestFireBatchMatchesSequential: the same event sequence driven through
+// FireBatch must produce the same verdicts AND the same telemetry (fire
+// counts, step accounting, table statistics, per-entry hit counts) as
+// sequential Fire calls on an identically configured kernel.
+func TestFireBatchMatchesSequential(t *testing.T) {
+	const keys, n = 32, 1000
+	ks, _, _, tbs := newHotPathTestKernel(t, keys)
+	kb, _, _, tbb := newHotPathTestKernel(t, keys)
+	events := hpEvents(n, keys)
+
+	seq := make([]FireResult, n)
+	for i, ev := range events {
+		seq[i] = ks.Fire(ev.Hook, ev.Key, ev.Arg2, ev.Arg3)
+	}
+	bat := make([]FireResult, n)
+	for from := 0; from < n; from += 64 {
+		to := from + 64
+		if to > n {
+			to = n
+		}
+		kb.FireBatch(events[from:to], bat[from:to])
+	}
+
+	for i := range seq {
+		if seq[i].Verdict != bat[i].Verdict || seq[i].Matched != bat[i].Matched ||
+			seq[i].Steps != bat[i].Steps || seq[i].CacheHit != bat[i].CacheHit {
+			t.Fatalf("event %d diverges: sequential %+v, batch %+v", i, seq[i], bat[i])
+		}
+	}
+	if got, want := readHPTelemetry(kb, tbb), readHPTelemetry(ks, tbs); got != want {
+		t.Fatalf("telemetry diverges:\n batch      %+v\n sequential %+v", got, want)
+	}
+	if vs := kb.VerdictCacheStats(); vs.Hits == 0 {
+		t.Fatal("no verdict cache hits on a repeating key mix")
+	}
+}
+
+// TestFireBatchConcurrentEquivalence: concurrent FireBatch callers must
+// produce, per event, the verdict sequential Fire produces, and the summed
+// telemetry must come out exact — cache-hit/miss splits may vary with
+// interleaving, but fires, steps, lookups and entry hits must not. Run under
+// -race this is also the hot path's data-race proof.
+func TestFireBatchConcurrentEquivalence(t *testing.T) {
+	const keys, n, workers = 32, 1024, 8
+	ks, _, _, tbs := newHotPathTestKernel(t, keys)
+	kc, _, _, tbc := newHotPathTestKernel(t, keys)
+	events := hpEvents(n, keys)
+
+	want := make([]FireResult, n)
+	for i, ev := range events {
+		want[i] = ks.Fire(ev.Hook, ev.Key, ev.Arg2, ev.Arg3)
+	}
+
+	got := make([]FireResult, n)
+	per := n / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			from, to := w*per, (w+1)*per
+			// Two batches per worker so batch boundaries interleave.
+			mid := from + per/2
+			kc.FireBatch(events[from:mid], got[from:mid])
+			kc.FireBatch(events[mid:to], got[mid:to])
+		}(w)
+	}
+	wg.Wait()
+
+	for i := range want {
+		if want[i].Verdict != got[i].Verdict || want[i].Matched != got[i].Matched ||
+			want[i].Steps != got[i].Steps {
+			t.Fatalf("event %d diverges: sequential %+v, concurrent %+v", i, want[i], got[i])
+		}
+	}
+	seqTel, conTel := readHPTelemetry(ks, tbs), readHPTelemetry(kc, tbc)
+	if seqTel.fires != conTel.fires || seqTel.infers != conTel.infers ||
+		seqTel.stepsCount != conTel.stepsCount || seqTel.stepSum != conTel.stepSum ||
+		seqTel.lookups != conTel.lookups || seqTel.misses != conTel.misses ||
+		seqTel.entryHits != conTel.entryHits {
+		t.Fatalf("telemetry sums diverge:\n concurrent %+v\n sequential %+v", conTel, seqTel)
+	}
+	// Every fire either hit or missed the verdict cache.
+	if conTel.cacheLookups != conTel.fires {
+		t.Fatalf("verdict cache consulted %d times for %d fires", conTel.cacheLookups, conTel.fires)
+	}
+}
+
+// TestVerdictCacheInvalidationOnSwap: a memoized verdict must be dropped —
+// and the fresh pipeline outcome observed — after a model swap, a table
+// entry mutation, and a program retarget.
+func TestVerdictCacheInvalidationOnSwap(t *testing.T) {
+	k, modelID, _, tb := newHotPathTestKernel(t, 4)
+
+	fire := func() FireResult { return k.Fire(hpTestHook, 1, 2, 0) }
+	if v := fire().Verdict; v != 12 {
+		t.Fatalf("initial verdict = %d, want 12", v)
+	}
+	if res := fire(); !res.CacheHit || res.Verdict != 12 {
+		t.Fatalf("second fire not replayed: %+v", res)
+	}
+
+	// Model swap: same program, new weights.
+	if err := k.SwapModel(modelID, &FuncModel{
+		Fn:    func(x []int64) int64 { return 100*x[0] + x[1] },
+		Feats: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if res := fire(); res.CacheHit || res.Verdict != 102 {
+		t.Fatalf("model swap not observed: %+v", res)
+	}
+	if res := fire(); !res.CacheHit || res.Verdict != 102 {
+		t.Fatalf("post-swap verdict not re-cached: %+v", res)
+	}
+	if inv := k.VerdictCacheStats().Invalidations; inv == 0 {
+		t.Fatal("model swap recorded no cache invalidation")
+	}
+
+	// Table mutation: retarget the entry to a constant action.
+	if !tb.UpdateAction(1, table.Action{Kind: table.ActionParam, Param: 77}) {
+		t.Fatal("update failed")
+	}
+	if res := fire(); res.CacheHit || res.Verdict != 77 {
+		t.Fatalf("table mutation not observed: %+v", res)
+	}
+
+	// Program swap: retarget to a freshly installed pure program.
+	prog2 := &isa.Program{
+		Name: "hp_pure_v2",
+		Hook: hpTestHook,
+		Insns: isa.MustAssemble(`
+        mov r0, r1
+        addimm r0, 1000
+        exit`),
+	}
+	progID2, rep, err := k.InstallProgram(prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pure {
+		t.Fatalf("v2 not pure: %+v", rep)
+	}
+	// Installing v2 itself rebuilt the routes (gen bump), so re-warm the
+	// param verdict now: the retarget below must then provably drop a
+	// freshly cached verdict, not merely miss.
+	fire()
+	if res := fire(); !res.CacheHit || res.Verdict != 77 {
+		t.Fatalf("param verdict not re-cached: %+v", res)
+	}
+	if !tb.UpdateAction(1, table.Action{Kind: table.ActionProgram, ProgID: progID2}) {
+		t.Fatal("retarget failed")
+	}
+	if res := fire(); res.CacheHit || res.Verdict != 1001 {
+		t.Fatalf("program retarget not observed: %+v", res)
+	}
+}
+
+// TestFireBatchPrepStaging: Prep closures run inside the batch, immediately
+// before their event dispatches.
+func TestFireBatchPrepStaging(t *testing.T) {
+	k := NewKernel(Config{})
+	tb := table.New("prep_tab", "test/prep", table.MatchExact)
+	if _, err := k.CreateTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(&table.Entry{Key: 1, Action: table.Action{Kind: table.ActionParam, Param: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	events := []Event{
+		{Hook: "test/prep", Key: 1, Prep: func() { order = append(order, 0) }},
+		{Hook: "test/prep", Key: 1, Prep: func() { order = append(order, 1) }},
+	}
+	out := make([]FireResult, 2)
+	k.FireBatch(events, out)
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("prep order = %v", order)
+	}
+	if out[0].Verdict != 5 || out[1].Verdict != 5 {
+		t.Fatalf("verdicts = %+v", out)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rmtk/internal/dp"
 	"rmtk/internal/fault"
@@ -100,6 +101,10 @@ type Config struct {
 	// QueryEpsilon is the epsilon charged per noised aggregate query.
 	// <=0 selects 0.1.
 	QueryEpsilon float64
+	// DisableVerdictCache turns off fire-verdict memoization (pure-program
+	// decision caching). Benchmarks use it for the uncached arm; production
+	// kernels leave it on.
+	DisableVerdictCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -136,11 +141,12 @@ type Kernel struct {
 	tables   map[int64]*table.Table
 	tableIDs map[string]int64
 	hooks    map[string][]int64 // hook -> ordered table ids
+	hookIDs  map[string]uint64  // hook -> interned id (verdict-cache keys)
 	progs    map[int64]*progEntry
 	progIDs  map[string]int64
 	models   map[int64]Model
 	mats     map[int64]*Matrix
-	vecs     map[int64][]int64
+	vecs     map[int64]*vecSlot
 	helpers  map[int64]helper
 
 	// Fault containment: the supervisor's circuit breakers, the per-hook
@@ -157,6 +163,19 @@ type Kernel struct {
 	nextModel int64
 	nextMat   int64
 	nextVec   int64
+	nextHook  uint64
+
+	// Hot path state: the immutable route snapshot Fire dispatches through,
+	// the datapath generation (verdict-cache validity token), the verdict
+	// cache itself (nil when disabled), and the sharded fire metrics.
+	route  atomic.Pointer[routes]
+	gen    atomic.Uint64
+	vcache *table.FlowCache[*cachedFire]
+
+	ctrFires    *telemetry.ShardedCounter
+	ctrCollects *telemetry.ShardedCounter
+	ctrInfers   *telemetry.ShardedCounter
+	histSteps   *telemetry.ShardedHistogram
 
 	Metrics *telemetry.Registry
 
@@ -178,23 +197,35 @@ var (
 func NewKernel(cfg Config) *Kernel {
 	cfg = cfg.withDefaults()
 	k := &Kernel{
-		cfg:       cfg,
-		ctx:       table.NewCtxStore(cfg.CtxFields, cfg.CtxHistory),
-		tables:    make(map[int64]*table.Table),
-		tableIDs:  make(map[string]int64),
-		hooks:     make(map[string][]int64),
-		progs:     make(map[int64]*progEntry),
-		progIDs:   make(map[string]int64),
-		models:    make(map[int64]Model),
-		mats:      make(map[int64]*Matrix),
-		vecs:      make(map[int64][]int64),
-		helpers:   make(map[int64]helper),
-		fallbacks: make(map[string]Fallback),
-		shadows:   make(map[string]*Shadow),
-		Metrics:   telemetry.NewRegistry(),
+		cfg:         cfg,
+		ctx:         table.NewCtxStore(cfg.CtxFields, cfg.CtxHistory),
+		tables:      make(map[int64]*table.Table),
+		tableIDs:    make(map[string]int64),
+		hooks:       make(map[string][]int64),
+		hookIDs:     make(map[string]uint64),
+		progs:       make(map[int64]*progEntry),
+		progIDs:     make(map[string]int64),
+		models:      make(map[int64]Model),
+		mats:        make(map[int64]*Matrix),
+		vecs:        make(map[int64]*vecSlot),
+		helpers:     make(map[int64]helper),
+		fallbacks:   make(map[string]Fallback),
+		shadows:     make(map[string]*Shadow),
+		Metrics:     telemetry.NewRegistry(),
+		ctrFires:    telemetry.NewShardedCounter(coreShards),
+		ctrCollects: telemetry.NewShardedCounter(coreShards),
+		ctrInfers:   telemetry.NewShardedCounter(coreShards),
+		histSteps:   telemetry.NewShardedHistogram(coreShards),
+	}
+	if !cfg.DisableVerdictCache {
+		k.vcache = table.NewFlowCache[*cachedFire](coreShards, 4096)
 	}
 	k.statePool.New = func() any { return vm.NewState() }
 	registerStandardHelpers(k)
+	k.mu.Lock()
+	k.rebuildRoutesLocked()
+	k.mu.Unlock()
+	k.Metrics.AddSource(k.hotStatLines)
 	return k
 }
 
@@ -210,6 +241,7 @@ func (k *Kernel) Mode() ExecMode { return k.cfg.Mode }
 func (k *Kernel) SetMode(m ExecMode) {
 	k.mu.Lock()
 	k.cfg.Mode = m
+	k.rebuildRoutesLocked()
 	k.mu.Unlock()
 }
 
@@ -225,8 +257,16 @@ func (k *Kernel) CreateTable(t *table.Table) (int64, error) {
 	k.tables[id] = t
 	k.tableIDs[t.Name] = id
 	if t.Hook != "" {
+		if _, ok := k.hookIDs[t.Hook]; !ok {
+			k.nextHook++
+			k.hookIDs[t.Hook] = k.nextHook
+		}
 		k.hooks[t.Hook] = append(k.hooks[t.Hook], id)
 	}
+	// Entry-level mutations of an attached table invalidate cached verdicts
+	// without republishing the route snapshot.
+	t.SetOnMutate(k.bumpGen)
+	k.rebuildRoutesLocked()
 	return id, nil
 }
 
@@ -255,6 +295,8 @@ func (k *Kernel) RemoveTable(id int64) error {
 			delete(k.hooks, t.Hook)
 		}
 	}
+	t.SetOnMutate(nil)
+	k.rebuildRoutesLocked()
 	return nil
 }
 
@@ -286,6 +328,7 @@ func (k *Kernel) RegisterModel(m Model) int64 {
 	defer k.mu.Unlock()
 	k.nextModel++
 	k.models[k.nextModel] = m
+	k.rebuildRoutesLocked()
 	return k.nextModel
 }
 
@@ -304,6 +347,7 @@ func (k *Kernel) SwapModel(id int64, m Model) error {
 		return fmt.Errorf("%w: model %d", ErrNotFound, id)
 	}
 	k.models[id] = m
+	k.rebuildRoutesLocked()
 	return nil
 }
 
@@ -313,6 +357,7 @@ func (k *Kernel) SwapModel(id int64, m Model) error {
 func (k *Kernel) SetFaultInjector(inj *fault.Injector) {
 	k.mu.Lock()
 	k.inj = inj
+	k.rebuildRoutesLocked()
 	k.mu.Unlock()
 }
 
@@ -343,6 +388,7 @@ func (k *Kernel) RegisterMatrix(m *Matrix) (int64, error) {
 	defer k.mu.Unlock()
 	k.nextMat++
 	k.mats[k.nextMat] = m
+	k.rebuildRoutesLocked()
 	return k.nextMat, nil
 }
 
@@ -352,24 +398,28 @@ func (k *Kernel) RegisterVec(v []int64) int64 {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	k.nextVec++
-	k.vecs[k.nextVec] = append([]int64(nil), v...)
+	k.vecs[k.nextVec] = &vecSlot{v: append([]int64(nil), v...)}
+	k.rebuildRoutesLocked()
 	return k.nextVec
 }
 
 // SetVec overwrites pool vector id (the mechanism subsystems use to stage
-// per-event feature vectors).
+// per-event feature vectors). It takes only the vector's own lock — staging
+// does not touch the kernel lock and does not advance the datapath
+// generation, which is exactly why programs reading pool vectors (OpVecLd)
+// are never certified pure.
 func (k *Kernel) SetVec(id int64, v []int64) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	dst, ok := k.vecs[id]
+	slot, ok := k.route.Load().vecs[id]
 	if !ok {
 		return fmt.Errorf("%w: vec %d", ErrNotFound, id)
 	}
-	if len(dst) != len(v) {
-		k.vecs[id] = append([]int64(nil), v...)
-		return nil
+	slot.mu.Lock()
+	if len(slot.v) != len(v) {
+		slot.v = append([]int64(nil), v...)
+	} else {
+		copy(slot.v, v)
 	}
-	copy(dst, v)
+	slot.mu.Unlock()
 	return nil
 }
 
@@ -382,6 +432,7 @@ func (k *Kernel) RegisterHelper(id int64, spec verifier.HelperSpec, fn HelperFn)
 		return fmt.Errorf("%w: helper %d", ErrDuplicate, id)
 	}
 	k.helpers[id] = helper{spec: spec, fn: fn}
+	k.rebuildRoutesLocked()
 	return nil
 }
 
@@ -413,8 +464,10 @@ func (k *Kernel) verifierConfig() verifier.Config {
 	for id := range k.tables {
 		cfg.Tables[id] = true
 	}
-	for id, v := range k.vecs {
-		cfg.Vecs[id] = len(v)
+	for id, slot := range k.vecs {
+		slot.mu.RLock()
+		cfg.Vecs[id] = len(slot.v)
+		slot.mu.RUnlock()
 	}
 	for id, p := range k.progs {
 		cfg.Tails[id] = p.prog
@@ -454,11 +507,12 @@ func (k *Kernel) InstallProgram(prog *isa.Program) (int64, *verifier.Report, err
 	prog.Proofs = report.Proofs
 	prog.HelperContracts = report.HelperContracts
 	prog.StaticSteps = report.MaxSteps
+	prog.Pure = report.Pure
 	interp, err := vm.NewInterpreter(prog)
 	if err != nil {
 		return 0, nil, err
 	}
-	jit, err := vm.Compile(&env{k: k}, prog)
+	jit, err := vm.Compile(&env{k: k, rt: k.route.Load()}, prog)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -471,6 +525,7 @@ func (k *Kernel) InstallProgram(prog *isa.Program) (int64, *verifier.Report, err
 	id := k.nextProg
 	k.progs[id] = &progEntry{id: id, prog: prog, interp: interp, jit: jit, report: report}
 	k.progIDs[prog.Name] = id
+	k.rebuildRoutesLocked()
 	k.Metrics.Counter("core.programs_installed").Inc()
 	return id, report, nil
 }
@@ -486,6 +541,7 @@ func (k *Kernel) RemoveProgram(id int64) error {
 	}
 	delete(k.progs, id)
 	delete(k.progIDs, p.prog.Name)
+	k.rebuildRoutesLocked()
 	return nil
 }
 

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"rmtk/internal/fault"
+	"rmtk/internal/table"
+)
+
+// This file implements the sharded, lock-free hot path: the kernel's
+// registries are mirrored into an immutable routes snapshot behind an atomic
+// pointer, rebuilt by every control-plane mutation, so Fire never takes the
+// kernel lock. A datapath generation counter is bumped after each snapshot
+// publish (and after every table mutation); the per-(hook,args) verdict cache
+// keys memoized fire outcomes by that generation, so any table/model/program
+// swap invalidates them lazily.
+
+// coreShards is the number of hot-path stripes for counters, step accounting
+// and the verdict cache. Power of two; fires are striped by flow-key hash so
+// concurrent fires on different keys touch different cache lines.
+const coreShards = 32
+
+// shardIndex maps a flow key to its stripe (fibonacci hashing).
+func shardIndex(key int64) int {
+	return int((uint64(key) * 0x9E3779B97F4A7C15) >> 59)
+}
+
+// vecSlot is one pool vector with its own lock, so staging per-event feature
+// vectors (SetVec) never touches the kernel lock or the route snapshot.
+type vecSlot struct {
+	mu sync.RWMutex
+	v  []int64
+}
+
+// hookRoute is the resolved pipeline of one hook.
+type hookRoute struct {
+	id     uint64 // interned hook id, stable across rebuilds (FlowKey.Hook)
+	tables []*table.Table
+	shadow *Shadow
+}
+
+// routes is the immutable hot-path view of the kernel registries. Fire loads
+// it once (per call or per batch) and never looks at the mutable maps.
+type routes struct {
+	hooks   map[string]*hookRoute
+	tables  map[int64]*table.Table
+	progs   map[int64]*progEntry
+	models  map[int64]Model
+	mats    map[int64]*Matrix
+	helpers map[int64]helper
+	vecs    map[int64]*vecSlot
+	sup     *Supervisor
+	inj     *fault.Injector
+	mode    ExecMode
+}
+
+// rebuildRoutesLocked republishes the route snapshot from the registries and
+// bumps the datapath generation. Caller holds k.mu. The snapshot is stored
+// before the generation bump, mirroring the table layer's publish order: a
+// reader that loads generation g sees a snapshot at least as new as g's, so
+// a verdict computed against an older snapshot can only be cached under an
+// older generation.
+func (k *Kernel) rebuildRoutesLocked() {
+	rt := &routes{
+		hooks:   make(map[string]*hookRoute, len(k.hooks)),
+		tables:  make(map[int64]*table.Table, len(k.tables)),
+		progs:   make(map[int64]*progEntry, len(k.progs)),
+		models:  make(map[int64]Model, len(k.models)),
+		mats:    make(map[int64]*Matrix, len(k.mats)),
+		helpers: make(map[int64]helper, len(k.helpers)),
+		vecs:    make(map[int64]*vecSlot, len(k.vecs)),
+		sup:     k.sup,
+		inj:     k.inj,
+		mode:    k.cfg.Mode,
+	}
+	for id, t := range k.tables {
+		rt.tables[id] = t
+	}
+	for hook, ids := range k.hooks {
+		hr := &hookRoute{id: k.hookIDs[hook], shadow: k.shadows[hook]}
+		for _, tid := range ids {
+			if t, ok := k.tables[tid]; ok {
+				hr.tables = append(hr.tables, t)
+			}
+		}
+		rt.hooks[hook] = hr
+	}
+	for id, p := range k.progs {
+		rt.progs[id] = p
+	}
+	for id, m := range k.models {
+		rt.models[id] = m
+	}
+	for id, m := range k.mats {
+		rt.mats[id] = m
+	}
+	for id, h := range k.helpers {
+		rt.helpers[id] = h
+	}
+	for id, v := range k.vecs {
+		rt.vecs[id] = v
+	}
+	k.route.Store(rt)
+	k.gen.Add(1)
+}
+
+// bumpGen invalidates all cached verdicts; it is the tables' onMutate hook,
+// so entry inserts/deletes/rewrites flow into the datapath generation even
+// though they do not rebuild the route snapshot.
+func (k *Kernel) bumpGen() { k.gen.Add(1) }
+
+// Generation reports the datapath generation: it advances on every
+// control-plane mutation (table entries, models, programs, matrices, mode,
+// shadows, supervisor) and is the validity token of the verdict cache.
+func (k *Kernel) Generation() uint64 { return k.gen.Load() }
+
+// cachedRow replays one table lookup's counter effects: the table that was
+// consulted and the entry the scan matched (nil when the scan missed and the
+// default action, if any, applied).
+type cachedRow struct {
+	t   *table.Table
+	hit *table.Entry
+}
+
+// cachedFire is one memoized fire outcome for a pure pipeline.
+type cachedFire struct {
+	rows    []cachedRow
+	matched int
+	verdict int64
+	steps   int64
+	infers  int64
+	progID  int64
+	hasProg bool
+}
+
+// maxRecordRows bounds the per-fire row recorder; pipelines longer than this
+// are simply not cached.
+const maxRecordRows = 4
+
+// fireRec accumulates cacheability evidence during one slow-path fire.
+type fireRec struct {
+	ok       bool // still eligible for caching
+	progs    int  // program actions seen
+	progID   int64
+	steps    int64
+	nrows    int
+	rows     [maxRecordRows]cachedRow
+	overflow bool
+}
+
+func (r *fireRec) addRow(t *table.Table, hit *table.Entry) {
+	if !r.ok {
+		return
+	}
+	if r.nrows == maxRecordRows {
+		r.ok = false
+		r.overflow = true
+		return
+	}
+	r.rows[r.nrows] = cachedRow{t: t, hit: hit}
+	r.nrows++
+}
+
+// VerdictCacheStats reports the verdict cache's hit/miss/invalidation
+// counters.
+func (k *Kernel) VerdictCacheStats() table.FlowCacheStats {
+	return k.vcache.Stats()
+}
+
+// hotStatLines renders the lazily-aggregated hot-path metrics for the
+// telemetry registry snapshot: the sharded fire counters, the verdict cache,
+// and the per-table scan memos.
+func (k *Kernel) hotStatLines() []string {
+	out := []string{
+		fmt.Sprintf("core.fires %d", k.ctrFires.Load()),
+		fmt.Sprintf("core.collects %d", k.ctrCollects.Load()),
+		fmt.Sprintf("core.inferences %d", k.ctrInfers.Load()),
+		k.histSteps.SnapshotLine("core.program_steps"),
+	}
+	vs := k.vcache.Stats()
+	out = append(out,
+		fmt.Sprintf("core.verdict_cache.hits %d", vs.Hits),
+		fmt.Sprintf("core.verdict_cache.misses %d", vs.Misses),
+		fmt.Sprintf("core.verdict_cache.invalidations %d", vs.Invalidations),
+		fmt.Sprintf("core.verdict_cache.evictions %d", vs.Evictions),
+	)
+	var ts table.FlowCacheStats
+	rt := k.route.Load()
+	for _, t := range rt.tables {
+		s := t.CacheStats()
+		ts.Hits += s.Hits
+		ts.Misses += s.Misses
+		ts.Invalidations += s.Invalidations
+		ts.Evictions += s.Evictions
+	}
+	out = append(out,
+		fmt.Sprintf("table.scan_memo.hits %d", ts.Hits),
+		fmt.Sprintf("table.scan_memo.misses %d", ts.Misses),
+		fmt.Sprintf("table.scan_memo.invalidations %d", ts.Invalidations),
+	)
+	return out
+}

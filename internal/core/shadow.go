@@ -161,6 +161,7 @@ func (k *Kernel) AttachShadow(s *Shadow) error {
 		return fmt.Errorf("%w: shadow at %q", ErrDuplicate, s.hook)
 	}
 	k.shadows[s.hook] = s
+	k.rebuildRoutesLocked()
 	k.Metrics.Counter("core.shadows_attached").Inc()
 	return nil
 }
@@ -171,6 +172,7 @@ func (k *Kernel) DetachShadow(hook string) *Shadow {
 	defer k.mu.Unlock()
 	s := k.shadows[hook]
 	delete(k.shadows, hook)
+	k.rebuildRoutesLocked()
 	return s
 }
 
@@ -186,7 +188,7 @@ func (k *Kernel) ShadowAt(hook string) *Shadow {
 // buffer, DelayNs is untouched, fault injection does not apply, and the
 // shadow env suppresses context/pool writes so a buggy candidate cannot
 // corrupt state the incumbent reads.
-func (k *Kernel) runShadow(sh *Shadow, entry *table.Entry, live *Invocation, liveRes *FireResult) {
+func (k *Kernel) runShadow(rt *routes, sh *Shadow, entry *table.Entry, live *Invocation, liveRes *FireResult) {
 	sinv := Invocation{
 		Hook: live.Hook, Key: live.Key, Arg2: live.Arg2, Arg3: live.Arg3,
 		emitBudget: k.cfg.RateLimit,
@@ -201,13 +203,16 @@ func (k *Kernel) runShadow(sh *Shadow, entry *table.Entry, live *Invocation, liv
 		if sh.progID != 0 {
 			progID = sh.progID
 		}
-		verdict, steps, trapped = k.runShadowProgram(sh, progID, &sinv, entry.Action.Param)
+		verdict, steps, trapped = k.runShadowProgram(rt, sh, progID, &sinv, entry.Action.Param)
 	case table.ActionInfer:
-		verdict, trapped = k.runShadowInfer(sh, entry.Action.ModelID, &sinv)
+		verdict, trapped = k.runShadowInfer(rt, sh, entry.Action.ModelID, &sinv)
 	default:
 		return
 	}
 
+	if sinv.inferences > 0 {
+		k.ctrInfers.Add(shardIndex(live.Key), sinv.inferences)
+	}
 	k.Metrics.Counter("core.shadow_fires").Inc()
 	if trapped {
 		k.Metrics.Counter("core.shadow_traps").Inc()
@@ -224,11 +229,8 @@ func (k *Kernel) runShadow(sh *Shadow, entry *table.Entry, live *Invocation, liv
 // runShadowProgram is runProgram for the shadow lane: overlay models, write
 // suppression, no fault injection, and the same panic containment as live
 // runs (a panicking candidate traps, it does not take the kernel down).
-func (k *Kernel) runShadowProgram(sh *Shadow, progID int64, inv *Invocation, param int64) (verdict int64, steps int64, trapped bool) {
-	k.mu.RLock()
-	p, ok := k.progs[progID]
-	mode := k.cfg.Mode
-	k.mu.RUnlock()
+func (k *Kernel) runShadowProgram(rt *routes, sh *Shadow, progID int64, inv *Invocation, param int64) (verdict int64, steps int64, trapped bool) {
+	p, ok := rt.progs[progID]
 	if !ok {
 		return DefaultVerdict, 0, true
 	}
@@ -239,9 +241,9 @@ func (k *Kernel) runShadowProgram(sh *Shadow, progID int64, inv *Invocation, par
 	if param != 0 {
 		arg3 = param
 	}
-	e := &env{k: k, inv: inv, overlay: sh.overlay, shadow: true}
+	e := &env{k: k, rt: rt, inv: inv, overlay: sh.overlay, shadow: true}
 	var engine vm.Engine = p.jit
-	if mode == ModeInterp {
+	if rt.mode == ModeInterp {
 		engine = p.interp
 	}
 	ret, err := runEngine(engine, e, st, inv.Key, inv.Arg2, arg3)
@@ -255,12 +257,10 @@ func (k *Kernel) runShadowProgram(sh *Shadow, progID int64, inv *Invocation, par
 // runShadowInfer re-runs an ActionInfer entry with the candidate model. The
 // candidate's Predict is unverified Go code until promotion, so panics are
 // contained into shadow traps.
-func (k *Kernel) runShadowInfer(sh *Shadow, modelID int64, inv *Invocation) (verdict int64, trapped bool) {
+func (k *Kernel) runShadowInfer(rt *routes, sh *Shadow, modelID int64, inv *Invocation) (verdict int64, trapped bool) {
 	m, ok := sh.overlay[modelID]
 	if !ok {
-		var err error
-		m, err = k.Model(modelID)
-		if err != nil {
+		if m, ok = rt.models[modelID]; !ok {
 			return DefaultVerdict, true
 		}
 	}

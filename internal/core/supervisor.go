@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"rmtk/internal/telemetry"
 )
@@ -125,9 +126,13 @@ const (
 	DecisionFallback
 )
 
-// breaker is the per-program containment state.
+// breaker is the per-program containment state. Each breaker carries its own
+// lock, so concurrent fires of different programs never contend; the state
+// field is additionally readable lock-free for the closed-breaker fast path
+// (the overwhelmingly common case on a healthy datapath).
 type breaker struct {
-	state       BreakerState
+	mu          sync.Mutex
+	state       atomic.Int32 // BreakerState
 	consecFails int
 	window      []bool // ring of recent fire outcomes (true = failed)
 	windowPos   int
@@ -140,18 +145,21 @@ type breaker struct {
 }
 
 // Supervisor owns the breakers of every supervised program on one kernel.
+// Breakers live in a sync.Map keyed by program id; aggregate counters are
+// atomics, so the only locks on the fire path are per-breaker.
 type Supervisor struct {
 	cfg     SupervisorConfig
 	metrics *telemetry.Registry
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	progs map[int64]*breaker
+	progs sync.Map // int64 -> *breaker
 
-	trips      int64
-	fallbacks  int64
-	probes     int64
-	recoveries int64
+	rngMu sync.Mutex // jitter source; cold path (breaker opens) only
+	rng   *rand.Rand
+
+	trips      atomic.Int64
+	fallbacks  atomic.Int64
+	probes     atomic.Int64
+	recoveries atomic.Int64
 }
 
 // newSupervisor builds a supervisor bound to a metrics registry.
@@ -161,42 +169,44 @@ func newSupervisor(cfg SupervisorConfig, metrics *telemetry.Registry) *Superviso
 		cfg:     cfg,
 		metrics: metrics,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		progs:   make(map[int64]*breaker),
 	}
 }
 
 func (s *Supervisor) breakerFor(progID int64) *breaker {
-	b, ok := s.progs[progID]
-	if !ok {
-		b = &breaker{cooldown: s.cfg.CooldownFires}
-		if s.cfg.WindowM > 0 {
-			b.window = make([]bool, s.cfg.WindowM)
-		}
-		s.progs[progID] = b
+	if v, ok := s.progs.Load(progID); ok {
+		return v.(*breaker)
 	}
-	return b
+	b := &breaker{cooldown: s.cfg.CooldownFires}
+	if s.cfg.WindowM > 0 {
+		b.window = make([]bool, s.cfg.WindowM)
+	}
+	v, _ := s.progs.LoadOrStore(progID, b)
+	return v.(*breaker)
 }
 
 // Allow decides how the next fire of progID is routed. Open breakers count
 // the call against their cooldown — the hook's firing rate is the
 // supervisor's clock, so quarantine and backoff are deterministic in
-// simulation.
+// simulation. A closed breaker is recognized without taking any lock.
 func (s *Supervisor) Allow(progID int64) Decision {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	b := s.breakerFor(progID)
-	switch b.state {
-	case BreakerClosed:
+	if BreakerState(b.state.Load()) == BreakerClosed {
+		return DecisionRun
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch BreakerState(b.state.Load()) {
+	case BreakerClosed: // transitioned while we blocked on the lock
 		return DecisionRun
 	case BreakerHalfOpen:
 		return DecisionProbe
 	default: // BreakerOpen
 		if b.wait--; b.wait > 0 {
-			s.fallbacks++
+			s.fallbacks.Add(1)
 			s.metrics.Counter("supervisor.fallbacks").Inc()
 			return DecisionFallback
 		}
-		b.state = BreakerHalfOpen
+		b.state.Store(int32(BreakerHalfOpen))
 		b.probeOK = 0
 		return DecisionProbe
 	}
@@ -215,9 +225,9 @@ func (s *Supervisor) RecordRun(progID int64, hook string, steps, latencyNs int64
 		failure = fmt.Errorf("%w: %dns > %dns", ErrLatencySLO, latencyNs, s.cfg.LatencySLONs)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	b := s.breakerFor(progID)
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if len(b.window) > 0 {
 		b.window[b.windowPos] = failure != nil
 		b.windowPos = (b.windowPos + 1) % len(b.window)
@@ -228,14 +238,14 @@ func (s *Supervisor) RecordRun(progID int64, hook string, steps, latencyNs int64
 
 	if failure == nil {
 		b.consecFails = 0
-		if b.state == BreakerHalfOpen {
-			s.probes++
+		if BreakerState(b.state.Load()) == BreakerHalfOpen {
+			s.probes.Add(1)
 			s.metrics.Counter("supervisor.probes").Inc()
 			if b.probeOK++; b.probeOK >= s.cfg.HalfOpenSuccesses {
-				b.state = BreakerClosed
+				b.state.Store(int32(BreakerClosed))
 				b.cooldown = s.cfg.CooldownFires
 				b.lastErr = nil
-				s.recoveries++
+				s.recoveries.Add(1)
 				s.metrics.Counter("supervisor.recoveries").Inc()
 			}
 		}
@@ -246,9 +256,9 @@ func (s *Supervisor) RecordRun(progID int64, hook string, steps, latencyNs int64
 	s.metrics.Counter("supervisor.errors." + hook).Inc()
 	s.metrics.Histogram("supervisor.fail_steps." + hook).Observe(steps)
 
-	if b.state == BreakerHalfOpen {
+	if BreakerState(b.state.Load()) == BreakerHalfOpen {
 		// Failed probe: back off exponentially (with jitter) and re-open.
-		s.probes++
+		s.probes.Add(1)
 		s.metrics.Counter("supervisor.probes").Inc()
 		b.cooldown = s.nextCooldown(b.cooldown)
 		s.open(b)
@@ -267,9 +277,9 @@ func (s *Supervisor) RecordRun(progID int64, hook string, steps, latencyNs int64
 		}
 		windowed = fails >= s.cfg.WindowK
 	}
-	if b.state == BreakerClosed && (b.consecFails >= s.cfg.TripConsecutive || windowed) {
+	if BreakerState(b.state.Load()) == BreakerClosed && (b.consecFails >= s.cfg.TripConsecutive || windowed) {
 		b.trips++
-		s.trips++
+		s.trips.Add(1)
 		s.metrics.Counter("supervisor.trips").Inc()
 		s.open(b)
 		return failure, true
@@ -278,13 +288,16 @@ func (s *Supervisor) RecordRun(progID int64, hook string, steps, latencyNs int64
 }
 
 // open moves a breaker into quarantine with its current cooldown (jittered).
+// Caller holds b.mu.
 func (s *Supervisor) open(b *breaker) {
-	b.state = BreakerOpen
+	b.state.Store(int32(BreakerOpen))
 	b.consecFails = 0
 	b.probeOK = 0
 	wait := b.cooldown
 	if s.cfg.JitterFrac > 0 {
+		s.rngMu.Lock()
 		j := 1 + s.cfg.JitterFrac*(2*s.rng.Float64()-1)
+		s.rngMu.Unlock()
 		wait = int64(float64(wait) * j)
 	}
 	if wait < 1 {
@@ -306,19 +319,18 @@ func (s *Supervisor) nextCooldown(cur int64) int64 {
 
 // State reports a program's breaker state (closed for unknown programs).
 func (s *Supervisor) State(progID int64) BreakerState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if b, ok := s.progs[progID]; ok {
-		return b.state
+	if v, ok := s.progs.Load(progID); ok {
+		return BreakerState(v.(*breaker).state.Load())
 	}
 	return BreakerClosed
 }
 
 // LastError reports the most recent failure recorded for a program.
 func (s *Supervisor) LastError(progID int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if b, ok := s.progs[progID]; ok {
+	if v, ok := s.progs.Load(progID); ok {
+		b := v.(*breaker)
+		b.mu.Lock()
+		defer b.mu.Unlock()
 		return b.lastErr
 	}
 	return nil
@@ -326,46 +338,43 @@ func (s *Supervisor) LastError(progID int64) error {
 
 // Quarantined lists programs currently open or half-open.
 func (s *Supervisor) Quarantined() []int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []int64
-	for id, b := range s.progs {
-		if b.state != BreakerClosed {
-			out = append(out, id)
+	s.progs.Range(func(id, v any) bool {
+		if BreakerState(v.(*breaker).state.Load()) != BreakerClosed {
+			out = append(out, id.(int64))
 		}
-	}
+		return true
+	})
 	return out
 }
 
 // Counts reports aggregate trip / fallback / probe / recovery totals.
 func (s *Supervisor) Counts() (trips, fallbacks, probes, recoveries int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.trips, s.fallbacks, s.probes, s.recoveries
+	return s.trips.Load(), s.fallbacks.Load(), s.probes.Load(), s.recoveries.Load()
 }
 
 // Trip force-quarantines a program (the control plane uses this when the
 // accuracy monitor degrades hard enough that conservative reconfiguration is
 // not sufficient).
 func (s *Supervisor) Trip(progID int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	b := s.breakerFor(progID)
-	if b.state == BreakerOpen {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if BreakerState(b.state.Load()) == BreakerOpen {
 		return
 	}
 	b.trips++
-	s.trips++
+	s.trips.Add(1)
 	s.metrics.Counter("supervisor.trips").Inc()
 	s.open(b)
 }
 
 // Reinstate force-closes a program's breaker (operator override).
 func (s *Supervisor) Reinstate(progID int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	b := s.breakerFor(progID)
-	b.state = BreakerClosed
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state.Store(int32(BreakerClosed))
 	b.consecFails = 0
 	b.probeOK = 0
 	b.cooldown = s.cfg.CooldownFires
@@ -378,6 +387,7 @@ func (k *Kernel) Supervise(cfg SupervisorConfig) *Supervisor {
 	s := newSupervisor(cfg, k.Metrics)
 	k.mu.Lock()
 	k.sup = s
+	k.rebuildRoutesLocked()
 	k.mu.Unlock()
 	return s
 }

@@ -87,11 +87,19 @@ func (t *Txn) CreateTable(name, hook string, kind table.MatchKind) *TableRef {
 }
 
 // AddEntry stages an entry insertion into a table named now or staged
-// earlier in this transaction; rollback deletes the entry.
+// earlier in this transaction; rollback deletes the entry. On exact-match
+// tables an insertion over an existing key replaces that row, so apply
+// snapshots the displaced entry and undo re-inserts the original pointer —
+// rolling back must not forget the incumbent row or zero its accumulated
+// hit count.
 func (t *Txn) AddEntry(tableName string, e *table.Entry) {
+	var displaced *table.Entry
 	t.steps = append(t.steps, txnStep{
 		name: fmt.Sprintf("add entry to %q", tableName),
 		apply: func() error {
+			if tb, _, err := t.p.K.TableByName(tableName); err == nil {
+				displaced = tb.Probe(e.Key)
+			}
 			return t.p.AddEntry(tableName, e)
 		},
 		undo: func() error {
@@ -101,6 +109,9 @@ func (t *Txn) AddEntry(tableName string, e *table.Entry) {
 			}
 			if !tb.Delete(e) {
 				return fmt.Errorf("%w in %q", ErrNoEntry, tableName)
+			}
+			if displaced != nil {
+				return tb.Insert(displaced)
 			}
 			return nil
 		},

@@ -164,3 +164,53 @@ func TestModelHistoryBounded(t *testing.T) {
 		t.Fatalf("exhausted rollback err = %v", err)
 	}
 }
+
+// TestTxnAddEntryRollbackRestoresDisplaced: staging an AddEntry over an
+// existing exact-match key replaces that row; when the transaction rolls
+// back, the incumbent row must come back as the same Entry pointer — action
+// intact and accumulated hit count preserved, not reset to zero.
+func TestTxnAddEntryRollbackRestoresDisplaced(t *testing.T) {
+	p := newPlane(t)
+	if _, _, err := p.CreateTable("disp_tab", "hook/disp", table.MatchExact); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEntry("disp_tab", &table.Entry{Key: 1, Action: table.Action{Kind: table.ActionParam, Param: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if res := p.K.Fire("hook/disp", 1, 0, 0); res.Verdict != 5 {
+			t.Fatalf("warmup verdict = %d", res.Verdict)
+		}
+	}
+	tb, _, err := p.K.TableByName("disp_tab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Probe(1).Hits(); got != 3 {
+		t.Fatalf("warmup hits = %d, want 3", got)
+	}
+
+	txn := p.Begin()
+	txn.AddEntry("disp_tab", &table.Entry{Key: 1, Action: table.Action{Kind: table.ActionParam, Param: 50}})
+	txn.AddEntry("no_such_table", &table.Entry{Key: 9}) // forces rollback
+	if err := txn.Commit(); err == nil {
+		t.Fatal("commit succeeded")
+	}
+
+	e := tb.Probe(1)
+	if e == nil {
+		t.Fatal("displaced entry not restored")
+	}
+	if e.Action.Param != 5 {
+		t.Fatalf("restored action param = %d, want 5", e.Action.Param)
+	}
+	if got := e.Hits(); got != 3 {
+		t.Fatalf("restored hits = %d, want 3 (hit count lost across rollback)", got)
+	}
+	if res := p.K.Fire("hook/disp", 1, 0, 0); res.Verdict != 5 {
+		t.Fatalf("post-rollback verdict = %d", res.Verdict)
+	}
+	if got := tb.Probe(1).Hits(); got != 4 {
+		t.Fatalf("post-rollback hits = %d, want 4", got)
+	}
+}

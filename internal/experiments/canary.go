@@ -37,10 +37,10 @@ type CanaryResult struct {
 	CanariedAccuracy   float64 // percent, with the rejected hostile push
 	UncanariedAccuracy float64 // percent, with the corruption live
 
-	Promotions   int64 // rollouts promoted in the canaried run
-	Rejections   int64 // rollouts rejected at the shadow gate (>=1: the corruption)
-	Rollbacks    int64 // post-promotion probation rollbacks
-	ShadowFires  int64 // shadow executions in the canaried run (zero-latency)
+	Promotions   int64            // rollouts promoted in the canaried run
+	Rejections   int64            // rollouts rejected at the shadow gate (>=1: the corruption)
+	Rollbacks    int64            // post-promotion probation rollbacks
+	ShadowFires  int64            // shadow executions in the canaried run (zero-latency)
 	CorruptState ctrl.CanaryState // terminal state of the hostile rollout
 }
 

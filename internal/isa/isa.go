@@ -408,6 +408,10 @@ type Program struct {
 	// execution is structurally bounded by this figure. Executed steps are
 	// still counted exactly. Zero means unknown (per-step checks stay).
 	StaticSteps int64
+	// Pure is the verifier's purity certificate (Report.Pure): the program
+	// is a function of only the fire arguments and versioned datapath state.
+	// The kernel's verdict cache memoizes fires of pure programs.
+	Pure bool
 }
 
 // Encode returns the wire form of the program's instructions.

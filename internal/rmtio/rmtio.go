@@ -242,7 +242,7 @@ func clampBucket(ns int64) int64 {
 	return b
 }
 
-// predict consults the datapath for device i.
+// predict consults the datapath for one device.
 func (r *Router) predict(i int, feats []int64) bool {
 	if err := r.K.SetVec(r.vecID, feats); err != nil {
 		return false
@@ -250,6 +250,28 @@ func (r *Router) predict(i int, feats []int64) bool {
 	res := r.K.Fire(blksim.HookSubmitIO, int64(i), 0, 0)
 	r.delayNs += res.DelayNs
 	return res.Verdict == 1
+}
+
+// predictAll consults the datapath for every device in one batched fire:
+// each event's Prep closure stages that device's features into the shared
+// pool vector just before its run, so the whole sweep pays one route-snapshot
+// acquisition instead of len(devs).
+func (r *Router) predictAll(feats [][]int64) []core.FireResult {
+	events := make([]core.Event, len(feats))
+	for i := range feats {
+		f := feats[i]
+		events[i] = core.Event{
+			Hook: blksim.HookSubmitIO,
+			Key:  int64(i),
+			Prep: func() { _ = r.K.SetVec(r.vecID, f) },
+		}
+	}
+	out := make([]core.FireResult, len(events))
+	r.K.FireBatch(events, out)
+	for i := range out {
+		r.delayNs += out[i].DelayNs
+	}
+	return out
 }
 
 // TakeDelay implements blksim.Delayer: it drains injected stall accumulated
@@ -272,14 +294,18 @@ func (r *Router) Route(now int64, devs []*blksim.Device) (int, bool, int) {
 		r.pending[int64(choice)] = r.features(choice, devs[choice].QueueLen(), now)
 		return choice, false, -1
 	}
+	allFeats := make([][]int64, len(devs))
+	for i, d := range devs {
+		allFeats[i] = r.features(i, d.QueueLen(), now)
+	}
+	results := r.predictAll(allFeats)
 	bestFast, bestAny := -1, 0
 	var fastFeats []int64
 	for i, d := range devs {
-		feats := r.features(i, d.QueueLen(), now)
-		slow := r.predict(i, feats)
+		slow := results[i].Verdict == 1
 		if !slow && (bestFast < 0 || d.QueueLen() < devs[bestFast].QueueLen()) {
 			bestFast = i
-			fastFeats = feats
+			fastFeats = allFeats[i]
 		}
 		if d.QueueLen() < devs[bestAny].QueueLen() {
 			bestAny = i

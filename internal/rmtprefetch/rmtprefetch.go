@@ -320,15 +320,6 @@ func (p *Prefetcher) OnAccess(pid, page int64, hit bool) []int64 {
 		p.labelAccess(pr, page)
 	}
 
-	cres := p.K.Fire(memsim.HookLookupSwapCache, pid, page, 0)
-	p.delayNs += cres.DelayNs
-
-	pr.accesses++
-	if pr.accesses%p.cfg.TrainEvery == 0 &&
-		(p.cfg.FreezeAfter <= 0 || pr.accesses <= p.cfg.FreezeAfter) {
-		p.retrain(pid, pr)
-	}
-
 	// arg3 carries the hit/miss outcome so the readahead fallback (which is
 	// fault-driven) can decide; the learned program's R3 is the prefetch
 	// degree from its table entry's parameter and is unaffected.
@@ -336,8 +327,35 @@ func (p *Prefetcher) OnAccess(pid, page int64, hit bool) []int64 {
 	if hit {
 		hitArg = 1
 	}
-	res := p.K.Fire(memsim.HookSwapClusterReadahead, pid, page, hitArg)
-	p.delayNs += res.DelayNs
+
+	pr.accesses++
+	retrainStep := pr.accesses%p.cfg.TrainEvery == 0 &&
+		(p.cfg.FreezeAfter <= 0 || pr.accesses <= p.cfg.FreezeAfter)
+
+	var res core.FireResult
+	if retrainStep {
+		// The retrain must see the collect fire's history push and the
+		// prefetch fire must see the pushed model, so the two fires straddle
+		// it un-batched on this (rare) step.
+		cres := p.K.Fire(memsim.HookLookupSwapCache, pid, page, 0)
+		p.delayNs += cres.DelayNs
+		p.retrain(pid, pr)
+		res = p.K.Fire(memsim.HookSwapClusterReadahead, pid, page, hitArg)
+		p.delayNs += res.DelayNs
+	} else {
+		// Common path: collect + prefetch ride one batched snapshot. Events
+		// run in order, and context-store writes (the collect program's
+		// history push) are live state, not snapshotted, so the prefetch
+		// program still observes this access's history.
+		events := []core.Event{
+			{Hook: memsim.HookLookupSwapCache, Key: pid, Arg2: page},
+			{Hook: memsim.HookSwapClusterReadahead, Key: pid, Arg2: page, Arg3: hitArg},
+		}
+		out := make([]core.FireResult, 2)
+		p.K.FireBatch(events, out)
+		p.delayNs += out[0].DelayNs + out[1].DelayNs
+		res = out[1]
+	}
 
 	// Pump the rollout lifecycle on the datapath's own event clock.
 	if pr.canary != nil {

@@ -194,18 +194,60 @@ func (d *Decider) CanMigrate(f *schedsim.Features) bool {
 	res := d.K.Fire(Hook, 0, 0, 0)
 	d.lastFeatures = nil
 	// Pump the rollout lifecycle on the scheduler's own event clock.
-	if d.canary != nil {
-		st := d.canary.Advance()
-		if st.Terminal() {
-			if st == ctrl.CanaryPromoted {
-				d.progID = d.candID // candidate is the new incumbent
-			}
-			d.lastState = st
-			d.ended++
-			d.canary = nil
-		}
-	}
+	d.pumpCanary()
 	return res.Verdict == 1
 }
 
-var _ schedsim.Decider = (*Decider)(nil)
+// CanMigrateBatch implements schedsim.BatchDecider: all candidates of one
+// balance pass run through a single core.FireBatch, paying one route-snapshot
+// acquisition for the whole pass. Each event's Prep closure stages that
+// candidate's normalized features into the pool vector (and the raw struct
+// into the fallback's staging slot) immediately before its run.
+func (d *Decider) CanMigrateBatch(fs []*schedsim.Features) []bool {
+	events := make([]core.Event, len(fs))
+	for i := range fs {
+		f := fs[i]
+		events[i] = core.Event{
+			Hook: Hook,
+			Prep: func() {
+				x := f.Normalized()
+				if len(d.cols) > 0 {
+					x = feature.SelectRow(x, d.cols)
+				}
+				_ = d.K.SetVec(d.vecID, x)
+				d.lastFeatures = f
+			},
+		}
+	}
+	out := make([]core.FireResult, len(events))
+	d.K.FireBatch(events, out)
+	d.lastFeatures = nil
+	verdicts := make([]bool, len(fs))
+	for i := range out {
+		verdicts[i] = out[i].Verdict == 1
+		d.pumpCanary()
+	}
+	return verdicts
+}
+
+// pumpCanary advances an in-flight rollout one event on the scheduler's own
+// clock and folds a terminal state back into the decider.
+func (d *Decider) pumpCanary() {
+	if d.canary == nil {
+		return
+	}
+	st := d.canary.Advance()
+	if st.Terminal() {
+		if st == ctrl.CanaryPromoted {
+			d.progID = d.candID // candidate is the new incumbent
+		}
+		d.lastState = st
+		d.ended++
+		d.canary = nil
+	}
+}
+
+var (
+	_ schedsim.Decider      = (*Decider)(nil)
+	_ schedsim.BatchDecider = (*Decider)(nil)
+)

@@ -9,16 +9,27 @@ import (
 // the raw material for online learning (e.g. page-access delta sequences).
 const DefaultHistCap = 128
 
+// ctxShards is the number of lock domains in the context store. Keys are
+// hashed to shards, so concurrent fires on different flow keys (different
+// PIDs, inodes, ...) update context under different locks.
+const ctxShards = 16
+
 // CtxStore is the execution-context key/value map of type RMT_CTXT (§3.1).
 // Each key (PID, inode, cgroup id, ...) owns a fixed set of scalar fields and
 // a bounded history ring. Lookups and updates are constant-time "in a
 // system-wide manner without having to walk complex kernel data structures".
+// The store is sharded by key so the hot path never funnels through one lock.
 type CtxStore struct {
 	numFields int
 	histCap   int
 
+	shards [ctxShards]ctxShard
+}
+
+type ctxShard struct {
 	mu   sync.RWMutex
 	recs map[int64]*ctxRec
+	_    [16]byte // keep neighbouring shards off one cache line
 }
 
 type ctxRec struct {
@@ -38,11 +49,11 @@ func NewCtxStore(numFields, histCap int) *CtxStore {
 	if numFields < 0 {
 		numFields = 0
 	}
-	return &CtxStore{
-		numFields: numFields,
-		histCap:   histCap,
-		recs:      make(map[int64]*ctxRec),
+	c := &CtxStore{numFields: numFields, histCap: histCap}
+	for i := range c.shards {
+		c.shards[i].recs = make(map[int64]*ctxRec)
 	}
+	return c
 }
 
 // NumFields reports the per-key scalar field count.
@@ -51,21 +62,25 @@ func (c *CtxStore) NumFields() int { return c.numFields }
 // HistCap reports the per-key history capacity.
 func (c *CtxStore) HistCap() int { return c.histCap }
 
-func (c *CtxStore) rec(key int64, create bool) *ctxRec {
-	c.mu.RLock()
-	r := c.recs[key]
-	c.mu.RUnlock()
+func (c *CtxStore) shard(key int64) *ctxShard {
+	return &c.shards[(uint64(key)*0x9E3779B97F4A7C15)>>60]
+}
+
+func (c *CtxStore) rec(s *ctxShard, key int64, create bool) *ctxRec {
+	s.mu.RLock()
+	r := s.recs[key]
+	s.mu.RUnlock()
 	if r != nil || !create {
 		return r
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if r = c.recs[key]; r == nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r = s.recs[key]; r == nil {
 		r = &ctxRec{
 			fields: make([]int64, c.numFields),
 			hist:   make([]int64, c.histCap),
 		}
-		c.recs[key] = r
+		s.recs[key] = r
 	}
 	return r
 }
@@ -73,12 +88,13 @@ func (c *CtxStore) rec(key int64, create bool) *ctxRec {
 // Load returns field of key's record; missing keys or out-of-range fields
 // read as zero (matching the VM's fail-soft semantics).
 func (c *CtxStore) Load(key, field int64) int64 {
-	r := c.rec(key, false)
+	s := c.shard(key)
+	r := c.rec(s, key, false)
 	if r == nil || field < 0 || int(field) >= len(r.fields) {
 		return 0
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return r.fields[field]
 }
 
@@ -88,10 +104,11 @@ func (c *CtxStore) Store(key, field, val int64) {
 	if field < 0 || int(field) >= c.numFields {
 		return
 	}
-	r := c.rec(key, true)
-	c.mu.Lock()
+	s := c.shard(key)
+	r := c.rec(s, key, true)
+	s.mu.Lock()
 	r.fields[field] = val
-	c.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Add atomically adds delta to field of key's record and returns the new
@@ -100,35 +117,38 @@ func (c *CtxStore) Add(key, field, delta int64) int64 {
 	if field < 0 || int(field) >= c.numFields {
 		return 0
 	}
-	r := c.rec(key, true)
-	c.mu.Lock()
+	s := c.shard(key)
+	r := c.rec(s, key, true)
+	s.mu.Lock()
 	r.fields[field] += delta
 	v := r.fields[field]
-	c.mu.Unlock()
+	s.mu.Unlock()
 	return v
 }
 
 // HistPush appends v to key's history ring.
 func (c *CtxStore) HistPush(key, v int64) {
-	r := c.rec(key, true)
-	c.mu.Lock()
+	s := c.shard(key)
+	r := c.rec(s, key, true)
+	s.mu.Lock()
 	r.hist[r.head] = v
 	r.head = (r.head + 1) % len(r.hist)
 	if r.n < len(r.hist) {
 		r.n++
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Hist copies up to len(dst) most recent history values of key into dst,
 // oldest first, and returns the number copied.
 func (c *CtxStore) Hist(key int64, dst []int64) int {
-	r := c.rec(key, false)
+	s := c.shard(key)
+	r := c.rec(s, key, false)
 	if r == nil || len(dst) == 0 {
 		return 0
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := r.n
 	if n > len(dst) {
 		n = len(dst)
@@ -146,39 +166,49 @@ func (c *CtxStore) Hist(key int64, dst []int64) int {
 
 // HistLen reports how many history values key currently holds.
 func (c *CtxStore) HistLen(key int64) int {
-	r := c.rec(key, false)
+	s := c.shard(key)
+	r := c.rec(s, key, false)
 	if r == nil {
 		return 0
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return r.n
 }
 
 // Keys returns a sorted snapshot of all keys with records.
 func (c *CtxStore) Keys() []int64 {
-	c.mu.RLock()
-	out := make([]int64, 0, len(c.recs))
-	for k := range c.recs {
-		out = append(out, k)
+	var out []int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k := range s.recs {
+			out = append(out, k)
+		}
+		s.mu.RUnlock()
 	}
-	c.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Drop removes key's record (e.g. when a process exits).
 func (c *CtxStore) Drop(key int64) {
-	c.mu.Lock()
-	delete(c.recs, key)
-	c.mu.Unlock()
+	s := c.shard(key)
+	s.mu.Lock()
+	delete(s.recs, key)
+	s.mu.Unlock()
 }
 
 // Len reports the number of keys with records.
 func (c *CtxStore) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.recs)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.recs)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // SumField returns the sum of field over all records, plus the record count.
@@ -188,11 +218,14 @@ func (c *CtxStore) SumField(field int64) (sum int64, count int) {
 	if field < 0 || int(field) >= c.numFields {
 		return 0, 0
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for _, r := range c.recs {
-		sum += r.fields[field]
-		count++
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for _, r := range s.recs {
+			sum += r.fields[field]
+			count++
+		}
+		s.mu.RUnlock()
 	}
 	return sum, count
 }

@@ -1,0 +1,177 @@
+package table
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the flow cache: a sharded, generation-checked
+// memoization layer for hot-path decisions. Two layers of the system use it:
+//
+//   - each non-exact Table memoizes match→entry resolution per (table
+//     version, match key), turning the linear prefix/range/ternary scan into
+//     a map probe for recurring flow keys, and
+//   - the kernel memoizes full fire verdicts per (datapath generation, hook,
+//     key, args) for verifier-certified pure programs (internal/core).
+//
+// Entries are validated lazily against the caller's current generation: a
+// control-plane commit (table mutation, model push, program swap) bumps the
+// generation, and the next Get of a stale entry counts an invalidation and
+// drops it. Shards are power-of-two sized and selected by key hash, so
+// concurrent lookups on different flow keys land on different locks.
+
+// FlowKey identifies one cached decision. Hook is the kernel's interned hook
+// id (zero for per-table memos); Key is the match key; Arg2/Arg3 are the
+// remaining hook arguments (zero when the decision does not depend on them).
+type FlowKey struct {
+	Hook       uint64
+	Key        uint64
+	Arg2, Arg3 int64
+}
+
+// hash mixes the key material (splitmix64-style) for shard selection.
+func (k FlowKey) hash() uint64 {
+	h := k.Key*0x9E3779B97F4A7C15 ^ k.Hook*0xBF58476D1CE4E5B9 ^
+		uint64(k.Arg2)*0x94D049BB133111EB ^ uint64(k.Arg3)
+	h ^= h >> 31
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 27
+	return h
+}
+
+// flowVal wraps a cached value with the generation it was computed against.
+type flowVal[V any] struct {
+	gen uint64
+	v   V
+}
+
+// flowShard is one lock domain of the cache. The counters live beside the
+// map they describe; padding keeps shards on separate cache lines.
+type flowShard[V any] struct {
+	mu sync.Mutex
+	m  map[FlowKey]flowVal[V]
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+	evictions     atomic.Int64
+
+	_ [24]byte // pad the struct toward a cache-line multiple
+}
+
+// FlowCache is a sharded decision cache with lazy generation invalidation.
+// The zero value is not usable; construct with NewFlowCache. A nil *FlowCache
+// is a valid always-miss cache, so callers can disable caching by dropping
+// the pointer.
+type FlowCache[V any] struct {
+	mask     uint64
+	perShard int
+	shards   []flowShard[V]
+}
+
+// FlowCacheStats aggregates the per-shard counters.
+type FlowCacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	Evictions     int64
+	Entries       int64
+}
+
+// NewFlowCache builds a cache with shards rounded up to a power of two
+// (<=0 selects 8) and at most perShard entries per shard (<=0 selects 4096).
+func NewFlowCache[V any](shards, perShard int) *FlowCache[V] {
+	if shards <= 0 {
+		shards = 8
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if perShard <= 0 {
+		perShard = 4096
+	}
+	c := &FlowCache[V]{mask: uint64(n - 1), perShard: perShard, shards: make([]flowShard[V], n)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[FlowKey]flowVal[V])
+	}
+	return c
+}
+
+// Get returns the cached value for k if it is present and was computed
+// against generation gen. A present-but-stale entry counts an invalidation
+// and is dropped.
+func (c *FlowCache[V]) Get(k FlowKey, gen uint64) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	s := &c.shards[k.hash()&c.mask]
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if ok && e.gen == gen {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return e.v, true
+	}
+	if ok {
+		delete(s.m, k)
+		s.mu.Unlock()
+		s.invalidations.Add(1)
+		s.misses.Add(1)
+		return zero, false
+	}
+	s.mu.Unlock()
+	s.misses.Add(1)
+	return zero, false
+}
+
+// Put stores v for k under generation gen. A full shard is cleared wholesale
+// before the insert — eviction is amortized and needs no LRU bookkeeping on
+// the hot path.
+func (c *FlowCache[V]) Put(k FlowKey, gen uint64, v V) {
+	if c == nil {
+		return
+	}
+	s := &c.shards[k.hash()&c.mask]
+	s.mu.Lock()
+	if _, ok := s.m[k]; !ok && len(s.m) >= c.perShard {
+		s.evictions.Add(int64(len(s.m)))
+		clear(s.m)
+	}
+	s.m[k] = flowVal[V]{gen: gen, v: v}
+	s.mu.Unlock()
+}
+
+// Reset drops every cached entry (counted as evictions).
+func (c *FlowCache[V]) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.evictions.Add(int64(len(s.m)))
+		clear(s.m)
+		s.mu.Unlock()
+	}
+}
+
+// Stats sums the per-shard counters.
+func (c *FlowCache[V]) Stats() FlowCacheStats {
+	var st FlowCacheStats
+	if c == nil {
+		return st
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		st.Invalidations += s.invalidations.Load()
+		st.Evictions += s.evictions.Load()
+		s.mu.Lock()
+		st.Entries += int64(len(s.m))
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,177 @@
+package table
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFlowCacheHitMissInvalidation(t *testing.T) {
+	c := NewFlowCache[int64](4, 8)
+	k := FlowKey{Hook: 1, Key: 42, Arg2: 7}
+
+	if _, ok := c.Get(k, 1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(k, 1, 99)
+	v, ok := c.Get(k, 1)
+	if !ok || v != 99 {
+		t.Fatalf("Get = %d, %v; want 99, true", v, ok)
+	}
+	// A generation bump must invalidate lazily, counted.
+	if _, ok := c.Get(k, 2); ok {
+		t.Fatal("stale generation hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Invalidations != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 invalidation, 2 misses", st)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("stale entry retained: %+v", st)
+	}
+}
+
+func TestFlowCacheEviction(t *testing.T) {
+	c := NewFlowCache[int](1, 4)
+	for i := uint64(0); i < 64; i++ {
+		c.Put(FlowKey{Key: i}, 1, int(i))
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions after overfilling a 4-entry shard")
+	}
+	if st.Entries > 4 {
+		t.Fatalf("shard over capacity: %d entries", st.Entries)
+	}
+}
+
+func TestFlowCacheNilSafe(t *testing.T) {
+	var c *FlowCache[int]
+	if _, ok := c.Get(FlowKey{Key: 1}, 0); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(FlowKey{Key: 1}, 0, 5) // must not panic
+	c.Reset()
+	if st := c.Stats(); st != (FlowCacheStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+func TestFlowCacheConcurrent(t *testing.T) {
+	c := NewFlowCache[uint64](8, 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 2000; i++ {
+				k := FlowKey{Hook: g, Key: i % 97}
+				if v, ok := c.Get(k, i%3); ok && v != k.Key {
+					t.Errorf("corrupted value %d for key %d", v, k.Key)
+					return
+				}
+				c.Put(k, i%3, k.Key)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+}
+
+// TestTableScanMemo verifies that non-exact lookups are memoized per version
+// and invalidate when the table mutates.
+func TestTableScanMemo(t *testing.T) {
+	tb := New("ranges", "hk", MatchRange)
+	if err := tb.Insert(&Entry{Lo: 0, Hi: 99, Action: Action{Kind: ActionParam, Param: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if e := tb.Lookup(50); e == nil || e.Action.Param != 1 {
+		t.Fatalf("lookup before memo: %+v", e)
+	}
+	if e := tb.Lookup(50); e == nil || e.Action.Param != 1 {
+		t.Fatalf("memoized lookup: %+v", e)
+	}
+	if st := tb.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("memo stats = %+v; want 1 hit, 1 miss", st)
+	}
+
+	// Mutating the table bumps the version; the memoized decision must not
+	// survive.
+	ver := tb.Version()
+	if err := tb.Insert(&Entry{Lo: 40, Hi: 60, Priority: 10, Action: Action{Kind: ActionParam, Param: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Version() == ver {
+		t.Fatal("Insert did not bump version")
+	}
+	if e := tb.Lookup(50); e == nil || e.Action.Param != 2 {
+		t.Fatalf("lookup after insert returned stale entry: %+v", e)
+	}
+
+	// Entry hit counters must be exact despite memoization.
+	ents := tb.Entries()
+	var total int64
+	for _, e := range ents {
+		total += e.Hits()
+	}
+	if total != 3 {
+		t.Fatalf("total entry hits = %d; want 3", total)
+	}
+}
+
+// TestTableSnapshotPreservesHits verifies that mutations (which publish new
+// copy-on-write snapshots) do not reset hit counters of untouched rows, and
+// that cloned rows carry their counts over.
+func TestTableSnapshotPreservesHits(t *testing.T) {
+	tb := New("exact", "hk", MatchExact)
+	if err := tb.Insert(&Entry{Key: 1, Action: Action{Kind: ActionParam, Param: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(&Entry{Key: 2, Action: Action{Kind: ActionParam, Param: 20}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tb.Lookup(1)
+	}
+	tb.Lookup(2)
+
+	// An unrelated mutation must not disturb key 1's count.
+	if err := tb.Insert(&Entry{Key: 3, Action: Action{Kind: ActionParam, Param: 30}}); err != nil {
+		t.Fatal(err)
+	}
+	if h := tb.Probe(1).Hits(); h != 5 {
+		t.Fatalf("hits after unrelated insert = %d; want 5", h)
+	}
+	// UpdateAction clones the row; the clone must carry the count.
+	if !tb.UpdateAction(1, Action{Kind: ActionParam, Param: 11}) {
+		t.Fatal("UpdateAction missed existing key")
+	}
+	if h := tb.Probe(1).Hits(); h != 5 {
+		t.Fatalf("hits after UpdateAction = %d; want 5", h)
+	}
+	// RewriteActions likewise.
+	tb.RewriteActions(func(a Action) (Action, bool) {
+		a.Param++
+		return a, true
+	})
+	if h := tb.Probe(1).Hits(); h != 5 {
+		t.Fatalf("hits after RewriteActions = %d; want 5", h)
+	}
+}
+
+func TestTableOnMutate(t *testing.T) {
+	tb := New("exact", "hk", MatchExact)
+	n := 0
+	tb.SetOnMutate(func() { n++ })
+	_ = tb.Insert(&Entry{Key: 1})
+	tb.SetDefault(&Action{Kind: ActionPass})
+	tb.UpdateAction(1, Action{Kind: ActionParam, Param: 1})
+	tb.Delete(&Entry{Key: 1})
+	if n != 4 {
+		t.Fatalf("onMutate fired %d times; want 4", n)
+	}
+	tb.SetOnMutate(nil)
+	_ = tb.Insert(&Entry{Key: 2})
+	if n != 4 {
+		t.Fatalf("onMutate fired after clear: %d", n)
+	}
+}

@@ -8,6 +8,12 @@
 // consult an ML model, or set a tuning parameter. Entries can be statically
 // encoded in an RMT program or inserted/removed at runtime via the control
 // plane API (internal/ctrl).
+//
+// Reads are lock-free: the live entry set is an immutable snapshot behind an
+// atomic pointer, and mutators publish a rebuilt snapshot (copy-on-write)
+// then bump the table version. Non-exact tables additionally memoize scan
+// results per (version, key) in a flow cache, so recurring flow keys skip the
+// linear prefix/range/ternary walk.
 package table
 
 import (
@@ -129,6 +135,33 @@ func (e *Entry) clone() *Entry {
 	return c
 }
 
+// tableSnap is an immutable view of the entry set. Mutators build a new snap
+// and publish it with one atomic pointer swap; Lookup never takes a lock.
+// Entry pointers are shared between successive snaps (only replaced rows are
+// cloned), so hit counters survive snapshot churn.
+type tableSnap struct {
+	exact   map[uint64]*Entry
+	entries []*Entry // prefix/range/ternary entries, sorted by specificity
+	deflt   *Entry   // optional default entry when nothing matches
+}
+
+// statShards is the number of lookup/miss counter stripes. Striping the stats
+// keeps concurrent Fires on different flow keys off a shared cache line.
+const statShards = 16
+
+// padCounter is a cache-line-padded counter stripe.
+type padCounter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// scanResult is a memoized scan outcome for non-exact tables. hit == nil
+// records a miss (the default entry, if any, is resolved at use time so that
+// SetDefault does not need to invalidate).
+type scanResult struct {
+	hit *Entry
+}
+
 // Table is one reconfigurable match table.
 type Table struct {
 	// Name identifies the table (e.g. "page_prefetch_tab").
@@ -139,35 +172,82 @@ type Table struct {
 	// Kind is the matching discipline; fixed at construction.
 	Kind MatchKind
 
-	mu      sync.RWMutex
-	exact   map[uint64]*Entry
-	entries []*Entry // prefix/range/ternary entries, sorted by specificity
-	deflt   *Entry   // optional default entry when nothing matches
+	mu       sync.Mutex // serializes mutators; readers never take it
+	snap     atomic.Pointer[tableSnap]
+	version  atomic.Uint64
+	onMutate atomic.Pointer[func()]
 
-	lookups atomic.Int64
-	misses  atomic.Int64
+	memo *FlowCache[scanResult] // nil for exact tables
+
+	lookups [statShards]padCounter
+	misses  [statShards]padCounter
 }
 
 // New creates an empty table.
 func New(name, hook string, kind MatchKind) *Table {
-	return &Table{
-		Name:  name,
-		Hook:  hook,
-		Kind:  kind,
-		exact: make(map[uint64]*Entry),
+	t := &Table{Name: name, Hook: hook, Kind: kind}
+	t.snap.Store(&tableSnap{exact: map[uint64]*Entry{}})
+	if kind != MatchExact {
+		t.memo = NewFlowCache[scanResult](8, 1024)
 	}
+	return t
+}
+
+// Version reports the table's mutation counter. The flow caches key memoized
+// decisions by this value, so any bump invalidates them lazily.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
+// SetOnMutate registers a callback invoked after every committed mutation
+// (insert, delete, update, rewrite, default change). The kernel uses it to
+// bump its datapath generation so verdict caches over this table invalidate.
+func (t *Table) SetOnMutate(fn func()) {
+	if fn == nil {
+		t.onMutate.Store(nil)
+		return
+	}
+	t.onMutate.Store(&fn)
+}
+
+// publish installs sn as the live snapshot and bumps the version. The order
+// matters for the memo caches: the snapshot must be visible before the new
+// version is, so a reader that observes version v scans a snapshot at least
+// as new as v's — a stale scan can then only be cached under a stale version.
+func (t *Table) publish(sn *tableSnap) {
+	t.snap.Store(sn)
+	t.version.Add(1)
+	if fn := t.onMutate.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
+// mutate clones the live snapshot shallowly (sharing entry pointers), applies
+// fn to the clone, and publishes it.
+func (t *Table) mutate(fn func(sn *tableSnap)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.snap.Load()
+	sn := &tableSnap{
+		exact:   make(map[uint64]*Entry, len(old.exact)),
+		entries: append([]*Entry(nil), old.entries...),
+		deflt:   old.deflt,
+	}
+	for k, e := range old.exact {
+		sn.exact[k] = e
+	}
+	fn(sn)
+	t.publish(sn)
 }
 
 // SetDefault installs the action used when no entry matches. Passing nil
 // clears it.
 func (t *Table) SetDefault(a *Action) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if a == nil {
-		t.deflt = nil
-		return
-	}
-	t.deflt = &Entry{Action: *a}
+	t.mutate(func(sn *tableSnap) {
+		if a == nil {
+			sn.deflt = nil
+			return
+		}
+		sn.deflt = &Entry{Action: *a}
+	})
 }
 
 // Insert adds an entry. For exact tables an existing entry with the same key
@@ -176,14 +256,14 @@ func (t *Table) Insert(e *Entry) error {
 	if err := t.validate(e); err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.Kind == MatchExact {
-		t.exact[e.Key] = e
-		return nil
-	}
-	t.entries = append(t.entries, e)
-	t.reorder()
+	t.mutate(func(sn *tableSnap) {
+		if t.Kind == MatchExact {
+			sn.exact[e.Key] = e
+			return
+		}
+		sn.entries = append(sn.entries, e)
+		t.reorder(sn)
+	})
 	return nil
 }
 
@@ -208,9 +288,9 @@ func (t *Table) validate(e *Entry) error {
 // reorder sorts entries most-specific-first: longer prefixes first for LPM,
 // then higher priority, with insertion order as the final tiebreak
 // (stable sort).
-func (t *Table) reorder() {
-	sort.SliceStable(t.entries, func(i, j int) bool {
-		a, b := t.entries[i], t.entries[j]
+func (t *Table) reorder(sn *tableSnap) {
+	sort.SliceStable(sn.entries, func(i, j int) bool {
+		a, b := sn.entries[i], sn.entries[j]
 		if t.Kind == MatchPrefix && a.PrefixLen != b.PrefixLen {
 			return a.PrefixLen > b.PrefixLen
 		}
@@ -222,116 +302,167 @@ func (t *Table) reorder() {
 // identical match spec (other kinds). It reports whether anything was
 // removed.
 func (t *Table) Delete(e *Entry) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.Kind == MatchExact {
-		if _, ok := t.exact[e.Key]; ok {
-			delete(t.exact, e.Key)
-			return true
+	removed := false
+	t.mutate(func(sn *tableSnap) {
+		if t.Kind == MatchExact {
+			if _, ok := sn.exact[e.Key]; ok {
+				delete(sn.exact, e.Key)
+				removed = true
+			}
+			return
 		}
-		return false
-	}
-	for i, x := range t.entries {
-		if x.Key == e.Key && x.PrefixLen == e.PrefixLen && x.Lo == e.Lo &&
-			x.Hi == e.Hi && x.Mask == e.Mask && x.Priority == e.Priority {
-			t.entries = append(t.entries[:i], t.entries[i+1:]...)
-			return true
+		for i, x := range sn.entries {
+			if x.Key == e.Key && x.PrefixLen == e.PrefixLen && x.Lo == e.Lo &&
+				x.Hi == e.Hi && x.Mask == e.Mask && x.Priority == e.Priority {
+				sn.entries = append(sn.entries[:i], sn.entries[i+1:]...)
+				removed = true
+				return
+			}
 		}
-	}
-	return false
+	})
+	return removed
 }
 
 // UpdateAction atomically replaces the action of the entry matching key
 // (exact tables only) and reports whether the entry existed.
 func (t *Table) UpdateAction(key uint64, a Action) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e, ok := t.exact[key]
-	if !ok {
-		return false
-	}
-	c := e.clone()
-	c.Action = a
-	t.exact[key] = c
-	return true
+	updated := false
+	t.mutate(func(sn *tableSnap) {
+		e, ok := sn.exact[key]
+		if !ok {
+			return
+		}
+		c := e.clone()
+		c.Action = a
+		sn.exact[key] = c
+		updated = true
+	})
+	return updated
 }
 
 // RewriteActions applies fn to every entry's action (including the default
-// entry, if set) under one write lock: fn returns the replacement action and
-// whether to rewrite. Rewritten entries are cloned, so concurrent Lookup
-// callers see either the old or the new action, never a torn one. It returns
-// the number of entries rewritten. This is the promotion primitive for
-// program canaries: retargeting every ActionProgram entry from the incumbent
-// to the promoted candidate is one atomic step, on any match kind.
+// entry, if set) in one atomic snapshot swap: fn returns the replacement
+// action and whether to rewrite. Rewritten entries are cloned (hit counts
+// carried over), so concurrent Lookup callers see either the whole old table
+// or the whole new one, never a torn mix. It returns the number of entries
+// rewritten. This is the promotion primitive for program canaries:
+// retargeting every ActionProgram entry from the incumbent to the promoted
+// candidate is one atomic step, on any match kind.
 func (t *Table) RewriteActions(fn func(Action) (Action, bool)) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	n := 0
-	for key, e := range t.exact {
-		if a, ok := fn(e.Action); ok {
-			c := e.clone()
-			c.Action = a
-			t.exact[key] = c
-			n++
+	t.mutate(func(sn *tableSnap) {
+		for key, e := range sn.exact {
+			if a, ok := fn(e.Action); ok {
+				c := e.clone()
+				c.Action = a
+				sn.exact[key] = c
+				n++
+			}
 		}
-	}
-	for i, e := range t.entries {
-		if a, ok := fn(e.Action); ok {
-			c := e.clone()
-			c.Action = a
-			t.entries[i] = c
-			n++
+		for i, e := range sn.entries {
+			if a, ok := fn(e.Action); ok {
+				c := e.clone()
+				c.Action = a
+				sn.entries[i] = c
+				n++
+			}
 		}
-	}
-	if t.deflt != nil {
-		if a, ok := fn(t.deflt.Action); ok {
-			c := t.deflt.clone()
-			c.Action = a
-			t.deflt = c
-			n++
+		if sn.deflt != nil {
+			if a, ok := fn(sn.deflt.Action); ok {
+				c := sn.deflt.clone()
+				c.Action = a
+				sn.deflt = c
+				n++
+			}
 		}
-	}
+	})
 	return n
 }
 
+// stripe selects the stat counter stripe for a key (fibonacci hashing).
+func stripe(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> 60)
+}
+
 // Lookup finds the highest-priority matching entry for key, or the default
-// entry, or nil.
+// entry, or nil. The fast path takes no locks: it reads the snapshot pointer
+// and, for scan-based tables, consults the per-version flow cache before
+// falling back to the linear walk.
 func (t *Table) Lookup(key uint64) *Entry {
-	t.lookups.Add(1)
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.lookups[stripe(key)].n.Add(1)
+	// Load the version before the snapshot: a concurrent mutator publishes
+	// snapshot-then-version, so the scan below can only be *newer* than ver,
+	// and a result cached under ver is never stale for ver.
+	ver := t.version.Load()
+	sn := t.snap.Load()
+
 	var hit *Entry
 	switch t.Kind {
 	case MatchExact:
-		hit = t.exact[key]
-	case MatchPrefix:
-		for _, e := range t.entries {
-			if prefixMatch(key, e.Key, e.PrefixLen) {
-				hit = e
-				break
-			}
-		}
-	case MatchRange:
-		for _, e := range t.entries {
-			if key >= e.Lo && key <= e.Hi {
-				hit = e
-				break
-			}
-		}
-	case MatchTernary:
-		for _, e := range t.entries {
-			if key&e.Mask == e.Key&e.Mask {
-				hit = e
-				break
-			}
+		hit = sn.exact[key]
+	default:
+		if r, ok := t.memo.Get(FlowKey{Key: key}, ver); ok {
+			hit = r.hit
+		} else {
+			hit = t.scan(sn, key)
+			t.memo.Put(FlowKey{Key: key}, ver, scanResult{hit: hit})
 		}
 	}
 	if hit == nil {
-		t.misses.Add(1)
-		return t.deflt
+		t.misses[stripe(key)].n.Add(1)
+		return sn.deflt
 	}
 	hit.hits.Add(1)
 	return hit
+}
+
+// scan is the linear match walk for non-exact tables.
+func (t *Table) scan(sn *tableSnap, key uint64) *Entry {
+	switch t.Kind {
+	case MatchPrefix:
+		for _, e := range sn.entries {
+			if prefixMatch(key, e.Key, e.PrefixLen) {
+				return e
+			}
+		}
+	case MatchRange:
+		for _, e := range sn.entries {
+			if key >= e.Lo && key <= e.Hi {
+				return e
+			}
+		}
+	case MatchTernary:
+		for _, e := range sn.entries {
+			if key&e.Mask == e.Key&e.Mask {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// Probe returns the exact-match entry for key without touching any counters
+// or the default entry. The control plane uses it to capture the row an
+// Insert is about to displace, so a transaction rollback can restore it —
+// hit count and all. Non-exact tables always report nil.
+func (t *Table) Probe(key uint64) *Entry {
+	if t.Kind != MatchExact {
+		return nil
+	}
+	return t.snap.Load().exact[key]
+}
+
+// CreditLookup replays the counter effects of one Lookup that resolved to
+// hit (nil means a miss). The kernel's verdict cache calls this on cache
+// hits so table statistics and entry hit counts stay exact even when the
+// match walk itself was skipped.
+func (t *Table) CreditLookup(key uint64, hit *Entry) {
+	t.lookups[stripe(key)].n.Add(1)
+	if hit == nil {
+		t.misses[stripe(key)].n.Add(1)
+		return
+	}
+	hit.hits.Add(1)
 }
 
 func prefixMatch(key, val uint64, plen uint8) bool {
@@ -347,30 +478,43 @@ func prefixMatch(key, val uint64, plen uint8) bool {
 
 // Len reports the number of installed entries (excluding the default).
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	sn := t.snap.Load()
 	if t.Kind == MatchExact {
-		return len(t.exact)
+		return len(sn.exact)
 	}
-	return len(t.entries)
+	return len(sn.entries)
 }
 
 // Entries returns a snapshot of the installed entries.
 func (t *Table) Entries() []*Entry {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	sn := t.snap.Load()
 	if t.Kind == MatchExact {
-		out := make([]*Entry, 0, len(t.exact))
-		for _, e := range t.exact {
+		out := make([]*Entry, 0, len(sn.exact))
+		for _, e := range sn.exact {
 			out = append(out, e)
 		}
 		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 		return out
 	}
-	return append([]*Entry(nil), t.entries...)
+	return append([]*Entry(nil), sn.entries...)
 }
 
-// Stats reports lookup/miss counters.
+// Default returns the default entry, or nil.
+func (t *Table) Default() *Entry {
+	return t.snap.Load().deflt
+}
+
+// Stats reports lookup/miss counters (summed over the counter stripes).
 func (t *Table) Stats() (lookups, misses int64) {
-	return t.lookups.Load(), t.misses.Load()
+	for i := 0; i < statShards; i++ {
+		lookups += t.lookups[i].n.Load()
+		misses += t.misses[i].n.Load()
+	}
+	return lookups, misses
+}
+
+// CacheStats reports the scan-memo flow cache counters. Exact tables have no
+// memo (the map probe is already O(1)) and report zeros.
+func (t *Table) CacheStats() FlowCacheStats {
+	return t.memo.Stats()
 }

@@ -102,6 +102,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
+	sources  []func() []string
 }
 
 // NewRegistry creates an empty registry.
@@ -136,16 +137,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Snapshot renders all metrics as sorted "name value" lines.
+// Snapshot renders all metrics as sorted "name value" lines, including lines
+// from lazy sources registered with AddSource (sharded hot-path metrics are
+// aggregated only here, never on the write side).
 func (r *Registry) Snapshot() []string {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	sources := r.sources
 	out := make([]string, 0, len(r.counters)+len(r.hists))
 	for name, c := range r.counters {
 		out = append(out, fmt.Sprintf("%s %d", name, c.Load()))
 	}
 	for name, h := range r.hists {
 		out = append(out, fmt.Sprintf("%s count=%d mean=%.1f p99<=%d", name, h.Count(), h.Mean(), h.Quantile(0.99)))
+	}
+	r.mu.Unlock()
+	for _, src := range sources {
+		out = append(out, src()...)
 	}
 	sort.Strings(out)
 	return out

@@ -127,6 +127,14 @@ type Report struct {
 	// program; the VM enforces the contracts at call sites whose
 	// ProofHelperArgs bit is unset.
 	HelperContracts map[int64][]isa.Interval
+
+	// Pure is set when the whole program chain is a pure function of the
+	// fire arguments and the admitted datapath state (tables, models,
+	// matrices): no context reads/writes, no helper calls, no vector-pool
+	// or history access, no tail cascades. For pure programs a fire verdict
+	// may be memoized and replayed until any datapath mutation bumps the
+	// kernel generation (internal/core's verdict cache).
+	Pure bool
 }
 
 // Sentinel verification errors (wrapped with position detail).
@@ -162,7 +170,7 @@ const MaxCtxFields = 64
 
 // Verify checks prog against cfg and returns the admission report.
 func Verify(prog *isa.Program, cfg Config) (*Report, error) {
-	rep := &Report{}
+	rep := &Report{Pure: true}
 	if err := verifyChain(prog, cfg, rep, map[string]bool{}, 0); err != nil {
 		return nil, err
 	}
@@ -202,6 +210,12 @@ func verifyChain(prog *isa.Program, cfg Config, rep *Report, inChain map[string]
 	if err != nil {
 		return fmt.Errorf("program %q: %w", prog.Name, err)
 	}
+	for _, in := range prog.Insns {
+		if !pureOp(in.Op) {
+			rep.Pure = false
+			break
+		}
+	}
 	for _, id := range tails {
 		target := cfg.Tails[id]
 		if err := verifyChain(target, cfg, rep, inChain, depth+1); err != nil {
@@ -209,4 +223,18 @@ func verifyChain(prog *isa.Program, cfg Config, rep *Report, inChain map[string]
 		}
 	}
 	return nil
+}
+
+// pureOp reports whether op is free of effects outside the fire's own
+// registers/stack/vectors and the versioned datapath state. Context loads
+// count as impure because RMT_CTXT mutates without bumping the datapath
+// generation; tail calls are conservatively impure (the cascade target is a
+// separately-admitted program).
+func pureOp(op isa.Opcode) bool {
+	switch op {
+	case isa.OpLdCtxt, isa.OpStCtxt, isa.OpMatchCtxt, isa.OpHistPush,
+		isa.OpCall, isa.OpTailCall, isa.OpVecLd, isa.OpVecSt, isa.OpVecLdHist:
+		return false
+	}
+	return true
 }
