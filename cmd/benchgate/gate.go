@@ -66,7 +66,7 @@ type baselineFile struct {
 	NsPerOp map[string]float64 `json:"ns_per_op"`
 }
 
-const baselineNote = "median ns/op per benchmark; regenerate with: go test -bench=BenchmarkHotPath -benchmem -count=6 -run='^$' . | go run ./cmd/benchgate -update"
+const baselineNote = "median ns/op per benchmark; regenerate with: go test -bench='BenchmarkHotPath|BenchmarkWALAppend|BenchmarkRecover' -benchmem -count=6 -run='^$' . | go run ./cmd/benchgate -update"
 
 // ReadBaseline loads a committed baseline file.
 func ReadBaseline(path string) (map[string]float64, error) {

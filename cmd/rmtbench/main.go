@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rmtbench [-exp table1|table2|adapt|io|net|dp|chaos|canary|shardscale|all] [-seed N] [-mode jit|interp]
+//	rmtbench [-exp table1|table2|adapt|io|net|dp|chaos|canary|shardscale|recovery|all] [-seed N] [-mode jit|interp] [-short]
 package main
 
 import (
@@ -18,9 +18,10 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, chaos, canary, shardscale, all")
-		seed = flag.Int64("seed", 1, "workload seed")
-		mode = flag.String("mode", "jit", "RMT execution mode: jit or interp")
+		exp   = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, chaos, canary, shardscale, recovery, all")
+		seed  = flag.Int64("seed", 1, "workload seed")
+		mode  = flag.String("mode", "jit", "RMT execution mode: jit or interp")
+		short = flag.Bool("short", false, "shrink workloads where the experiment supports it")
 	)
 	flag.Parse()
 
@@ -136,6 +137,21 @@ func main() {
 		for _, l := range lines {
 			fmt.Println(l)
 		}
+		fmt.Println()
+		return nil
+	})
+
+	run("recovery", func() error {
+		fmt.Println("== Experiment K: crash recovery from checkpoint + WAL under a torn final write ==")
+		n := 0
+		if *short {
+			n = 1024
+		}
+		res, err := experiments.Recovery(*seed, n)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
 		fmt.Println()
 		return nil
 	})

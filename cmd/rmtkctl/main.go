@@ -1,5 +1,6 @@
 // Command rmtkctl is the offline RMT program toolchain: assemble, verify,
-// disassemble and run RMT programs against a scratch kernel.
+// disassemble and run RMT programs against a scratch kernel, and inspect or
+// recover a control plane's durable state directory.
 //
 // Usage:
 //
@@ -7,13 +8,25 @@
 //	rmtkctl dis <prog.bin>                      disassemble wire format
 //	rmtkctl [-O] [-v] verify <prog.rmt>         run the verifier, print the report
 //	rmtkctl [-O] run <prog.rmt> [r1 [r2 [r3]]]  install and execute, print R0
+//	rmtkctl log-inspect <waldir>                print WAL records, checkpoints and damage
+//	rmtkctl [-v] recover <waldir>               replay the log, print recovery stats
+//	rmtkctl snapshot <waldir>                   recover, then checkpoint and compact
 //
 // -O runs the machine-independent optimizer (constant folding, interval
 // range folding, jump threading, dead-code elimination) before the
 // operation. -v makes verify print the proof artifacts: a per-instruction
 // disassembly annotated with the runtime checks the abstract interpreter
 // discharged, the elided-check and dead-edge totals, and any helper
-// argument contracts in force.
+// argument contracts in force. On recover, -v prints the full recovered
+// inventory instead of just its digest.
+//
+// The durability commands operate on a control-plane state directory
+// (wal.log plus checkpoint files). log-inspect is read-only and never fails
+// on in-log corruption — a torn or bit-rotted suffix is reported, not
+// fatal. recover rebuilds a plane from the newest valid checkpoint plus the
+// log suffix and reports what was replayed, aborted and discarded. snapshot
+// performs a recovery and then writes a fresh checkpoint, compacting the
+// log to the retained checkpoint window.
 //
 // Assembly files may declare resources in directive comments:
 //
@@ -34,7 +47,9 @@ import (
 
 	"rmtk"
 	"rmtk/internal/core"
+	"rmtk/internal/ctrl"
 	"rmtk/internal/isa"
+	"rmtk/internal/wal"
 )
 
 var (
@@ -59,6 +74,12 @@ func main() {
 		err = doVerify(path)
 	case "run":
 		err = doRun(path, args[2:])
+	case "log-inspect":
+		err = doLogInspect(path)
+	case "recover":
+		err = doRecover(path)
+	case "snapshot":
+		err = doSnapshot(path)
 	default:
 		usage()
 	}
@@ -69,7 +90,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rmtkctl asm|dis|verify|run <file> [args]")
+	fmt.Fprintln(os.Stderr, "usage: rmtkctl asm|dis|verify|run|log-inspect|recover|snapshot <file|waldir> [args]")
 	os.Exit(2)
 }
 
@@ -232,5 +253,98 @@ func doRun(path string, rest []string) error {
 	if len(emissions) > 0 {
 		fmt.Printf("emissions = %v\n", emissions)
 	}
+	return nil
+}
+
+// stateDir validates that dir exists and is a directory. Recovery of an
+// empty directory bootstraps an empty plane by design, but from the CLI a
+// mistyped path should be an error, not a silently created state dir.
+func stateDir(dir string) error {
+	st, err := os.Stat(dir)
+	if err != nil {
+		return err
+	}
+	if !st.IsDir() {
+		return fmt.Errorf("%s: not a directory", dir)
+	}
+	return nil
+}
+
+// doLogInspect prints a state directory's durable contents read-only: the
+// retained checkpoints, every intact log record, and any trailing damage.
+// In-log corruption is a report, not an error — the command's whole point
+// is examining a directory a crash may have left torn.
+func doLogInspect(dir string) error {
+	if err := stateDir(dir); err != nil {
+		return err
+	}
+	seqs, err := wal.Checkpoints(dir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		st, err := os.Stat(wal.CheckpointPath(dir, seq))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint seq=%d %dB\n", seq, st.Size())
+	}
+	sc, err := wal.Scan(dir)
+	if err != nil {
+		return err
+	}
+	for i, r := range sc.Records {
+		fmt.Printf("%8d  %s\n", sc.Offsets[i], r)
+		for _, sub := range r.Sub {
+			fmt.Printf("%8s    . %s\n", "", sub)
+		}
+	}
+	fmt.Printf("%d records, %dB intact", len(sc.Records), sc.ValidBytes)
+	if sc.DiscardedBytes > 0 {
+		fmt.Printf(", %dB damaged suffix (%v)", sc.DiscardedBytes, sc.Corruption)
+	}
+	fmt.Println()
+	return nil
+}
+
+// recoverPlane rebuilds a plane from dir and prints the recovery report.
+func recoverPlane(dir string) (*ctrl.Plane, error) {
+	if err := stateDir(dir); err != nil {
+		return nil, err
+	}
+	p, st, err := ctrl.Recover(dir, core.Config{}, wal.Options{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println(st)
+	return p, nil
+}
+
+func doRecover(dir string) error {
+	p, err := recoverPlane(dir)
+	if err != nil {
+		return err
+	}
+	defer p.WAL().Close()
+	fmt.Printf("inventory digest: %08x (version %d)\n", p.InventoryDigest(), p.Version())
+	if *verbose {
+		for _, line := range p.Inventory() {
+			fmt.Println("  " + line)
+		}
+	}
+	return nil
+}
+
+func doSnapshot(dir string) error {
+	p, err := recoverPlane(dir)
+	if err != nil {
+		return err
+	}
+	defer p.WAL().Close()
+	seq, err := p.Checkpoint()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint written at seq=%d, log %dB\n", seq, p.WAL().Size())
 	return nil
 }

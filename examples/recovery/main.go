@@ -1,0 +1,112 @@
+// Crash recovery end to end: a control plane runs with a write-ahead log, a
+// checkpoint folds its state mid-stream, and then the process "dies" with
+// the log's final record torn in half — the failure a buffered write leaves
+// behind when the machine loses power mid-append. Recovery scans the log,
+// detects the torn frame by its CRC32C framing, discards exactly the damaged
+// suffix, restores the checkpoint, replays the intact records on top, and
+// hands back a plane whose state is byte-for-byte the last durably committed
+// configuration. The one mutation that was in flight is simply re-applied —
+// the paper's reconfiguration loop resumes where the crash cut it off.
+//
+// Run with: go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rmtk"
+	"rmtk/internal/fault"
+)
+
+const hook = "sched/param_hook"
+
+func main() {
+	dir, err := os.MkdirTemp("", "rmtk-recovery-demo-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	k := rmtk.New(rmtk.Config{})
+	plane, err := rmtk.OpenDurableControlPlane(k, dir, rmtk.WALOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build up live configuration: a served table, learned entries, and a
+	// transactional bulk reconfiguration — every commit hits the log first.
+	if _, _, err := plane.CreateTable("param_tab", hook, rmtk.MatchExact); err != nil {
+		log.Fatal(err)
+	}
+	add := func(p *rmtk.ControlPlane, key uint64, param int64) {
+		e := &rmtk.Entry{Key: key, Action: rmtk.Action{Kind: rmtk.ActionParam, Param: param}}
+		if err := p.AddEntry("param_tab", e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for key := uint64(1); key <= 4; key++ {
+		add(plane, key, int64(key)*10)
+	}
+
+	// Fold everything so far into a checkpoint: replay after a crash starts
+	// here, not at record one.
+	seq, err := plane.Checkpoint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint written at seq=%d\n", seq)
+
+	// More traffic after the checkpoint: an atomic two-entry transaction...
+	txn := plane.Begin()
+	txn.AddEntry("param_tab", &rmtk.Entry{Key: 5, Action: rmtk.Action{Kind: rmtk.ActionParam, Param: 50}})
+	txn.AddEntry("param_tab", &rmtk.Entry{Key: 6, Action: rmtk.Action{Kind: rmtk.ActionParam, Param: 60}})
+	if err := txn.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	durable := plane.InventoryDigest()
+
+	// ...and one final entry, which is the record the power cut will tear.
+	add(plane, 7, 70)
+	full := plane.InventoryDigest()
+	fmt.Printf("live state: digest=%08x (plane version %d)\n", full, plane.Version())
+
+	// Crash: the process dies and the final append is torn mid-frame.
+	if err := plane.WAL().Close(); err != nil {
+		log.Fatal(err)
+	}
+	torn, err := fault.FSTornTail(dir, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n-- crash: final record torn, %d bytes lost --\n\n", torn)
+
+	// Restart: rebuild kernel and plane from the state directory.
+	recovered, st, err := rmtk.RecoverControlPlane(dir, rmtk.Config{}, rmtk.WALOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(st)
+
+	got := recovered.InventoryDigest()
+	fmt.Printf("recovered:  digest=%08x\n", got)
+	switch got {
+	case durable:
+		fmt.Println("recovered state == last durable commit (torn suffix discarded, nothing else lost)")
+	case full:
+		log.Fatal("torn record survived recovery — the framing failed")
+	default:
+		log.Fatal("recovered state matches neither durable nor full digest")
+	}
+
+	// The lost mutation was never acknowledged as durable; the control loop
+	// just re-issues it and the datapath serves it again.
+	add(recovered, 7, 70)
+	if recovered.InventoryDigest() != full {
+		log.Fatal("re-applied mutation did not restore the full state")
+	}
+	res := recovered.K.Fire(hook, 7, 0, 0)
+	fmt.Printf("re-applied the in-flight mutation: digest=%08x, Fire(key=7) -> %d\n",
+		recovered.InventoryDigest(), res.Verdict)
+}

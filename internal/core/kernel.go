@@ -484,10 +484,30 @@ func (k *Kernel) verifierConfig() verifier.Config {
 // read paths the datapath uses). Resources removed concurrently are caught
 // at runtime by the VM's fail-soft checks.
 func (k *Kernel) InstallProgram(prog *isa.Program) (int64, *verifier.Report, error) {
+	return k.installProgram(prog, 0)
+}
+
+// InstallProgramAt admits a program at an explicit id — the checkpoint
+// restore path, where removed programs may have left holes in the id space
+// that replayed references must line up with. Restored ids must arrive in
+// ascending order; the allocator resumes after the highest.
+func (k *Kernel) InstallProgramAt(id int64, prog *isa.Program) (*verifier.Report, error) {
+	if id <= 0 {
+		return nil, fmt.Errorf("core: restore program id %d: must be positive", id)
+	}
+	_, rep, err := k.installProgram(prog, id)
+	return rep, err
+}
+
+func (k *Kernel) installProgram(prog *isa.Program, forceID int64) (int64, *verifier.Report, error) {
 	k.mu.RLock()
 	_, dup := k.progIDs[prog.Name]
 	vcfg := k.verifierConfig()
 	optimize := k.cfg.Optimize
+	if forceID > 0 && forceID <= k.nextProg {
+		k.mu.RUnlock()
+		return 0, nil, fmt.Errorf("%w: program id %d already allocated", ErrDuplicate, forceID)
+	}
 	k.mu.RUnlock()
 	if dup {
 		return 0, nil, fmt.Errorf("%w: program %q", ErrDuplicate, prog.Name)
@@ -521,7 +541,14 @@ func (k *Kernel) InstallProgram(prog *isa.Program) (int64, *verifier.Report, err
 	if _, dup := k.progIDs[prog.Name]; dup {
 		return 0, nil, fmt.Errorf("%w: program %q", ErrDuplicate, prog.Name)
 	}
-	k.nextProg++
+	if forceID > 0 {
+		if forceID <= k.nextProg {
+			return 0, nil, fmt.Errorf("%w: program id %d already allocated", ErrDuplicate, forceID)
+		}
+		k.nextProg = forceID
+	} else {
+		k.nextProg++
+	}
 	id := k.nextProg
 	k.progs[id] = &progEntry{id: id, prog: prog, interp: interp, jit: jit, report: report}
 	k.progIDs[prog.Name] = id

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rmtk/internal/isa"
+	"rmtk/internal/table"
+)
+
+// This file is the kernel's side of crash recovery (internal/wal +
+// internal/ctrl): explicit-id registration so a checkpoint can rebuild an
+// id space with holes (removed tables/programs never recycle ids), and
+// inventory enumerators so the control plane can snapshot every registry
+// deterministically. Only the restore path uses the *At registrars; normal
+// operation allocates ids sequentially.
+
+// CreateTableAt registers a table at an explicit id. Restored ids must
+// arrive in ascending order; the table allocator resumes after the highest.
+func (k *Kernel) CreateTableAt(id int64, t *table.Table) error {
+	if id <= 0 {
+		return fmt.Errorf("core: restore table id %d: must be positive", id)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if id <= k.nextTable {
+		return fmt.Errorf("%w: table id %d already allocated", ErrDuplicate, id)
+	}
+	if _, dup := k.tableIDs[t.Name]; dup {
+		return fmt.Errorf("%w: table %q", ErrDuplicate, t.Name)
+	}
+	k.nextTable = id
+	k.tables[id] = t
+	k.tableIDs[t.Name] = id
+	if t.Hook != "" {
+		if _, ok := k.hookIDs[t.Hook]; !ok {
+			k.nextHook++
+			k.hookIDs[t.Hook] = k.nextHook
+		}
+		k.hooks[t.Hook] = append(k.hooks[t.Hook], id)
+	}
+	t.SetOnMutate(k.bumpGen)
+	k.rebuildRoutesLocked()
+	return nil
+}
+
+// RegisterModelAt registers a model at an explicit id (ascending restore
+// order, as with CreateTableAt).
+func (k *Kernel) RegisterModelAt(id int64, m Model) error {
+	if id <= 0 {
+		return fmt.Errorf("core: restore model id %d: must be positive", id)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if id <= k.nextModel {
+		return fmt.Errorf("%w: model id %d already allocated", ErrDuplicate, id)
+	}
+	k.nextModel = id
+	k.models[id] = m
+	k.rebuildRoutesLocked()
+	return nil
+}
+
+// RegisterMatrixAt registers a weight matrix at an explicit id (ascending
+// restore order).
+func (k *Kernel) RegisterMatrixAt(id int64, m *Matrix) error {
+	if id <= 0 {
+		return fmt.Errorf("core: restore matrix id %d: must be positive", id)
+	}
+	if m.In <= 0 || m.Out <= 0 || len(m.W) != m.In*m.Out || len(m.B) != m.Out {
+		return fmt.Errorf("%w: %dx%d (w=%d b=%d)", ErrMalformedMatrix, m.Out, m.In, len(m.W), len(m.B))
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if id <= k.nextMat {
+		return fmt.Errorf("%w: matrix id %d already allocated", ErrDuplicate, id)
+	}
+	k.nextMat = id
+	k.mats[id] = m
+	k.rebuildRoutesLocked()
+	return nil
+}
+
+// AllocState reports the id allocators' high-water marks. Together with the
+// *At registrars this lets a checkpoint restore reproduce the exact id
+// trajectory — including holes where resources were removed — so replayed
+// log records that reference later-allocated ids resolve correctly.
+func (k *Kernel) AllocState() (nextTable, nextProg, nextModel, nextMat int64) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.nextTable, k.nextProg, k.nextModel, k.nextMat
+}
+
+// RestoreAllocState advances the id allocators to checkpointed high-water
+// marks. Allocators only ratchet forward; restoring below a live id is a
+// corrupt checkpoint.
+func (k *Kernel) RestoreAllocState(nextTable, nextProg, nextModel, nextMat int64) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if nextTable < k.nextTable || nextProg < k.nextProg || nextModel < k.nextModel || nextMat < k.nextMat {
+		return fmt.Errorf("core: restore allocators (%d,%d,%d,%d) below live ids (%d,%d,%d,%d)",
+			nextTable, nextProg, nextModel, nextMat, k.nextTable, k.nextProg, k.nextModel, k.nextMat)
+	}
+	k.nextTable, k.nextProg, k.nextModel, k.nextMat = nextTable, nextProg, nextModel, nextMat
+	return nil
+}
+
+// TableIDs lists registered table ids in ascending order.
+func (k *Kernel) TableIDs() []int64 {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return sortedKeys(k.tables)
+}
+
+// ProgramIDs lists installed program ids in ascending order.
+func (k *Kernel) ProgramIDs() []int64 {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return sortedKeys(k.progs)
+}
+
+// ModelIDs lists registered model ids in ascending order.
+func (k *Kernel) ModelIDs() []int64 {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return sortedKeys(k.models)
+}
+
+// MatrixIDs lists registered weight-matrix ids in ascending order.
+func (k *Kernel) MatrixIDs() []int64 {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return sortedKeys(k.mats)
+}
+
+// Program returns the admitted program at id (the kernel's clone, carrying
+// its admission artifacts). Callers must not mutate it.
+func (k *Kernel) Program(id int64) (*isa.Program, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	p, ok := k.progs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: program %d", ErrNotFound, id)
+	}
+	return p.prog, nil
+}
+
+// Matrix returns the weight matrix at id. Callers must not mutate it.
+func (k *Kernel) Matrix(id int64) (*Matrix, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	m, ok := k.mats[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: matrix %d", ErrNotFound, id)
+	}
+	return m, nil
+}
+
+func sortedKeys[V any](m map[int64]V) []int64 {
+	out := make([]int64, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -5,8 +5,8 @@ import (
 	"sync"
 
 	"rmtk/internal/core"
-	"rmtk/internal/table"
 	"rmtk/internal/verifier"
+	"rmtk/internal/wal"
 )
 
 // This file implements staged rollout: a candidate model (or program) is
@@ -157,6 +157,14 @@ func (p *Plane) PushModelCanary(hook string, id int64, candidate core.Model, ops
 	if _, err := p.K.Model(id); err != nil {
 		return nil, err
 	}
+	if p.wal != nil {
+		// Fail fast: a candidate with no durable codec could never be
+		// promoted (promotion must be logged), so reject it before any
+		// shadow traffic is spent on it.
+		if _, err := encodeModel(candidate); err != nil {
+			return nil, err
+		}
+	}
 	sh := core.NewModelShadow(hook, id, candidate)
 	if err := p.K.AttachShadow(sh); err != nil {
 		return nil, err
@@ -165,9 +173,10 @@ func (p *Plane) PushModelCanary(hook string, id int64, candidate core.Model, ops
 		p: p, cfg: cfg.withDefaults(), hook: hook, sh: sh,
 		monitor: p.Monitor(id),
 		promote: func() error {
-			return p.PushModel(id, candidate, 0, 0) // budgets already admitted
+			// Budgets already admitted; log as a committed reconfiguration.
+			return p.pushModelRec(id, candidate, 0, 0, true)
 		},
-		rollback: func() error { return p.RollbackModel(id) },
+		rollback: func() error { return p.rollbackModelRec(id, true) },
 	}
 	p.K.Metrics.Counter("ctrl.canary_staged").Inc()
 	return c, nil
@@ -204,21 +213,11 @@ func (p *Plane) PushProgramCanary(hook, tableName string, incID, candID int64, c
 	}
 	retarget := func(from, to int64) func() error {
 		return func() error {
-			t, _, err := p.K.TableByName(tableName)
-			if err != nil {
-				return err
+			if p.wal == nil {
+				return p.applyRetarget(tableName, from, to)
 			}
-			n := t.RewriteActions(func(a table.Action) (table.Action, bool) {
-				if a.Kind != table.ActionProgram || a.ProgID != from {
-					return a, false
-				}
-				a.ProgID = to
-				return a, true
-			})
-			if n == 0 {
-				return fmt.Errorf("%w: no entries running program %d in %q", ErrNoEntry, from, tableName)
-			}
-			return nil
+			rec := &wal.Record{Kind: wal.KindRetarget, Table: tableName, From: from, To: to, Bump: true}
+			return p.logApply(rec, func() error { return p.applyRetarget(tableName, from, to) })
 		}
 	}
 	c := &Canary{

@@ -17,6 +17,7 @@ import (
 	"rmtk/internal/ml/mlp"
 	"rmtk/internal/table"
 	"rmtk/internal/verifier"
+	"rmtk/internal/wal"
 )
 
 // Control-plane sentinels, exported so callers can branch with errors.Is
@@ -57,6 +58,14 @@ type Plane struct {
 	// commits, canary promotions, rollbacks). commitMu serializes them.
 	version  atomic.Uint64
 	commitMu sync.Mutex
+
+	// wal, when non-nil, makes the plane durable: every mutation is
+	// appended (and fsynced) before it applies. walMu keeps log order
+	// identical to apply order. crashAfter is the test-only crash point
+	// between append and apply (durable.go).
+	wal        *wal.Log
+	walMu      sync.Mutex
+	crashAfter func(wal.Kind) bool
 }
 
 // New creates a control plane for k.
@@ -109,6 +118,21 @@ func (p *Plane) ModelHistoryLen(id int64) int {
 // RollbackModel restores model id's most recent prior version — the manual
 // form of the rollback the canary controller performs automatically.
 func (p *Plane) RollbackModel(id int64) error {
+	return p.rollbackModelRec(id, false)
+}
+
+// rollbackModelRec logs and applies a model rollback; bump marks a canary
+// rollback (a committed reconfiguration) so replay restores the version
+// counter.
+func (p *Plane) rollbackModelRec(id int64, bump bool) error {
+	if p.wal == nil {
+		return p.applyRollbackModel(id)
+	}
+	rec := &wal.Record{Kind: wal.KindRollbackModel, ModelID: id, Bump: bump}
+	return p.logApply(rec, func() error { return p.applyRollbackModel(id) })
+}
+
+func (p *Plane) applyRollbackModel(id int64) error {
 	prior, ok := p.popHistory(id)
 	if !ok {
 		return fmt.Errorf("%w: model %d", ErrNoHistory, id)
@@ -123,13 +147,48 @@ func (p *Plane) RollbackModel(id int64) error {
 }
 
 // LoadProgram verifies and installs an RMT program (the syscall path). The
-// returned report carries the verifier's cost findings.
+// returned report carries the verifier's cost findings. On a durable plane
+// the wire bytecode and resource declarations are logged; replay re-runs the
+// verifier, which regenerates the admission artifacts deterministically.
 func (p *Plane) LoadProgram(prog *isa.Program) (int64, *verifier.Report, error) {
-	return p.K.InstallProgram(prog)
+	if p.wal == nil {
+		return p.K.InstallProgram(prog)
+	}
+	var (
+		id  int64
+		rep *verifier.Report
+	)
+	rec := &wal.Record{Kind: wal.KindLoadProgram, Program: walProgram(prog)}
+	err := p.logApply(rec, func() error {
+		var aerr error
+		id, rep, aerr = p.K.InstallProgram(prog)
+		return aerr
+	})
+	return id, rep, err
 }
 
 // CreateTable registers a table on its hook.
 func (p *Plane) CreateTable(name, hook string, kind table.MatchKind) (*table.Table, int64, error) {
+	if p.wal == nil {
+		return p.applyCreateTable(name, hook, kind)
+	}
+	var (
+		t  *table.Table
+		id int64
+	)
+	rec := &wal.Record{Kind: wal.KindCreateTable, Table: name, Hook: hook, Match: uint8(kind)}
+	err := p.logApply(rec, func() error {
+		var aerr error
+		t, id, aerr = p.applyCreateTable(name, hook, kind)
+		return aerr
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, id, nil
+}
+
+func (p *Plane) applyCreateTable(name, hook string, kind table.MatchKind) (*table.Table, int64, error) {
 	t := table.New(name, hook, kind)
 	id, err := p.K.CreateTable(t)
 	if err != nil {
@@ -140,6 +199,14 @@ func (p *Plane) CreateTable(name, hook string, kind table.MatchKind) (*table.Tab
 
 // AddEntry inserts a match/action entry into a named table.
 func (p *Plane) AddEntry(tableName string, e *table.Entry) error {
+	if p.wal == nil {
+		return p.applyAddEntry(tableName, e)
+	}
+	rec := &wal.Record{Kind: wal.KindAddEntry, Table: tableName, Entry: walEntry(e)}
+	return p.logApply(rec, func() error { return p.applyAddEntry(tableName, e) })
+}
+
+func (p *Plane) applyAddEntry(tableName string, e *table.Entry) error {
 	t, _, err := p.K.TableByName(tableName)
 	if err != nil {
 		return err
@@ -149,6 +216,14 @@ func (p *Plane) AddEntry(tableName string, e *table.Entry) error {
 
 // RemoveEntry deletes an entry from a named table.
 func (p *Plane) RemoveEntry(tableName string, e *table.Entry) error {
+	if p.wal == nil {
+		return p.applyRemoveEntry(tableName, e)
+	}
+	rec := &wal.Record{Kind: wal.KindRemoveEntry, Table: tableName, Entry: walEntry(e)}
+	return p.logApply(rec, func() error { return p.applyRemoveEntry(tableName, e) })
+}
+
+func (p *Plane) applyRemoveEntry(tableName string, e *table.Entry) error {
 	t, _, err := p.K.TableByName(tableName)
 	if err != nil {
 		return err
@@ -163,6 +238,15 @@ func (p *Plane) RemoveEntry(tableName string, e *table.Entry) error {
 // the runtime reconfiguration primitive (e.g. dialing a prefetch degree
 // down).
 func (p *Plane) UpdateAction(tableName string, key uint64, a table.Action) error {
+	if p.wal == nil {
+		return p.applyUpdateAction(tableName, key, a)
+	}
+	wa := walAction(a)
+	rec := &wal.Record{Kind: wal.KindUpdateAction, Table: tableName, Key: key, Action: &wa}
+	return p.logApply(rec, func() error { return p.applyUpdateAction(tableName, key, a) })
+}
+
+func (p *Plane) applyUpdateAction(tableName string, key uint64, a table.Action) error {
 	t, _, err := p.K.TableByName(tableName)
 	if err != nil {
 		return err
@@ -173,12 +257,31 @@ func (p *Plane) UpdateAction(tableName string, key uint64, a table.Action) error
 	return nil
 }
 
-// PushModel swaps model id for a retrained replacement after re-checking it
-// against the kernel's cost budgets — the verifier's model-efficiency
-// admission applied to model updates, not just programs. Budget rejections
-// wrap both ErrBudgetExceeded and the specific verifier sentinel. The
-// replaced version is kept in the bounded rollback history.
-func (p *Plane) PushModel(id int64, m core.Model, opsBudget, memBudget int64) error {
+// applyRetarget atomically rewrites every ActionProgram entry in tableName
+// from program `from` to program `to` — the canary promotion/rollback
+// mutation (KindRetarget in the log).
+func (p *Plane) applyRetarget(tableName string, from, to int64) error {
+	t, _, err := p.K.TableByName(tableName)
+	if err != nil {
+		return err
+	}
+	n := t.RewriteActions(func(a table.Action) (table.Action, bool) {
+		if a.Kind != table.ActionProgram || a.ProgID != from {
+			return a, false
+		}
+		a.ProgID = to
+		return a, true
+	})
+	if n == 0 {
+		return fmt.Errorf("%w: no entries running program %d in %q", ErrNoEntry, from, tableName)
+	}
+	return nil
+}
+
+// checkModelBudgets applies the verifier's model-efficiency admission to a
+// pushed model. Budget rejections wrap both ErrBudgetExceeded and the
+// specific verifier sentinel.
+func checkModelBudgets(id int64, m core.Model, opsBudget, memBudget int64) error {
 	ops, bytes := m.Cost()
 	if opsBudget > 0 && ops > opsBudget {
 		return fmt.Errorf("%w: %w: model %d: %d > %d", ErrBudgetExceeded, verifier.ErrOpsBudget, id, ops, opsBudget)
@@ -186,6 +289,37 @@ func (p *Plane) PushModel(id int64, m core.Model, opsBudget, memBudget int64) er
 	if memBudget > 0 && bytes > memBudget {
 		return fmt.Errorf("%w: %w: model %d: %d > %d", ErrBudgetExceeded, verifier.ErrMemBudget, id, bytes, memBudget)
 	}
+	return nil
+}
+
+// PushModel swaps model id for a retrained replacement after re-checking it
+// against the kernel's cost budgets — the verifier's model-efficiency
+// admission applied to model updates, not just programs. Budget rejections
+// wrap both ErrBudgetExceeded and the specific verifier sentinel. The
+// replaced version is kept in the bounded rollback history. On a durable
+// plane the model must have a codec (ErrUnsupportedModel otherwise): a model
+// that cannot be logged cannot be recovered.
+func (p *Plane) PushModel(id int64, m core.Model, opsBudget, memBudget int64) error {
+	return p.pushModelRec(id, m, opsBudget, memBudget, false)
+}
+
+// pushModelRec logs and applies a model push; bump marks a canary promotion.
+func (p *Plane) pushModelRec(id int64, m core.Model, opsBudget, memBudget int64, bump bool) error {
+	if err := checkModelBudgets(id, m, opsBudget, memBudget); err != nil {
+		return err
+	}
+	if p.wal == nil {
+		return p.applyPushModel(id, m)
+	}
+	enc, err := encodeModel(m)
+	if err != nil {
+		return err
+	}
+	rec := &wal.Record{Kind: wal.KindPushModel, ModelID: id, Model: enc, Bump: bump}
+	return p.logApply(rec, func() error { return p.applyPushModel(id, m) })
+}
+
+func (p *Plane) applyPushModel(id int64, m core.Model) error {
 	prior, err := p.K.Model(id)
 	if err != nil {
 		return err
@@ -195,6 +329,26 @@ func (p *Plane) PushModel(id int64, m core.Model, opsBudget, memBudget int64) er
 	}
 	p.pushHistory(id, prior)
 	return nil
+}
+
+// RegisterModel registers a fresh model through the plane. On an in-memory
+// plane this is equivalent to K.RegisterModel; a durable plane logs the
+// codec-encoded model so recovery restores it at the same id.
+func (p *Plane) RegisterModel(m core.Model) (int64, error) {
+	if p.wal == nil {
+		return p.K.RegisterModel(m), nil
+	}
+	enc, err := encodeModel(m)
+	if err != nil {
+		return 0, err
+	}
+	var id int64
+	rec := &wal.Record{Kind: wal.KindRegisterModel, Model: enc}
+	err = p.logApply(rec, func() error {
+		id = p.K.RegisterModel(m)
+		return nil
+	})
+	return id, err
 }
 
 // TrainPushConfig parameterizes the offline train→quantize→push pipeline.
@@ -249,7 +403,23 @@ func (p *Plane) TrainAndPush(X [][]float64, y []int, cfg TrainPushConfig) (model
 	if cfg.MemBudget > 0 && bytes > cfg.MemBudget {
 		return 0, nil, nil, fmt.Errorf("%w: %w: %d > %d", ErrBudgetExceeded, verifier.ErrMemBudget, bytes, cfg.MemBudget)
 	}
-	matIDs, modelID, err = p.K.RegisterQMLP(q)
+	if p.wal == nil {
+		matIDs, modelID, err = p.K.RegisterQMLP(q)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		return modelID, matIDs, q, nil
+	}
+	enc, err := encodeQMLP(q)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	rec := &wal.Record{Kind: wal.KindRegisterQMLP, Model: enc}
+	err = p.logApply(rec, func() error {
+		var aerr error
+		matIDs, modelID, aerr = p.K.RegisterQMLP(q)
+		return aerr
+	})
 	if err != nil {
 		return 0, nil, nil, err
 	}

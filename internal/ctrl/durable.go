@@ -1,0 +1,782 @@
+package ctrl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+	"time"
+
+	"rmtk/internal/core"
+	"rmtk/internal/isa"
+	"rmtk/internal/table"
+	"rmtk/internal/wal"
+)
+
+// This file makes the control plane durable: every committed mutation is
+// appended to a write-ahead log (internal/wal) before it is applied to the
+// kernel, full-state checkpoints bound replay time, and Recover rebuilds a
+// plane from the newest valid checkpoint plus the intact log suffix. The
+// invariants are
+//
+//	appended   ⇒ replay applies it (unless a later abort record cancels it)
+//	not appended ⇒ replay never observes it
+//
+// so a crash at any instruction boundary recovers to a state the plane
+// actually committed. Transactions append one all-or-nothing commit record,
+// so replay can never observe a half-applied transaction; a corrupt or torn
+// log suffix is discarded back to the last intact record boundary.
+
+// Durability sentinels.
+var (
+	// ErrRecoveryMismatch is wrapped when a recovered plane fails its
+	// post-replay invariant checks, or when VerifyEquivalence finds the
+	// recovered state diverging from the reference plane.
+	ErrRecoveryMismatch = errors.New("ctrl: recovered state mismatch")
+	// ErrNotReplayable is wrapped when a durable plane is asked to commit
+	// an operation that cannot be encoded into the log (a Txn.Do escape
+	// hatch, or a model with no durable codec).
+	ErrNotReplayable = errors.New("ctrl: operation not replayable")
+	// errSimulatedCrash marks the test-only crash point between the log
+	// append and the in-memory apply (the torn-state window the recovery
+	// tests exercise).
+	errSimulatedCrash = errors.New("ctrl: simulated crash after append")
+)
+
+// Open creates a durable control plane for k rooted at dir: mutations are
+// write-ahead logged and fsynced before they apply. An existing directory
+// is NOT replayed — use Recover to restore state; Open is for a fresh plane
+// (it fails if the directory already holds records or checkpoints, which
+// guards against silently forking history).
+func Open(k *core.Kernel, dir string, opts wal.Options) (*Plane, error) {
+	sc, err := wal.Scan(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(sc.Records) > 0 {
+		return nil, fmt.Errorf("ctrl: %s already holds %d records; use Recover", dir, len(sc.Records))
+	}
+	if _, _, err := wal.LatestCheckpoint(dir); err == nil {
+		return nil, fmt.Errorf("ctrl: %s already holds a checkpoint; use Recover", dir)
+	}
+	l, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	p := New(k)
+	p.wal = l
+	return p, nil
+}
+
+// WAL exposes the attached log (nil for an in-memory plane).
+func (p *Plane) WAL() *wal.Log { return p.wal }
+
+// Durable reports whether mutations are write-ahead logged.
+func (p *Plane) Durable() bool { return p.wal != nil }
+
+// logApply is the write-ahead discipline shared by every logged mutation:
+// append rec durably, then run apply. walMu keeps log order identical to
+// apply order. An apply failure appends a compensating abort record so
+// replay skips the mutation (append-then-fail is the one case where the log
+// runs ahead of memory). With no log attached this is just apply().
+func (p *Plane) logApply(rec *wal.Record, apply func() error) error {
+	if p.wal == nil {
+		return apply()
+	}
+	crash := p.crashAfter
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
+	seq, err := p.wal.Append(rec)
+	if err != nil {
+		return fmt.Errorf("ctrl: wal append: %w", err)
+	}
+	if crash != nil && crash(rec.Kind) {
+		return errSimulatedCrash
+	}
+	if err := apply(); err != nil {
+		if _, aerr := p.wal.Append(&wal.Record{Kind: wal.KindAbort, Ref: seq}); aerr != nil {
+			err = errors.Join(err, fmt.Errorf("ctrl: wal abort append: %w", aerr))
+		}
+		return err
+	}
+	return nil
+}
+
+// --- record conversion helpers -------------------------------------------
+
+func walAction(a table.Action) wal.Action {
+	return wal.Action{Kind: uint8(a.Kind), Param: a.Param, ProgID: a.ProgID, ModelID: a.ModelID}
+}
+
+func ctrlAction(a wal.Action) table.Action {
+	return table.Action{Kind: table.ActionKind(a.Kind), Param: a.Param, ProgID: a.ProgID, ModelID: a.ModelID}
+}
+
+func walEntry(e *table.Entry) *wal.Entry {
+	return &wal.Entry{
+		Key: e.Key, PrefixLen: e.PrefixLen, Lo: e.Lo, Hi: e.Hi,
+		Mask: e.Mask, Priority: e.Priority, Action: walAction(e.Action),
+	}
+}
+
+func ctrlEntry(e *wal.Entry) *table.Entry {
+	return &table.Entry{
+		Key: e.Key, PrefixLen: e.PrefixLen, Lo: e.Lo, Hi: e.Hi,
+		Mask: e.Mask, Priority: e.Priority, Action: ctrlAction(e.Action),
+	}
+}
+
+func walProgram(prog *isa.Program) *wal.Program {
+	cp := func(s []int64) []int64 {
+		if len(s) == 0 {
+			return nil
+		}
+		return append([]int64(nil), s...)
+	}
+	return &wal.Program{
+		Name: prog.Name, Hook: prog.Hook, Code: prog.Encode(),
+		Helpers: cp(prog.Helpers), Models: cp(prog.Models), Mats: cp(prog.Mats),
+		Tables: cp(prog.Tables), Vecs: cp(prog.Vecs), Tails: cp(prog.Tails),
+	}
+}
+
+func ctrlProgram(wp *wal.Program) (*isa.Program, error) {
+	insns, err := isa.DecodeProgram(wp.Code)
+	if err != nil {
+		return nil, err
+	}
+	return &isa.Program{
+		Name: wp.Name, Hook: wp.Hook, Insns: insns,
+		Helpers: wp.Helpers, Models: wp.Models, Mats: wp.Mats,
+		Tables: wp.Tables, Vecs: wp.Vecs, Tails: wp.Tails,
+	}, nil
+}
+
+// --- replay ---------------------------------------------------------------
+
+// applyRecord replays one logged mutation against the plane. The plane must
+// not have a log attached while replaying (Recover attaches it afterwards),
+// so nothing is re-logged. Transaction records go through the regular Txn
+// machinery and therefore apply all-or-nothing even on replay.
+func (p *Plane) applyRecord(rec *wal.Record) error {
+	switch rec.Kind {
+	case wal.KindCreateTable:
+		_, _, err := p.applyCreateTable(rec.Table, rec.Hook, table.MatchKind(rec.Match))
+		return err
+	case wal.KindAddEntry:
+		return p.applyAddEntry(rec.Table, ctrlEntry(rec.Entry))
+	case wal.KindRemoveEntry:
+		return p.applyRemoveEntry(rec.Table, ctrlEntry(rec.Entry))
+	case wal.KindUpdateAction:
+		return p.applyUpdateAction(rec.Table, rec.Key, ctrlAction(*rec.Action))
+	case wal.KindLoadProgram:
+		prog, err := ctrlProgram(rec.Program)
+		if err != nil {
+			return err
+		}
+		_, _, err = p.K.InstallProgram(prog)
+		return err
+	case wal.KindRegisterModel:
+		m, err := decodeModel(rec.Model)
+		if err != nil {
+			return err
+		}
+		p.K.RegisterModel(m)
+		return nil
+	case wal.KindRegisterQMLP:
+		q, err := decodeQMLP(rec.Model)
+		if err != nil {
+			return err
+		}
+		_, _, err = p.K.RegisterQMLP(q)
+		return err
+	case wal.KindPushModel:
+		m, err := decodeModel(rec.Model)
+		if err != nil {
+			return err
+		}
+		return p.applyPushModel(rec.ModelID, m)
+	case wal.KindRollbackModel:
+		return p.applyRollbackModel(rec.ModelID)
+	case wal.KindRetarget:
+		return p.applyRetarget(rec.Table, rec.From, rec.To)
+	case wal.KindTxnCommit:
+		t := p.Begin()
+		for _, sub := range rec.Sub {
+			if err := t.stageRecord(sub); err != nil {
+				return err
+			}
+		}
+		return t.Commit()
+	case wal.KindAbort:
+		return nil // handled by the pre-scan in Recover
+	default:
+		return fmt.Errorf("%w: unknown record kind %d", wal.ErrCorruptRecord, rec.Kind)
+	}
+}
+
+// stageRecord stages one replayed transaction sub-record on t.
+func (t *Txn) stageRecord(rec *wal.Record) error {
+	switch rec.Kind {
+	case wal.KindCreateTable:
+		t.CreateTable(rec.Table, rec.Hook, table.MatchKind(rec.Match))
+	case wal.KindAddEntry:
+		t.AddEntry(rec.Table, ctrlEntry(rec.Entry))
+	case wal.KindRemoveEntry:
+		e := ctrlEntry(rec.Entry)
+		t.Do(fmt.Sprintf("remove entry from %q", rec.Table),
+			func() error { return t.p.applyRemoveEntry(rec.Table, e) },
+			func() error { return t.p.applyAddEntry(rec.Table, e) })
+		t.steps[len(t.steps)-1].rec = rec
+	case wal.KindUpdateAction:
+		t.UpdateAction(rec.Table, rec.Key, ctrlAction(*rec.Action))
+	case wal.KindLoadProgram:
+		prog, err := ctrlProgram(rec.Program)
+		if err != nil {
+			return err
+		}
+		t.LoadProgram(prog)
+	case wal.KindPushModel:
+		m, err := decodeModel(rec.Model)
+		if err != nil {
+			return err
+		}
+		t.PushModel(rec.ModelID, m, 0, 0)
+	default:
+		return fmt.Errorf("%w: record kind %s in transaction", wal.ErrCorruptRecord, rec.Kind)
+	}
+	return nil
+}
+
+// RecoveryStats reports what a Recover did.
+type RecoveryStats struct {
+	// CheckpointSeq is the sequence the restored checkpoint covered
+	// (0: no checkpoint, full-log replay).
+	CheckpointSeq uint64
+	// Replayed counts log records applied after the checkpoint.
+	Replayed int
+	// Aborted counts records skipped because a later abort cancelled them.
+	Aborted int
+	// Skipped counts records that failed to apply on replay (divergent or
+	// damaged history; skipping is the graceful floor, counted loudly).
+	Skipped int
+	// DiscardedBytes is the corrupt/torn log suffix length dropped.
+	DiscardedBytes int64
+	// Corruption explains the discard (wrapped wal.ErrCorruptRecord or
+	// wal.ErrShortRead), or nil.
+	Corruption error
+	// LastSeq is the log position after recovery.
+	LastSeq uint64
+	// ElapsedNs is the wall time recovery took.
+	ElapsedNs int64
+}
+
+func (s RecoveryStats) String() string {
+	return fmt.Sprintf("recovery: checkpoint=#%d replayed=%d aborted=%d skipped=%d discarded=%dB last-seq=#%d in %.2fms",
+		s.CheckpointSeq, s.Replayed, s.Aborted, s.Skipped, s.DiscardedBytes, s.LastSeq,
+		float64(s.ElapsedNs)/1e6)
+}
+
+// Recover rebuilds a durable control plane from dir: construct a kernel
+// from kcfg, run prep (subsystem helper/fallback registration — state the
+// log does not carry), restore the newest valid checkpoint, replay the
+// intact log suffix, verify invariants, and reattach the log for continued
+// operation. Corrupt checkpoints fall back to the previous one; a corrupt
+// or torn log suffix is discarded back to the last intact record boundary
+// and reported in the stats, never half-applied.
+func Recover(dir string, kcfg core.Config, opts wal.Options, prep func(*core.Kernel) error) (*Plane, RecoveryStats, error) {
+	start := time.Now()
+	var st RecoveryStats
+	k := core.NewKernel(kcfg)
+	if prep != nil {
+		if err := prep(k); err != nil {
+			return nil, st, fmt.Errorf("ctrl: recovery prep: %w", err)
+		}
+	}
+	p := New(k)
+
+	ckSeq, body, err := wal.LatestCheckpoint(dir)
+	switch {
+	case err == nil:
+		if rerr := p.restoreSnapshot(body); rerr != nil {
+			return nil, st, fmt.Errorf("ctrl: checkpoint restore: %w", rerr)
+		}
+		st.CheckpointSeq = ckSeq
+	case errors.Is(err, wal.ErrNoCheckpoint):
+		// Full-log replay from an empty kernel.
+	default:
+		return nil, st, err
+	}
+
+	sc, err := wal.Scan(dir)
+	if err != nil {
+		return nil, st, err
+	}
+	st.DiscardedBytes = sc.DiscardedBytes
+	st.Corruption = sc.Corruption
+	if len(sc.Records) > 0 && sc.Records[0].Seq > ckSeq+1 {
+		// The log was compacted past the restore point and no valid
+		// checkpoint covers the gap (e.g. every checkpoint is damaged):
+		// replaying only the suffix would silently reconstruct partial
+		// state, so fail loudly instead.
+		return nil, st, fmt.Errorf("%w: log starts at #%d but restored state covers #%d",
+			ErrRecoveryMismatch, sc.Records[0].Seq, ckSeq)
+	}
+
+	aborted := make(map[uint64]bool)
+	for _, rec := range sc.Records {
+		if rec.Kind == wal.KindAbort {
+			aborted[rec.Ref] = true
+		}
+	}
+	for _, rec := range sc.Records {
+		if rec.Seq <= ckSeq || rec.Kind == wal.KindAbort {
+			continue
+		}
+		if aborted[rec.Seq] {
+			st.Aborted++
+			continue
+		}
+		if aerr := p.applyRecord(rec); aerr != nil {
+			st.Skipped++
+			k.Metrics.Counter("ctrl.recover_skipped").Inc()
+			continue
+		}
+		st.Replayed++
+		if rec.Bump && rec.Kind != wal.KindTxnCommit {
+			// Txn commits bump inside Commit; canary promotions/rollbacks
+			// bump here so the recovered version counter matches.
+			p.version.Add(1)
+		}
+	}
+	if err := p.checkInvariants(); err != nil {
+		return nil, st, fmt.Errorf("%w: %v", ErrRecoveryMismatch, err)
+	}
+
+	l, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	p.wal = l
+	st.LastSeq = l.Seq()
+	st.ElapsedNs = time.Since(start).Nanoseconds()
+
+	k.Metrics.Counter("ctrl.recoveries").Inc()
+	k.Metrics.Counter("ctrl.wal_records_replayed").Add(int64(st.Replayed))
+	k.Metrics.Counter("ctrl.wal_records_aborted").Add(int64(st.Aborted))
+	k.Metrics.Counter("ctrl.wal_bytes_discarded").Add(st.DiscardedBytes)
+	k.Metrics.Gauge("ctrl.wal_last_seq").Set(int64(st.LastSeq))
+	k.Metrics.Histogram("ctrl.recover_ns").Observe(st.ElapsedNs)
+	return p, st, nil
+}
+
+// checkInvariants verifies the structural consistency a recovered plane
+// must satisfy: name indexes resolve back to the same ids and allocators
+// sit at or past every live id (so post-recovery allocations cannot collide
+// with replayed references).
+func (p *Plane) checkInvariants() error {
+	k := p.K
+	nextTable, nextProg, nextModel, nextMat := k.AllocState()
+	for _, id := range k.TableIDs() {
+		t, err := k.Table(id)
+		if err != nil {
+			return err
+		}
+		_, gotID, err := k.TableByName(t.Name)
+		if err != nil || gotID != id {
+			return fmt.Errorf("table %d (%q) name index resolves to %d (%v)", id, t.Name, gotID, err)
+		}
+		if id > nextTable {
+			return fmt.Errorf("table id %d beyond allocator %d", id, nextTable)
+		}
+	}
+	for _, id := range k.ProgramIDs() {
+		prog, err := k.Program(id)
+		if err != nil {
+			return err
+		}
+		gotID, err := k.ProgramID(prog.Name)
+		if err != nil || gotID != id {
+			return fmt.Errorf("program %d (%q) name index resolves to %d (%v)", id, prog.Name, gotID, err)
+		}
+		if id > nextProg {
+			return fmt.Errorf("program id %d beyond allocator %d", id, nextProg)
+		}
+	}
+	for _, id := range k.ModelIDs() {
+		if id > nextModel {
+			return fmt.Errorf("model id %d beyond allocator %d", id, nextModel)
+		}
+	}
+	for _, id := range k.MatrixIDs() {
+		if id > nextMat {
+			return fmt.Errorf("matrix id %d beyond allocator %d", id, nextMat)
+		}
+	}
+	return nil
+}
+
+// --- snapshot / checkpoint ------------------------------------------------
+
+// planeSnapshot is the checkpoint payload: the full durable state of the
+// plane and its kernel registries. Runtime statistics (hit counters,
+// telemetry, monitors) are deliberately not state — recovery restores
+// decisions, not metrics.
+type planeSnapshot struct {
+	Version   uint64 `json:"version"`
+	NextTable int64  `json:"next_table"`
+	NextProg  int64  `json:"next_prog"`
+	NextModel int64  `json:"next_model"`
+	NextMat   int64  `json:"next_mat"`
+
+	Tables   []tableSnap   `json:"tables,omitempty"`
+	Matrices []matrixSnap  `json:"matrices,omitempty"`
+	Models   []modelSnap   `json:"models,omitempty"`
+	Programs []programSnap `json:"programs,omitempty"`
+	History  []historySnap `json:"history,omitempty"`
+}
+
+type tableSnap struct {
+	ID      int64       `json:"id"`
+	Name    string      `json:"name"`
+	Hook    string      `json:"hook,omitempty"`
+	Kind    uint8       `json:"kind"`
+	Entries []wal.Entry `json:"entries,omitempty"`
+	Default *wal.Action `json:"default,omitempty"`
+}
+
+type matrixSnap struct {
+	ID  int64   `json:"id"`
+	In  int     `json:"in"`
+	Out int     `json:"out"`
+	W   []int64 `json:"w"`
+	B   []int64 `json:"b"`
+}
+
+type modelSnap struct {
+	ID    int64      `json:"id"`
+	Model *wal.Model `json:"model"`
+}
+
+type programSnap struct {
+	ID      int64        `json:"id"`
+	Program *wal.Program `json:"program"`
+}
+
+type historySnap struct {
+	ID       int64        `json:"id"`
+	Versions []*wal.Model `json:"versions"`
+}
+
+// snapshot captures the plane's durable state. Callers must quiesce
+// mutations (Checkpoint holds commitMu and walMu).
+func (p *Plane) snapshot() (*planeSnapshot, error) {
+	k := p.K
+	snap := &planeSnapshot{Version: p.Version()}
+	snap.NextTable, snap.NextProg, snap.NextModel, snap.NextMat = k.AllocState()
+
+	for _, id := range k.TableIDs() {
+		t, err := k.Table(id)
+		if err != nil {
+			return nil, err
+		}
+		ts := tableSnap{ID: id, Name: t.Name, Hook: t.Hook, Kind: uint8(t.Kind)}
+		for _, e := range t.Entries() {
+			ts.Entries = append(ts.Entries, *walEntry(e))
+		}
+		if d := t.Default(); d != nil {
+			a := walAction(d.Action)
+			ts.Default = &a
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+	for _, id := range k.MatrixIDs() {
+		m, err := k.Matrix(id)
+		if err != nil {
+			return nil, err
+		}
+		snap.Matrices = append(snap.Matrices, matrixSnap{ID: id, In: m.In, Out: m.Out, W: m.W, B: m.B})
+	}
+	for _, id := range k.ModelIDs() {
+		m, err := k.Model(id)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := encodeModel(m)
+		if err != nil {
+			return nil, fmt.Errorf("model %d: %w", id, err)
+		}
+		snap.Models = append(snap.Models, modelSnap{ID: id, Model: enc})
+	}
+	for _, id := range k.ProgramIDs() {
+		prog, err := k.Program(id)
+		if err != nil {
+			return nil, err
+		}
+		snap.Programs = append(snap.Programs, programSnap{ID: id, Program: walProgram(prog)})
+	}
+
+	p.mu.Lock()
+	histIDs := make([]int64, 0, len(p.history))
+	for id := range p.history {
+		histIDs = append(histIDs, id)
+	}
+	sort.Slice(histIDs, func(i, j int) bool { return histIDs[i] < histIDs[j] })
+	var herr error
+	for _, id := range histIDs {
+		hs := historySnap{ID: id}
+		for _, m := range p.history[id] {
+			enc, err := encodeModel(m)
+			if err != nil {
+				herr = fmt.Errorf("history of model %d: %w", id, err)
+				break
+			}
+			hs.Versions = append(hs.Versions, enc)
+		}
+		if herr != nil {
+			break
+		}
+		if len(hs.Versions) > 0 {
+			snap.History = append(snap.History, hs)
+		}
+	}
+	p.mu.Unlock()
+	if herr != nil {
+		return nil, herr
+	}
+	return snap, nil
+}
+
+// restoreSnapshot rebuilds kernel registries and plane state from a
+// checkpoint payload. Restore order respects admission dependencies:
+// matrices and models before tables, tables before programs (verification
+// resolves declared resource ids against the registries).
+func (p *Plane) restoreSnapshot(body []byte) error {
+	var snap planeSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("%w: checkpoint payload: %v", wal.ErrCorruptRecord, err)
+	}
+	k := p.K
+	for _, ms := range snap.Matrices {
+		if err := k.RegisterMatrixAt(ms.ID, &core.Matrix{In: ms.In, Out: ms.Out, W: ms.W, B: ms.B}); err != nil {
+			return err
+		}
+	}
+	for _, ms := range snap.Models {
+		m, err := decodeModel(ms.Model)
+		if err != nil {
+			return err
+		}
+		if err := k.RegisterModelAt(ms.ID, m); err != nil {
+			return err
+		}
+	}
+	for _, ts := range snap.Tables {
+		t := table.New(ts.Name, ts.Hook, table.MatchKind(ts.Kind))
+		if err := k.CreateTableAt(ts.ID, t); err != nil {
+			return err
+		}
+	}
+	for _, ps := range snap.Programs {
+		prog, err := ctrlProgram(ps.Program)
+		if err != nil {
+			return err
+		}
+		if _, err := k.InstallProgramAt(ps.ID, prog); err != nil {
+			return err
+		}
+	}
+	// Entries land after programs so ActionProgram targets exist from the
+	// first Fire; default actions come with them.
+	for _, ts := range snap.Tables {
+		t, _, err := k.TableByName(ts.Name)
+		if err != nil {
+			return err
+		}
+		for i := range ts.Entries {
+			if err := t.Insert(ctrlEntry(&ts.Entries[i])); err != nil {
+				return err
+			}
+		}
+		if ts.Default != nil {
+			a := ctrlAction(*ts.Default)
+			t.SetDefault(&a)
+		}
+	}
+	if err := k.RestoreAllocState(snap.NextTable, snap.NextProg, snap.NextModel, snap.NextMat); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	for _, hs := range snap.History {
+		for _, enc := range hs.Versions {
+			m, err := decodeModel(enc)
+			if err != nil {
+				p.mu.Unlock()
+				return err
+			}
+			p.history[hs.ID] = append(p.history[hs.ID], m)
+		}
+	}
+	p.mu.Unlock()
+	p.version.Store(snap.Version)
+	return nil
+}
+
+// Checkpoint writes a full-state snapshot covering everything logged so
+// far, then compacts the log — but only back to the OLDEST retained
+// checkpoint, not the new one: the fallback path (corrupt newest checkpoint
+// → previous checkpoint + longer suffix) needs the records between the two
+// checkpoints to still be in the log. Replay after a checkpoint is restore
+// + short suffix instead of the whole history. Returns the sequence number
+// the checkpoint covers.
+func (p *Plane) Checkpoint() (uint64, error) {
+	if p.wal == nil {
+		return 0, fmt.Errorf("ctrl: checkpoint requires a durable plane")
+	}
+	// commitMu quiesces transactions and canary transitions; walMu
+	// quiesces simple mutators. Together the snapshot is point-in-time
+	// consistent with the log position.
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
+	snap, err := p.snapshot()
+	if err != nil {
+		return 0, err
+	}
+	body, err := json.Marshal(snap)
+	if err != nil {
+		return 0, err
+	}
+	seq := p.wal.Seq()
+	if err := wal.WriteCheckpoint(p.wal.Dir(), seq, body); err != nil {
+		return 0, err
+	}
+	seqs, err := wal.Checkpoints(p.wal.Dir())
+	if err != nil {
+		return 0, err
+	}
+	if len(seqs) >= 2 {
+		// seqs[0] is the oldest checkpoint WriteCheckpoint retained; every
+		// record it covers is now unreachable by any recovery path.
+		if err := p.wal.Compact(seqs[0]); err != nil {
+			return 0, err
+		}
+	}
+	p.K.Metrics.Counter("ctrl.checkpoints").Inc()
+	p.K.Metrics.Gauge("ctrl.wal_last_seq").Set(int64(seq))
+	return seq, nil
+}
+
+// --- equivalence ----------------------------------------------------------
+
+// Inventory renders the plane's durable state as deterministic, sorted
+// lines — the comparison basis for recovery equivalence and the payload of
+// rmtkctl's recover summary.
+func (p *Plane) Inventory() []string {
+	k := p.K
+	var lines []string
+	lines = append(lines, fmt.Sprintf("version %d", p.Version()))
+	for _, id := range k.TableIDs() {
+		t, err := k.Table(id)
+		if err != nil {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("table %d %s hook=%s kind=%s entries=%d", id, t.Name, t.Hook, t.Kind, t.Len()))
+		for _, e := range t.Entries() {
+			lines = append(lines, fmt.Sprintf("  entry key=%d plen=%d lo=%d hi=%d mask=%d prio=%d act=%s/%d/%d/%d",
+				e.Key, e.PrefixLen, e.Lo, e.Hi, e.Mask, e.Priority,
+				e.Action.Kind, e.Action.Param, e.Action.ProgID, e.Action.ModelID))
+		}
+		if d := t.Default(); d != nil {
+			lines = append(lines, fmt.Sprintf("  default act=%s/%d/%d/%d",
+				d.Action.Kind, d.Action.Param, d.Action.ProgID, d.Action.ModelID))
+		}
+	}
+	for _, id := range k.ProgramIDs() {
+		prog, err := k.Program(id)
+		if err != nil {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("program %d %s hook=%s code=%08x pure=%v",
+			id, prog.Name, prog.Hook, crc32.Checksum(prog.Encode(), crc32.MakeTable(crc32.Castagnoli)), prog.Pure))
+	}
+	for _, id := range k.ModelIDs() {
+		m, err := k.Model(id)
+		if err != nil {
+			continue
+		}
+		if enc, err := encodeModel(m); err == nil {
+			lines = append(lines, fmt.Sprintf("model %d codec=%s data=%08x",
+				id, enc.Codec, crc32.Checksum(enc.Data, crc32.MakeTable(crc32.Castagnoli))))
+		} else {
+			ops, bytes := m.Cost()
+			lines = append(lines, fmt.Sprintf("model %d opaque feats=%d ops=%d bytes=%d",
+				id, m.NumFeatures(), ops, bytes))
+		}
+	}
+	for _, id := range k.MatrixIDs() {
+		m, err := k.Matrix(id)
+		if err != nil {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("matrix %d %dx%d bytes=%d", id, m.Out, m.In, m.Bytes()))
+	}
+	p.mu.Lock()
+	histIDs := make([]int64, 0, len(p.history))
+	for id := range p.history {
+		if len(p.history[id]) > 0 {
+			histIDs = append(histIDs, id)
+		}
+	}
+	sort.Slice(histIDs, func(i, j int) bool { return histIDs[i] < histIDs[j] })
+	for _, id := range histIDs {
+		lines = append(lines, fmt.Sprintf("history %d n=%d", id, len(p.history[id])))
+	}
+	p.mu.Unlock()
+	return lines
+}
+
+// InventoryDigest hashes the inventory into one comparable value.
+func (p *Plane) InventoryDigest() uint32 {
+	return crc32.Checksum([]byte(strings.Join(p.Inventory(), "\n")), crc32.MakeTable(crc32.Castagnoli))
+}
+
+// VerifyEquivalence checks that plane b is decision-equivalent to plane a:
+// identical durable inventories, and identical fire verdicts for every
+// probe key on every hook of a. Differences wrap ErrRecoveryMismatch. The
+// probe fires mutate only statistics, never decisions.
+func VerifyEquivalence(a, b *Plane, probeKeys []int64) error {
+	ai, bi := a.Inventory(), b.Inventory()
+	if len(ai) != len(bi) {
+		return fmt.Errorf("%w: inventory %d vs %d lines", ErrRecoveryMismatch, len(ai), len(bi))
+	}
+	for i := range ai {
+		if ai[i] != bi[i] {
+			return fmt.Errorf("%w: inventory line %d: %q vs %q", ErrRecoveryMismatch, i, ai[i], bi[i])
+		}
+	}
+	hooks := a.K.Hooks()
+	sort.Strings(hooks)
+	for _, hook := range hooks {
+		for _, key := range probeKeys {
+			ra := a.K.Fire(hook, key, key+1, 0)
+			rb := b.K.Fire(hook, key, key+1, 0)
+			if ra.Verdict != rb.Verdict || ra.Matched != rb.Matched ||
+				len(ra.Emissions) != len(rb.Emissions) {
+				return fmt.Errorf("%w: hook %s key %d: verdict %d/%d matched %d/%d emissions %d/%d",
+					ErrRecoveryMismatch, hook, key, ra.Verdict, rb.Verdict,
+					ra.Matched, rb.Matched, len(ra.Emissions), len(rb.Emissions))
+			}
+			for i := range ra.Emissions {
+				if ra.Emissions[i] != rb.Emissions[i] {
+					return fmt.Errorf("%w: hook %s key %d: emission %d: %d vs %d",
+						ErrRecoveryMismatch, hook, key, i, ra.Emissions[i], rb.Emissions[i])
+				}
+			}
+		}
+	}
+	return nil
+}

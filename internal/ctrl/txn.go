@@ -8,6 +8,7 @@ import (
 	"rmtk/internal/isa"
 	"rmtk/internal/table"
 	"rmtk/internal/verifier"
+	"rmtk/internal/wal"
 )
 
 // This file implements transactional reconfiguration: a multi-step control
@@ -31,11 +32,16 @@ var (
 )
 
 // txnStep is one staged operation: apply performs it, undo reverts it.
-// undo is only called after apply succeeded.
+// undo is only called after apply succeeded. rec is the step's durable form;
+// on a durable plane Commit appends all step records as one atomic
+// transaction record, so a step without one (Txn.Do, or a model with no
+// codec — recErr carries why) cannot commit durably.
 type txnStep struct {
-	name  string
-	apply func() error
-	undo  func() error
+	name   string
+	apply  func() error
+	undo   func() error
+	rec    *wal.Record
+	recErr error
 }
 
 // TableRef is a handle to a table staged by Txn.CreateTable; ID and T are
@@ -74,7 +80,7 @@ func (t *Txn) CreateTable(name, hook string, kind table.MatchKind) *TableRef {
 	t.steps = append(t.steps, txnStep{
 		name: fmt.Sprintf("create table %q", name),
 		apply: func() error {
-			tb, id, err := t.p.CreateTable(name, hook, kind)
+			tb, id, err := t.p.applyCreateTable(name, hook, kind)
 			if err != nil {
 				return err
 			}
@@ -82,6 +88,7 @@ func (t *Txn) CreateTable(name, hook string, kind table.MatchKind) *TableRef {
 			return nil
 		},
 		undo: func() error { return t.p.K.RemoveTable(ref.ID) },
+		rec:  &wal.Record{Kind: wal.KindCreateTable, Table: name, Hook: hook, Match: uint8(kind)},
 	})
 	return ref
 }
@@ -100,7 +107,7 @@ func (t *Txn) AddEntry(tableName string, e *table.Entry) {
 			if tb, _, err := t.p.K.TableByName(tableName); err == nil {
 				displaced = tb.Probe(e.Key)
 			}
-			return t.p.AddEntry(tableName, e)
+			return t.p.applyAddEntry(tableName, e)
 		},
 		undo: func() error {
 			tb, _, err := t.p.K.TableByName(tableName)
@@ -115,6 +122,7 @@ func (t *Txn) AddEntry(tableName string, e *table.Entry) {
 			}
 			return nil
 		},
+		rec: &wal.Record{Kind: wal.KindAddEntry, Table: tableName, Entry: walEntry(e)},
 	})
 }
 
@@ -149,19 +157,35 @@ func (t *Txn) UpdateAction(tableName string, key uint64, a table.Action) {
 			}
 			return nil
 		},
+		rec: func() *wal.Record {
+			wa := walAction(a)
+			return &wal.Record{Kind: wal.KindUpdateAction, Table: tableName, Key: key, Action: &wa}
+		}(),
 	})
 }
 
 // PushModel stages a model swap (with budget admission); rollback restores
-// the version the swap displaced.
+// the version the swap displaced. On a durable plane the model must have a
+// codec; Commit reports the encoding failure otherwise.
 func (t *Txn) PushModel(id int64, m core.Model, opsBudget, memBudget int64) {
-	t.steps = append(t.steps, txnStep{
+	step := txnStep{
 		name: fmt.Sprintf("push model %d", id),
 		apply: func() error {
-			return t.p.PushModel(id, m, opsBudget, memBudget)
+			if err := checkModelBudgets(id, m, opsBudget, memBudget); err != nil {
+				return err
+			}
+			return t.p.applyPushModel(id, m)
 		},
-		undo: func() error { return t.p.RollbackModel(id) },
-	})
+		undo: func() error { return t.p.applyRollbackModel(id) },
+	}
+	if t.p.wal != nil {
+		if enc, err := encodeModel(m); err != nil {
+			step.recErr = err
+		} else {
+			step.rec = &wal.Record{Kind: wal.KindPushModel, ModelID: id, Model: enc}
+		}
+	}
+	t.steps = append(t.steps, step)
 }
 
 // LoadProgram stages program admission (verify → compile → register);
@@ -171,7 +195,7 @@ func (t *Txn) LoadProgram(prog *isa.Program) *ProgRef {
 	t.steps = append(t.steps, txnStep{
 		name: fmt.Sprintf("load program %q", prog.Name),
 		apply: func() error {
-			id, rep, err := t.p.LoadProgram(prog)
+			id, rep, err := t.p.K.InstallProgram(prog)
 			if err != nil {
 				return err
 			}
@@ -179,6 +203,7 @@ func (t *Txn) LoadProgram(prog *isa.Program) *ProgRef {
 			return nil
 		},
 		undo: func() error { return t.p.K.RemoveProgram(ref.ID) },
+		rec:  &wal.Record{Kind: wal.KindLoadProgram, Program: walProgram(prog)},
 	})
 	return ref
 }
@@ -196,17 +221,66 @@ func (t *Txn) Len() int { return len(t.steps) }
 // already-applied step is undone in reverse and the first failure is
 // returned (undo failures are joined onto it); the plane version is only
 // advanced on full success. A version conflict aborts before any step runs.
+//
+// On a durable plane Commit first appends ONE transaction record carrying
+// every staged step: the framing makes the commit atomic on disk, so replay
+// observes either the whole transaction or none of it — never a prefix. A
+// transaction holding a step with no durable form (Txn.Do, or a model with
+// no codec) refuses to commit durably with ErrNotReplayable. If the staged
+// steps then fail to apply, a compensating abort record cancels the
+// transaction for replay.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrTxnDone
 	}
 	t.done = true
-	t.p.commitMu.Lock()
-	defer t.p.commitMu.Unlock()
-	if v := t.p.Version(); v != t.base {
-		t.p.K.Metrics.Counter("ctrl.txn_conflicts").Inc()
+	p := t.p
+	crash := p.crashAfter
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	if v := p.Version(); v != t.base {
+		p.K.Metrics.Counter("ctrl.txn_conflicts").Inc()
 		return fmt.Errorf("%w: began at version %d, now %d", ErrTxnConflict, t.base, v)
 	}
+	if p.wal != nil {
+		subs := make([]*wal.Record, 0, len(t.steps))
+		for i, step := range t.steps {
+			if step.rec == nil {
+				err := fmt.Errorf("%w: txn step %d (%s) has no log form", ErrNotReplayable, i, step.name)
+				if step.recErr != nil {
+					err = fmt.Errorf("%w: txn step %d (%s): %w", ErrNotReplayable, i, step.name, step.recErr)
+				}
+				return err
+			}
+			subs = append(subs, step.rec)
+		}
+		rec := &wal.Record{Kind: wal.KindTxnCommit, Sub: subs, Bump: true}
+		p.walMu.Lock()
+		defer p.walMu.Unlock()
+		seq, err := p.wal.Append(rec)
+		if err != nil {
+			return fmt.Errorf("ctrl: wal append: %w", err)
+		}
+		if crash != nil && crash(rec.Kind) {
+			return errSimulatedCrash
+		}
+		if err := t.applySteps(); err != nil {
+			if _, aerr := p.wal.Append(&wal.Record{Kind: wal.KindAbort, Ref: seq}); aerr != nil {
+				err = errors.Join(err, fmt.Errorf("ctrl: wal abort append: %w", aerr))
+			}
+			return err
+		}
+	} else if err := t.applySteps(); err != nil {
+		return err
+	}
+	p.version.Add(1)
+	p.K.Metrics.Counter("ctrl.txn_commits").Inc()
+	return nil
+}
+
+// applySteps runs the staged steps, undoing the applied prefix in reverse on
+// the first failure.
+func (t *Txn) applySteps() error {
 	for i, step := range t.steps {
 		err := step.apply()
 		if err == nil {
@@ -221,7 +295,5 @@ func (t *Txn) Commit() error {
 		t.p.K.Metrics.Counter("ctrl.txn_rollbacks").Inc()
 		return err
 	}
-	t.p.version.Add(1)
-	t.p.K.Metrics.Counter("ctrl.txn_commits").Inc()
 	return nil
 }

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rmtk/internal/core"
+	"rmtk/internal/ctrl"
+	"rmtk/internal/fault"
+	"rmtk/internal/ml/dt"
+	"rmtk/internal/table"
+	"rmtk/internal/wal"
+)
+
+// Recovery is the durability experiment: a param-serving datapath learns its
+// policy through the control plane (every learned entry, model push and bulk
+// reconfiguration is a WAL-logged mutation), and the job is killed at the
+// midpoint with a torn final write — the crash a buffered log is most
+// vulnerable to. Three runs over the identical request trace are compared:
+//
+//   - uninterrupted: the reference JCT. The plane learns the key→param map
+//     in the first half and serves it from fast-path entries for the rest.
+//   - warm: the same run, but at the midpoint the process dies and the final
+//     log record is torn in half. Recovery scans the log, discards the torn
+//     suffix (CRC framing), restores the checkpoint written at the quarter
+//     mark, replays the suffix, and the job resumes on the recovered plane.
+//     Only the single mutation lost to the torn write has to be relearned,
+//     so JCT must stay within 5% of uninterrupted.
+//   - cold: the same crash with no durability — a fresh plane relearns the
+//     whole policy in the second half, paying the slow path once per key.
+//
+// The JCT clock is virtual, like every simulator in this repo: a request
+// served by a learned entry costs reqFastNs, a miss costs reqSlowNs (the
+// kernel's un-specialized path plus the control-plane round trip that
+// installs the entry), and both crash runs are charged a deterministic
+// restart penalty — warm additionally pays a per-replayed-record cost.
+// Recovery's measured wall time is reported separately (RecoverNs) but
+// never charged, so the comparison is reproducible on any machine and
+// under instrumentation (-race) alike.
+type RecoveryResult struct {
+	UninterruptedJCT float64 // seconds, no crash
+	WarmJCT          float64 // seconds, crash + WAL recovery at midpoint
+	ColdJCT          float64 // seconds, crash + relearn from scratch
+
+	CheckpointSeq  uint64 // checkpoint the warm recovery restored from
+	Replayed       int    // log records replayed on top of it
+	DiscardedBytes int64  // torn suffix dropped by the scan
+	RecoverNs      int64  // measured wall time of the warm recovery (reported, not charged)
+	WarmRelearns   int64  // second-half slow-path misses after warm recovery
+	ColdRelearns   int64  // second-half slow-path misses after cold restart
+}
+
+func (r RecoveryResult) String() string {
+	return fmt.Sprintf(
+		"recovery: uninterrupted=%.3fs warm=%.3fs (%.1f%% of uninterrupted) cold=%.3fs (%.1f%%)\n"+
+			"          warm recovery: checkpoint=%d replayed=%d discarded=%dB wall=%.2fms\n"+
+			"          second-half relearns: warm=%d cold=%d",
+		r.UninterruptedJCT, r.WarmJCT, 100*r.WarmJCT/r.UninterruptedJCT,
+		r.ColdJCT, 100*r.ColdJCT/r.UninterruptedJCT,
+		r.CheckpointSeq, r.Replayed, r.DiscardedBytes, float64(r.RecoverNs)/1e6,
+		r.WarmRelearns, r.ColdRelearns)
+}
+
+const (
+	recoveryHook    = "sched/param"
+	recoveryRouteHK = "sched/route"
+	reqFastNs       = 2_000     // learned entry serves the request
+	reqSlowNs       = 2_000_000 // miss: un-specialized path + control round trip
+	restartNs       = 2_000_000 // process restart penalty, charged to both crash runs
+	replayNs        = 10_000    // per-record WAL replay cost, charged to the warm run
+	recoveryKeys    = 64        // full key space
+	recoveryEarly   = 48        // keys seen before the bulk reconfiguration
+)
+
+// recoveryParam is the ground-truth policy the plane has to learn: the param
+// the slow path computes for a key, which a learned entry then serves
+// directly. Never the DefaultVerdict, so a table miss is always detectable.
+func recoveryParam(key int64) int64 { return (3*key + 11) % 97 }
+
+// recoveryTrace precomputes the request keys so all three runs serve the
+// identical workload. The first 3/8 draws from a reduced key range; the
+// remainder uses the full range, so fresh keys keep arriving after the bulk
+// reconfiguration and the log's final record is always a learned entry —
+// exactly the record the torn write destroys.
+func recoveryTrace(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int64, n)
+	for i := range keys {
+		if i < 3*n/8 {
+			keys[i] = rng.Int63n(recoveryEarly)
+		} else {
+			keys[i] = rng.Int63n(recoveryKeys)
+		}
+	}
+	return keys
+}
+
+func recoveryTree(label int64) *core.TreeModel {
+	return core.NewTreeModel(&dt.Tree{
+		NumFeats: 1,
+		Nodes: []dt.Node{
+			{Feat: 0, Thresh: 4, Left: 1, Right: 2},
+			{Feat: -1, Label: 0},
+			{Feat: -1, Label: label},
+		},
+	})
+}
+
+// newParamPlane provisions a durable plane with the workload's base state:
+// the param table and the registered serving model.
+func newParamPlane(dir string) (*ctrl.Plane, int64, error) {
+	p, err := ctrl.Open(core.NewKernel(core.Config{}), dir, wal.Options{NoSync: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, _, err := p.CreateTable("param_tab", recoveryHook, table.MatchExact); err != nil {
+		return nil, 0, err
+	}
+	mid, err := p.RegisterModel(recoveryTree(1))
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, mid, nil
+}
+
+// serveRange runs requests [from, to) of the trace against p, accumulating
+// virtual nanoseconds on clock and counting slow-path misses. A miss installs
+// the learned entry through the control plane (a WAL-logged mutation).
+func serveRange(p *ctrl.Plane, keys []int64, from, to int, clock, misses *int64) error {
+	for i := from; i < to; i++ {
+		key := keys[i]
+		res := p.K.Fire(recoveryHook, key, 0, 0)
+		if res.Verdict == recoveryParam(key) {
+			*clock += reqFastNs
+			continue
+		}
+		*clock += reqSlowNs
+		*misses++
+		e := &table.Entry{Key: uint64(key), Action: table.Action{Kind: table.ActionParam, Param: recoveryParam(key)}}
+		if err := p.AddEntry("param_tab", e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFirstHalf serves the first half of the trace with the control traffic
+// the durability story has to preserve: a model push at 1/8, a checkpoint at
+// 1/4, and a transactional bulk reconfiguration at 3/8.
+func runFirstHalf(p *ctrl.Plane, mid int64, keys []int64, clock, misses *int64) error {
+	n := len(keys)
+	marks := []struct {
+		at int
+		op func() error
+	}{
+		{n / 8, func() error { return p.PushModel(mid, recoveryTree(2), 0, 0) }},
+		{n / 4, func() error { _, err := p.Checkpoint(); return err }},
+		{3 * n / 8, func() error {
+			txn := p.Begin()
+			txn.CreateTable("route_tab", recoveryRouteHK, table.MatchExact)
+			for k := int64(0); k < 8; k++ {
+				txn.AddEntry("route_tab", &table.Entry{
+					Key: uint64(k), Action: table.Action{Kind: table.ActionParam, Param: k + 1},
+				})
+			}
+			return txn.Commit()
+		}},
+	}
+	prev := 0
+	for _, m := range marks {
+		if err := serveRange(p, keys, prev, m.at, clock, misses); err != nil {
+			return err
+		}
+		if err := m.op(); err != nil {
+			return err
+		}
+		prev = m.at
+	}
+	return serveRange(p, keys, prev, n/2, clock, misses)
+}
+
+// Recovery runs the durability experiment over n requests (n<=0 selects the
+// default workload size).
+func Recovery(seed int64, n int) (RecoveryResult, error) {
+	if n <= 0 {
+		n = 4096
+	}
+	keys := recoveryTrace(seed, n)
+	var out RecoveryResult
+
+	withDir := func(fn func(dir string) error) error {
+		dir, err := os.MkdirTemp("", "rmtk-recovery-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		return fn(dir)
+	}
+
+	// Uninterrupted: one plane serves the whole trace.
+	err := withDir(func(dir string) error {
+		p, mid, err := newParamPlane(dir)
+		if err != nil {
+			return err
+		}
+		var clock, misses int64
+		if err := runFirstHalf(p, mid, keys, &clock, &misses); err != nil {
+			return err
+		}
+		if err := serveRange(p, keys, n/2, n, &clock, &misses); err != nil {
+			return err
+		}
+		out.UninterruptedJCT = float64(clock) / 1e9
+		return p.WAL().Close()
+	})
+	if err != nil {
+		return out, err
+	}
+
+	// Warm: crash at the midpoint with a torn final record, recover, resume.
+	err = withDir(func(dir string) error {
+		p, mid, err := newParamPlane(dir)
+		if err != nil {
+			return err
+		}
+		var clock, misses int64
+		if err := runFirstHalf(p, mid, keys, &clock, &misses); err != nil {
+			return err
+		}
+		if err := p.WAL().Close(); err != nil {
+			return err
+		}
+		if _, err := fault.FSTornTail(dir, 0); err != nil {
+			return err
+		}
+		p2, st, err := ctrl.Recover(dir, core.Config{}, wal.Options{NoSync: true}, nil)
+		if err != nil {
+			return err
+		}
+		clock += restartNs + int64(st.Replayed)*replayNs
+		out.CheckpointSeq = st.CheckpointSeq
+		out.Replayed = st.Replayed
+		out.DiscardedBytes = st.DiscardedBytes
+		out.RecoverNs = st.ElapsedNs
+		// The transactional reconfiguration landed before the crash; it must
+		// have survived in full.
+		if _, _, err := p2.K.TableByName("route_tab"); err != nil {
+			return fmt.Errorf("recovery lost the bulk reconfiguration: %w", err)
+		}
+		if _, err := p2.K.Model(mid); err != nil {
+			return fmt.Errorf("recovery lost the serving model: %w", err)
+		}
+		var warmMisses int64
+		if err := serveRange(p2, keys, n/2, n, &clock, &warmMisses); err != nil {
+			return err
+		}
+		out.WarmJCT = float64(clock) / 1e9
+		out.WarmRelearns = warmMisses
+		return p2.WAL().Close()
+	})
+	if err != nil {
+		return out, err
+	}
+
+	// Cold: the same crash with no log — a fresh plane relearns everything.
+	err = withDir(func(dir string) error {
+		p, mid, err := newParamPlane(dir)
+		if err != nil {
+			return err
+		}
+		var clock, misses int64
+		if err := runFirstHalf(p, mid, keys, &clock, &misses); err != nil {
+			return err
+		}
+		if err := p.WAL().Close(); err != nil {
+			return err
+		}
+		return withDir(func(freshDir string) error {
+			p2, _, err := newParamPlane(freshDir)
+			if err != nil {
+				return err
+			}
+			clock += restartNs
+			var coldMisses int64
+			if err := serveRange(p2, keys, n/2, n, &clock, &coldMisses); err != nil {
+				return err
+			}
+			out.ColdJCT = float64(clock) / 1e9
+			out.ColdRelearns = coldMisses
+			return p2.WAL().Close()
+		})
+	})
+	return out, err
+}

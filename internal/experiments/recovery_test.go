@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestRecoveryDurability runs the crash-recovery experiment and checks the
+// acceptance shape: warm recovery (checkpoint + WAL replay after a torn
+// final write) holds JCT within 5% of the uninterrupted run, the cold
+// restart is much worse (it relearns the whole policy), the torn suffix is
+// detected and discarded, and the checkpoint actually carried part of the
+// restored state. Short mode shrinks the trace; the shape claims hold at
+// either size.
+func TestRecoveryDurability(t *testing.T) {
+	n := 4096
+	if testing.Short() {
+		n = 1024
+	}
+	r, err := Recovery(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r)
+	if r.WarmJCT > r.UninterruptedJCT*1.05 {
+		t.Errorf("warm JCT %.3fs exceeds 105%% of uninterrupted %.3fs — recovery lost learned state",
+			r.WarmJCT, r.UninterruptedJCT)
+	}
+	if r.ColdJCT < r.WarmJCT*1.25 {
+		t.Errorf("cold JCT %.3fs not measurably worse than warm %.3fs — workload too easy to relearn",
+			r.ColdJCT, r.WarmJCT)
+	}
+	if r.DiscardedBytes == 0 {
+		t.Error("torn final write was not detected: no bytes discarded")
+	}
+	if r.CheckpointSeq == 0 {
+		t.Error("warm recovery did not restore from a checkpoint")
+	}
+	if r.Replayed == 0 {
+		t.Error("warm recovery replayed no records past the checkpoint")
+	}
+	if r.WarmRelearns == 0 {
+		t.Error("torn write cost nothing to relearn — the tear missed the log tail")
+	}
+	if r.WarmRelearns > 4 {
+		t.Errorf("warm run relearned %d entries; a torn tail should cost about one", r.WarmRelearns)
+	}
+	if r.ColdRelearns < recoveryKeys/2 {
+		t.Errorf("cold run relearned only %d entries; expected most of the %d-key policy",
+			r.ColdRelearns, recoveryKeys)
+	}
+}

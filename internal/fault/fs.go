@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rmtk/internal/wal"
+)
+
+// Filesystem fault injection for the durable control plane (internal/wal):
+// manufactures the storage damage a crash or power loss leaves behind — a
+// torn final write, bit rot under a stale checksum, a truncated checkpoint,
+// a dropped fsync — so the recovery tests can prove that replay discards
+// exactly the corrupt suffix and nothing else. All corruption sites are
+// chosen deterministically (from a seed where there is a choice), matching
+// the package's reproducible-timeline discipline.
+
+// FSTornTail simulates a torn final write: the log loses `drop` bytes from
+// its end, cutting into (but not past) the final record's frame. drop <= 0
+// tears the final frame in half. Returns the number of bytes dropped.
+func FSTornTail(dir string, drop int64) (int64, error) {
+	sc, err := wal.Scan(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(sc.Records) == 0 {
+		return 0, fmt.Errorf("fault: no records to tear in %s", dir)
+	}
+	last := sc.Offsets[len(sc.Records)-1]
+	frame := sc.ValidBytes - last
+	if drop <= 0 {
+		drop = frame / 2
+	}
+	if drop >= frame {
+		drop = frame - 1 // never tear past the final frame's first byte
+	}
+	if drop < 1 {
+		drop = 1
+	}
+	if err := os.Truncate(wal.LogPath(dir), sc.ValidBytes-drop); err != nil {
+		return 0, err
+	}
+	return drop, nil
+}
+
+// FSFlipBit simulates bit rot: one seeded-deterministic bit inside one
+// record's frame is inverted, leaving the length header and file size
+// intact so only the checksum can catch it. Returns the byte offset
+// flipped.
+func FSFlipBit(dir string, seed int64) (int64, error) {
+	sc, err := wal.Scan(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(sc.Records) == 0 {
+		return 0, fmt.Errorf("fault: no records to corrupt in %s", dir)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	victim := rng.Intn(len(sc.Records))
+	start := sc.Offsets[victim]
+	end := sc.ValidBytes
+	if victim+1 < len(sc.Records) {
+		end = sc.Offsets[victim+1]
+	}
+	// Flip inside the payload (past the 8-byte frame header), so the CRC —
+	// not a length plausibility check — is what must catch it.
+	off := start + 8 + rng.Int63n(end-start-8)
+
+	f, err := os.OpenFile(wal.LogPath(dir), os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return 0, err
+	}
+	b[0] ^= 1 << uint(rng.Intn(8))
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+// FSTruncateCheckpoint simulates a checkpoint torn mid-write (or damaged at
+// rest): the newest checkpoint file loses the second half of its bytes.
+// Recovery must fall back to the previous checkpoint plus a longer log
+// suffix. Returns the sequence number of the damaged checkpoint.
+func FSTruncateCheckpoint(dir string) (uint64, error) {
+	seqs, err := wal.Checkpoints(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(seqs) == 0 {
+		return 0, fmt.Errorf("fault: no checkpoints to truncate in %s", dir)
+	}
+	seq := seqs[len(seqs)-1]
+	path := wal.CheckpointPath(dir, seq)
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.Truncate(path, st.Size()/2); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// FSDropSync simulates an fsync that never reached the platter: the last n
+// records vanish entirely at a clean frame boundary (the unsynced tail lost
+// at power failure). Returns how many records were actually dropped.
+func FSDropSync(dir string, n int) (int, error) {
+	sc, err := wal.Scan(dir)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 || len(sc.Records) == 0 {
+		return 0, nil
+	}
+	if n > len(sc.Records) {
+		n = len(sc.Records)
+	}
+	cut := sc.Offsets[len(sc.Records)-n]
+	if err := os.Truncate(wal.LogPath(dir), cut); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

@@ -9,13 +9,14 @@ import (
 )
 
 // CtrlErrorsAnalyzer enforces the control plane's error discipline: the
-// exported sentinels of internal/ctrl (package-level `Err...` variables)
-// exist so callers can branch with errors.Is, which only works when every
-// wrapping site uses the %w verb. Formatting a sentinel with %v or %s
-// flattens it into text and silently breaks that contract.
+// exported sentinels of internal/ctrl and internal/wal (package-level
+// `Err...` variables) exist so callers can branch with errors.Is, which
+// only works when every wrapping site uses the %w verb. Formatting a
+// sentinel with %v or %s flattens it into text and silently breaks that
+// contract.
 var CtrlErrorsAnalyzer = &Analyzer{
 	Name: "ctrlerrors",
-	Doc:  "require ctrl error sentinels to be wrapped with %w in fmt.Errorf",
+	Doc:  "require ctrl/wal error sentinels to be wrapped with %w in fmt.Errorf",
 	Run:  runCtrlErrors,
 }
 
@@ -72,7 +73,9 @@ func isFmtErrorf(pass *Pass, call *ast.CallExpr) bool {
 }
 
 // isCtrlSentinel reports whether expr denotes an exported package-level
-// `Err...` variable of error type defined in internal/ctrl.
+// `Err...` variable of error type defined in internal/ctrl or internal/wal
+// (the durable log's corruption sentinels carry recovery-path decisions and
+// must survive wrapping too).
 func isCtrlSentinel(pass *Pass, expr ast.Expr) bool {
 	var obj types.Object
 	switch e := expr.(type) {
@@ -87,7 +90,10 @@ func isCtrlSentinel(pass *Pass, expr ast.Expr) bool {
 	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
 		return false
 	}
-	if p := v.Pkg().Path(); p != "ctrl" && !strings.HasSuffix(p, "/ctrl") {
+	switch p := v.Pkg().Path(); {
+	case p == "ctrl" || strings.HasSuffix(p, "/ctrl"):
+	case p == "wal" || strings.HasSuffix(p, "/wal"):
+	default:
 		return false
 	}
 	// Package-level sentinels only; struct fields and locals don't count.

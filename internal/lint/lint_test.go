@@ -242,6 +242,28 @@ func f() error { return fmt.Errorf("context: %v", ErrLocal) }
 	wantDiags(t, analyze(t, "rmtk/internal/other", src))
 }
 
+func TestCtrlErrorsCoversWALSentinels(t *testing.T) {
+	// The durable log's corruption sentinels carry recovery-path decisions
+	// (discard vs fail); stringifying one breaks the errors.Is branch that
+	// decides whether a suffix is safely discardable.
+	const src = `package wal
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrCorruptRecord = errors.New("wal: corrupt record")
+
+func bad(off int64) error  { return fmt.Errorf("at %d: %v", off, ErrCorruptRecord) }
+func good(off int64) error { return fmt.Errorf("at %d: %w", off, ErrCorruptRecord) }
+`
+	diags := analyze(t, "rmtk/internal/wal", src)
+	wantDiags(t, diags,
+		"ctrlerrors: ctrl sentinel ErrCorruptRecord formatted with %v",
+	)
+}
+
 func TestCtrlErrorsHandlesWidthAndLiteralPercent(t *testing.T) {
 	// Star widths consume arguments of their own and %% consumes none;
 	// the verb/argument alignment must survive both.

@@ -36,6 +36,11 @@ type QMLP struct {
 // bytecode equivalence tests).
 func (q *QMLP) ActLimit() int64 { return q.actLimit }
 
+// SetActLimit restores the activation saturation bound on a deserialized
+// network (the bound is derived from QuantizeConfig.ActBits at quantization
+// time and must survive a persistence round trip for bit-exact inference).
+func (q *QMLP) SetActLimit(v int64) { q.actLimit = v }
+
 // QuantizeConfig controls MLP quantization.
 type QuantizeConfig struct {
 	// WeightBits is the signed width for weights. <=0 selects 16 (the

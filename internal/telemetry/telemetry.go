@@ -26,6 +26,18 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load reads the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is a point-in-time value (e.g. the control plane's last durable log
+// sequence number): Set replaces rather than accumulates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load reads the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // Histogram is a power-of-two bucketed latency/size histogram. Buckets are
 // [0,1), [1,2), [2,4), ... up to the last overflow bucket.
 type Histogram struct {
@@ -101,6 +113,7 @@ func (h *Histogram) Quantile(q float64) int64 {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	sources  []func() []string
 }
@@ -109,6 +122,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -123,6 +137,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns (creating on first use) the named histogram.
@@ -143,9 +169,12 @@ func (r *Registry) Histogram(name string) *Histogram {
 func (r *Registry) Snapshot() []string {
 	r.mu.Lock()
 	sources := r.sources
-	out := make([]string, 0, len(r.counters)+len(r.hists))
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for name, c := range r.counters {
 		out = append(out, fmt.Sprintf("%s %d", name, c.Load()))
+	}
+	for name, g := range r.gauges {
+		out = append(out, fmt.Sprintf("%s %d", name, g.Load()))
 	}
 	for name, h := range r.hists {
 		out = append(out, fmt.Sprintf("%s count=%d mean=%.1f p99<=%d", name, h.Count(), h.Mean(), h.Quantile(0.99)))

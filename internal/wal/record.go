@@ -1,0 +1,256 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Kind enumerates the typed control-plane mutations the log records. The
+// semantics of each kind — how it replays against a kernel — live in
+// internal/ctrl; this package only defines the durable schema.
+type Kind uint8
+
+const (
+	// KindCreateTable registers a match/action table (Table, Hook, Match).
+	KindCreateTable Kind = iota + 1
+	// KindAddEntry inserts Entry into table Table.
+	KindAddEntry
+	// KindRemoveEntry deletes Entry from table Table.
+	KindRemoveEntry
+	// KindUpdateAction replaces the action of exact-match Key in Table.
+	KindUpdateAction
+	// KindLoadProgram admits Program (verify → compile → register).
+	KindLoadProgram
+	// KindRegisterModel registers Model as a fresh inference model.
+	KindRegisterModel
+	// KindRegisterQMLP registers a quantized MLP: its layer matrices plus
+	// the whole network as a model (Model carries the "qmlp" codec).
+	KindRegisterQMLP
+	// KindPushModel swaps model ModelID for Model, keeping the displaced
+	// version in the rollback history.
+	KindPushModel
+	// KindRollbackModel restores model ModelID's most recent prior version
+	// from the rollback history.
+	KindRollbackModel
+	// KindRetarget atomically rewrites every ActionProgram entry in Table
+	// from program From to program To (canary promotion / rollback).
+	KindRetarget
+	// KindTxnCommit applies Sub in order as one atomic transaction; replay
+	// observes all of it or (via a later KindAbort) none of it.
+	KindTxnCommit
+	// KindAbort marks the record at sequence Ref as rolled back in memory
+	// after its append (a failed apply): replay must skip Ref.
+	KindAbort
+
+	kindEnd
+)
+
+var kindNames = [...]string{
+	KindCreateTable:   "create-table",
+	KindAddEntry:      "add-entry",
+	KindRemoveEntry:   "remove-entry",
+	KindUpdateAction:  "update-action",
+	KindLoadProgram:   "load-program",
+	KindRegisterModel: "register-model",
+	KindRegisterQMLP:  "register-qmlp",
+	KindPushModel:     "push-model",
+	KindRollbackModel: "rollback-model",
+	KindRetarget:      "retarget",
+	KindTxnCommit:     "txn-commit",
+	KindAbort:         "abort",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined record kind.
+func (k Kind) Valid() bool { return k >= KindCreateTable && k < kindEnd }
+
+// Action mirrors table.Action in durable form.
+type Action struct {
+	Kind    uint8 `json:"k"`
+	Param   int64 `json:"p,omitempty"`
+	ProgID  int64 `json:"pr,omitempty"`
+	ModelID int64 `json:"m,omitempty"`
+}
+
+// Entry mirrors table.Entry's match spec and action in durable form.
+type Entry struct {
+	Key       uint64 `json:"key"`
+	PrefixLen uint8  `json:"plen,omitempty"`
+	Lo        uint64 `json:"lo,omitempty"`
+	Hi        uint64 `json:"hi,omitempty"`
+	Mask      uint64 `json:"mask,omitempty"`
+	Priority  int32  `json:"prio,omitempty"`
+	Action    Action `json:"act"`
+}
+
+// Program is the durable form of an isa.Program admission unit: the wire
+// bytecode plus the declared resource references. Admission artifacts
+// (proofs, contracts, static cost) are never persisted — replay re-runs the
+// verifier, which regenerates them deterministically.
+type Program struct {
+	Name    string  `json:"name"`
+	Hook    string  `json:"hook,omitempty"`
+	Code    []byte  `json:"code"` // isa wire encoding (16 bytes/instruction)
+	Helpers []int64 `json:"helpers,omitempty"`
+	Models  []int64 `json:"models,omitempty"`
+	Mats    []int64 `json:"mats,omitempty"`
+	Tables  []int64 `json:"tables,omitempty"`
+	Vecs    []int64 `json:"vecs,omitempty"`
+	Tails   []int64 `json:"tails,omitempty"`
+}
+
+// Model is a codec-tagged model snapshot. Codec selects the decoder (e.g.
+// "qmlp", "tree", "svm"); Data is the codec's own JSON payload.
+type Model struct {
+	Codec string          `json:"codec"`
+	Data  json.RawMessage `json:"data"`
+}
+
+// Record is one logged control-plane mutation. Kind selects which fields
+// are meaningful; unused fields are omitted from the encoding.
+type Record struct {
+	// Seq is the record's position in the log, assigned by Append; replay
+	// applies records in ascending Seq order.
+	Seq uint64 `json:"seq"`
+	// Kind selects the mutation type.
+	Kind Kind `json:"kind"`
+
+	// Table names the target table (entry ops, create, retarget).
+	Table string `json:"table,omitempty"`
+	// Hook is the created table's hook point.
+	Hook string `json:"hook,omitempty"`
+	// Match is the created table's match discipline (table.MatchKind).
+	Match uint8 `json:"match,omitempty"`
+	// Entry is the row an entry op inserts or deletes.
+	Entry *Entry `json:"entry,omitempty"`
+	// Key addresses the exact-match row of a KindUpdateAction.
+	Key uint64 `json:"key,omitempty"`
+	// Action is KindUpdateAction's replacement action.
+	Action *Action `json:"action,omitempty"`
+	// Program is the admission unit of a KindLoadProgram.
+	Program *Program `json:"program,omitempty"`
+	// Model is the codec-encoded model of a register/push record.
+	Model *Model `json:"model,omitempty"`
+	// ModelID addresses the model slot of push/rollback records.
+	ModelID int64 `json:"model_id,omitempty"`
+	// From and To are KindRetarget's program ids.
+	From int64 `json:"from,omitempty"`
+	To   int64 `json:"to,omitempty"`
+	// Sub holds a transaction's staged records in commit order.
+	Sub []*Record `json:"sub,omitempty"`
+	// Ref is the sequence number a KindAbort cancels.
+	Ref uint64 `json:"ref,omitempty"`
+	// Bump records that the mutation advanced the plane version (committed
+	// reconfiguration: transaction commit, canary promotion or rollback),
+	// so replay restores the same version counter.
+	Bump bool `json:"bump,omitempty"`
+}
+
+// validate checks that the fields Kind requires are present, so neither a
+// caller bug nor fuzzed log bytes can produce a record replay would crash
+// on. Transaction sub-records are validated recursively and may not nest.
+func (r *Record) validate(sub bool) error {
+	if !r.Kind.Valid() {
+		return fmt.Errorf("invalid kind %d", r.Kind)
+	}
+	switch r.Kind {
+	case KindCreateTable:
+		if r.Table == "" {
+			return fmt.Errorf("create-table without a table name")
+		}
+	case KindAddEntry, KindRemoveEntry:
+		if r.Table == "" || r.Entry == nil {
+			return fmt.Errorf("%s without table/entry", r.Kind)
+		}
+	case KindUpdateAction:
+		if r.Table == "" || r.Action == nil {
+			return fmt.Errorf("update-action without table/action")
+		}
+	case KindLoadProgram:
+		if r.Program == nil || r.Program.Name == "" {
+			return fmt.Errorf("load-program without a program")
+		}
+	case KindRegisterModel, KindRegisterQMLP, KindPushModel:
+		if r.Model == nil || r.Model.Codec == "" {
+			return fmt.Errorf("%s without a model payload", r.Kind)
+		}
+	case KindTxnCommit:
+		if sub {
+			return fmt.Errorf("nested transaction record")
+		}
+		for _, s := range r.Sub {
+			if s == nil {
+				return fmt.Errorf("nil transaction sub-record")
+			}
+			if s.Kind == KindAbort {
+				return fmt.Errorf("abort inside a transaction record")
+			}
+			if err := s.validate(true); err != nil {
+				return err
+			}
+		}
+	case KindAbort:
+		if sub {
+			return fmt.Errorf("abort inside a transaction record")
+		}
+	}
+	return nil
+}
+
+// marshal encodes the record payload, rejecting malformed records up front
+// so a caller bug cannot write a record replay would choke on.
+func (r *Record) marshal() ([]byte, error) {
+	if err := r.validate(false); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+	}
+	return json.Marshal(r)
+}
+
+// unmarshalRecord decodes and validates one record payload.
+func unmarshalRecord(payload []byte) (*Record, error) {
+	var r Record
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return nil, err
+	}
+	if err := r.validate(false); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// String renders a one-line summary for log inspection.
+func (r *Record) String() string {
+	switch r.Kind {
+	case KindCreateTable:
+		return fmt.Sprintf("#%d create-table %q hook=%q match=%d", r.Seq, r.Table, r.Hook, r.Match)
+	case KindAddEntry, KindRemoveEntry:
+		return fmt.Sprintf("#%d %s table=%q key=%d", r.Seq, r.Kind, r.Table, r.Entry.Key)
+	case KindUpdateAction:
+		return fmt.Sprintf("#%d update-action table=%q key=%d", r.Seq, r.Table, r.Key)
+	case KindLoadProgram:
+		return fmt.Sprintf("#%d load-program %q hook=%q (%dB code)", r.Seq, r.Program.Name, r.Program.Hook, len(r.Program.Code))
+	case KindRegisterModel, KindRegisterQMLP, KindPushModel:
+		codec := "?"
+		if r.Model != nil {
+			codec = r.Model.Codec
+		}
+		return fmt.Sprintf("#%d %s model=%d codec=%s", r.Seq, r.Kind, r.ModelID, codec)
+	case KindRollbackModel:
+		return fmt.Sprintf("#%d rollback-model model=%d", r.Seq, r.ModelID)
+	case KindRetarget:
+		return fmt.Sprintf("#%d retarget table=%q %d->%d", r.Seq, r.Table, r.From, r.To)
+	case KindTxnCommit:
+		return fmt.Sprintf("#%d txn-commit (%d steps)", r.Seq, len(r.Sub))
+	case KindAbort:
+		return fmt.Sprintf("#%d abort ref=#%d", r.Seq, r.Ref)
+	default:
+		return fmt.Sprintf("#%d %s", r.Seq, r.Kind)
+	}
+}

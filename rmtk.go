@@ -36,6 +36,7 @@ import (
 	"rmtk/internal/isa"
 	"rmtk/internal/table"
 	"rmtk/internal/verifier"
+	"rmtk/internal/wal"
 )
 
 // Kernel is the in-kernel RMT virtual machine: registries for tables,
@@ -270,3 +271,37 @@ func NewProgramShadow(hook string, progID int64) *Shadow {
 // ErrBudgetExceeded classifies model pushes rejected by the verifier's
 // FLOP/memory cost gate (wrapped alongside the specific sentinel).
 var ErrBudgetExceeded = ctrl.ErrBudgetExceeded
+
+// Durable control plane (see DESIGN.md "Durability & recovery"): a
+// WAL-backed plane appends every committed mutation to a CRC-framed
+// write-ahead log before applying it, periodically folds the full plane
+// state into a checkpoint, and after a crash rebuilds kernel and plane from
+// the newest valid checkpoint plus the intact log suffix — a torn or
+// corrupted tail is detected by the framing and discarded, never replayed.
+
+// WALOptions configures the durable log (sync discipline, etc.).
+type WALOptions = wal.Options
+
+// RecoveryStats reports what a recovery restored, replayed and discarded.
+type RecoveryStats = ctrl.RecoveryStats
+
+// OpenDurableControlPlane opens a WAL-backed control plane over k rooted at
+// dir. The directory must be fresh (or empty): rebuilding from existing
+// state is RecoverControlPlane's job.
+func OpenDurableControlPlane(k *Kernel, dir string, opts WALOptions) (*ControlPlane, error) {
+	return ctrl.Open(k, dir, opts)
+}
+
+// RecoverControlPlane rebuilds a kernel and its control plane from a durable
+// state directory and reattaches the log for continued operation.
+func RecoverControlPlane(dir string, cfg Config, opts WALOptions) (*ControlPlane, RecoveryStats, error) {
+	return ctrl.Recover(dir, cfg, opts, nil)
+}
+
+// ErrRecoveryMismatch classifies recoveries whose replayed state failed an
+// integrity check; ErrNotReplayable classifies durable commits refused
+// because a staged operation has no log form.
+var (
+	ErrRecoveryMismatch = ctrl.ErrRecoveryMismatch
+	ErrNotReplayable    = ctrl.ErrNotReplayable
+)
