@@ -1,0 +1,85 @@
+// Replication benchmark suite: the fleet measurements the CI perf gate
+// tracks alongside the hot-path and durability numbers. BenchmarkLogShip is
+// the per-mutation cost of a replicated config change — leader append plus
+// one shipping round to both followers of a three-node fleet (NoSync, so it
+// measures framing, shipping and replay, not fsync). BenchmarkFailover is
+// the full controller-loss cycle: kill the leader, elect the most
+// caught-up follower into a new epoch, restart the deposed leader and
+// converge the fleet. ns/op is per shipped mutation / per failover cycle.
+package rmtk_test
+
+import (
+	"testing"
+
+	"rmtk/internal/cluster"
+	"rmtk/internal/ctrl"
+	"rmtk/internal/table"
+	"rmtk/internal/wal"
+)
+
+// benchFleet provisions a three-node fleet with a served table on a clean
+// network, replicated to all followers before the timer starts.
+func benchFleet(b *testing.B) *cluster.Cluster {
+	b.Helper()
+	c, err := cluster.New(cluster.Options{
+		Nodes: 3, Dir: b.TempDir(), Seed: 1,
+		WAL: wal.Options{NoSync: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	err = c.Propose(func(p *ctrl.Plane) error {
+		_, _, cerr := p.CreateTable("bench_tab", "hook/bench", table.MatchExact)
+		return cerr
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.TickN(8)
+	return c
+}
+
+func BenchmarkLogShip(b *testing.B) {
+	c := benchFleet(b)
+	b.ResetTimer()
+	// Bounded key space, as in BenchmarkWALAppend: each mutation overwrites
+	// one of 256 rows so ns/op tracks the logging + shipping path.
+	for i := 0; i < b.N; i++ {
+		err := c.Propose(func(p *ctrl.Plane) error {
+			return p.AddEntry("bench_tab", &table.Entry{
+				Key:    uint64(i % 256),
+				Action: table.Action{Kind: table.ActionParam, Param: int64(i)},
+			})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Tick() // one shipping round: both followers replay the record
+	}
+}
+
+func BenchmarkFailover(b *testing.B) {
+	c := benchFleet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, _ := c.Leader()
+		if id < 0 {
+			b.Fatal("no leader")
+		}
+		c.Kill(id)
+		// Election timeout, vote, promotion of the most caught-up follower.
+		for {
+			c.Tick()
+			if nl, _ := c.Leader(); nl >= 0 && nl != id {
+				break
+			}
+		}
+		if err := c.Restart(id); err != nil {
+			b.Fatal(err)
+		}
+		for !c.Converged() {
+			c.Tick()
+		}
+	}
+}

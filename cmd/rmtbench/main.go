@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rmtbench [-exp table1|table2|adapt|io|net|dp|chaos|canary|shardscale|recovery|all] [-seed N] [-mode jit|interp] [-short]
+//	rmtbench [-exp table1|table2|adapt|io|net|dp|chaos|canary|shardscale|recovery|fleet|all] [-seed N] [-mode jit|interp] [-short]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, chaos, canary, shardscale, recovery, all")
+		exp   = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, chaos, canary, shardscale, recovery, fleet, all")
 		seed  = flag.Int64("seed", 1, "workload seed")
 		mode  = flag.String("mode", "jit", "RMT execution mode: jit or interp")
 		short = flag.Bool("short", false, "shrink workloads where the experiment supports it")
@@ -137,6 +137,21 @@ func main() {
 		for _, l := range lines {
 			fmt.Println(l)
 		}
+		fmt.Println()
+		return nil
+	})
+
+	run("fleet", func() error {
+		fmt.Println("== Experiment L: replicated control plane, leader kill mid-rollout ==")
+		n := 0
+		if *short {
+			n = 1200
+		}
+		res, err := experiments.Fleet(*seed, n)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
 		fmt.Println()
 		return nil
 	})

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"rmtk/internal/core"
+	"rmtk/internal/ctrl"
+	"rmtk/internal/table"
+	"rmtk/internal/wal"
+)
+
+// TestFleetChaosRolloutLeaderKill: the leader is killed in the middle of
+// a staged rollout and restarted later; the rollout rides the failover
+// (retries land on the new leader), still promotes, and the fleet — old
+// leader included — converges on identical logs with zero divergence.
+func TestFleetChaosRolloutLeaderKill(t *testing.T) {
+	c, spec := rolloutRig(t, 5, 21, false)
+	spec.PhaseTicks = 512
+	spec.CommitTicks = 512
+
+	killAt, restartAt, ticks := 12, 160, 0
+	spec.OnTick = func(c *Cluster) {
+		ticks++
+		if ticks == killAt {
+			id, _ := c.Leader()
+			if id >= 0 {
+				c.Kill(id)
+			}
+		}
+		if ticks == restartAt {
+			for id := 0; id < c.Nodes(); id++ {
+				if !c.Alive(id) {
+					if err := c.Restart(id); err != nil {
+						t.Errorf("restart %d: %v", id, err)
+					}
+				}
+			}
+		}
+		for id := 0; id < c.Nodes(); id++ {
+			c.Fire(id, spec.Hook, int64(id), 0, 0)
+		}
+		c.Tick()
+	}
+
+	rep, err := c.Rollout(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.State != RolloutPromoted {
+		t.Fatalf("state = %v (%s) after leader kill", rep.State, rep.Reason)
+	}
+	if rep.Failovers == 0 {
+		t.Fatalf("report = %+v, expected a failover mid-rollout", rep)
+	}
+	// Drain and verify total convergence: every node up, one epoch, equal
+	// digests, byte-identical logs.
+	for id := 0; id < c.Nodes(); id++ {
+		if !c.Alive(id) {
+			if err := c.Restart(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	requireConverged(t, c, 600)
+	requireRoutes(t, c, spec.Table, spec.Candidate)
+	var dirs []string
+	for id := 0; id < c.Nodes(); id++ {
+		dirs = append(dirs, c.Node(id).Dir())
+	}
+	if err := CompareLogs(dirs); err != nil {
+		t.Fatalf("log divergence after chaos: %v", err)
+	}
+}
+
+// TestFleetChaosPartitionsAndLoss: rolling partitions, message loss, and
+// a lagging link all at once; after the weather clears the fleet converges
+// with byte-identical logs.
+func TestFleetChaosPartitionsAndLoss(t *testing.T) {
+	c, net := fleet(t, 5, 22)
+	proposeProgram(t, c, "routes", "net/rx", 7, 1)
+	net.SetLinkDelay(0, 4, 3) // node 4 lags the leader
+	net.SetDropAll(0.15)
+
+	phase := func(groupsA, groupsB []int, writes int, base uint64) {
+		net.SetPartition(groupsA, groupsB)
+		for w := 0; w < writes; w++ {
+			key := base + uint64(w)
+			_ = c.ProposeRetry(func(p *ctrl.Plane) error {
+				return p.AddEntry("routes", &table.Entry{
+					Key:    key,
+					Action: table.Action{Kind: table.ActionParam, Param: int64(key)},
+				})
+			}, 256)
+			c.TickN(3)
+		}
+	}
+	phase([]int{0, 1, 2}, []int{3, 4}, 4, 100)
+	phase([]int{0, 3, 4}, []int{1, 2}, 4, 200) // may force a failover
+	net.Heal()
+	net.SetDropAll(0)
+	requireConverged(t, c, 1000)
+
+	var dirs []string
+	for id := 0; id < c.Nodes(); id++ {
+		dirs = append(dirs, c.Node(id).Dir())
+	}
+	if err := CompareLogs(dirs); err != nil {
+		t.Fatalf("log divergence after partitions: %v", err)
+	}
+	if sends, drops := net.Stats(); sends == 0 || drops == 0 {
+		t.Fatalf("net stats sends=%d drops=%d, chaos did not bite", sends, drops)
+	}
+}
+
+// TestFleetParallelShippingRace exercises the concurrency surface under
+// -race: one goroutine drives the fleet (shipping + a leader kill that
+// forces follower promotion), another proposes writes, a third runs
+// ctrl.Recover against a fresh empty directory — the catch-up machinery
+// shared with resync. Afterwards all 8 nodes must agree on epoch and
+// config digest.
+func TestFleetParallelShippingRace(t *testing.T) {
+	c, _ := fleet(t, 8, 23)
+	proposeProgram(t, c, "routes", "net/rx", 7, 1)
+	requireConverged(t, c, 100)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // driver: ticks, then a mid-run leader kill + restart
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			if i == 120 {
+				if id, _ := c.Leader(); id >= 0 {
+					c.Kill(id)
+				}
+			}
+			if i == 280 {
+				for id := 0; id < c.Nodes(); id++ {
+					if !c.Alive(id) {
+						_ = c.Restart(id)
+					}
+				}
+			}
+			c.Tick()
+		}
+		close(stop)
+	}()
+
+	wg.Add(1)
+	go func() { // writer: proposes ride through the failover
+		defer wg.Done()
+		key := uint64(500)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = c.Propose(func(p *ctrl.Plane) error {
+				key++
+				return p.AddEntry("routes", &table.Entry{
+					Key:    key,
+					Action: table.Action{Kind: table.ActionParam, Param: 1},
+				})
+			})
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // fresh-directory recovery in parallel with shipping
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			dir := t.TempDir()
+			p, _, err := ctrl.Recover(dir, core.Config{}, wal.Options{NoSync: true}, nil)
+			if err != nil {
+				t.Errorf("recover on empty dir: %v", err)
+				return
+			}
+			if p.WAL() != nil {
+				_ = p.WAL().Close()
+			}
+		}
+	}()
+
+	wg.Wait()
+	requireConverged(t, c, 1000)
+
+	sts := c.Status()
+	for _, st := range sts[1:] {
+		if st.Epoch != sts[0].Epoch || st.Digest != sts[0].Digest {
+			t.Fatalf("divergence across 8 nodes:\n  %s\n  %s", sts[0], st)
+		}
+	}
+}

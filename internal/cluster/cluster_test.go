@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"rmtk/internal/ctrl"
+	"rmtk/internal/fault"
+	"rmtk/internal/isa"
+	"rmtk/internal/table"
+	"rmtk/internal/wal"
+)
+
+// fleet builds an n-node cluster on a fault-injectable network, both
+// returned for direct manipulation.
+func fleet(t *testing.T, n int, seed int64) (*Cluster, *fault.Network) {
+	t.Helper()
+	net := fault.NewNetwork(seed)
+	c, err := New(Options{Nodes: n, Dir: t.TempDir(), Seed: seed, Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, net
+}
+
+// proposeProgram loads a one-verdict program plus a MatchExact route for
+// key through the leader, returning the program id.
+func proposeProgram(t *testing.T, c *Cluster, tab, hook string, key uint64, verdict int64) int64 {
+	t.Helper()
+	var prog int64
+	err := c.Propose(func(p *ctrl.Plane) error {
+		id, _, err := p.LoadProgram(&isa.Program{
+			Name:  "fixed",
+			Insns: isa.MustAssemble("movimm r0, 1\nexit"),
+		})
+		if err != nil {
+			return err
+		}
+		prog = id
+		if _, _, err := p.CreateTable(tab, hook, table.MatchExact); err != nil {
+			return err
+		}
+		return p.AddEntry(tab, &table.Entry{
+			Key:    key,
+			Action: table.Action{Kind: table.ActionProgram, ProgID: prog},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = verdict
+	return prog
+}
+
+func requireConverged(t *testing.T, c *Cluster, ticks int) {
+	t.Helper()
+	for i := 0; i < ticks; i++ {
+		if c.Converged() {
+			return
+		}
+		c.Tick()
+	}
+	for _, st := range c.Status() {
+		t.Logf("%s", st)
+	}
+	t.Fatalf("fleet not converged after %d ticks", ticks)
+}
+
+// TestFleetReplication: config committed on the leader ships to every
+// follower and produces identical digests and a live datapath there.
+func TestFleetReplication(t *testing.T) {
+	c, _ := fleet(t, 3, 1)
+	proposeProgram(t, c, "routes", "net/rx", 7, 1)
+	requireConverged(t, c, 50)
+
+	for id := 0; id < 3; id++ {
+		res, ok := c.Fire(id, "net/rx", 7, 0, 0)
+		if !ok || res.Matched == 0 || res.Verdict != 1 {
+			t.Fatalf("node %d: fire = %+v ok=%v", id, res, ok)
+		}
+	}
+	sts := c.Status()
+	if sts[1].LastSeq == 0 || sts[1].Digest != sts[0].Digest {
+		t.Fatalf("follower did not replicate: %+v vs %+v", sts[1], sts[0])
+	}
+	if m := c.Metrics(); m.Shipped == 0 {
+		t.Fatalf("metrics = %+v, expected shipped records", m)
+	}
+}
+
+// TestFleetLeaderFailover: killing the leader elects the most-caught-up
+// follower into a higher epoch; the old leader rejoins as a follower and
+// catches back up, including records committed while it was down.
+func TestFleetLeaderFailover(t *testing.T) {
+	c, _ := fleet(t, 3, 2)
+	proposeProgram(t, c, "routes", "net/rx", 7, 1)
+	requireConverged(t, c, 50)
+
+	c.Kill(0)
+	for i := 0; i < 200; i++ {
+		if id, _ := c.Leader(); id >= 0 {
+			break
+		}
+		c.Tick()
+	}
+	id, epoch := c.Leader()
+	if id <= 0 {
+		t.Fatalf("no new leader elected (leader=%d)", id)
+	}
+	if epoch < 2 {
+		t.Fatalf("failover kept epoch %d", epoch)
+	}
+
+	// Commit while the old leader is down, then bring it back.
+	if err := c.Propose(func(p *ctrl.Plane) error {
+		return p.AddEntry("routes", &table.Entry{
+			Key:    8,
+			Action: table.Action{Kind: table.ActionParam, Param: 1},
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	requireConverged(t, c, 300)
+
+	if c.Node(0).Role() == RoleLeader {
+		t.Fatal("deposed leader still thinks it leads")
+	}
+	if m := c.Metrics(); m.Failovers == 0 || m.Elections == 0 {
+		t.Fatalf("metrics = %+v, expected a failover", m)
+	}
+	res, ok := c.Fire(0, "net/rx", 8, 0, 0)
+	if !ok || res.Matched == 0 {
+		t.Fatalf("rejoined node missing catch-up entry: %+v", res)
+	}
+}
+
+// TestFleetPartitionDegrade: a leader cut off from quorum degrades to
+// read-only and refuses writes with ErrPartitioned, while the majority
+// side elects a fresh leader; healing reunifies the fleet under one epoch.
+func TestFleetPartitionDegrade(t *testing.T) {
+	c, net := fleet(t, 3, 3)
+	proposeProgram(t, c, "routes", "net/rx", 7, 1)
+	requireConverged(t, c, 50)
+
+	net.SetPartition([]int{0}, []int{1, 2})
+	for i := 0; i < 300; i++ {
+		if c.Node(0).Role() == RoleDegraded {
+			if id, _ := c.Leader(); id > 0 {
+				break
+			}
+		}
+		c.Tick()
+	}
+	if got := c.Node(0).Role(); got != RoleDegraded {
+		t.Fatalf("minority leader role = %v, want degraded", got)
+	}
+	if err := c.ProposeAt(0, func(p *ctrl.Plane) error { return nil }); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("degraded write err = %v, want ErrPartitioned", err)
+	}
+	// Degraded nodes still serve last-known-good state read-only.
+	if res, ok := c.Fire(0, "net/rx", 7, 0, 0); !ok || res.Verdict != 1 {
+		t.Fatalf("degraded read = %+v ok=%v", res, ok)
+	}
+	id, epoch := c.Leader()
+	if id == 0 || id < 0 || epoch < 2 {
+		t.Fatalf("majority side has leader=%d epoch=%d", id, epoch)
+	}
+
+	net.Heal()
+	requireConverged(t, c, 400)
+	if ep := c.Node(0).Epoch(); ep != epoch {
+		t.Fatalf("healed node stuck at epoch %d, fleet at %d", ep, epoch)
+	}
+	if m := c.Metrics(); m.Degrades == 0 {
+		t.Fatalf("metrics = %+v, expected a degradation", m)
+	}
+}
+
+// TestFleetSentinels: every refusal path wraps its exported sentinel so
+// callers can branch with errors.Is.
+func TestFleetSentinels(t *testing.T) {
+	c, _ := fleet(t, 3, 4)
+	c.TickN(3)
+
+	if err := c.ProposeAt(1, func(p *ctrl.Plane) error { return nil }); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("follower write err = %v, want ErrNotLeader", err)
+	}
+	if err := c.ProposeFenced(99, func(p *ctrl.Plane) error { return nil }); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("fenced write err = %v, want ErrStaleEpoch", err)
+	}
+	c.Kill(0)
+	c.Kill(1)
+	c.Kill(2)
+	if err := c.Propose(func(p *ctrl.Plane) error { return nil }); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("dead-fleet write err = %v, want ErrNotLeader", err)
+	}
+}
+
+// TestCompareLogsDivergence: byte-level cross-checking of replica logs
+// reports forked history via ErrDivergedLog.
+func TestCompareLogsDivergence(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	for i, dir := range []string{dirA, dirB} {
+		l, err := wal.Open(dir, wal.Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &wal.Record{Kind: wal.KindCreateTable, Table: "t", Hook: "h", Epoch: uint64(i + 1)}
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+	}
+	err := CompareLogs([]string{dirA, dirB})
+	if !errors.Is(err, ErrDivergedLog) {
+		t.Fatalf("err = %v, want ErrDivergedLog", err)
+	}
+	if err := CompareLogs([]string{dirA, dirA}); err != nil {
+		t.Fatalf("self-compare: %v", err)
+	}
+}
+
+// TestFleetResync: a follower that falls behind a compacted log catches
+// up through a full resync (checkpoint + suffix, rebuilt via
+// ctrl.Recover) instead of wedging.
+func TestFleetResync(t *testing.T) {
+	c, net := fleet(t, 3, 5)
+	proposeProgram(t, c, "routes", "net/rx", 7, 1)
+	requireConverged(t, c, 50)
+
+	// Isolate follower 2, then advance and compact the leader's log past
+	// the follower's position.
+	net.SetPartition([]int{0, 1}, []int{2})
+	for k := uint64(100); k < 120; k++ {
+		if err := c.Propose(func(p *ctrl.Plane) error {
+			return p.AddEntry("routes", &table.Entry{
+				Key:    k,
+				Action: table.Action{Kind: table.ActionParam, Param: 1},
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c.Tick()
+	}
+	if err := c.Propose(func(p *ctrl.Plane) error {
+		seq, err := p.Checkpoint()
+		if err != nil {
+			return err
+		}
+		return p.WAL().Compact(seq)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	net.Heal()
+	requireConverged(t, c, 500)
+	if m := c.Metrics(); m.Resyncs == 0 {
+		t.Fatalf("metrics = %+v, expected a resync", m)
+	}
+	if res, ok := c.Fire(2, "net/rx", 110, 0, 0); !ok || res.Matched == 0 {
+		t.Fatalf("resynced node missing entries: %+v", res)
+	}
+}
+
+// TestFleetRetryBackoff: a lossy network forces shipping retries with
+// exponential backoff, yet the fleet still converges deterministically.
+func TestFleetRetryBackoff(t *testing.T) {
+	c, net := fleet(t, 3, 6)
+	net.SetDropAll(0.4)
+	proposeProgram(t, c, "routes", "net/rx", 7, 1)
+	c.TickN(60)       // ship under loss: drops, timeouts, backoff
+	net.SetDropAll(0) // let the tail drain deterministically
+	requireConverged(t, c, 500)
+	if m := c.Metrics(); m.Retries == 0 {
+		t.Fatalf("metrics = %+v, expected retries under loss", m)
+	}
+}
+
+// TestFleetDeterminism: identical seeds replay the identical timeline.
+func TestFleetDeterminism(t *testing.T) {
+	run := func() []NodeStatus {
+		net := fault.NewNetwork(42)
+		c, err := New(Options{Nodes: 5, Dir: t.TempDir(), Seed: 42, Net: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		net.SetDropAll(0.2)
+		proposeProgram(t, c, "routes", "net/rx", 7, 1)
+		c.TickN(40)
+		c.Kill(0)
+		c.TickN(120)
+		net.SetDropAll(0)
+		if err := c.Restart(0); err != nil {
+			t.Fatal(err)
+		}
+		c.TickN(240)
+		return c.Status()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Epoch != b[i].Epoch || a[i].LastSeq != b[i].LastSeq || a[i].Digest != b[i].Digest || a[i].Role != b[i].Role {
+			t.Fatalf("run diverged at node %d:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+}

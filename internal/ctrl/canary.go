@@ -38,6 +38,10 @@ const (
 	// CanaryRolledBack: the candidate regressed during probation and the
 	// prior version was restored.
 	CanaryRolledBack
+	// CanaryReleased: a gate-only canary (StageProgramGate) was released by
+	// its controller; the shadow is detached and no verdict was rendered
+	// here — the fleet controller owns the commit decision.
+	CanaryReleased
 )
 
 // String names the state.
@@ -53,6 +57,8 @@ func (s CanaryState) String() string {
 		return "rejected"
 	case CanaryRolledBack:
 		return "rolled-back"
+	case CanaryReleased:
+		return "released"
 	default:
 		return fmt.Sprintf("canarystate(%d)", int(s))
 	}
@@ -60,7 +66,8 @@ func (s CanaryState) String() string {
 
 // Terminal reports whether the state is final.
 func (s CanaryState) Terminal() bool {
-	return s == CanaryPromoted || s == CanaryRejected || s == CanaryRolledBack
+	return s == CanaryPromoted || s == CanaryRejected || s == CanaryRolledBack ||
+		s == CanaryReleased
 }
 
 // CanaryConfig parameterizes the rollout gates. The zero value is the
@@ -119,6 +126,11 @@ type Canary struct {
 	p    *Plane
 	cfg  CanaryConfig
 	hook string
+
+	// gateOnly canaries (StageProgramGate) evaluate gates but never promote
+	// or roll back — a fleet controller reads the verdict and owns the
+	// replicated commit.
+	gateOnly bool
 
 	sh       *core.Shadow
 	promote  func() error
@@ -229,6 +241,56 @@ func (p *Plane) PushProgramCanary(hook, tableName string, incID, candID int64, c
 	return c, nil
 }
 
+// StageProgramGate attaches candidate program candID in shadow on hook and
+// returns a gate-only canary: EvalGates renders the verdict, but promotion
+// and rollback never happen here — a fleet rollout controller
+// (internal/cluster) reads the per-node verdicts and commits the retarget
+// through the replicated log, so every node's state change flows through
+// the same shipped records. Static-cost ceilings reject at staging exactly
+// as PushProgramCanary does; Release detaches the shadow when the
+// controller is done.
+func (p *Plane) StageProgramGate(hook string, candID int64, cfg CanaryConfig) (*Canary, error) {
+	if _, err := p.K.Program(candID); err != nil {
+		return nil, err
+	}
+	if cfg.MaxStaticSteps > 0 || cfg.MaxStaticOps > 0 {
+		rep, err := p.K.ProgramReport(candID)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.MaxStaticSteps > 0 && rep.MaxSteps > cfg.MaxStaticSteps {
+			return nil, fmt.Errorf("%w: program %d: %d steps > %d",
+				ErrStaticCost, candID, rep.MaxSteps, cfg.MaxStaticSteps)
+		}
+		if cfg.MaxStaticOps > 0 && rep.MLOps > cfg.MaxStaticOps {
+			return nil, fmt.Errorf("%w: program %d: %d ML ops > %d",
+				ErrStaticCost, candID, rep.MLOps, cfg.MaxStaticOps)
+		}
+	}
+	sh := core.NewProgramShadow(hook, candID)
+	if err := p.K.AttachShadow(sh); err != nil {
+		return nil, err
+	}
+	c := &Canary{p: p, cfg: cfg.withDefaults(), hook: hook, sh: sh, gateOnly: true}
+	p.K.Metrics.Counter("ctrl.canary_staged").Inc()
+	return c, nil
+}
+
+// Release detaches the shadow of a still-shadowing canary without
+// rendering a verdict — the terminal transition of a gate-only canary once
+// its controller has read EvalGates. Terminal canaries are left alone.
+func (c *Canary) Release() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state.Terminal() {
+		return
+	}
+	if c.state == CanaryShadowing {
+		c.p.K.DetachShadow(c.hook)
+	}
+	c.state = CanaryReleased
+}
+
 // Shadow returns the attached shadow (datapaths hang their labeling
 // callback off it).
 func (c *Canary) Shadow() *core.Shadow { return c.sh }
@@ -307,31 +369,60 @@ func (c *Canary) Advance() CanaryState {
 	return c.state
 }
 
-func (c *Canary) advanceShadowing() {
+// evalGatesLocked evaluates the shadow gates against current statistics
+// without transitioning any state: pending means not enough evidence has
+// accumulated yet; otherwise pass says whether every gate cleared, and
+// reason explains the first failure. Caller holds c.mu.
+func (c *Canary) evalGatesLocked() (pass, pending bool, reason error) {
 	rep := c.sh.Report()
 	if rep.Fires < c.cfg.MinShadowFires {
-		return
+		return false, true, nil
 	}
 	if frac := rep.TrapFrac(); frac > c.cfg.MaxTrapFrac {
-		c.reject(fmt.Errorf("ctrl: canary trap rate %.3f > %.3f over %d shadow fires",
-			frac, c.cfg.MaxTrapFrac, rep.Fires))
-		return
+		return false, false, fmt.Errorf("ctrl: canary trap rate %.3f > %.3f over %d shadow fires",
+			frac, c.cfg.MaxTrapFrac, rep.Fires)
 	}
 	if frac := rep.DivergenceFrac(); frac > c.cfg.MaxDivergenceFrac {
-		c.reject(fmt.Errorf("ctrl: canary divergence %.3f > %.3f over %d shadow fires",
-			frac, c.cfg.MaxDivergenceFrac, rep.Fires))
-		return
+		return false, false, fmt.Errorf("ctrl: canary divergence %.3f > %.3f over %d shadow fires",
+			frac, c.cfg.MaxDivergenceFrac, rep.Fires)
 	}
 	if c.cfg.MinShadowAccuracy > 0 {
 		if c.shadowTotal < c.cfg.MinShadowOutcomes {
-			return // keep shadowing until enough labels accumulate
+			return false, true, nil // keep shadowing until enough labels accumulate
 		}
 		acc := float64(c.shadowHits) / float64(c.shadowTotal)
 		if acc < c.cfg.MinShadowAccuracy {
-			c.reject(fmt.Errorf("ctrl: canary shadow accuracy %.3f < %.3f over %d labeled outcomes",
-				acc, c.cfg.MinShadowAccuracy, c.shadowTotal))
-			return
+			return false, false, fmt.Errorf("ctrl: canary shadow accuracy %.3f < %.3f over %d labeled outcomes",
+				acc, c.cfg.MinShadowAccuracy, c.shadowTotal)
 		}
+	}
+	return true, false, nil
+}
+
+// EvalGates evaluates the shadow gates without performing any lifecycle
+// transition — the read-only verdict a fleet rollout controller polls on a
+// gate-only canary. pending means more shadow evidence is needed; a
+// non-nil reason explains a failed gate.
+func (c *Canary) EvalGates() (pass, pending bool, reason error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != CanaryShadowing {
+		return false, false, fmt.Errorf("ctrl: canary is %s, not shadowing", c.state)
+	}
+	return c.evalGatesLocked()
+}
+
+func (c *Canary) advanceShadowing() {
+	if c.gateOnly {
+		return // the fleet controller polls EvalGates and owns transitions
+	}
+	pass, pending, reason := c.evalGatesLocked()
+	if pending {
+		return
+	}
+	if !pass {
+		c.reject(reason)
+		return
 	}
 	// Gates cleared: go live.
 	c.p.K.DetachShadow(c.hook)

@@ -66,6 +66,18 @@ type Plane struct {
 	wal        *wal.Log
 	walMu      sync.Mutex
 	crashAfter func(wal.Kind) bool
+
+	// Replication state (replica.go). recordEpoch stamps every appended
+	// record with the leader epoch it was logged under; replicaMu serializes
+	// ApplyReplicated; replaying suppresses re-logging while a shipped
+	// record replays through the regular mutator paths.
+	recordEpoch atomic.Uint64
+	replicaMu   sync.Mutex
+	replaying   atomic.Bool
+	// pendingAbort (guarded by replicaMu) is the sequence of a shipped
+	// record that failed to apply locally and awaits the leader's
+	// compensating abort record.
+	pendingAbort uint64
 }
 
 // New creates a control plane for k.

@@ -82,13 +82,15 @@ func (p *Plane) Durable() bool { return p.wal != nil }
 // replay skips the mutation (append-then-fail is the one case where the log
 // runs ahead of memory). With no log attached this is just apply().
 func (p *Plane) logApply(rec *wal.Record, apply func() error) error {
-	if p.wal == nil {
+	l := p.logTarget()
+	if l == nil {
 		return apply()
 	}
 	crash := p.crashAfter
 	p.walMu.Lock()
 	defer p.walMu.Unlock()
-	seq, err := p.wal.Append(rec)
+	p.stampEpoch(rec)
+	seq, err := l.Append(rec)
 	if err != nil {
 		return fmt.Errorf("ctrl: wal append: %w", err)
 	}
@@ -96,7 +98,9 @@ func (p *Plane) logApply(rec *wal.Record, apply func() error) error {
 		return errSimulatedCrash
 	}
 	if err := apply(); err != nil {
-		if _, aerr := p.wal.Append(&wal.Record{Kind: wal.KindAbort, Ref: seq}); aerr != nil {
+		abort := &wal.Record{Kind: wal.KindAbort, Ref: seq}
+		p.stampEpoch(abort)
+		if _, aerr := l.Append(abort); aerr != nil {
 			err = errors.Join(err, fmt.Errorf("ctrl: wal abort append: %w", aerr))
 		}
 		return err
@@ -212,6 +216,8 @@ func (p *Plane) applyRecord(rec *wal.Record) error {
 		return t.Commit()
 	case wal.KindAbort:
 		return nil // handled by the pre-scan in Recover
+	case wal.KindEpoch:
+		return nil // leadership marker: no state, bytes only
 	default:
 		return fmt.Errorf("%w: unknown record kind %d", wal.ErrCorruptRecord, rec.Kind)
 	}

@@ -242,7 +242,7 @@ func (t *Txn) Commit() error {
 		p.K.Metrics.Counter("ctrl.txn_conflicts").Inc()
 		return fmt.Errorf("%w: began at version %d, now %d", ErrTxnConflict, t.base, v)
 	}
-	if p.wal != nil {
+	if l := p.logTarget(); l != nil {
 		subs := make([]*wal.Record, 0, len(t.steps))
 		for i, step := range t.steps {
 			if step.rec == nil {
@@ -257,7 +257,8 @@ func (t *Txn) Commit() error {
 		rec := &wal.Record{Kind: wal.KindTxnCommit, Sub: subs, Bump: true}
 		p.walMu.Lock()
 		defer p.walMu.Unlock()
-		seq, err := p.wal.Append(rec)
+		p.stampEpoch(rec)
+		seq, err := l.Append(rec)
 		if err != nil {
 			return fmt.Errorf("ctrl: wal append: %w", err)
 		}
@@ -265,7 +266,9 @@ func (t *Txn) Commit() error {
 			return errSimulatedCrash
 		}
 		if err := t.applySteps(); err != nil {
-			if _, aerr := p.wal.Append(&wal.Record{Kind: wal.KindAbort, Ref: seq}); aerr != nil {
+			abort := &wal.Record{Kind: wal.KindAbort, Ref: seq}
+			p.stampEpoch(abort)
+			if _, aerr := l.Append(abort); aerr != nil {
 				err = errors.Join(err, fmt.Errorf("ctrl: wal abort append: %w", aerr))
 			}
 			return err

@@ -257,3 +257,32 @@ func TestCanaryRollback(t *testing.T) {
 		t.Errorf("clean canaried accuracy %.2f%% — promoted models are not improving the policy", r.CleanAccuracy)
 	}
 }
+
+// TestFleetConvergence: the fleet chaos experiment's contract — the
+// rollout promotes despite a leader kill mid-way, every node converges on
+// the same epoch with byte-identical logs (zero divergence), and the
+// chaos run's JCT stays within 5% of the uninterrupted one.
+func TestFleetConvergence(t *testing.T) {
+	ticks := 2000
+	if testing.Short() {
+		ticks = 1200
+	}
+	res, err := Fleet(1, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.CleanState != "promoted" || res.ChaosState != "promoted" {
+		t.Fatalf("rollout states clean=%s chaos=%s, want both promoted", res.CleanState, res.ChaosState)
+	}
+	if res.Failovers == 0 {
+		t.Fatal("chaos run saw no failover — the kill missed the rollout window")
+	}
+	if res.Diverged {
+		t.Fatal("replica logs or epochs diverged after chaos")
+	}
+	if ratio := res.ChaosJCT / res.CleanJCT; ratio > 1.05 {
+		t.Fatalf("chaos JCT %.3fs is %.2fx clean %.3fs, budget 1.05x",
+			res.ChaosJCT, ratio, res.CleanJCT)
+	}
+}

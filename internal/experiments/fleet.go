@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"rmtk/internal/cluster"
+	"rmtk/internal/ctrl"
+	"rmtk/internal/fault"
+	"rmtk/internal/isa"
+)
+
+// Fleet is the replicated-control-plane experiment: a five-node rmtk fleet
+// runs a staged canary rollout of a faster datapath program (one canary
+// node, then half the fleet, then all of it — each promotion a single
+// replicated transaction through the leader's WAL). Two runs over the same
+// virtual-clock request schedule are compared:
+//
+//   - clean: no faults. The rollout promotes wave by wave and the fleet's
+//     job completion time reflects how quickly nodes shift from the slow
+//     incumbent to the fast candidate.
+//   - chaos: the leader is killed in the middle of the rollout and
+//     restarted later. Shipping stalls, the most-caught-up follower is
+//     elected into a higher epoch, the deposed leader rejoins as a
+//     follower and catches up, and the rollout's replicated commits retry
+//     against the new leader.
+//
+// The clock is virtual: each node serves one request per tick, charged
+// fleetSlowNs when the incumbent answers (or the node is down) and
+// fleetFastNs once the candidate serves it. Chaos may only delay
+// promotions by the failover window, so its JCT must stay within 5% of
+// clean — the paper's reconfiguration story survives controller failure.
+// After both runs the fleet must converge to one epoch and byte-identical
+// replica logs (zero divergence).
+type FleetResult struct {
+	CleanJCT float64 // seconds, no faults
+	ChaosJCT float64 // seconds, leader killed mid-rollout
+
+	CleanState string // terminal rollout state of the clean run
+	ChaosState string // terminal rollout state of the chaos run
+	Failovers  int64  // leadership changes in the chaos run
+	Resyncs    int64  // full state transfers in the chaos run
+	Epoch      uint64 // converged epoch of the chaos fleet
+	Nodes      int
+	Diverged   bool // replica logs differed after the chaos run
+}
+
+func (r FleetResult) String() string {
+	return fmt.Sprintf(
+		"fleet: clean=%.3fs chaos=%.3fs (%.1f%% of clean) rollouts: clean=%s chaos=%s\n"+
+			"       chaos failovers=%d resyncs=%d, %d nodes converged at epoch %d, diverged=%v",
+		r.CleanJCT, r.ChaosJCT, 100*r.ChaosJCT/r.CleanJCT,
+		r.CleanState, r.ChaosState,
+		r.Failovers, r.Resyncs, r.Nodes, r.Epoch, r.Diverged)
+}
+
+const (
+	fleetHook   = "net/steer"
+	fleetTable  = "steer_routes"
+	fleetNodes  = 5
+	fleetFastNs = 20_000 // candidate program serves the request
+	fleetSlowNs = 40_000 // incumbent path (also charged while a node is down)
+)
+
+// fleetRun provisions a fleet, runs the staged rollout (optionally killing
+// the leader mid-way), serves totalTicks requests per node on the virtual
+// clock, and reports the accumulated JCT.
+func fleetRun(dir string, seed int64, totalTicks int, chaos bool) (jctNs int64, rep cluster.RolloutReport, c *cluster.Cluster, err error) {
+	net := fault.NewNetwork(seed)
+	c, err = cluster.New(cluster.Options{
+		Nodes: fleetNodes, Dir: dir, Seed: seed, Net: net,
+	})
+	if err != nil {
+		return 0, rep, nil, err
+	}
+
+	var inc, cand int64
+	err = c.Propose(func(p *ctrl.Plane) error {
+		var perr error
+		if inc, _, perr = p.LoadProgram(&isa.Program{
+			Name: "incumbent", Insns: isa.MustAssemble("movimm r0, 1\nexit"),
+		}); perr != nil {
+			return perr
+		}
+		cand, _, perr = p.LoadProgram(&isa.Program{
+			Name: "candidate", Insns: isa.MustAssemble("movimm r0, 2\nexit"),
+		})
+		return perr
+	})
+	if err != nil {
+		return 0, rep, c, err
+	}
+	if err = c.SetupRoutes(fleetTable, fleetHook, inc); err != nil {
+		return 0, rep, c, err
+	}
+
+	// serve advances one schedule slot: each node answers one request, and
+	// on the chaos run the fault script (leader kill, later restart) fires
+	// at its appointed ticks whether the rollout is still going or not.
+	ticks := 0
+	killAt, restartAt := 30, 120
+	serve := func() {
+		ticks++
+		if chaos {
+			if ticks == killAt {
+				if id, _ := c.Leader(); id >= 0 {
+					c.Kill(id)
+				}
+			}
+			if ticks == restartAt {
+				for id := 0; id < c.Nodes(); id++ {
+					if !c.Alive(id) {
+						_ = c.Restart(id)
+					}
+				}
+			}
+		}
+		for id := 0; id < c.Nodes(); id++ {
+			res, ok := c.Fire(id, fleetHook, int64(id), 0, 0)
+			if ok && res.Verdict == 2 {
+				jctNs += fleetFastNs
+			} else {
+				jctNs += fleetSlowNs
+			}
+		}
+	}
+
+	spec := cluster.RolloutSpec{
+		Hook: fleetHook, Table: fleetTable,
+		Incumbent: inc, Candidate: cand,
+		// The candidate intentionally answers differently (it is the
+		// improvement being shipped), so the gate budget tolerates full
+		// divergence and watches for traps instead.
+		Gate: ctrl.CanaryConfig{
+			MinShadowFires:    16,
+			MaxDivergenceFrac: 1,
+		},
+		PhaseTicks: 512, CommitTicks: 512,
+		OnTick: func(c *cluster.Cluster) {
+			serve()
+			c.Tick()
+		},
+	}
+	rep, err = c.Rollout(spec)
+	if err != nil {
+		return 0, rep, c, err
+	}
+	// Both runs serve the identical schedule length regardless of how long
+	// their rollouts took.
+	for ticks < totalTicks {
+		serve()
+		c.Tick()
+	}
+	// Revive anything still down (defensive; the script restarts at
+	// restartAt), then let replication drain so the convergence check is
+	// about outcome, not in-flight batches.
+	for id := 0; id < c.Nodes(); id++ {
+		if !c.Alive(id) {
+			_ = c.Restart(id)
+		}
+	}
+	for i := 0; i < 1000 && !c.Converged(); i++ {
+		c.Tick()
+	}
+	return jctNs, rep, c, nil
+}
+
+// Fleet runs the clean and chaos fleets over the same schedule.
+// totalTicks <= 0 selects 2000.
+func Fleet(seed int64, totalTicks int) (FleetResult, error) {
+	if totalTicks <= 0 {
+		totalTicks = 2000
+	}
+	var res FleetResult
+	res.Nodes = fleetNodes
+
+	run := func(chaos bool) (int64, cluster.RolloutReport, *cluster.Cluster, func(), error) {
+		dir, err := os.MkdirTemp("", "rmtk-fleet-*")
+		if err != nil {
+			return 0, cluster.RolloutReport{}, nil, nil, err
+		}
+		cleanup := func() { os.RemoveAll(dir) }
+		jct, rep, c, err := fleetRun(dir, seed, totalTicks, chaos)
+		if c != nil {
+			defer c.Close()
+		}
+		if err != nil {
+			cleanup()
+			return 0, rep, nil, nil, err
+		}
+		return jct, rep, c, cleanup, nil
+	}
+
+	cleanJct, cleanRep, cleanC, cleanDone, err := run(false)
+	if err != nil {
+		return res, fmt.Errorf("clean run: %w", err)
+	}
+	_ = cleanC
+	cleanDone()
+	res.CleanJCT = float64(cleanJct) / 1e9
+	res.CleanState = cleanRep.State.String()
+
+	chaosJct, chaosRep, chaosC, chaosDone, err := run(true)
+	if err != nil {
+		return res, fmt.Errorf("chaos run: %w", err)
+	}
+	res.ChaosJCT = float64(chaosJct) / 1e9
+	res.ChaosState = chaosRep.State.String()
+	res.Failovers = chaosRep.Failovers
+	res.Resyncs = chaosC.Metrics().Resyncs
+
+	sts := chaosC.Status()
+	res.Epoch = sts[0].Epoch
+	var dirs []string
+	for _, st := range sts {
+		if st.Epoch != res.Epoch {
+			res.Diverged = true
+		}
+	}
+	for id := 0; id < chaosC.Nodes(); id++ {
+		dirs = append(dirs, chaosC.Node(id).Dir())
+	}
+	chaosC.Close()
+	if err := cluster.CompareLogs(dirs); err != nil {
+		res.Diverged = true
+	}
+	chaosDone()
+	return res, nil
+}

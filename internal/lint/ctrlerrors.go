@@ -73,9 +73,11 @@ func isFmtErrorf(pass *Pass, call *ast.CallExpr) bool {
 }
 
 // isCtrlSentinel reports whether expr denotes an exported package-level
-// `Err...` variable of error type defined in internal/ctrl or internal/wal
+// `Err...` variable of error type defined in internal/ctrl, internal/wal
 // (the durable log's corruption sentinels carry recovery-path decisions and
-// must survive wrapping too).
+// must survive wrapping too), or internal/cluster (replication sentinels —
+// ErrNotLeader and friends drive caller retry/redirect logic, so losing
+// errors.Is on them silently breaks failover handling).
 func isCtrlSentinel(pass *Pass, expr ast.Expr) bool {
 	var obj types.Object
 	switch e := expr.(type) {
@@ -93,6 +95,7 @@ func isCtrlSentinel(pass *Pass, expr ast.Expr) bool {
 	switch p := v.Pkg().Path(); {
 	case p == "ctrl" || strings.HasSuffix(p, "/ctrl"):
 	case p == "wal" || strings.HasSuffix(p, "/wal"):
+	case p == "cluster" || strings.HasSuffix(p, "/cluster"):
 	default:
 		return false
 	}

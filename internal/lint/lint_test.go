@@ -283,3 +283,29 @@ func bad(w int) error { return fmt.Errorf("100%% over %*d: %v", w, 3, ErrGate) }
 		"ctrlerrors: ctrl sentinel ErrGate formatted with %v",
 	)
 }
+
+func TestCtrlErrorsCoversClusterSentinels(t *testing.T) {
+	// Replication sentinels (ErrNotLeader, ErrPartitioned, ErrStaleEpoch,
+	// ErrDivergedLog) drive retry/redirect/resync decisions in callers;
+	// stringifying one silently disables that branch, so the discipline
+	// extends to internal/cluster.
+	const src = `package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNotLeader = errors.New("cluster: not the leader")
+var ErrDivergedLog = errors.New("cluster: replica logs diverged")
+
+func bad(id int) error   { return fmt.Errorf("node %d: %v", id, ErrNotLeader) }
+func worse(id int) error { return fmt.Errorf("node %d: %s", id, ErrDivergedLog) }
+func good(id int) error  { return fmt.Errorf("node %d: %w", id, ErrNotLeader) }
+`
+	diags := analyze(t, "rmtk/internal/cluster", src)
+	wantDiags(t, diags,
+		"ctrlerrors: ctrl sentinel ErrNotLeader formatted with %v",
+		"ctrlerrors: ctrl sentinel ErrDivergedLog formatted with %s",
+	)
+}

@@ -41,6 +41,11 @@ const (
 	// KindAbort marks the record at sequence Ref as rolled back in memory
 	// after its append (a failed apply): replay must skip Ref.
 	KindAbort
+	// KindEpoch marks a leadership change in a replicated log: the record's
+	// Epoch field carries the new leader epoch. Replay applies no state —
+	// the record exists so two logs that diverged under different leaders
+	// disagree on bytes, not just on interpretation.
+	KindEpoch
 
 	kindEnd
 )
@@ -58,6 +63,7 @@ var kindNames = [...]string{
 	KindRetarget:      "retarget",
 	KindTxnCommit:     "txn-commit",
 	KindAbort:         "abort",
+	KindEpoch:         "epoch",
 }
 
 // String names the kind.
@@ -151,6 +157,11 @@ type Record struct {
 	// reconfiguration: transaction commit, canary promotion or rollback),
 	// so replay restores the same version counter.
 	Bump bool `json:"bump,omitempty"`
+	// Epoch is the leader epoch under which a replicated record was logged
+	// (zero on single-node planes). Followers compare it against the
+	// shipping leader's view to detect diverged logs; for KindEpoch records
+	// it is the payload itself.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // validate checks that the fields Kind requires are present, so neither a
@@ -199,6 +210,13 @@ func (r *Record) validate(sub bool) error {
 	case KindAbort:
 		if sub {
 			return fmt.Errorf("abort inside a transaction record")
+		}
+	case KindEpoch:
+		if sub {
+			return fmt.Errorf("epoch mark inside a transaction record")
+		}
+		if r.Epoch == 0 {
+			return fmt.Errorf("epoch mark without an epoch")
 		}
 	}
 	return nil
@@ -250,6 +268,8 @@ func (r *Record) String() string {
 		return fmt.Sprintf("#%d txn-commit (%d steps)", r.Seq, len(r.Sub))
 	case KindAbort:
 		return fmt.Sprintf("#%d abort ref=#%d", r.Seq, r.Ref)
+	case KindEpoch:
+		return fmt.Sprintf("#%d epoch=%d", r.Seq, r.Epoch)
 	default:
 		return fmt.Sprintf("#%d %s", r.Seq, r.Kind)
 	}

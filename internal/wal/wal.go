@@ -54,6 +54,10 @@ var (
 	// ErrNoCheckpoint is returned by LatestCheckpoint when the directory
 	// holds no valid checkpoint.
 	ErrNoCheckpoint = errors.New("wal: no valid checkpoint")
+	// ErrSeqGap is wrapped by AppendReplica when a shipped record does not
+	// extend the log contiguously — the follower missed records or holds a
+	// diverged suffix and must resync.
+	ErrSeqGap = errors.New("wal: replica append out of sequence")
 )
 
 const (
@@ -143,6 +147,19 @@ func (l *Log) Size() int64 {
 	return l.size
 }
 
+// frameRecord encodes r into its on-disk frame.
+func frameRecord(r *Record) ([]byte, error) {
+	payload, err := r.marshal()
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeader:], payload)
+	return frame, nil
+}
+
 // Append assigns the next sequence number to r, frames it, and writes it
 // durably (fsync unless Options.NoSync). The record is on stable storage
 // when Append returns nil — the write-ahead contract callers apply state
@@ -154,25 +171,49 @@ func (l *Log) Append(r *Record) (uint64, error) {
 		return 0, fmt.Errorf("wal: log closed")
 	}
 	r.Seq = l.seq + 1
-	payload, err := r.marshal()
-	if err != nil {
+	if err := l.writeFrame(r); err != nil {
 		return 0, err
 	}
-	frame := make([]byte, frameHeader+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
-	copy(frame[frameHeader:], payload)
-	if _, err := l.f.Write(frame); err != nil {
+	return l.seq, nil
+}
+
+// AppendReplica appends a record shipped from a replication leader,
+// preserving its already-assigned sequence number so the replica log stays
+// byte-identical to the leader's. The record must extend the log
+// contiguously; anything else wraps ErrSeqGap and the caller resyncs.
+func (l *Log) AppendReplica(r *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	if r.Seq != l.seq+1 {
+		return 0, fmt.Errorf("%w: shipped record #%d, log at #%d", ErrSeqGap, r.Seq, l.seq)
+	}
+	if err := l.writeFrame(r); err != nil {
 		return 0, err
+	}
+	return l.seq, nil
+}
+
+// writeFrame frames r (whose Seq the caller has set) and writes it per the
+// log's durability options, advancing seq and size. Caller holds l.mu.
+func (l *Log) writeFrame(r *Record) error {
+	frame, err := frameRecord(r)
+	if err != nil {
+		return err
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return err
 	}
 	if !l.opts.NoSync {
 		if err := l.f.Sync(); err != nil {
-			return 0, err
+			return err
 		}
 	}
-	l.seq++
+	l.seq = r.Seq
 	l.size += int64(len(frame))
-	return l.seq, nil
+	return nil
 }
 
 // Sync flushes buffered appends to stable storage (a no-op when every
@@ -228,15 +269,11 @@ func (l *Log) Compact(seq uint64) error {
 		if r.Seq <= seq {
 			continue
 		}
-		payload, merr := r.marshal()
+		frame, merr := frameRecord(r)
 		if merr != nil {
 			nf.Close()
 			return merr
 		}
-		frame := make([]byte, frameHeader+len(payload))
-		binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
-		copy(frame[frameHeader:], payload)
 		if _, werr := nf.Write(frame); werr != nil {
 			nf.Close()
 			return werr
@@ -288,16 +325,30 @@ type ScanResult struct {
 // in-log corruption: a bad frame ends the scan at the preceding record
 // boundary and the damage is reported in the result. A missing log file is
 // an empty log.
-func Scan(dir string) (ScanResult, error) {
+func Scan(dir string) (ScanResult, error) { return ScanFrom(dir, 0) }
+
+// ScanFrom reads the log starting at byte offset from — which must be a
+// record boundary a previous scan reported (ValidBytes or an entry of
+// Offsets) — so a log-shipping leader can pick up only the suffix appended
+// since its last scan. Offsets and ValidBytes in the result are absolute.
+// An offset beyond the current file is an error: the log was compacted
+// underneath the caller, who should rescan from zero.
+func ScanFrom(dir string, from int64) (ScanResult, error) {
 	var res ScanResult
 	data, err := os.ReadFile(filepath.Join(dir, logName))
 	if errors.Is(err, os.ErrNotExist) {
+		if from > 0 {
+			return res, fmt.Errorf("wal: scan offset %d beyond missing log", from)
+		}
 		return res, nil
 	}
 	if err != nil {
 		return res, err
 	}
-	off := int64(0)
+	if from > int64(len(data)) {
+		return res, fmt.Errorf("wal: scan offset %d beyond %d-byte log (compacted?)", from, len(data))
+	}
+	off := from
 	total := int64(len(data))
 	for off < total {
 		if total-off < frameHeader {

@@ -252,3 +252,134 @@ func TestMarshalRejectsMalformedRecords(t *testing.T) {
 		}
 	}
 }
+
+// TestScanTornHeaderBoundary: a frame torn exactly at the header boundary
+// — the 4-byte length made it to disk, the CRC and payload did not. The
+// scan must stop at the preceding record boundary, report the 4 stray
+// bytes as a short read, and Open must truncate them so appends resume
+// cleanly.
+func TestScanTornHeaderBoundary(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(entryRec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	intact, err := os.ReadFile(LogPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear: exactly the 4 length bytes of a would-be next frame.
+	torn := append(append([]byte(nil), intact...), 0x40, 0x00, 0x00, 0x00)
+	if err := os.WriteFile(LogPath(dir), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Records) != 1 || sc.Records[0].Seq != 1 {
+		t.Fatalf("records = %d, want the intact prefix", len(sc.Records))
+	}
+	if sc.ValidBytes != int64(len(intact)) {
+		t.Fatalf("ValidBytes = %d, want boundary at %d", sc.ValidBytes, len(intact))
+	}
+	if sc.DiscardedBytes != 4 {
+		t.Fatalf("DiscardedBytes = %d, want the 4 header bytes", sc.DiscardedBytes)
+	}
+	if !errors.Is(sc.Corruption, ErrShortRead) {
+		t.Fatalf("corruption = %v, want ErrShortRead", sc.Corruption)
+	}
+
+	// Reopen truncates the stray header and appends continue at seq 2.
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.Append(entryRec(2))
+	if err != nil || seq != 2 {
+		t.Fatalf("append after truncation: seq=%d err=%v", seq, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err = Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Records) != 2 || sc.Corruption != nil || sc.DiscardedBytes != 0 {
+		t.Fatalf("post-repair scan: %d records, corruption=%v", len(sc.Records), sc.Corruption)
+	}
+}
+
+// TestAppendReplica: replica appends preserve the shipped sequence number,
+// refuse gaps with ErrSeqGap, and interleave with Scan boundaries.
+func TestAppendReplica(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	r1 := entryRec(1)
+	r1.Seq = 1
+	if seq, err := l.AppendReplica(r1); err != nil || seq != 1 {
+		t.Fatalf("replica append: seq=%d err=%v", seq, err)
+	}
+	gap := entryRec(9)
+	gap.Seq = 9
+	if _, err := l.AppendReplica(gap); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap err = %v, want ErrSeqGap", err)
+	}
+	stale := entryRec(1)
+	stale.Seq = 1
+	if _, err := l.AppendReplica(stale); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("stale err = %v, want ErrSeqGap", err)
+	}
+	// Native appends continue the same sequence.
+	if seq, err := l.Append(entryRec(2)); err != nil || seq != 2 {
+		t.Fatalf("native append after replica: seq=%d err=%v", seq, err)
+	}
+}
+
+// TestScanFromSuffix: an incremental scan from a prior boundary returns
+// only the suffix with absolute offsets, and an offset beyond the file
+// (compaction) is refused.
+func TestScanFromSuffix(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(entryRec(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := full.Offsets[1]
+	sc, err := ScanFrom(dir, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Records) != 2 || sc.Records[0].Seq != 2 {
+		t.Fatalf("suffix scan = %d records from #%d", len(sc.Records), sc.Records[0].Seq)
+	}
+	if sc.Offsets[0] != mid || sc.ValidBytes != full.ValidBytes {
+		t.Fatalf("offsets not absolute: %v vs mid=%d", sc.Offsets, mid)
+	}
+	if _, err := ScanFrom(dir, full.ValidBytes+100); err == nil {
+		t.Fatal("offset beyond the file must be refused")
+	}
+	l.Close()
+}
