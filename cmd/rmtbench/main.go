@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rmtbench [-exp table1|table2|adapt|io|net|dp|chaos|canary|shardscale|recovery|fleet|all] [-seed N] [-mode jit|interp] [-short]
+//	rmtbench [-exp table1|table2|adapt|io|net|dp|chaos|canary|shardscale|recovery|fleet|tenants|all] [-seed N] [-mode jit|interp] [-short]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, chaos, canary, shardscale, recovery, fleet, all")
+		exp   = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, chaos, canary, shardscale, recovery, fleet, tenants, all")
 		seed  = flag.Int64("seed", 1, "workload seed")
 		mode  = flag.String("mode", "jit", "RMT execution mode: jit or interp")
 		short = flag.Bool("short", false, "shrink workloads where the experiment supports it")
@@ -152,6 +152,19 @@ func main() {
 			return err
 		}
 		fmt.Println(res)
+		fmt.Println()
+		return nil
+	})
+
+	run("tenants", func() error {
+		fmt.Printf("== Experiment M: multi-tenant isolation under overload (mode=%s) ==\n", execMode)
+		lines, err := experiments.Tenants(*seed, execMode, *short)
+		if err != nil {
+			return err
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
 		fmt.Println()
 		return nil
 	})

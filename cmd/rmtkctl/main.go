@@ -11,6 +11,7 @@
 //	rmtkctl log-inspect <waldir>                print WAL records, checkpoints and damage
 //	rmtkctl [-v] recover <waldir>               replay the log, print recovery stats
 //	rmtkctl snapshot <waldir>                   recover, then checkpoint and compact
+//	rmtkctl tenant-status <waldir>              recover, print per-tenant quotas and resources
 //	rmtkctl cluster-status <fleetdir>           inspect a fleet's node-* state dirs offline
 //	rmtkctl cluster-rollout <fleetdir>          run a staged canary rollout on a demo fleet
 //
@@ -97,6 +98,8 @@ func main() {
 		err = doRecover(path)
 	case "snapshot":
 		err = doSnapshot(path)
+	case "tenant-status":
+		err = doTenantStatus(path)
 	case "cluster-status":
 		err = doClusterStatus(path)
 	case "cluster-rollout":
@@ -111,7 +114,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rmtkctl asm|dis|verify|run|log-inspect|recover|snapshot|cluster-status|cluster-rollout <file|waldir|fleetdir> [args]")
+	fmt.Fprintln(os.Stderr, "usage: rmtkctl asm|dis|verify|run|log-inspect|recover|snapshot|tenant-status|cluster-status|cluster-rollout <file|waldir|fleetdir> [args]")
 	os.Exit(2)
 }
 
@@ -368,6 +371,42 @@ func doSnapshot(dir string) error {
 	}
 	fmt.Printf("checkpoint written at seq=%d, log %dB\n", seq, p.WAL().Size())
 	return nil
+}
+
+// doTenantStatus recovers a control plane from its state directory and
+// prints each tenant's contract and registered resources — the offline view
+// of what the admission controller and quota enforcement would start from.
+func doTenantStatus(dir string) error {
+	p, err := recoverPlane(dir)
+	if err != nil {
+		return err
+	}
+	defer p.WAL().Close()
+	names := p.K.TenantNames()
+	if len(names) == 0 {
+		fmt.Println("no tenants registered (default tenant only)")
+		return nil
+	}
+	for _, name := range names {
+		st, err := p.K.TenantStatus(name)
+		if err != nil {
+			return err
+		}
+		q := st.Quota
+		fmt.Printf("tenant %s: class=%s rate=%d/s burst=%d weight=%d\n", name, q.Class, q.RatePerSec, q.Burst, q.Weight)
+		fmt.Printf("  quotas: tables=%d/%s programs=%d/%s step-budget=%s\n",
+			st.Tables, capOf(int64(q.MaxTables)), st.Programs, capOf(int64(q.MaxPrograms)), capOf(q.StepBudget))
+		fmt.Printf("  datapath: generation=%d quarantined=%d\n", st.Generation, len(st.Quarantined))
+	}
+	return nil
+}
+
+// capOf renders a 0-means-unlimited cap.
+func capOf(v int64) string {
+	if v <= 0 {
+		return "unlimited"
+	}
+	return strconv.FormatInt(v, 10)
 }
 
 // doClusterStatus inspects a stopped fleet's state directories: per node it

@@ -210,3 +210,32 @@ func TestClusterCommands(t *testing.T) {
 		t.Fatal("cluster-status of an empty root succeeded")
 	}
 }
+
+// TestTenantStatusCommand: tenant-status recovers a plane offline and renders
+// each tenant's contract; a tenant-free state dir reports the default tenant.
+func TestTenantStatusCommand(t *testing.T) {
+	dir := t.TempDir()
+	p, err := ctrl.Open(core.NewKernel(core.Config{}), dir, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.RegisterTenant("acme", core.TenantQuota{RatePerSec: 100, Burst: 5, Weight: 2, MaxTables: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.CreateTable("acme:flows", "acme:hook/rx", table.MatchExact); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WAL().Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := doTenantStatus(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := doTenantStatus(walDir(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := doTenantStatus(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("tenant-status of a missing directory succeeded")
+	}
+}

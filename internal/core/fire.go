@@ -99,10 +99,11 @@ func (k *Kernel) Fire(hook string, key, arg2, arg3 int64) FireResult {
 	// Generation before route: mutators publish route-then-generation, so a
 	// verdict computed against this snapshot is cached under a generation no
 	// newer than the snapshot — it can go stale, never wrong.
-	gen := k.gen.Load()
-	rt := k.route.Load()
+	ts := k.def
+	gen := ts.gen.Load()
+	rt := ts.route.Load()
 	res := FireResult{Verdict: DefaultVerdict}
-	k.fireOne(rt, gen, hook, key, arg2, arg3, &res)
+	k.fireOne(ts, rt, gen, hook, key, arg2, arg3, &res)
 	return res
 }
 
@@ -117,21 +118,22 @@ func (k *Kernel) FireBatch(events []Event, out []FireResult) {
 	if len(events) == 0 {
 		return
 	}
-	gen := k.gen.Load()
-	rt := k.route.Load()
+	ts := k.def
+	gen := ts.gen.Load()
+	rt := ts.route.Load()
 	for i := range events {
 		ev := &events[i]
 		if ev.Prep != nil {
 			ev.Prep()
 		}
 		out[i] = FireResult{Verdict: DefaultVerdict}
-		k.fireOne(rt, gen, ev.Hook, ev.Key, ev.Arg2, ev.Arg3, &out[i])
+		k.fireOne(ts, rt, gen, ev.Hook, ev.Key, ev.Arg2, ev.Arg3, &out[i])
 	}
 }
 
-// fireOne dispatches one event against a route snapshot. res must arrive
-// initialized to {Verdict: DefaultVerdict}.
-func (k *Kernel) fireOne(rt *routes, gen uint64, hook string, key, arg2, arg3 int64, res *FireResult) {
+// fireOne dispatches one event against a tenant's route snapshot. res must
+// arrive initialized to {Verdict: DefaultVerdict}.
+func (k *Kernel) fireOne(ts *tenantState, rt *routes, gen uint64, hook string, key, arg2, arg3 int64, res *FireResult) {
 	hr := rt.hooks[hook]
 	if hr == nil || len(hr.tables) == 0 {
 		return
@@ -142,23 +144,23 @@ func (k *Kernel) fireOne(rt *routes, gen uint64, hook string, key, arg2, arg3 in
 	// The verdict cache applies only when nothing non-replayable is attached:
 	// no fault injector (scheduled faults must strike), no shadow (the
 	// candidate must observe real runs).
-	cacheable := k.vcache != nil && rt.inj == nil && hr.shadow == nil
+	cacheable := ts.vcache != nil && rt.inj == nil && hr.shadow == nil
 	var fk table.FlowKey
 	if cacheable {
 		fk = table.FlowKey{Hook: hr.id, Key: uint64(key), Arg2: arg2, Arg3: arg3}
-		if cf, ok := k.vcache.Get(fk, gen); ok {
+		if cf, ok := ts.vcache.Get(fk, gen); ok {
 			if pre, ok := k.replayCached(rt, cf, shard, hook, key, res); ok {
 				return
 			} else if pre != nil {
 				// The supervisor re-routed the cached program (probe or
 				// fallback); run the slow path, handing it the already-taken
 				// Allow decision so the breaker clock ticks exactly once.
-				k.fireSlow(rt, gen, hr, shard, hook, key, arg2, arg3, res, false, fk, pre)
+				k.fireSlow(ts, rt, gen, hr, shard, hook, key, arg2, arg3, res, false, fk, pre)
 				return
 			}
 		}
 	}
-	k.fireSlow(rt, gen, hr, shard, hook, key, arg2, arg3, res, cacheable, fk, nil)
+	k.fireSlow(ts, rt, gen, hr, shard, hook, key, arg2, arg3, res, cacheable, fk, nil)
 }
 
 // preDecision hands a supervisor Allow verdict taken during cache replay to
@@ -202,7 +204,7 @@ func (k *Kernel) replayCached(rt *routes, cf *cachedFire, shard int, hook string
 
 // fireSlow runs the full pipeline and, when the fire proved replayable,
 // memoizes the outcome under (fk, gen).
-func (k *Kernel) fireSlow(rt *routes, gen uint64, hr *hookRoute, shard int, hook string, key, arg2, arg3 int64, res *FireResult, record bool, fk table.FlowKey, pre *preDecision) {
+func (k *Kernel) fireSlow(ts *tenantState, rt *routes, gen uint64, hr *hookRoute, shard int, hook string, key, arg2, arg3 int64, res *FireResult, record bool, fk table.FlowKey, pre *preDecision) {
 	inv := Invocation{
 		Hook: hook, Key: key, Arg2: arg2, Arg3: arg3,
 		emitBudget: k.cfg.RateLimit,
@@ -257,7 +259,7 @@ func (k *Kernel) fireSlow(rt *routes, gen uint64, hr *hookRoute, shard int, hook
 			progID:  rec.progID,
 			hasProg: rec.progs > 0,
 		}
-		k.vcache.Put(fk, gen, cf)
+		ts.vcache.Put(fk, gen, cf)
 	}
 }
 
@@ -452,7 +454,7 @@ func (k *Kernel) RunProgramByName(name string, r1, r2, r3 int64) (int64, []int64
 	if sup := k.Supervisor(); sup != nil && sup.State(id) != BreakerClosed {
 		return 0, nil, fmt.Errorf("%w: program %q", ErrQuarantined, name)
 	}
-	rt := k.route.Load()
+	rt := k.def.route.Load()
 	inv := Invocation{Key: r1, Arg2: r2, Arg3: r3, emitBudget: k.cfg.RateLimit}
 	verdict, _, trapped, err := k.runProgram(rt, shardIndex(r1), id, &inv, 0, nil)
 	if inv.inferences > 0 {

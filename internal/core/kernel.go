@@ -17,6 +17,7 @@ import (
 	"rmtk/internal/dp"
 	"rmtk/internal/fault"
 	"rmtk/internal/isa"
+	"rmtk/internal/qos"
 	"rmtk/internal/table"
 	"rmtk/internal/telemetry"
 	"rmtk/internal/verifier"
@@ -165,12 +166,19 @@ type Kernel struct {
 	nextVec   int64
 	nextHook  uint64
 
-	// Hot path state: the immutable route snapshot Fire dispatches through,
-	// the datapath generation (verdict-cache validity token), the verdict
-	// cache itself (nil when disabled), and the sharded fire metrics.
-	route  atomic.Pointer[routes]
-	gen    atomic.Uint64
-	vcache *table.FlowCache[*cachedFire]
+	// Tenancy: the default tenant (the admin view, carrying every resource
+	// under its full name), the registered tenants (each with its own COW
+	// route snapshot, generation and verdict cache), the lock-free directory
+	// FireTenant resolves through, per-model ownership (models are id-keyed,
+	// so ownership cannot be derived from a name prefix), the supervisor
+	// config per-tenant supervisors derive from, and the attached admission
+	// controller.
+	def        *tenantState
+	tenants    map[string]*tenantState
+	tdir       atomic.Pointer[map[string]*tenantState]
+	modelOwner map[int64]string
+	supCfg     *SupervisorConfig
+	adm        atomic.Pointer[admission]
 
 	ctrFires    *telemetry.ShardedCounter
 	ctrCollects *telemetry.ShardedCounter
@@ -211,15 +219,19 @@ func NewKernel(cfg Config) *Kernel {
 		helpers:     make(map[int64]helper),
 		fallbacks:   make(map[string]Fallback),
 		shadows:     make(map[string]*Shadow),
+		tenants:     make(map[string]*tenantState),
+		modelOwner:  make(map[int64]string),
 		Metrics:     telemetry.NewRegistry(),
 		ctrFires:    telemetry.NewShardedCounter(coreShards),
 		ctrCollects: telemetry.NewShardedCounter(coreShards),
 		ctrInfers:   telemetry.NewShardedCounter(coreShards),
 		histSteps:   telemetry.NewShardedHistogram(coreShards),
 	}
+	k.def = &tenantState{}
 	if !cfg.DisableVerdictCache {
-		k.vcache = table.NewFlowCache[*cachedFire](coreShards, 4096)
+		k.def.vcache = table.NewFlowCache[*cachedFire](coreShards, 4096)
 	}
+	k.storeDirLocked()
 	k.statePool.New = func() any { return vm.NewState() }
 	registerStandardHelpers(k)
 	k.mu.Lock()
@@ -245,12 +257,19 @@ func (k *Kernel) SetMode(m ExecMode) {
 	k.mu.Unlock()
 }
 
-// CreateTable registers a table and attaches it to its hook's pipeline.
+// CreateTable registers a table and attaches it to its hook's pipeline. A
+// tenant-namespaced table ("tenant:name") is charged against the owning
+// tenant's table quota; the owner must be a registered tenant.
 func (k *Kernel) CreateTable(t *table.Table) (int64, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if _, dup := k.tableIDs[t.Name]; dup {
 		return 0, fmt.Errorf("%w: table %q", ErrDuplicate, t.Name)
+	}
+	owner := tenantOf(t.Name)
+	ts, err := k.chargeTableLocked(owner)
+	if err != nil {
+		return 0, err
 	}
 	k.nextTable++
 	id := k.nextTable
@@ -263,11 +282,34 @@ func (k *Kernel) CreateTable(t *table.Table) (int64, error) {
 		}
 		k.hooks[t.Hook] = append(k.hooks[t.Hook], id)
 	}
+	if ts != nil {
+		ts.nTables++
+	} else {
+		k.def.nTables++
+	}
 	// Entry-level mutations of an attached table invalidate cached verdicts
-	// without republishing the route snapshot.
-	t.SetOnMutate(k.bumpGen)
-	k.rebuildRoutesLocked()
+	// without republishing the route snapshot — scoped to the owning tenant
+	// (plus the admin view), so one tenant's entry churn never invalidates
+	// another's cache.
+	t.SetOnMutate(func() { k.bumpGenFor(owner) })
+	k.rebuildOwnedLocked(owner)
 	return id, nil
+}
+
+// chargeTableLocked validates the owner of a new table against tenancy and
+// quota (nil tenantState for the default tenant). Caller holds k.mu.
+func (k *Kernel) chargeTableLocked(owner string) (*tenantState, error) {
+	if owner == "" {
+		return nil, nil
+	}
+	ts, ok := k.tenants[owner]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", qos.ErrTenantUnknown, owner)
+	}
+	if ts.quota.MaxTables > 0 && ts.nTables >= ts.quota.MaxTables {
+		return nil, fmt.Errorf("%w: tenant %q at %d tables", qos.ErrQuotaExceeded, owner, ts.nTables)
+	}
+	return ts, nil
 }
 
 // RemoveTable detaches a table from its hook pipeline and unregisters it.
@@ -281,6 +323,14 @@ func (k *Kernel) RemoveTable(id int64) error {
 	if !ok {
 		return fmt.Errorf("%w: table %d", ErrNotFound, id)
 	}
+	k.removeTableLocked(id, t)
+	k.rebuildOwnedLocked(tenantOf(t.Name))
+	return nil
+}
+
+// removeTableLocked unregisters a table without republishing routes (callers
+// rebuild once after a batch). Caller holds k.mu.
+func (k *Kernel) removeTableLocked(id int64, t *table.Table) {
 	delete(k.tables, id)
 	delete(k.tableIDs, t.Name)
 	if t.Hook != "" {
@@ -295,9 +345,12 @@ func (k *Kernel) RemoveTable(id int64) error {
 			delete(k.hooks, t.Hook)
 		}
 	}
+	if ts, ok := k.tenants[tenantOf(t.Name)]; ok {
+		ts.nTables--
+	} else if tenantOf(t.Name) == "" {
+		k.def.nTables--
+	}
 	t.SetOnMutate(nil)
-	k.rebuildRoutesLocked()
-	return nil
 }
 
 // Table resolves a table by id.
@@ -322,14 +375,31 @@ func (k *Kernel) TableByName(name string) (*table.Table, int64, error) {
 	return k.tables[id], id, nil
 }
 
-// RegisterModel adds an inference model and returns its id.
+// RegisterModel adds an inference model owned by the default tenant and
+// returns its id.
 func (k *Kernel) RegisterModel(m Model) int64 {
+	id, _ := k.RegisterModelOwned("", m)
+	return id
+}
+
+// RegisterModelOwned adds an inference model owned by a tenant ("" for the
+// default tenant). Tenant-owned models are visible only to their owner's
+// programs and route snapshots.
+func (k *Kernel) RegisterModelOwned(owner string, m Model) (int64, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	if owner != "" {
+		if _, ok := k.tenants[owner]; !ok {
+			return 0, fmt.Errorf("%w: %q", qos.ErrTenantUnknown, owner)
+		}
+	}
 	k.nextModel++
 	k.models[k.nextModel] = m
-	k.rebuildRoutesLocked()
-	return k.nextModel
+	if owner != "" {
+		k.modelOwner[k.nextModel] = owner
+	}
+	k.rebuildOwnedLocked(owner)
+	return k.nextModel, nil
 }
 
 // SwapModel replaces model id in place (online training pushes refreshed
@@ -347,7 +417,7 @@ func (k *Kernel) SwapModel(id int64, m Model) error {
 		return fmt.Errorf("%w: model %d", ErrNotFound, id)
 	}
 	k.models[id] = m
-	k.rebuildRoutesLocked()
+	k.rebuildOwnedLocked(k.modelOwner[id])
 	return nil
 }
 
@@ -409,7 +479,7 @@ func (k *Kernel) RegisterVec(v []int64) int64 {
 // generation, which is exactly why programs reading pool vectors (OpVecLd)
 // are never certified pure.
 func (k *Kernel) SetVec(id int64, v []int64) error {
-	slot, ok := k.route.Load().vecs[id]
+	slot, ok := k.def.route.Load().vecs[id]
 	if !ok {
 		return fmt.Errorf("%w: vec %d", ErrNotFound, id)
 	}
@@ -436,9 +506,13 @@ func (k *Kernel) RegisterHelper(id int64, spec verifier.HelperSpec, fn HelperFn)
 	return nil
 }
 
-// verifierConfig snapshots the registries into a verifier.Config.
-// Caller holds at least the read lock.
-func (k *Kernel) verifierConfig() verifier.Config {
+// verifierConfig snapshots the registries into a verifier.Config, restricted
+// to what programs of owner may reference: a tenant's programs see the
+// tenant's own and the default tenant's resources; the default (admin)
+// tenant's programs see everything. A tenant step-budget quota tightens the
+// verifier's step budget. Caller holds at least the read lock.
+func (k *Kernel) verifierConfig(owner string) verifier.Config {
+	visible := func(o string) bool { return owner == "" || o == "" || o == owner }
 	cfg := verifier.Config{
 		Helpers:    make(map[int64]verifier.HelperSpec, len(k.helpers)),
 		Models:     make(map[int64]verifier.ModelCost, len(k.models)),
@@ -451,18 +525,30 @@ func (k *Kernel) verifierConfig() verifier.Config {
 		StepBudget: k.cfg.StepBudget,
 		CtxFields:  k.cfg.CtxFields,
 	}
+	if owner != "" {
+		if ts, ok := k.tenants[owner]; ok && ts.quota.StepBudget > 0 {
+			if cfg.StepBudget == 0 || ts.quota.StepBudget < cfg.StepBudget {
+				cfg.StepBudget = ts.quota.StepBudget
+			}
+		}
+	}
 	for id, h := range k.helpers {
 		cfg.Helpers[id] = h.spec
 	}
 	for id, m := range k.models {
+		if !visible(k.modelOwner[id]) {
+			continue
+		}
 		ops, bytes := m.Cost()
 		cfg.Models[id] = verifier.ModelCost{Ops: ops, Bytes: bytes}
 	}
 	for id, m := range k.mats {
 		cfg.Mats[id] = verifier.MatShape{In: m.In, Out: m.Out, Bytes: m.Bytes()}
 	}
-	for id := range k.tables {
-		cfg.Tables[id] = true
+	for id, t := range k.tables {
+		if visible(tenantOf(t.Name)) {
+			cfg.Tables[id] = true
+		}
 	}
 	for id, slot := range k.vecs {
 		slot.mu.RLock()
@@ -470,7 +556,9 @@ func (k *Kernel) verifierConfig() verifier.Config {
 		slot.mu.RUnlock()
 	}
 	for id, p := range k.progs {
-		cfg.Tails[id] = p.prog
+		if visible(tenantOf(p.prog.Name)) {
+			cfg.Tails[id] = p.prog
+		}
 	}
 	return cfg
 }
@@ -500,9 +588,21 @@ func (k *Kernel) InstallProgramAt(id int64, prog *isa.Program) (*verifier.Report
 }
 
 func (k *Kernel) installProgram(prog *isa.Program, forceID int64) (int64, *verifier.Report, error) {
+	owner := tenantOf(prog.Name)
 	k.mu.RLock()
 	_, dup := k.progIDs[prog.Name]
-	vcfg := k.verifierConfig()
+	if owner != "" {
+		ts, ok := k.tenants[owner]
+		if !ok {
+			k.mu.RUnlock()
+			return 0, nil, fmt.Errorf("%w: %q", qos.ErrTenantUnknown, owner)
+		}
+		if ts.quota.MaxPrograms > 0 && ts.nProgs >= ts.quota.MaxPrograms {
+			k.mu.RUnlock()
+			return 0, nil, fmt.Errorf("%w: tenant %q at %d programs", qos.ErrQuotaExceeded, owner, ts.nProgs)
+		}
+	}
+	vcfg := k.verifierConfig(owner)
 	optimize := k.cfg.Optimize
 	if forceID > 0 && forceID <= k.nextProg {
 		k.mu.RUnlock()
@@ -532,7 +632,7 @@ func (k *Kernel) installProgram(prog *isa.Program, forceID int64) (int64, *verif
 	if err != nil {
 		return 0, nil, err
 	}
-	jit, err := vm.Compile(&env{k: k, rt: k.route.Load()}, prog)
+	jit, err := vm.Compile(&env{k: k, rt: k.def.route.Load()}, prog)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -540,6 +640,19 @@ func (k *Kernel) installProgram(prog *isa.Program, forceID int64) (int64, *verif
 	defer k.mu.Unlock()
 	if _, dup := k.progIDs[prog.Name]; dup {
 		return 0, nil, fmt.Errorf("%w: program %q", ErrDuplicate, prog.Name)
+	}
+	var ts *tenantState
+	if owner != "" {
+		var ok bool
+		ts, ok = k.tenants[owner]
+		if !ok {
+			return 0, nil, fmt.Errorf("%w: %q", qos.ErrTenantUnknown, owner)
+		}
+		// Recheck under the write lock: the RLock-time check can race a
+		// concurrent install of the same tenant.
+		if ts.quota.MaxPrograms > 0 && ts.nProgs >= ts.quota.MaxPrograms {
+			return 0, nil, fmt.Errorf("%w: tenant %q at %d programs", qos.ErrQuotaExceeded, owner, ts.nProgs)
+		}
 	}
 	if forceID > 0 {
 		if forceID <= k.nextProg {
@@ -552,7 +665,12 @@ func (k *Kernel) installProgram(prog *isa.Program, forceID int64) (int64, *verif
 	id := k.nextProg
 	k.progs[id] = &progEntry{id: id, prog: prog, interp: interp, jit: jit, report: report}
 	k.progIDs[prog.Name] = id
-	k.rebuildRoutesLocked()
+	if ts != nil {
+		ts.nProgs++
+	} else {
+		k.def.nProgs++
+	}
+	k.rebuildOwnedLocked(owner)
 	k.Metrics.Counter("core.programs_installed").Inc()
 	return id, report, nil
 }
@@ -568,7 +686,13 @@ func (k *Kernel) RemoveProgram(id int64) error {
 	}
 	delete(k.progs, id)
 	delete(k.progIDs, p.prog.Name)
-	k.rebuildRoutesLocked()
+	owner := tenantOf(p.prog.Name)
+	if ts, ok := k.tenants[owner]; ok {
+		ts.nProgs--
+	} else if owner == "" {
+		k.def.nProgs--
+	}
+	k.rebuildOwnedLocked(owner)
 	return nil
 }
 

@@ -29,6 +29,11 @@ func (k *Kernel) CreateTableAt(id int64, t *table.Table) error {
 	if _, dup := k.tableIDs[t.Name]; dup {
 		return fmt.Errorf("%w: table %q", ErrDuplicate, t.Name)
 	}
+	owner := tenantOf(t.Name)
+	ts, err := k.chargeTableLocked(owner)
+	if err != nil {
+		return err
+	}
 	k.nextTable = id
 	k.tables[id] = t
 	k.tableIDs[t.Name] = id
@@ -39,14 +44,25 @@ func (k *Kernel) CreateTableAt(id int64, t *table.Table) error {
 		}
 		k.hooks[t.Hook] = append(k.hooks[t.Hook], id)
 	}
-	t.SetOnMutate(k.bumpGen)
-	k.rebuildRoutesLocked()
+	if ts != nil {
+		ts.nTables++
+	} else {
+		k.def.nTables++
+	}
+	t.SetOnMutate(func() { k.bumpGenFor(owner) })
+	k.rebuildOwnedLocked(owner)
 	return nil
 }
 
 // RegisterModelAt registers a model at an explicit id (ascending restore
-// order, as with CreateTableAt).
+// order, as with CreateTableAt), owned by the default tenant.
 func (k *Kernel) RegisterModelAt(id int64, m Model) error {
+	return k.RegisterModelOwnedAt(id, "", m)
+}
+
+// RegisterModelOwnedAt registers a tenant-owned model at an explicit id — the
+// restore path for models created through RegisterModelOwned.
+func (k *Kernel) RegisterModelOwnedAt(id int64, owner string, m Model) error {
 	if id <= 0 {
 		return fmt.Errorf("core: restore model id %d: must be positive", id)
 	}
@@ -57,7 +73,10 @@ func (k *Kernel) RegisterModelAt(id int64, m Model) error {
 	}
 	k.nextModel = id
 	k.models[id] = m
-	k.rebuildRoutesLocked()
+	if owner != "" {
+		k.modelOwner[id] = owner
+	}
+	k.rebuildOwnedLocked(owner)
 	return nil
 }
 
@@ -143,6 +162,14 @@ func (k *Kernel) Program(id int64) (*isa.Program, error) {
 		return nil, fmt.Errorf("%w: program %d", ErrNotFound, id)
 	}
 	return p.prog, nil
+}
+
+// ModelOwner reports the owning tenant of a registered model ("" for
+// default-owned models); the checkpoint writer persists it.
+func (k *Kernel) ModelOwner(id int64) string {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.modelOwner[id]
 }
 
 // Matrix returns the weight matrix at id. Callers must not mutate it.

@@ -55,13 +55,52 @@ type routes struct {
 	mode    ExecMode
 }
 
-// rebuildRoutesLocked republishes the route snapshot from the registries and
-// bumps the datapath generation. Caller holds k.mu. The snapshot is stored
-// before the generation bump, mirroring the table layer's publish order: a
-// reader that loads generation g sees a snapshot at least as new as g's, so
-// a verdict computed against an older snapshot can only be cached under an
-// older generation.
+// rebuildRoutesLocked republishes every tenant's route snapshot from the
+// registries and bumps every tenant's datapath generation — the global-
+// mutation path (mode, injector, helpers, supervisor, shadows, default-owned
+// resources: all of them visible to every tenant). Caller holds k.mu. Each
+// snapshot is stored before its generation bump, mirroring the table layer's
+// publish order: a reader that loads generation g sees a snapshot at least as
+// new as g's, so a verdict computed against an older snapshot can only be
+// cached under an older generation.
 func (k *Kernel) rebuildRoutesLocked() {
+	k.publishTenantLocked(k.def)
+	k.def.gen.Add(1)
+	for _, ts := range k.tenants {
+		k.publishTenantLocked(ts)
+		ts.gen.Add(1)
+	}
+}
+
+// rebuildOwnedLocked republishes only the snapshots a mutation of an
+// owner-scoped resource can change: the default (admin) view always, plus the
+// owning tenant's. Default-owned resources are visible to every tenant, so
+// owner == "" escalates to a full rebuild. This scoping is the tenant
+// isolation of the verdict cache: tenant A's table/program/model churn leaves
+// tenant B's generation — and therefore B's cached verdicts — untouched.
+// Caller holds k.mu.
+func (k *Kernel) rebuildOwnedLocked(owner string) {
+	if owner == "" {
+		k.rebuildRoutesLocked()
+		return
+	}
+	k.publishTenantLocked(k.def)
+	k.def.gen.Add(1)
+	if ts, ok := k.tenants[owner]; ok {
+		k.publishTenantLocked(ts)
+		ts.gen.Add(1)
+	}
+}
+
+// publishTenantLocked stores one tenant's immutable route snapshot (without
+// bumping its generation; callers bump after the store). The default tenant
+// sees every resource under its full name. A tenant sees its own hooks under
+// their plain (prefix-stripped) names — so fallback patterns and supervisor
+// metrics are tenant-relative — and its own plus default-owned tables,
+// programs and models. Caller holds k.mu.
+func (k *Kernel) publishTenantLocked(ts *tenantState) {
+	def := ts == k.def
+	visible := func(owner string) bool { return def || owner == "" || owner == ts.name }
 	rt := &routes{
 		hooks:   make(map[string]*hookRoute, len(k.hooks)),
 		tables:  make(map[int64]*table.Table, len(k.tables)),
@@ -74,23 +113,40 @@ func (k *Kernel) rebuildRoutesLocked() {
 		inj:     k.inj,
 		mode:    k.cfg.Mode,
 	}
-	for id, t := range k.tables {
-		rt.tables[id] = t
+	if !def {
+		rt.sup = ts.sup
 	}
+	for id, t := range k.tables {
+		if visible(tenantOf(t.Name)) {
+			rt.tables[id] = t
+		}
+	}
+	prefix := ts.name + nameSep
 	for hook, ids := range k.hooks {
+		key := hook
+		if !def {
+			if len(hook) < len(prefix) || hook[:len(prefix)] != prefix {
+				continue // tenants route only their own hooks
+			}
+			key = hook[len(prefix):]
+		}
 		hr := &hookRoute{id: k.hookIDs[hook], shadow: k.shadows[hook]}
 		for _, tid := range ids {
 			if t, ok := k.tables[tid]; ok {
 				hr.tables = append(hr.tables, t)
 			}
 		}
-		rt.hooks[hook] = hr
+		rt.hooks[key] = hr
 	}
 	for id, p := range k.progs {
-		rt.progs[id] = p
+		if visible(tenantOf(p.prog.Name)) {
+			rt.progs[id] = p
+		}
 	}
 	for id, m := range k.models {
-		rt.models[id] = m
+		if visible(k.modelOwner[id]) {
+			rt.models[id] = m
+		}
 	}
 	for id, m := range k.mats {
 		rt.mats[id] = m
@@ -101,19 +157,37 @@ func (k *Kernel) rebuildRoutesLocked() {
 	for id, v := range k.vecs {
 		rt.vecs[id] = v
 	}
-	k.route.Store(rt)
-	k.gen.Add(1)
+	ts.route.Store(rt)
 }
 
-// bumpGen invalidates all cached verdicts; it is the tables' onMutate hook,
-// so entry inserts/deletes/rewrites flow into the datapath generation even
-// though they do not rebuild the route snapshot.
-func (k *Kernel) bumpGen() { k.gen.Add(1) }
+// bumpGenFor invalidates the cached verdicts a table mutation can affect: the
+// owning tenant's (when the table is tenant-owned) or every tenant's (a
+// default-owned table is readable from any tenant's programs), always
+// including the admin view. It is the tables' onMutate hook, so entry
+// inserts/deletes/rewrites flow into the datapath generations even though
+// they do not republish route snapshots.
+func (k *Kernel) bumpGenFor(owner string) {
+	k.def.gen.Add(1)
+	dir := k.tdir.Load()
+	if dir == nil {
+		return
+	}
+	if owner == "" {
+		for _, ts := range *dir {
+			ts.gen.Add(1)
+		}
+		return
+	}
+	if ts, ok := (*dir)[owner]; ok {
+		ts.gen.Add(1)
+	}
+}
 
-// Generation reports the datapath generation: it advances on every
-// control-plane mutation (table entries, models, programs, matrices, mode,
-// shadows, supervisor) and is the validity token of the verdict cache.
-func (k *Kernel) Generation() uint64 { return k.gen.Load() }
+// Generation reports the default tenant's datapath generation: it advances on
+// every control-plane mutation (table entries, models, programs, matrices,
+// mode, shadows, supervisor) and is the validity token of the verdict cache.
+// Per-tenant generations are reported by TenantGeneration.
+func (k *Kernel) Generation() uint64 { return k.def.gen.Load() }
 
 // cachedRow replays one table lookup's counter effects: the table that was
 // consulted and the entry the scan matched (nil when the scan missed and the
@@ -162,10 +236,10 @@ func (r *fireRec) addRow(t *table.Table, hit *table.Entry) {
 	r.nrows++
 }
 
-// VerdictCacheStats reports the verdict cache's hit/miss/invalidation
-// counters.
+// VerdictCacheStats reports the default tenant's verdict-cache
+// hit/miss/invalidation counters (TenantVerdictCacheStats for tenants').
 func (k *Kernel) VerdictCacheStats() table.FlowCacheStats {
-	return k.vcache.Stats()
+	return k.def.vcache.Stats()
 }
 
 // hotStatLines renders the lazily-aggregated hot-path metrics for the
@@ -178,7 +252,16 @@ func (k *Kernel) hotStatLines() []string {
 		fmt.Sprintf("core.inferences %d", k.ctrInfers.Load()),
 		k.histSteps.SnapshotLine("core.program_steps"),
 	}
-	vs := k.vcache.Stats()
+	vs := k.def.vcache.Stats()
+	if dir := k.tdir.Load(); dir != nil {
+		for _, ts := range *dir {
+			tvs := ts.vcache.Stats()
+			vs.Hits += tvs.Hits
+			vs.Misses += tvs.Misses
+			vs.Invalidations += tvs.Invalidations
+			vs.Evictions += tvs.Evictions
+		}
+	}
 	out = append(out,
 		fmt.Sprintf("core.verdict_cache.hits %d", vs.Hits),
 		fmt.Sprintf("core.verdict_cache.misses %d", vs.Misses),
@@ -186,7 +269,7 @@ func (k *Kernel) hotStatLines() []string {
 		fmt.Sprintf("core.verdict_cache.evictions %d", vs.Evictions),
 	)
 	var ts table.FlowCacheStats
-	rt := k.route.Load()
+	rt := k.def.route.Load()
 	for _, t := range rt.tables {
 		s := t.CacheStats()
 		ts.Hits += s.Hits

@@ -383,10 +383,17 @@ func (s *Supervisor) Reinstate(progID int64) {
 // Supervise attaches a fault-containment supervisor to the kernel; subsequent
 // Fire calls route every program action through its breakers. Passing a
 // second supervisor replaces the first (breaker state is not carried over).
+// Each registered tenant gets its own supervisor instance derived from cfg
+// (with the tenant's SLO quota overrides applied), so breaker state — trips,
+// cooldowns, half-open probes — is tenant-isolated.
 func (k *Kernel) Supervise(cfg SupervisorConfig) *Supervisor {
 	s := newSupervisor(cfg, k.Metrics)
 	k.mu.Lock()
 	k.sup = s
+	k.supCfg = &cfg
+	for _, ts := range k.tenants {
+		ts.sup = k.tenantSupervisorLocked(ts.quota)
+	}
 	k.rebuildRoutesLocked()
 	k.mu.Unlock()
 	return s

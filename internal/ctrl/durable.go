@@ -187,8 +187,8 @@ func (p *Plane) applyRecord(rec *wal.Record) error {
 		if err != nil {
 			return err
 		}
-		p.K.RegisterModel(m)
-		return nil
+		_, err = p.K.RegisterModelOwned(rec.Tenant, m)
+		return err
 	case wal.KindRegisterQMLP:
 		q, err := decodeQMLP(rec.Model)
 		if err != nil {
@@ -214,6 +214,12 @@ func (p *Plane) applyRecord(rec *wal.Record) error {
 			}
 		}
 		return t.Commit()
+	case wal.KindRegisterTenant:
+		return p.K.RegisterTenant(rec.Tenant, ctrlQuota(rec.Quota))
+	case wal.KindSetQuota:
+		return p.K.SetTenantQuota(rec.Tenant, ctrlQuota(rec.Quota))
+	case wal.KindRemoveTenant:
+		return p.applyRemoveTenant(rec.Tenant)
 	case wal.KindAbort:
 		return nil // handled by the pre-scan in Recover
 	case wal.KindEpoch:
@@ -250,6 +256,8 @@ func (t *Txn) stageRecord(rec *wal.Record) error {
 			return err
 		}
 		t.PushModel(rec.ModelID, m, 0, 0)
+	case wal.KindSetQuota:
+		t.SetTenantQuota(rec.Tenant, ctrlQuota(rec.Quota))
 	default:
 		return fmt.Errorf("%w: record kind %s in transaction", wal.ErrCorruptRecord, rec.Kind)
 	}
@@ -437,11 +445,17 @@ type planeSnapshot struct {
 	NextModel int64  `json:"next_model"`
 	NextMat   int64  `json:"next_mat"`
 
+	Tenants  []tenantSnap  `json:"tenants,omitempty"`
 	Tables   []tableSnap   `json:"tables,omitempty"`
 	Matrices []matrixSnap  `json:"matrices,omitempty"`
 	Models   []modelSnap   `json:"models,omitempty"`
 	Programs []programSnap `json:"programs,omitempty"`
 	History  []historySnap `json:"history,omitempty"`
+}
+
+type tenantSnap struct {
+	Name  string    `json:"name"`
+	Quota wal.Quota `json:"quota"`
 }
 
 type tableSnap struct {
@@ -464,6 +478,7 @@ type matrixSnap struct {
 type modelSnap struct {
 	ID    int64      `json:"id"`
 	Model *wal.Model `json:"model"`
+	Owner string     `json:"owner,omitempty"`
 }
 
 type programSnap struct {
@@ -483,6 +498,13 @@ func (p *Plane) snapshot() (*planeSnapshot, error) {
 	snap := &planeSnapshot{Version: p.Version()}
 	snap.NextTable, snap.NextProg, snap.NextModel, snap.NextMat = k.AllocState()
 
+	for _, name := range k.TenantNames() {
+		q, err := k.TenantQuotaOf(name)
+		if err != nil {
+			return nil, err
+		}
+		snap.Tenants = append(snap.Tenants, tenantSnap{Name: name, Quota: *walQuota(q)})
+	}
 	for _, id := range k.TableIDs() {
 		t, err := k.Table(id)
 		if err != nil {
@@ -514,7 +536,7 @@ func (p *Plane) snapshot() (*planeSnapshot, error) {
 		if err != nil {
 			return nil, fmt.Errorf("model %d: %w", id, err)
 		}
-		snap.Models = append(snap.Models, modelSnap{ID: id, Model: enc})
+		snap.Models = append(snap.Models, modelSnap{ID: id, Model: enc, Owner: k.ModelOwner(id)})
 	}
 	for _, id := range k.ProgramIDs() {
 		prog, err := k.Program(id)
@@ -565,6 +587,14 @@ func (p *Plane) restoreSnapshot(body []byte) error {
 		return fmt.Errorf("%w: checkpoint payload: %v", wal.ErrCorruptRecord, err)
 	}
 	k := p.K
+	// Tenants land first: quota admission and name-prefix ownership must
+	// resolve when the tenant's tables, programs and models restore.
+	for _, ts := range snap.Tenants {
+		q := ts.Quota
+		if err := k.RegisterTenant(ts.Name, ctrlQuota(&q)); err != nil {
+			return err
+		}
+	}
 	for _, ms := range snap.Matrices {
 		if err := k.RegisterMatrixAt(ms.ID, &core.Matrix{In: ms.In, Out: ms.Out, W: ms.W, B: ms.B}); err != nil {
 			return err
@@ -575,7 +605,7 @@ func (p *Plane) restoreSnapshot(body []byte) error {
 		if err != nil {
 			return err
 		}
-		if err := k.RegisterModelAt(ms.ID, m); err != nil {
+		if err := k.RegisterModelOwnedAt(ms.ID, ms.Owner, m); err != nil {
 			return err
 		}
 	}
@@ -685,6 +715,15 @@ func (p *Plane) Inventory() []string {
 	k := p.K
 	var lines []string
 	lines = append(lines, fmt.Sprintf("version %d", p.Version()))
+	for _, name := range k.TenantNames() {
+		q, err := k.TenantQuotaOf(name)
+		if err != nil {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("tenant %s class=%d rate=%d burst=%d weight=%d max=%d/%d budget=%d slo=%d/%d",
+			name, q.Class, q.RatePerSec, q.Burst, q.Weight, q.MaxTables, q.MaxPrograms,
+			q.StepBudget, q.StepSLO, q.LatencySLONs))
+	}
 	for _, id := range k.TableIDs() {
 		t, err := k.Table(id)
 		if err != nil {
@@ -714,9 +753,13 @@ func (p *Plane) Inventory() []string {
 		if err != nil {
 			continue
 		}
+		owner := ""
+		if o := k.ModelOwner(id); o != "" {
+			owner = " owner=" + o
+		}
 		if enc, err := encodeModel(m); err == nil {
-			lines = append(lines, fmt.Sprintf("model %d codec=%s data=%08x",
-				id, enc.Codec, crc32.Checksum(enc.Data, crc32.MakeTable(crc32.Castagnoli))))
+			lines = append(lines, fmt.Sprintf("model %d codec=%s data=%08x%s",
+				id, enc.Codec, crc32.Checksum(enc.Data, crc32.MakeTable(crc32.Castagnoli)), owner))
 		} else {
 			ops, bytes := m.Cost()
 			lines = append(lines, fmt.Sprintf("model %d opaque feats=%d ops=%d bytes=%d",

@@ -1,0 +1,264 @@
+package ctrl
+
+import (
+	"errors"
+	"testing"
+
+	"rmtk/internal/core"
+	"rmtk/internal/isa"
+	"rmtk/internal/qos"
+	"rmtk/internal/table"
+	"rmtk/internal/wal"
+)
+
+func tenantQuota() core.TenantQuota {
+	return core.TenantQuota{
+		Class: qos.Guaranteed, RatePerSec: 1000, Burst: 8, Weight: 3,
+		MaxTables: 4, MaxPrograms: 2, StepBudget: 256,
+	}
+}
+
+// buildTenantWorkload drives every tenant-scoped durable mutation through p:
+// tenant registration, prefixed tables/entries/programs, an owned model, a
+// quota change (plain and transactional), and a full tenant teardown.
+func buildTenantWorkload(t *testing.T, p *Plane) {
+	t.Helper()
+	if err := p.RegisterTenant("t1", tenantQuota()); err != nil {
+		t.Fatal(err)
+	}
+	q2 := tenantQuota()
+	q2.Class = qos.Burstable
+	q2.Weight = 1
+	if err := p.RegisterTenant("t2", q2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.CreateTable("t1:flows", "t1:hook/rx", table.MatchExact); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 3; k++ {
+		if err := p.AddEntry("t1:flows", &table.Entry{
+			Key: k, Action: table.Action{Kind: table.ActionParam, Param: int64(5 * k)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := p.LoadProgram(&isa.Program{
+		Name: "t1:classify", Hook: "t1:hook/rx",
+		Insns: isa.MustAssemble("movimm r0, 42\nexit"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterModelOwned("t1", testTree(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	bumped := tenantQuota()
+	bumped.RatePerSec = 5000
+	bumped.Burst = 32
+	if err := p.SetTenantQuota("t1", bumped); err != nil {
+		t.Fatal(err)
+	}
+
+	// A quota change staged with the reconfiguration it provisions for:
+	// both land in one atomic commit record.
+	txn := p.Begin()
+	shrunk := q2
+	shrunk.RatePerSec = 10
+	txn.SetTenantQuota("t2", shrunk)
+	txn.AddEntry("t1:flows", &table.Entry{
+		Key: 9, Action: table.Action{Kind: table.ActionParam, Param: 90},
+	})
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tenant that lives and dies within the log: replay must land on its
+	// absence, with its prefixed resources gone too.
+	if err := p.RegisterTenant("gone", tenantQuota()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.CreateTable("gone:tab", "gone:hook/x", table.MatchExact); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterModelOwned("gone", testTree(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RemoveTenant("gone"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkTenantState(t *testing.T, p *Plane) {
+	t.Helper()
+	names := p.K.TenantNames()
+	if len(names) != 2 || names[0] != "t1" || names[1] != "t2" {
+		t.Fatalf("tenants = %v, want [t1 t2]", names)
+	}
+	q, err := p.K.TenantQuotaOf("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.RatePerSec != 5000 || q.Burst != 32 {
+		t.Fatalf("t1 quota = %+v, want rate=5000 burst=32", q)
+	}
+	q2, err := p.K.TenantQuotaOf("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.RatePerSec != 10 || q2.Class != qos.Burstable {
+		t.Fatalf("t2 quota = %+v, want rate=10 class=burstable", q2)
+	}
+	st, err := p.K.TenantStatus("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tables != 1 || st.Programs != 1 {
+		t.Fatalf("t1 has %d tables / %d programs, want 1/1", st.Tables, st.Programs)
+	}
+	owned := 0
+	for _, id := range p.K.ModelIDs() {
+		if p.K.ModelOwner(id) == "t1" {
+			owned++
+		}
+	}
+	if owned != 1 {
+		t.Fatalf("t1 owns %d models, want 1", owned)
+	}
+	if _, err := p.K.TenantQuotaOf("gone"); !errors.Is(err, qos.ErrTenantUnknown) {
+		t.Fatalf("removed tenant still resolves: %v", err)
+	}
+	if _, _, err := p.K.TableByName("gone:tab"); err == nil {
+		t.Fatal("removed tenant's table survived")
+	}
+}
+
+// TestTenantRecoveryEquivalence replays the full tenant workload from the
+// log and demands decision equivalence plus identical tenant directories.
+func TestTenantRecoveryEquivalence(t *testing.T) {
+	p, dir := newDurablePlane(t)
+	buildTenantWorkload(t, p)
+	checkTenantState(t, p)
+
+	rec, st := recoverDir(t, copyDir(t, dir, -1))
+	if err := VerifyEquivalence(p, rec, probeKeys); err != nil {
+		t.Fatalf("tenant recovery diverged: %v (%s)", err, st)
+	}
+	checkTenantState(t, rec)
+	if rec.InventoryDigest() != p.InventoryDigest() {
+		t.Fatal("inventory digests differ")
+	}
+	// A tenant fire against the recovered plane resolves through the
+	// recovered tenant's own snapshot, plain hook names and all.
+	res, err := rec.K.FireTenant("t1", "hook/rx", 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != 10 {
+		t.Fatalf("recovered tenant fire verdict = %d, want 10", res.Verdict)
+	}
+}
+
+// TestTenantCheckpointRestore covers the snapshot path: tenants (and model
+// ownership) must restore from the checkpoint body before the log suffix
+// replays prefixed records against them.
+func TestTenantCheckpointRestore(t *testing.T) {
+	p, dir := newDurablePlane(t)
+	buildTenantWorkload(t, p)
+	seq, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq == 0 {
+		t.Fatal("checkpoint covered nothing")
+	}
+	// Post-checkpoint suffix: a prefixed entry lands only if the restored
+	// checkpoint already holds tenant t1 and its table.
+	if err := p.AddEntry("t1:flows", &table.Entry{
+		Key: 12, Action: table.Action{Kind: table.ActionParam, Param: 120},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec, st := recoverDir(t, copyDir(t, dir, -1))
+	if st.CheckpointSeq != seq {
+		t.Fatalf("recovered from checkpoint #%d, want #%d", st.CheckpointSeq, seq)
+	}
+	if err := VerifyEquivalence(p, rec, probeKeys); err != nil {
+		t.Fatalf("checkpointed tenant recovery diverged: %v (%s)", err, st)
+	}
+	checkTenantState(t, rec)
+}
+
+// TestTenantCrashRecovery proves the write-ahead invariant for tenant
+// records: a crash after the append recovers WITH the mutation applied.
+func TestTenantCrashRecovery(t *testing.T) {
+	for _, kind := range []wal.Kind{wal.KindRegisterTenant, wal.KindSetQuota, wal.KindRemoveTenant} {
+		p, dir := newDurablePlane(t)
+		if kind != wal.KindRegisterTenant {
+			if err := p.RegisterTenant("t1", tenantQuota()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.crashAfter = func(k wal.Kind) bool { return k == kind }
+		var err error
+		switch kind {
+		case wal.KindRegisterTenant:
+			err = p.RegisterTenant("t1", tenantQuota())
+		case wal.KindSetQuota:
+			q := tenantQuota()
+			q.RatePerSec = 77
+			err = p.SetTenantQuota("t1", q)
+		case wal.KindRemoveTenant:
+			err = p.RemoveTenant("t1")
+		}
+		if !errors.Is(err, errSimulatedCrash) {
+			t.Fatalf("%s: crash point not hit: %v", kind, err)
+		}
+		rec, _ := recoverDir(t, copyDir(t, dir, -1))
+		switch kind {
+		case wal.KindRegisterTenant:
+			if _, err := rec.K.TenantQuotaOf("t1"); err != nil {
+				t.Fatalf("appended register-tenant did not replay: %v", err)
+			}
+		case wal.KindSetQuota:
+			q, err := rec.K.TenantQuotaOf("t1")
+			if err != nil || q.RatePerSec != 77 {
+				t.Fatalf("appended set-quota did not replay: %+v, %v", q, err)
+			}
+		case wal.KindRemoveTenant:
+			if _, err := rec.K.TenantQuotaOf("t1"); !errors.Is(err, qos.ErrTenantUnknown) {
+				t.Fatalf("appended remove-tenant did not replay: %v", err)
+			}
+		}
+	}
+}
+
+// TestTxnSetQuotaRollback: a failing later step must restore the quota the
+// transaction found, and the conflict leaves no commit record behind.
+func TestTxnSetQuotaRollback(t *testing.T) {
+	k := core.NewKernel(core.Config{})
+	p := New(k)
+	if err := p.RegisterTenant("t1", tenantQuota()); err != nil {
+		t.Fatal(err)
+	}
+	txn := p.Begin()
+	q := tenantQuota()
+	q.RatePerSec = 9999
+	txn.SetTenantQuota("t1", q)
+	txn.AddEntry("no_such_table", &table.Entry{Key: 1})
+	if err := txn.Commit(); err == nil {
+		t.Fatal("commit over a missing table succeeded")
+	}
+	got, err := k.TenantQuotaOf("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RatePerSec != tenantQuota().RatePerSec {
+		t.Fatalf("quota not rolled back: rate=%d", got.RatePerSec)
+	}
+	// Unknown tenants fail the transaction outright.
+	txn2 := p.Begin()
+	txn2.SetTenantQuota("ghost", q)
+	if err := txn2.Commit(); !errors.Is(err, qos.ErrTenantUnknown) {
+		t.Fatalf("ghost tenant commit: %v", err)
+	}
+}

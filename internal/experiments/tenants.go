@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rmtk/internal/core"
+	"rmtk/internal/qos"
+	"rmtk/internal/table"
+	"rmtk/internal/workload"
+)
+
+// This file is Experiment M: multi-tenant isolation under overload. A mixed
+// fleet of tenants — guaranteed, burstable and best-effort — offers open-loop
+// load at 1x and 10x of its reserved quotas against one kernel with the QoS
+// admission controller attached. The fairness gate demands that under 10x
+// overload every guaranteed tenant's goodput stays at >=95% of its quota with
+// zero sheds and bounded tail latency: overload pressure lands on the
+// best-effort tier first, then degrades the burstable tier, and never touches
+// a guaranteed tenant inside its reservation.
+
+// tenantFixture is one synthetic tenant of the experiment's mix.
+type tenantFixture struct {
+	name   string
+	class  qos.Class
+	rate   int64 // reserved fires per second
+	burst  int64
+	weight int
+}
+
+var tenantMix = []tenantFixture{
+	{"g1", qos.Guaranteed, 1000, 50, 4},
+	{"g2", qos.Guaranteed, 500, 25, 2},
+	{"bu", qos.Burstable, 500, 25, 2},
+	{"be", qos.BestEffort, 200, 10, 1},
+}
+
+// tenantKeys is each tenant's flow-key space.
+const tenantKeys = 32
+
+// newTenantKernel builds a kernel carrying the experiment's tenant mix, each
+// tenant with its own exact-match table on its (plain-named) net/rx hook.
+func newTenantKernel(mode core.ExecMode) (*core.Kernel, error) {
+	k := core.NewKernel(core.Config{Mode: mode})
+	for _, tf := range tenantMix {
+		err := k.RegisterTenant(tf.name, core.TenantQuota{
+			Class: tf.class, RatePerSec: tf.rate, Burst: tf.burst, Weight: tf.weight,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t := table.New(core.TenantName(tf.name, "flows"), core.TenantName(tf.name, "net/rx"), table.MatchExact)
+		if _, err := k.CreateTable(t); err != nil {
+			return nil, err
+		}
+		for key := int64(0); key < tenantKeys; key++ {
+			if err := t.Insert(&table.Entry{
+				Key: uint64(key), Action: table.Action{Kind: table.ActionParam, Param: 100 + key},
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return k, nil
+}
+
+// Tenants runs Experiment M and renders its report. A fairness-gate violation
+// is an error, so CI fails loudly rather than printing a bad table.
+func Tenants(seed int64, mode core.ExecMode, short bool) ([]string, error) {
+	durNs := int64(1_000_000_000)
+	if short {
+		durNs = 250_000_000
+	}
+	var capacity int64
+	for _, tf := range tenantMix {
+		capacity += tf.rate
+	}
+	durSec := float64(durNs) / 1e9
+	var lines []string
+
+	for _, factor := range []int64{1, 10} {
+		k, err := newTenantKernel(mode)
+		if err != nil {
+			return nil, err
+		}
+		var now int64
+		ctl := qos.NewController(qos.Config{CapacityPerSec: capacity, WindowNs: 1_000_000}, 0)
+		k.SetAdmission(ctl, func() int64 { return now })
+
+		loads := make([]workload.TenantLoad, 0, len(tenantMix))
+		for _, tf := range tenantMix {
+			loads = append(loads, workload.TenantLoad{
+				Name: tf.name, Class: tf.class, OfferedPerSec: tf.rate * factor, Keys: tenantKeys,
+			})
+		}
+		trace := workload.TenantTrace(workload.TenantTraceConfig{Tenants: loads, DurationNs: durNs, Seed: seed})
+
+		var rec workload.LatencyRecorder
+		for _, ev := range trace {
+			now = ev.AtNs
+			start := time.Now()
+			if _, err := k.FireTenant(ev.Tenant, "net/rx", ev.Key, ev.Key+1, 0); err == nil {
+				rec.Observe(ev.Class, time.Since(start).Nanoseconds())
+			}
+		}
+
+		lines = append(lines, fmt.Sprintf("overload %2dx: %d arrivals, measured load %.1fx capacity",
+			factor, len(trace), float64(ctl.LoadMilli())/1000))
+		for _, tf := range tenantMix {
+			st, err := k.TenantStatus(tf.name)
+			if err != nil {
+				return nil, err
+			}
+			goodput := float64(st.Fires) / (float64(tf.rate) * durSec)
+			lines = append(lines, fmt.Sprintf("  %-2s %-11s offered=%6d admitted=%6d degraded=%6d shed=%6d goodput=%3.0f%% of quota",
+				tf.name, tf.class, st.Fires+st.Degraded+st.Shed, st.Fires, st.Degraded, st.Shed, 100*goodput))
+			if factor == 10 && tf.class == qos.Guaranteed {
+				if goodput < 0.95 {
+					return nil, fmt.Errorf("fairness gate: guaranteed tenant %s at %.0f%% of quota under %dx overload (want >=95%%)",
+						tf.name, 100*goodput, factor)
+				}
+				if st.Shed != 0 {
+					return nil, fmt.Errorf("fairness gate: guaranteed tenant %s shed %d fires", tf.name, st.Shed)
+				}
+			}
+		}
+		for _, class := range qos.Classes() {
+			s := rec.Summary(class)
+			if s.Count == 0 {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("  served latency %-11s n=%6d p50=%dns p99=%dns p999=%dns",
+				class, s.Count, s.P50, s.P99, s.P999))
+		}
+		if factor == 10 {
+			g := rec.Summary(qos.Guaranteed)
+			if g.P999 > 50*time.Millisecond.Nanoseconds() {
+				return nil, fmt.Errorf("fairness gate: guaranteed p999 = %dns under overload (want bounded <50ms)", g.P999)
+			}
+		}
+	}
+
+	// Weighted-fair drain: backlog every tenant equally, drain a fixed budget,
+	// and show strict class priority plus in-class weight proportionality.
+	k, err := newTenantKernel(mode)
+	if err != nil {
+		return nil, err
+	}
+	fq := k.NewFireQueue(4096)
+	const backlog = 1500
+	for i := 0; i < backlog; i++ {
+		for _, tf := range tenantMix {
+			if err := fq.Enqueue(tf.name, core.Event{Hook: "net/rx", Key: int64(i % tenantKeys)}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]core.FireResult, 900)
+	n := fq.Drain(len(out), out)
+	lines = append(lines, fmt.Sprintf("wfq drain: %d of %d queued fires drained", n, backlog*len(tenantMix)))
+	for _, tf := range tenantMix {
+		st, err := k.TenantStatus(tf.name)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, fmt.Sprintf("  %-2s %-11s weight=%d drained=%d", tf.name, tf.class, tf.weight, st.Fires))
+	}
+	return lines, nil
+}

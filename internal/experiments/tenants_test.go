@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"testing"
+
+	"rmtk/internal/core"
+)
+
+// TestTenantsFairnessGate runs Experiment M end to end in its short form:
+// the fairness gate inside Tenants fails the test if a guaranteed tenant
+// loses goodput or gets shed under 10x overload.
+func TestTenantsFairnessGate(t *testing.T) {
+	lines, err := Tenants(1, core.ModeJIT, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 10 {
+		t.Fatalf("report too short: %d lines", len(lines))
+	}
+	for _, l := range lines {
+		t.Log(l)
+	}
+}

@@ -309,3 +309,30 @@ func good(id int) error  { return fmt.Errorf("node %d: %w", id, ErrNotLeader) }
 		"ctrlerrors: ctrl sentinel ErrDivergedLog formatted with %s",
 	)
 }
+
+func TestCtrlErrorsCoversQoSSentinels(t *testing.T) {
+	// Admission sentinels separate the three verdicts callers must branch on:
+	// a shed (drop, maybe retry later), a degrade (serve the fallback) and an
+	// unknown tenant (caller bug). Stringifying one collapses a deliberate
+	// load-management decision into opaque text, so the %w discipline extends
+	// to internal/qos.
+	const src = `package qos
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrAdmissionShed = errors.New("qos: admission shed")
+var ErrTenantUnknown = errors.New("qos: unknown tenant")
+
+func bad(tenant string) error  { return fmt.Errorf("fire by %q: %v", tenant, ErrAdmissionShed) }
+func worse(tenant string) error { return fmt.Errorf("fire by %q: %s", tenant, ErrTenantUnknown) }
+func good(tenant string) error { return fmt.Errorf("fire by %q: %w", tenant, ErrAdmissionShed) }
+`
+	diags := analyze(t, "rmtk/internal/qos", src)
+	wantDiags(t, diags,
+		"ctrlerrors: ctrl sentinel ErrAdmissionShed formatted with %v",
+		"ctrlerrors: ctrl sentinel ErrTenantUnknown formatted with %s",
+	)
+}

@@ -1,0 +1,116 @@
+// Package qos implements the multi-tenant admission-control layer: QoS
+// classes, deterministic token buckets, a weighted-fair (deficit round robin)
+// scheduler over queued fires, and the admission controller that decides —
+// per fire, before any datapath work — whether a tenant's event runs
+// normally, degrades to the hook's baseline fallback, or is shed outright.
+//
+// The design goal is graceful overload degradation with hard isolation:
+// under N-times overload the best-effort tier is shed first (with a typed
+// error, never a timeout), the burstable tier degrades to baseline
+// fallbacks, and guaranteed tenants within their reserved rate are never
+// rejected. All time is explicit (nanosecond arguments), so the controller
+// is deterministic under the repo's virtual-clock simulators and its tests.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Tenant / admission sentinels. Callers branch with errors.Is; every wrap
+// site must use %w (enforced repo-wide by the ctrlerrors analyzer in
+// internal/lint).
+var (
+	// ErrTenantUnknown is wrapped when an operation addresses a tenant that
+	// was never registered or has been torn down.
+	ErrTenantUnknown = errors.New("qos: unknown tenant")
+	// ErrTenantExists is wrapped when a tenant registration collides with a
+	// live tenant of the same name.
+	ErrTenantExists = errors.New("qos: tenant already registered")
+	// ErrInvalidTenant is wrapped when a tenant name is empty or contains
+	// the resource-namespace separator.
+	ErrInvalidTenant = errors.New("qos: invalid tenant name")
+	// ErrQuotaExceeded is wrapped when a control-plane operation would push
+	// a tenant past a hard quota (table count, program count, step budget).
+	ErrQuotaExceeded = errors.New("qos: tenant quota exceeded")
+	// ErrAdmissionShed is wrapped when the admission controller sheds a fire
+	// under overload — the typed form of "try again later", distinguishing
+	// deliberate load shedding from datapath failures and timeouts.
+	ErrAdmissionShed = errors.New("qos: fire shed by admission control")
+	// ErrQueueOverflow is wrapped (alongside ErrAdmissionShed) when a
+	// tenant's fire queue is full and the enqueue is shed.
+	ErrQueueOverflow = errors.New("qos: tenant fire queue overflow")
+)
+
+// NameSeparator splits a tenant namespace from a resource name ("acme:tbl").
+// Tenant names therefore must not contain it.
+const NameSeparator = ":"
+
+// ValidName reports whether name is usable as a tenant namespace.
+func ValidName(name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty name", ErrInvalidTenant)
+	}
+	if strings.Contains(name, NameSeparator) {
+		return fmt.Errorf("%w: %q contains %q", ErrInvalidTenant, name, NameSeparator)
+	}
+	return nil
+}
+
+// Class is a tenant's QoS tier. Ordering matters: higher classes are served
+// first and shed last.
+type Class uint8
+
+const (
+	// BestEffort tenants ride on spare capacity and are shed first under
+	// overload.
+	BestEffort Class = iota
+	// Burstable tenants have a baseline rate; beyond it (or under heavy
+	// overload) they degrade to the hook's baseline fallback instead of
+	// running the learned datapath.
+	Burstable
+	// Guaranteed tenants are never rejected within their reserved rate.
+	Guaranteed
+
+	numClasses = 3
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Guaranteed:
+		return "guaranteed"
+	case Burstable:
+		return "burstable"
+	default:
+		return "best-effort"
+	}
+}
+
+// Classes lists all QoS classes from highest to lowest service priority.
+func Classes() [3]Class { return [3]Class{Guaranteed, Burstable, BestEffort} }
+
+// Verdict is the admission controller's decision for one fire.
+type Verdict uint8
+
+const (
+	// Admit runs the fire through the full learned datapath.
+	Admit Verdict = iota
+	// Degrade runs only the hook's baseline fallback (cheap, bounded).
+	Degrade
+	// Shed rejects the fire with ErrAdmissionShed.
+	Shed
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Degrade:
+		return "degrade"
+	case Shed:
+		return "shed"
+	default:
+		return "admit"
+	}
+}

@@ -1,0 +1,143 @@
+package qos
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// WFQ is a weighted-fair scheduler over queued fires: three strict-priority
+// bands (guaranteed > burstable > best-effort), and within each band a
+// deficit-round-robin rotation over per-tenant FIFO queues. A tenant with
+// weight w drains w quanta per rotation, so two backlogged tenants in the
+// same band share service in proportion to their weights regardless of
+// arrival order — the property that keeps one chatty tenant from starving
+// its band. Per-tenant queues are bounded; Add sheds (typed) on overflow.
+//
+// WFQ is not goroutine-safe; the fire queue in internal/core wraps it with
+// its own lock.
+type WFQ[T any] struct {
+	maxPerTenant int
+	bands        [numClasses]*list.List // of *wfqTenant[T], rotation order
+	tenants      map[string]*wfqTenant[T]
+	length       int
+	quantum      int
+}
+
+// wfqTenant is one tenant's queue state inside a band.
+type wfqTenant[T any] struct {
+	name    string
+	class   Class
+	weight  int
+	deficit int
+	items   []T // FIFO; head at items[0], amortized by periodic compaction
+	head    int
+	elem    *list.Element // position in the band rotation; nil when idle
+}
+
+func (t *wfqTenant[T]) len() int { return len(t.items) - t.head }
+
+// NewWFQ builds a scheduler bounding each tenant queue at maxPerTenant
+// (<=0 selects 1024).
+func NewWFQ[T any](maxPerTenant int) *WFQ[T] {
+	if maxPerTenant <= 0 {
+		maxPerTenant = 1024
+	}
+	q := &WFQ[T]{
+		maxPerTenant: maxPerTenant,
+		tenants:      make(map[string]*wfqTenant[T]),
+		quantum:      1,
+	}
+	for i := range q.bands {
+		q.bands[i] = list.New()
+	}
+	return q
+}
+
+// Add enqueues item for tenant with the given class and weight (weight <= 0
+// selects 1). A full tenant queue sheds the item: the error wraps both
+// ErrAdmissionShed and ErrQueueOverflow.
+func (q *WFQ[T]) Add(tenant string, class Class, weight int, item T) error {
+	if weight <= 0 {
+		weight = 1
+	}
+	t, ok := q.tenants[tenant]
+	if !ok {
+		t = &wfqTenant[T]{name: tenant, class: class, weight: weight}
+		q.tenants[tenant] = t
+	}
+	t.class, t.weight = class, weight
+	if t.len() >= q.maxPerTenant {
+		return fmt.Errorf("%w: %w: tenant %q at %d queued fires",
+			ErrAdmissionShed, ErrQueueOverflow, tenant, t.len())
+	}
+	if t.head > 0 && t.head == len(t.items) {
+		t.items = t.items[:0]
+		t.head = 0
+	}
+	t.items = append(t.items, item)
+	if t.elem == nil {
+		t.deficit = 0
+		t.elem = q.bands[class].PushBack(t)
+	}
+	q.length++
+	return nil
+}
+
+// Next pops the next item in weighted-fair order: the highest non-empty
+// priority band is served exclusively, and inside it tenants rotate
+// deficit-round-robin (each rotation credits weight×quantum; one item costs
+// one quantum).
+func (q *WFQ[T]) Next() (item T, tenant string, ok bool) {
+	var zero T
+	for band := int(numClasses) - 1; band >= 0; band-- {
+		l := q.bands[band]
+		for l.Len() > 0 {
+			e := l.Front()
+			t := e.Value.(*wfqTenant[T])
+			if t.deficit < q.quantum {
+				t.deficit += t.weight * q.quantum
+				l.MoveToBack(e)
+				continue
+			}
+			t.deficit -= q.quantum
+			item = t.items[t.head]
+			t.items[t.head] = zero
+			t.head++
+			q.length--
+			if t.len() == 0 {
+				l.Remove(e)
+				t.elem = nil
+				t.items = t.items[:0]
+				t.head = 0
+			}
+			return item, t.name, true
+		}
+	}
+	return zero, "", false
+}
+
+// Len reports the total queued items across all tenants.
+func (q *WFQ[T]) Len() int { return q.length }
+
+// TenantLen reports one tenant's queue depth.
+func (q *WFQ[T]) TenantLen(tenant string) int {
+	if t, ok := q.tenants[tenant]; ok {
+		return t.len()
+	}
+	return 0
+}
+
+// Drop discards a tenant's queued items (teardown), returning the count.
+func (q *WFQ[T]) Drop(tenant string) int {
+	t, ok := q.tenants[tenant]
+	if !ok {
+		return 0
+	}
+	n := t.len()
+	if t.elem != nil {
+		q.bands[t.class].Remove(t.elem)
+	}
+	delete(q.tenants, tenant)
+	q.length -= n
+	return n
+}

@@ -115,6 +115,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	vecs     map[string]*SeriesVec
 	sources  []func() []string
 }
 
@@ -124,6 +125,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		vecs:     make(map[string]*SeriesVec),
 	}
 }
 
@@ -163,6 +165,20 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// SeriesVec returns (creating on first use) the named labeled-counter
+// family, bounded at capacity live series. The capacity of an existing vec
+// is not changed by later calls.
+func (r *Registry) SeriesVec(name string, capacity int) *SeriesVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.vecs[name]
+	if !ok {
+		v = newSeriesVec(name, capacity)
+		r.vecs[name] = v
+	}
+	return v
+}
+
 // Snapshot renders all metrics as sorted "name value" lines, including lines
 // from lazy sources registered with AddSource (sharded hot-path metrics are
 // aggregated only here, never on the write side).
@@ -179,7 +195,14 @@ func (r *Registry) Snapshot() []string {
 	for name, h := range r.hists {
 		out = append(out, fmt.Sprintf("%s count=%d mean=%.1f p99<=%d", name, h.Count(), h.Mean(), h.Quantile(0.99)))
 	}
+	vecs := make([]*SeriesVec, 0, len(r.vecs))
+	for _, v := range r.vecs {
+		vecs = append(vecs, v)
+	}
 	r.mu.Unlock()
+	for _, v := range vecs {
+		out = v.snapshotLines(out)
+	}
 	for _, src := range sources {
 		out = append(out, src()...)
 	}

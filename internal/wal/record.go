@@ -46,24 +46,34 @@ const (
 	// the record exists so two logs that diverged under different leaders
 	// disagree on bytes, not just on interpretation.
 	KindEpoch
+	// KindRegisterTenant creates tenant namespace Tenant with contract Quota.
+	KindRegisterTenant
+	// KindSetQuota replaces tenant Tenant's contract with Quota.
+	KindSetQuota
+	// KindRemoveTenant tears tenant Tenant down (its prefixed resources go
+	// with it; their creation records are superseded, not contradicted).
+	KindRemoveTenant
 
 	kindEnd
 )
 
 var kindNames = [...]string{
-	KindCreateTable:   "create-table",
-	KindAddEntry:      "add-entry",
-	KindRemoveEntry:   "remove-entry",
-	KindUpdateAction:  "update-action",
-	KindLoadProgram:   "load-program",
-	KindRegisterModel: "register-model",
-	KindRegisterQMLP:  "register-qmlp",
-	KindPushModel:     "push-model",
-	KindRollbackModel: "rollback-model",
-	KindRetarget:      "retarget",
-	KindTxnCommit:     "txn-commit",
-	KindAbort:         "abort",
-	KindEpoch:         "epoch",
+	KindCreateTable:    "create-table",
+	KindAddEntry:       "add-entry",
+	KindRemoveEntry:    "remove-entry",
+	KindUpdateAction:   "update-action",
+	KindLoadProgram:    "load-program",
+	KindRegisterModel:  "register-model",
+	KindRegisterQMLP:   "register-qmlp",
+	KindPushModel:      "push-model",
+	KindRollbackModel:  "rollback-model",
+	KindRetarget:       "retarget",
+	KindTxnCommit:      "txn-commit",
+	KindAbort:          "abort",
+	KindEpoch:          "epoch",
+	KindRegisterTenant: "register-tenant",
+	KindSetQuota:       "set-quota",
+	KindRemoveTenant:   "remove-tenant",
 }
 
 // String names the kind.
@@ -119,6 +129,21 @@ type Model struct {
 	Data  json.RawMessage `json:"data"`
 }
 
+// Quota mirrors a tenant's resource contract (core.TenantQuota) in durable
+// form: QoS class, reserved rate, fair-share weight, resource caps and
+// SLO overrides.
+type Quota struct {
+	Class       uint8 `json:"class,omitempty"`
+	RatePerSec  int64 `json:"rate,omitempty"`
+	Burst       int64 `json:"burst,omitempty"`
+	Weight      int   `json:"weight,omitempty"`
+	MaxTables   int   `json:"max_tables,omitempty"`
+	MaxPrograms int   `json:"max_progs,omitempty"`
+	StepBudget  int64 `json:"step_budget,omitempty"`
+	StepSLO     int64 `json:"step_slo,omitempty"`
+	LatencySLO  int64 `json:"latency_slo_ns,omitempty"`
+}
+
 // Record is one logged control-plane mutation. Kind selects which fields
 // are meaningful; unused fields are omitted from the encoding.
 type Record struct {
@@ -149,6 +174,11 @@ type Record struct {
 	// From and To are KindRetarget's program ids.
 	From int64 `json:"from,omitempty"`
 	To   int64 `json:"to,omitempty"`
+	// Tenant names the target of a tenant record, or the owning tenant of a
+	// KindRegisterModel ("" for default-owned).
+	Tenant string `json:"tenant,omitempty"`
+	// Quota is the contract of a register-tenant / set-quota record.
+	Quota *Quota `json:"quota,omitempty"`
 	// Sub holds a transaction's staged records in commit order.
 	Sub []*Record `json:"sub,omitempty"`
 	// Ref is the sequence number a KindAbort cancels.
@@ -218,6 +248,14 @@ func (r *Record) validate(sub bool) error {
 		if r.Epoch == 0 {
 			return fmt.Errorf("epoch mark without an epoch")
 		}
+	case KindRegisterTenant, KindSetQuota:
+		if r.Tenant == "" || r.Quota == nil {
+			return fmt.Errorf("%s without tenant/quota", r.Kind)
+		}
+	case KindRemoveTenant:
+		if r.Tenant == "" {
+			return fmt.Errorf("remove-tenant without a tenant name")
+		}
 	}
 	return nil
 }
@@ -270,6 +308,10 @@ func (r *Record) String() string {
 		return fmt.Sprintf("#%d abort ref=#%d", r.Seq, r.Ref)
 	case KindEpoch:
 		return fmt.Sprintf("#%d epoch=%d", r.Seq, r.Epoch)
+	case KindRegisterTenant, KindSetQuota:
+		return fmt.Sprintf("#%d %s tenant=%q class=%d rate=%d", r.Seq, r.Kind, r.Tenant, r.Quota.Class, r.Quota.RatePerSec)
+	case KindRemoveTenant:
+		return fmt.Sprintf("#%d remove-tenant tenant=%q", r.Seq, r.Tenant)
 	default:
 		return fmt.Sprintf("#%d %s", r.Seq, r.Kind)
 	}

@@ -34,6 +34,7 @@ import (
 	"rmtk/internal/dp"
 	"rmtk/internal/fault"
 	"rmtk/internal/isa"
+	"rmtk/internal/qos"
 	"rmtk/internal/table"
 	"rmtk/internal/verifier"
 	"rmtk/internal/wal"
@@ -271,6 +272,62 @@ func NewProgramShadow(hook string, progID int64) *Shadow {
 // ErrBudgetExceeded classifies model pushes rejected by the verifier's
 // FLOP/memory cost gate (wrapped alongside the specific sentinel).
 var ErrBudgetExceeded = ctrl.ErrBudgetExceeded
+
+// Multi-tenant isolation (see DESIGN.md "Multi-tenancy & admission
+// control"): tenants own name-prefixed resources behind independent route
+// snapshots, verdict caches and supervisors; a QoS admission controller
+// decides per fire whether a tenant's event runs, degrades to the hook's
+// baseline fallback, or is shed with a typed error; a weighted-fair fire
+// queue drains backlogs by strict class priority and in-class quota weight.
+
+// TenantQuota is one tenant's contract: QoS class, reserved rate and burst,
+// fair-share weight, and hard resource caps.
+type TenantQuota = core.TenantQuota
+
+// TenantStatus reports one tenant's quotas, resources and fire accounting.
+type TenantStatus = core.TenantStatus
+
+// QoSClass is a tenant's service tier.
+type QoSClass = qos.Class
+
+// QoS tiers, in strict scheduling-priority order.
+const (
+	QoSGuaranteed = qos.Guaranteed
+	QoSBurstable  = qos.Burstable
+	QoSBestEffort = qos.BestEffort
+)
+
+// AdmissionController decides admit/degrade/shed per tenant fire.
+type AdmissionController = qos.Controller
+
+// AdmissionConfig parameterizes the admission controller.
+type AdmissionConfig = qos.Config
+
+// NewAdmissionController builds an admission controller; nowNs seeds the
+// load-measurement window. Attach it with Kernel.SetAdmission.
+func NewAdmissionController(cfg AdmissionConfig, nowNs int64) *AdmissionController {
+	return qos.NewController(cfg, nowNs)
+}
+
+// FireQueue is the weighted-fair scheduler over queued tenant fires.
+type FireQueue = core.FireQueue
+
+// TenantName prefixes a resource name with a tenant namespace ("" returns
+// the name unchanged: the default tenant's resources are unprefixed).
+func TenantName(tenant, name string) string { return core.TenantName(tenant, name) }
+
+// Tenancy sentinels; branch with errors.Is.
+var (
+	// ErrAdmissionShed is wrapped when admission control sheds a fire under
+	// overload — deliberate load management, not a datapath failure.
+	ErrAdmissionShed = qos.ErrAdmissionShed
+	// ErrTenantUnknown is wrapped when an operation addresses a tenant that
+	// was never registered or has been torn down.
+	ErrTenantUnknown = qos.ErrTenantUnknown
+	// ErrQuotaExceeded is wrapped when an operation would push a tenant past
+	// a hard resource quota.
+	ErrQuotaExceeded = qos.ErrQuotaExceeded
+)
 
 // Durable control plane (see DESIGN.md "Durability & recovery"): a
 // WAL-backed plane appends every committed mutation to a CRC-framed

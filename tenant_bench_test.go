@@ -1,0 +1,98 @@
+// Tenancy benchmark suite: the multi-tenant fire-path measurements the CI
+// perf gate (cmd/benchgate, .github/workflows/ci.yml "bench" job) tracks
+// against BENCH_BASELINE.json. BenchmarkTenantFire prices a fire routed
+// through a named tenant's snapshot — with and without the admission
+// controller on the path — so the tenancy layer's overhead over the default
+// tenant's BenchmarkHotPath stays visible. BenchmarkAdmission prices the
+// admission verdict alone: one token-bucket charge plus the overload ladder,
+// the cost every tenant fire pays when a controller is attached.
+package rmtk_test
+
+import (
+	"testing"
+
+	"rmtk/internal/core"
+	"rmtk/internal/qos"
+	"rmtk/internal/table"
+)
+
+const tenantBenchKeys = 256
+
+// newTenantBenchKernel builds a kernel with one guaranteed tenant behind an
+// exact-match table; withAdmission attaches a controller whose quota is wide
+// enough that every fire admits (the bench measures verdict cost, not sheds).
+func newTenantBenchKernel(b *testing.B, withAdmission bool, now *int64) *core.Kernel {
+	b.Helper()
+	k := core.NewKernel(core.Config{Mode: core.ModeJIT})
+	err := k.RegisterTenant("bench", core.TenantQuota{
+		Class: qos.Guaranteed, RatePerSec: 1 << 30, Burst: 1 << 20, Weight: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := table.New(core.TenantName("bench", "flows"), core.TenantName("bench", "net/rx"), table.MatchExact)
+	if _, err := k.CreateTable(t); err != nil {
+		b.Fatal(err)
+	}
+	for key := int64(0); key < tenantBenchKeys; key++ {
+		err := t.Insert(&table.Entry{
+			Key: uint64(key), Action: table.Action{Kind: table.ActionParam, Param: 100 + key},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if withAdmission {
+		ctl := qos.NewController(qos.Config{CapacityPerSec: 1 << 30, WindowNs: 1_000_000}, 0)
+		k.SetAdmission(ctl, func() int64 { return *now })
+	}
+	return k
+}
+
+// BenchmarkTenantFire is CI-gated: ns per fire through a named tenant,
+// bare (namespace resolution + per-tenant snapshot only) and admitted
+// (plus the token-bucket verdict).
+func BenchmarkTenantFire(b *testing.B) {
+	for _, tc := range []struct {
+		name      string
+		admission bool
+	}{{"bare", false}, {"admitted", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var now int64
+			k := newTenantBenchKernel(b, tc.admission, &now)
+			for i := int64(0); i < 4*tenantBenchKeys; i++ { // warm JIT and caches
+				now += 1000
+				if _, err := k.FireTenant("bench", "net/rx", i%tenantBenchKeys, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += 1000
+				k.FireTenant("bench", "net/rx", int64(i)%tenantBenchKeys, 0, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkAdmission is CI-gated: ns per admission verdict on a controller
+// carrying a small tenant mix, calls round-robin across tenants with virtual
+// time advancing at one event per microsecond.
+func BenchmarkAdmission(b *testing.B) {
+	ctl := qos.NewController(qos.Config{CapacityPerSec: 1_000_000, WindowNs: 1_000_000}, 0)
+	tenants := []qos.TenantSpec{
+		{Name: "g1", Class: qos.Guaranteed, RatePerSec: 400_000, Burst: 1000, Weight: 4},
+		{Name: "g2", Class: qos.Guaranteed, RatePerSec: 200_000, Burst: 500, Weight: 2},
+		{Name: "bu", Class: qos.Burstable, RatePerSec: 200_000, Burst: 500, Weight: 2},
+		{Name: "be", Class: qos.BestEffort, RatePerSec: 100_000, Burst: 250, Weight: 1},
+	}
+	for _, spec := range tenants {
+		ctl.SetTenant(spec, 0)
+	}
+	var now int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 1000
+		ctl.Admit(tenants[i%len(tenants)].Name, now)
+	}
+}
