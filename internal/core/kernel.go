@@ -267,7 +267,7 @@ func (k *Kernel) CreateTable(t *table.Table) (int64, error) {
 		return 0, fmt.Errorf("%w: table %q", ErrDuplicate, t.Name)
 	}
 	owner := tenantOf(t.Name)
-	ts, err := k.chargeTableLocked(owner)
+	ts, err := k.chargeTableLocked(owner, t.Hook, true)
 	if err != nil {
 		return 0, err
 	}
@@ -297,8 +297,16 @@ func (k *Kernel) CreateTable(t *table.Table) (int64, error) {
 }
 
 // chargeTableLocked validates the owner of a new table against tenancy and
-// quota (nil tenantState for the default tenant). Caller holds k.mu.
-func (k *Kernel) chargeTableLocked(owner string) (*tenantState, error) {
+// quota (nil tenantState for the default tenant). A table's hook must live in
+// the table's own namespace: an attached table executes inside the hook
+// owner's datapath, so a cross-tenant hook would let one tenant run code in
+// another's pipeline. enforceQuota is false on the checkpoint-restore path,
+// which replays already-admitted state and must succeed even after a quota
+// was lowered below the tenant's live resource count. Caller holds k.mu.
+func (k *Kernel) chargeTableLocked(owner, hook string, enforceQuota bool) (*tenantState, error) {
+	if hook != "" && tenantOf(hook) != owner {
+		return nil, fmt.Errorf("%w: table of tenant %q on hook %q", qos.ErrCrossTenant, owner, hook)
+	}
 	if owner == "" {
 		return nil, nil
 	}
@@ -306,7 +314,7 @@ func (k *Kernel) chargeTableLocked(owner string) (*tenantState, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", qos.ErrTenantUnknown, owner)
 	}
-	if ts.quota.MaxTables > 0 && ts.nTables >= ts.quota.MaxTables {
+	if enforceQuota && ts.quota.MaxTables > 0 && ts.nTables >= ts.quota.MaxTables {
 		return nil, fmt.Errorf("%w: tenant %q at %d tables", qos.ErrQuotaExceeded, owner, ts.nTables)
 	}
 	return ts, nil
@@ -589,6 +597,9 @@ func (k *Kernel) InstallProgramAt(id int64, prog *isa.Program) (*verifier.Report
 
 func (k *Kernel) installProgram(prog *isa.Program, forceID int64) (int64, *verifier.Report, error) {
 	owner := tenantOf(prog.Name)
+	// The restore path (forceID > 0) replays already-admitted programs and
+	// skips quota caps — see CreateTableAt.
+	enforceQuota := forceID == 0
 	k.mu.RLock()
 	_, dup := k.progIDs[prog.Name]
 	if owner != "" {
@@ -597,7 +608,7 @@ func (k *Kernel) installProgram(prog *isa.Program, forceID int64) (int64, *verif
 			k.mu.RUnlock()
 			return 0, nil, fmt.Errorf("%w: %q", qos.ErrTenantUnknown, owner)
 		}
-		if ts.quota.MaxPrograms > 0 && ts.nProgs >= ts.quota.MaxPrograms {
+		if enforceQuota && ts.quota.MaxPrograms > 0 && ts.nProgs >= ts.quota.MaxPrograms {
 			k.mu.RUnlock()
 			return 0, nil, fmt.Errorf("%w: tenant %q at %d programs", qos.ErrQuotaExceeded, owner, ts.nProgs)
 		}
@@ -650,7 +661,7 @@ func (k *Kernel) installProgram(prog *isa.Program, forceID int64) (int64, *verif
 		}
 		// Recheck under the write lock: the RLock-time check can race a
 		// concurrent install of the same tenant.
-		if ts.quota.MaxPrograms > 0 && ts.nProgs >= ts.quota.MaxPrograms {
+		if enforceQuota && ts.quota.MaxPrograms > 0 && ts.nProgs >= ts.quota.MaxPrograms {
 			return 0, nil, fmt.Errorf("%w: tenant %q at %d programs", qos.ErrQuotaExceeded, owner, ts.nProgs)
 		}
 	}

@@ -34,17 +34,28 @@ func (k *Kernel) NewFireQueue(maxPerTenant int) *FireQueue {
 // Enqueue admits one tenant event into the queue. The admission ladder runs
 // here — a shed verdict (or a full tenant queue) returns a typed
 // ErrAdmissionShed immediately; a degrade verdict is recorded on the item and
-// honored at drain. Draining never re-consults admission, so a fire is
-// charged against its tenant's bucket exactly once.
+// honored at drain. The overflow check precedes the admission call and both
+// run under the queue lock, so a fire shed on tenant-queue backlog never
+// consumes a token or counts as admitted — draining never re-consults
+// admission either, so a served fire is charged against its tenant's bucket
+// exactly once.
 func (q *FireQueue) Enqueue(tenant string, ev Event) error {
 	ts := q.k.tenant(tenant)
 	if ts == nil {
 		return fmt.Errorf("%w: %q", qos.ErrTenantUnknown, tenant)
 	}
 	item := queuedFire{ev: ev}
+	q.mu.Lock()
+	if q.q.Full(tenant) {
+		q.mu.Unlock()
+		ts.markShed()
+		q.k.Metrics.Counter("core.admission_shed").Inc()
+		return fmt.Errorf("%w: %w: tenant %q at %q", qos.ErrAdmissionShed, qos.ErrQueueOverflow, tenant, ev.Hook)
+	}
 	if a := q.k.adm.Load(); a != nil && tenant != "" {
 		switch a.ctl.Admit(tenant, a.now()) {
 		case qos.Shed:
+			q.mu.Unlock()
 			ts.markShed()
 			q.k.Metrics.Counter("core.admission_shed").Inc()
 			return fmt.Errorf("%w: tenant %q at %q", qos.ErrAdmissionShed, tenant, ev.Hook)
@@ -54,7 +65,6 @@ func (q *FireQueue) Enqueue(tenant string, ev Event) error {
 	}
 	class := qos.Class(ts.qclass.Load())
 	weight := int(ts.qweight.Load())
-	q.mu.Lock()
 	err := q.q.Add(tenant, class, weight, item)
 	q.mu.Unlock()
 	if err != nil {

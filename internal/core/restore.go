@@ -17,6 +17,9 @@ import (
 
 // CreateTableAt registers a table at an explicit id. Restored ids must
 // arrive in ascending order; the table allocator resumes after the highest.
+// Quota caps are not enforced here: restore replays already-admitted state,
+// and a checkpoint taken after a quota was lowered below the tenant's live
+// table count must still recover.
 func (k *Kernel) CreateTableAt(id int64, t *table.Table) error {
 	if id <= 0 {
 		return fmt.Errorf("core: restore table id %d: must be positive", id)
@@ -30,7 +33,7 @@ func (k *Kernel) CreateTableAt(id int64, t *table.Table) error {
 		return fmt.Errorf("%w: table %q", ErrDuplicate, t.Name)
 	}
 	owner := tenantOf(t.Name)
-	ts, err := k.chargeTableLocked(owner)
+	ts, err := k.chargeTableLocked(owner, t.Hook, false)
 	if err != nil {
 		return err
 	}

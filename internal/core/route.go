@@ -132,7 +132,10 @@ func (k *Kernel) publishTenantLocked(ts *tenantState) {
 		}
 		hr := &hookRoute{id: k.hookIDs[hook], shadow: k.shadows[hook]}
 		for _, tid := range ids {
-			if t, ok := k.tables[tid]; ok {
+			// Visibility here is defense in depth: chargeTableLocked already
+			// rejects tables whose hook lives in a foreign namespace, so a
+			// pipeline only ever carries its own tenant's tables.
+			if t, ok := k.tables[tid]; ok && visible(tenantOf(t.Name)) {
 				hr.tables = append(hr.tables, t)
 			}
 		}

@@ -443,3 +443,61 @@ func TestZeroQuotaTenant(t *testing.T) {
 		}
 	}
 }
+
+// TestCrossTenantHookRejected: a table must live in its hook's namespace —
+// an attached table executes inside the hook owner's datapath, so a
+// cross-tenant attachment would run one tenant's pipeline code in another's.
+func TestCrossTenantHookRejected(t *testing.T) {
+	k := NewKernel(Config{})
+	for _, tn := range []string{"alpha", "beta"} {
+		if err := k.RegisterTenant(tn, TenantQuota{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addTenantTable(t, k, "alpha", "tab", "h", 1, 100)
+	for _, tc := range []struct{ name, hook string }{
+		{"beta:evil", "alpha:h"}, // tenant table on a foreign tenant's hook
+		{"evil", "alpha:h"},      // default-owned table on a tenant hook
+		{"beta:evil", "h"},       // tenant table on a default hook
+	} {
+		if _, err := k.CreateTable(table.New(tc.name, tc.hook, table.MatchExact)); !errors.Is(err, qos.ErrCrossTenant) {
+			t.Fatalf("CreateTable(%q on %q) err = %v, want ErrCrossTenant", tc.name, tc.hook, err)
+		}
+		if err := k.CreateTableAt(99, table.New(tc.name, tc.hook, table.MatchExact)); !errors.Is(err, qos.ErrCrossTenant) {
+			t.Fatalf("CreateTableAt(%q on %q) err = %v, want ErrCrossTenant", tc.name, tc.hook, err)
+		}
+	}
+	// Alpha's pipeline is untouched by the rejected attachments.
+	if res, err := k.FireTenant("alpha", "h", 1, 0, 0); err != nil || res.Verdict != 100 || res.Matched != 1 {
+		t.Fatalf("alpha fire = %+v err %v", res, err)
+	}
+}
+
+// TestFireQueueOverflowDoesNotChargeAdmission: a fire shed on tenant-queue
+// backlog must not consume a token or count as admitted — the overflow check
+// runs before the admission controller is consulted, so under backlog a fire
+// is charged exactly once or not at all.
+func TestFireQueueOverflowDoesNotChargeAdmission(t *testing.T) {
+	k := NewKernel(Config{})
+	if err := k.RegisterTenant("t", TenantQuota{Class: qos.Guaranteed, RatePerSec: 1, Burst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	k.SetAdmission(qos.NewController(qos.Config{CapacityPerSec: 1000}, 0), func() int64 { return 0 })
+	fq := k.NewFireQueue(1)
+	if err := fq.Enqueue("t", Event{Hook: "h", Key: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := fq.Enqueue("t", Event{Hook: "h", Key: 2})
+	if !errors.Is(err, qos.ErrAdmissionShed) || !errors.Is(err, qos.ErrQueueOverflow) {
+		t.Fatalf("overflow err = %v, want ErrAdmissionShed+ErrQueueOverflow", err)
+	}
+	for _, st := range k.Admission().Stats() {
+		if st.Name == "t" && (st.Offered != 1 || st.Admitted != 1 || st.Shed != 0) {
+			t.Fatalf("controller charged for the overflow-shed fire: %+v", st)
+		}
+	}
+	st, _ := k.TenantStatus("t")
+	if st.Shed != 1 {
+		t.Fatalf("tenant shed count = %d, want 1", st.Shed)
+	}
+}

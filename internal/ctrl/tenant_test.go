@@ -262,3 +262,53 @@ func TestTxnSetQuotaRollback(t *testing.T) {
 		t.Fatalf("ghost tenant commit: %v", err)
 	}
 }
+
+// TestCheckpointRestoreAfterQuotaLowered: lowering a tenant's resource caps
+// below its live counts must not brick recovery. The checkpoint registers the
+// tenant with the final (lowered) quota before replaying its tables and
+// programs, so the restore path replays already-admitted state without
+// re-enforcing caps — while new creates past the caps stay refused.
+func TestCheckpointRestoreAfterQuotaLowered(t *testing.T) {
+	p, dir := newDurablePlane(t)
+	if err := p.RegisterTenant("t1", tenantQuota()); err != nil { // MaxTables: 4, MaxPrograms: 2
+		t.Fatal(err)
+	}
+	for _, name := range []string{"t1:a", "t1:b"} {
+		if _, _, err := p.CreateTable(name, "t1:hook/rx", table.MatchExact); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"t1:p1", "t1:p2"} {
+		if _, _, err := p.LoadProgram(&isa.Program{
+			Name: name, Hook: "t1:hook/rx",
+			Insns: isa.MustAssemble("movimm r0, 42\nexit"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	low := tenantQuota()
+	low.MaxTables = 1
+	low.MaxPrograms = 1
+	if err := p.SetTenantQuota("t1", low); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := recoverDir(t, copyDir(t, dir, -1))
+	st, err := rec.K.TenantStatus("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tables != 2 || st.Programs != 2 {
+		t.Fatalf("restored %d tables / %d programs, want 2/2", st.Tables, st.Programs)
+	}
+	q, err := rec.K.TenantQuotaOf("t1")
+	if err != nil || q.MaxTables != 1 || q.MaxPrograms != 1 {
+		t.Fatalf("restored quota = %+v err %v, want lowered caps", q, err)
+	}
+	// The lowered caps still gate post-recovery growth.
+	if _, _, err := rec.CreateTable("t1:c", "t1:hook/rx", table.MatchExact); !errors.Is(err, qos.ErrQuotaExceeded) {
+		t.Fatalf("post-recovery create err = %v, want ErrQuotaExceeded", err)
+	}
+}

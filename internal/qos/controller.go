@@ -123,13 +123,27 @@ func (c *Controller) Spec(name string) (TenantSpec, bool) {
 }
 
 // observe charges one offered fire to the demand window and rolls the
-// overload EWMA at window boundaries. Caller holds c.mu.
+// overload EWMA at window boundaries. The gap since the last observation is
+// closed in O(1) regardless of idle time: the first elapsed window carries
+// the accumulated count, every further window is empty and halves the EWMA,
+// and past 63 empty windows the EWMA is identically zero. Caller holds c.mu.
 func (c *Controller) observe(nowNs int64) {
-	for nowNs-c.winStart >= c.cfg.WindowNs {
-		// Instantaneous load of the closed window, then decay toward it.
-		inst := c.winOffer * 1000 * 1_000_000_000 / (c.cfg.CapacityPerSec * c.cfg.WindowNs)
-		c.loadMilli = (c.loadMilli + inst) / 2
-		c.winStart += c.cfg.WindowNs
+	if gap := nowNs - c.winStart; gap >= c.cfg.WindowNs {
+		// Per-window capacity, split to avoid overflowing CapacityPerSec *
+		// WindowNs for large windows; clamped so sub-fire windows still
+		// divide (overestimating load on such degenerate configs).
+		capWin := c.cfg.CapacityPerSec*(c.cfg.WindowNs/1_000_000_000) +
+			c.cfg.CapacityPerSec*(c.cfg.WindowNs%1_000_000_000)/1_000_000_000
+		if capWin < 1 {
+			capWin = 1
+		}
+		c.loadMilli = (c.loadMilli + c.winOffer*1000/capWin) / 2
+		if empty := gap/c.cfg.WindowNs - 1; empty >= 63 {
+			c.loadMilli = 0
+		} else {
+			c.loadMilli >>= uint(empty)
+		}
+		c.winStart = nowNs - gap%c.cfg.WindowNs
 		c.winOffer = 0
 	}
 	c.winOffer++

@@ -41,6 +41,10 @@ var (
 	// ErrQueueOverflow is wrapped (alongside ErrAdmissionShed) when a
 	// tenant's fire queue is full and the enqueue is shed.
 	ErrQueueOverflow = errors.New("qos: tenant fire queue overflow")
+	// ErrCrossTenant is wrapped when a resource references another tenant's
+	// namespace — e.g. a table attached to a foreign tenant's hook, which
+	// would execute inside that tenant's datapath.
+	ErrCrossTenant = errors.New("qos: cross-tenant resource reference")
 )
 
 // NameSeparator splits a tenant namespace from a resource name ("acme:tbl").

@@ -256,3 +256,78 @@ func statsFor(t *testing.T, c *Controller, name string) TenantStats {
 	t.Fatalf("no stats for %q", name)
 	return TenantStats{}
 }
+
+// TestWFQClassChangeMovesBands: a queued tenant whose class changes must
+// carry its rotation element into the new band. Leaving the element behind
+// strands it in a list t.class no longer names, so a later Drop removes
+// nothing: the queue length goes negative and "dropped" items are still
+// served.
+func TestWFQClassChangeMovesBands(t *testing.T) {
+	q := NewWFQ[int](0)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(q.Add("t", BestEffort, 1, 1))
+	must(q.Add("t", Guaranteed, 1, 2)) // class change while queued
+	must(q.Add("other", Burstable, 1, 3))
+	// t drains from the guaranteed band now, ahead of burstable "other".
+	if item, tenant, ok := q.Next(); !ok || tenant != "t" || item != 1 {
+		t.Fatalf("Next = %d/%q/%v, want 1/t", item, tenant, ok)
+	}
+	if n := q.Drop("t"); n != 1 {
+		t.Fatalf("Drop = %d, want 1", n)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after Drop, want 1 (other's item)", q.Len())
+	}
+	if item, tenant, ok := q.Next(); !ok || tenant != "other" || item != 3 {
+		t.Fatalf("Next = %d/%q/%v, want 3/other", item, tenant, ok)
+	}
+	if item, tenant, ok := q.Next(); ok {
+		t.Fatalf("dropped item %d/%q served after Drop", item, tenant)
+	}
+}
+
+// TestControllerIdleGapClosesInConstantTime: an idle gap of arbitrary length
+// must close in O(1). A year at the 1ms default is ~3e10 windows — a
+// per-window loop would wedge this test — and after it the EWMA is fully
+// decayed.
+func TestControllerIdleGapClosesInConstantTime(t *testing.T) {
+	const winNs = 1_000_000
+	cfg := Config{CapacityPerSec: 1000, WindowNs: winNs}
+	c := NewController(cfg, 0)
+	c.SetTenant(TenantSpec{Name: "be", Class: BestEffort}, 0)
+	for w := int64(0); w < 10; w++ {
+		driveWindow(c, "be", 20, w*winNs, winNs)
+	}
+	if load := c.LoadMilli(); load <= 1000 {
+		t.Fatalf("LoadMilli = %d after saturation, want > 1000", load)
+	}
+	year := int64(365) * 24 * 3600 * 1_000_000_000
+	if v := c.Admit("be", 10*winNs+year); v != Admit {
+		t.Fatalf("verdict after idle year = %v, want admit", v)
+	}
+	if load := c.LoadMilli(); load != 0 {
+		t.Fatalf("LoadMilli = %d after idle year, want 0", load)
+	}
+}
+
+// TestControllerLargeWindowNoOverflow: CapacityPerSec × WindowNs past int64
+// must not corrupt the load estimate — the per-window capacity is computed in
+// split precision instead of multiplying the raw product.
+func TestControllerLargeWindowNoOverflow(t *testing.T) {
+	cfg := Config{CapacityPerSec: 2_000_000_000, WindowNs: 5_000_000_000}
+	c := NewController(cfg, 0)
+	c.SetTenant(TenantSpec{Name: "be", Class: BestEffort}, 0)
+	for i := int64(0); i < 100; i++ {
+		if v := c.Admit("be", i); v != Admit {
+			t.Fatalf("fire %d: verdict %v, want admit (capacity is 1e10/window)", i, v)
+		}
+	}
+	c.Admit("be", cfg.WindowNs) // closes the first window
+	if load := c.LoadMilli(); load != 0 {
+		t.Fatalf("LoadMilli = %d, want 0 (100 fires against 1e10/window)", load)
+	}
+}

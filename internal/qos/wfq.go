@@ -65,6 +65,14 @@ func (q *WFQ[T]) Add(tenant string, class Class, weight int, item T) error {
 		t = &wfqTenant[T]{name: tenant, class: class, weight: weight}
 		q.tenants[tenant] = t
 	}
+	if t.elem != nil && class != t.class {
+		// A queued tenant changing class must move bands with its element:
+		// t.class is how Drop and Next find the band list owning t.elem, so
+		// reassigning it in place would strand the element in the old band.
+		q.bands[t.class].Remove(t.elem)
+		t.deficit = 0
+		t.elem = q.bands[class].PushBack(t)
+	}
 	t.class, t.weight = class, weight
 	if t.len() >= q.maxPerTenant {
 		return fmt.Errorf("%w: %w: tenant %q at %d queued fires",
@@ -118,6 +126,16 @@ func (q *WFQ[T]) Next() (item T, tenant string, ok bool) {
 
 // Len reports the total queued items across all tenants.
 func (q *WFQ[T]) Len() int { return q.length }
+
+// Full reports whether a tenant's queue is at capacity — the pre-admission
+// check that lets callers shed on overflow before charging the tenant's
+// token bucket.
+func (q *WFQ[T]) Full(tenant string) bool {
+	if t, ok := q.tenants[tenant]; ok {
+		return t.len() >= q.maxPerTenant
+	}
+	return false
+}
 
 // TenantLen reports one tenant's queue depth.
 func (q *WFQ[T]) TenantLen(tenant string) int {
