@@ -7,6 +7,8 @@
 //	rmtkctl [-O] asm <prog.rmt>                 assemble to <prog.bin>
 //	rmtkctl dis <prog.bin>                      disassemble wire format
 //	rmtkctl [-O] [-v] verify <prog.rmt>         run the verifier, print the report
+//	rmtkctl verify -report [-json] [datapaths | prog.rmt ...]
+//	                                            three-stage lint/simulate/prove report
 //	rmtkctl [-O] run <prog.rmt> [r1 [r2 [r3]]]  install and execute, print R0
 //	rmtkctl log-inspect <waldir>                print WAL records, checkpoints and damage
 //	rmtkctl [-v] recover <waldir>               replay the log, print recovery stats
@@ -17,7 +19,16 @@
 //
 // -O runs the machine-independent optimizer (constant folding, interval
 // range folding, jump threading, dead-code elimination) before the
-// operation. -v makes verify print the proof artifacts: a per-instruction
+// operation. verify -report generates the two-stage verification report:
+// per program, the corpus analyzer's static findings (lint), a functional
+// simulation comparing both VM engines on a probe input set (simulate), and
+// the verifier's proof summary (prove). With explicit .rmt paths it reports
+// on those programs in a scratch kernel; with "datapaths" (or no paths) it
+// reports on the built-in demo datapath corpus (page prefetch, IO routing,
+// flow classification). -json renders the same report as JSON. The command
+// exits nonzero when any section fails — a rejected program, an engine
+// divergence, or an artifact-integrity error. -v makes verify print the
+// proof artifacts: a per-instruction
 // disassembly annotated with the runtime checks the abstract interpreter
 // discharged, the elided-check and dead-edge totals, and any helper
 // argument contracts in force. On recover, -v prints the full recovered
@@ -67,6 +78,7 @@ import (
 	"rmtk/internal/core"
 	"rmtk/internal/ctrl"
 	"rmtk/internal/isa"
+	"rmtk/internal/report"
 	"rmtk/internal/wal"
 )
 
@@ -89,7 +101,7 @@ func main() {
 	case "dis":
 		err = doDis(path)
 	case "verify":
-		err = doVerify(path)
+		err = doVerify(args[1:])
 	case "run":
 		err = doRun(path, args[2:])
 	case "log-inspect":
@@ -118,39 +130,14 @@ func usage() {
 	os.Exit(2)
 }
 
-// loadSource reads an assembly file and extracts resource directives.
+// loadSource reads an assembly file and parses directives + instructions
+// (isa.ParseSource), applying -O when requested.
 func loadSource(path string) (*rmtk.Program, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	src := string(data)
-	prog := &rmtk.Program{Name: strings.TrimSuffix(path, ".rmt")}
-	for _, line := range strings.Split(src, "\n") {
-		line = strings.TrimSpace(line)
-		for _, d := range []struct {
-			prefix string
-			dst    *[]int64
-		}{
-			{";helpers", &prog.Helpers},
-			{";models", &prog.Models},
-			{";mats", &prog.Mats},
-			{";tables", &prog.Tables},
-			{";vecs", &prog.Vecs},
-			{";tails", &prog.Tails},
-		} {
-			if rest, ok := strings.CutPrefix(line, d.prefix); ok {
-				for _, f := range strings.Split(rest, ",") {
-					v, perr := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
-					if perr != nil {
-						return nil, fmt.Errorf("%s: bad directive %q", path, line)
-					}
-					*d.dst = append(*d.dst, v)
-				}
-			}
-		}
-	}
-	prog.Insns, err = rmtk.Assemble(src)
+	prog, err := isa.ParseSource(strings.TrimSuffix(path, ".rmt"), string(data))
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +195,60 @@ func scratchKernel(prog *rmtk.Program) *rmtk.Kernel {
 	return k
 }
 
-func doVerify(path string) error {
+// doVerify dispatches the verify subcommand: the classic single-file report
+// by default, or the three-stage lint/simulate/prove report with -report
+// (text) / -json (JSON) over explicit program files or the built-in demo
+// datapath corpus ("datapaths", the default when no paths are given).
+func doVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	asReport := fs.Bool("report", false, "emit the three-stage lint/simulate/prove report")
+	asJSON := fs.Bool("json", false, "emit the three-stage report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if !*asReport && !*asJSON {
+		if len(paths) != 1 {
+			return fmt.Errorf("verify: want exactly one program file (or -report)")
+		}
+		return verifyOne(paths[0])
+	}
+
+	var build report.Builder
+	if len(paths) == 0 || (len(paths) == 1 && paths[0] == "datapaths") {
+		build = report.DatapathBuilder
+	} else {
+		progs := make([]*rmtk.Program, 0, len(paths))
+		for _, p := range paths {
+			prog, err := loadSource(p)
+			if err != nil {
+				return err
+			}
+			progs = append(progs, prog)
+		}
+		build = report.FilesBuilder(progs)
+	}
+	rep, err := report.Generate(build, report.Options{})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		js, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(js))
+	} else if err := rep.Render(os.Stdout); err != nil {
+		return err
+	}
+	if rep.Status == report.StatusFail {
+		return fmt.Errorf("verification report: FAIL")
+	}
+	return nil
+}
+
+// verifyOne runs the classic single-program admission report.
+func verifyOne(path string) error {
 	prog, err := loadSource(path)
 	if err != nil {
 		return err

@@ -76,7 +76,7 @@ func TestAsmDisRoundtrip(t *testing.T) {
 
 func TestVerifyAndRun(t *testing.T) {
 	path := writeProg(t, "p.rmt", "mov r0, r1\nmulimm r0, 2\nexit\n")
-	if err := doVerify(path); err != nil {
+	if err := doVerify([]string{path}); err != nil {
 		t.Fatal(err)
 	}
 	if err := doRun(path, []string{"21"}); err != nil {
@@ -89,8 +89,31 @@ func TestVerifyAndRun(t *testing.T) {
 
 func TestVerifyRejectsBadProgram(t *testing.T) {
 	path := writeProg(t, "bad.rmt", "mov r0, r9\nexit\n")
-	if err := doVerify(path); err == nil {
+	if err := doVerify([]string{path}); err == nil {
 		t.Fatal("uninitialized read admitted")
+	}
+}
+
+// TestVerifyReport: -report over explicit files renders the three-stage
+// report and fails the command when a program is rejected; the demo corpus
+// report succeeds.
+func TestVerifyReport(t *testing.T) {
+	good := writeProg(t, "good.rmt", "movimm r0, 1\nexit\n")
+	if err := doVerify([]string{"-report", good}); err != nil {
+		t.Fatal(err)
+	}
+	if err := doVerify([]string{"-json", good}); err != nil {
+		t.Fatal(err)
+	}
+	bad := writeProg(t, "bad.rmt", "mov r0, r9\nexit\n")
+	if err := doVerify([]string{"-report", good, bad}); err == nil {
+		t.Fatal("report with rejected program did not fail")
+	}
+	if err := doVerify([]string{"-report", "datapaths"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := doVerify(nil); err == nil {
+		t.Fatal("verify with no arguments succeeded")
 	}
 }
 

@@ -10,6 +10,18 @@
 //
 // Diagnostics are printed one per line as file:line:col: analyzer: message
 // and make vet exit nonzero, which is how CI gates on them.
+//
+// The tool also has a program-corpus mode that lints RMT assembly instead of
+// Go:
+//
+//	rmtlint -programs <dir|file.rmt>...
+//
+// Each .rmt source (directories are globbed for *.rmt) is parsed unoptimized,
+// admitted into a scratch kernel with stub resources, and cross-checked by
+// the corpus analyzer (verifier.AnalyzeCorpus): proof-mask and cost-
+// certificate integrity, unproven div/mod sites, helper-contract disposition,
+// and dead branches that isa.Optimize would have removed. Findings print one
+// per line; error-level findings and admission rejections exit nonzero.
 package main
 
 import (
@@ -24,9 +36,14 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 
+	"rmtk/internal/core"
+	"rmtk/internal/isa"
 	"rmtk/internal/lint"
+	"rmtk/internal/report"
+	"rmtk/internal/verifier"
 )
 
 // vetConfig mirrors the JSON configuration cmd/go writes for each package
@@ -60,8 +77,11 @@ func main() {
 		fmt.Println("[]")
 		return
 	}
+	if len(args) >= 1 && args[0] == "-programs" {
+		os.Exit(runPrograms(args[1:]))
+	}
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
-		fmt.Fprintln(os.Stderr, "usage: go vet -vettool=/path/to/rmtlint ./...")
+		fmt.Fprintln(os.Stderr, "usage: go vet -vettool=/path/to/rmtlint ./...\n       rmtlint -programs <dir|file.rmt>...")
 		os.Exit(2)
 	}
 	diags, err := runUnit(args[0])
@@ -75,6 +95,80 @@ func main() {
 		}
 		os.Exit(2)
 	}
+}
+
+// runPrograms is the program-corpus mode: parse every named .rmt source
+// (directories are globbed), admit them into a scratch kernel, and run the
+// corpus analyzer over the admitted population. Returns the process exit
+// code: nonzero on parse failures, admission rejections or error-level
+// findings.
+func runPrograms(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rmtlint -programs <dir|file.rmt>...")
+		return 2
+	}
+	var paths []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmtlint: %v\n", err)
+			return 1
+		}
+		if st.IsDir() {
+			m, err := filepath.Glob(filepath.Join(a, "*.rmt"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rmtlint: %v\n", err)
+				return 1
+			}
+			sort.Strings(m)
+			paths = append(paths, m...)
+		} else {
+			paths = append(paths, a)
+		}
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "rmtlint: no .rmt programs found")
+		return 1
+	}
+	// Parse deliberately unoptimized: dead branches the optimizer would drop
+	// are exactly what the dead-branch finding reports.
+	var progs []*isa.Program
+	exit := 0
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmtlint: %v\n", err)
+			return 1
+		}
+		name := strings.TrimSuffix(filepath.Base(p), ".rmt")
+		prog, err := isa.ParseSource(name, string(data))
+		if err != nil {
+			fmt.Printf("ERROR %s [parse]: %v\n", name, err)
+			exit = 1
+			continue
+		}
+		progs = append(progs, prog)
+	}
+	k, rejections, err := report.FilesBuilder(progs)(core.ModeInterp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmtlint: %v\n", err)
+		return 1
+	}
+	for _, r := range rejections {
+		fmt.Printf("ERROR %s [admission]: %s\n", r.Name, r.Err)
+		exit = 1
+	}
+	findings := verifier.AnalyzeCorpus(k.VerifierCorpus())
+	for _, f := range findings {
+		fmt.Println(f)
+		if f.Level == verifier.LevelError {
+			exit = 1
+		}
+	}
+	if exit == 0 && len(findings) == 0 && len(rejections) == 0 {
+		fmt.Printf("%d programs analyzed: clean\n", len(progs))
+	}
+	return exit
 }
 
 // runUnit analyzes one package unit per its vet config and returns rendered

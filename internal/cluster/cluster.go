@@ -193,7 +193,7 @@ func New(opts Options) (*Cluster, error) {
 func (c *Cluster) promote(f *Node, epoch uint64) {
 	f.role = RoleLeader
 	f.epoch = epoch
-	if f.votedEpoch < epoch {
+	if epochStale(f.votedEpoch, epoch) {
 		f.votedEpoch = epoch
 	}
 	f.leaderID = f.id
@@ -336,7 +336,7 @@ func (c *Cluster) Alive(id int) bool {
 func (c *Cluster) leaderLocked() *Node {
 	var best *Node
 	for _, n := range c.nodes {
-		if n.alive && n.role == RoleLeader && (best == nil || n.epoch > best.epoch) {
+		if n.alive && n.role == RoleLeader && (best == nil || epochAdvanced(n.epoch, best.epoch)) {
 			best = n
 		}
 	}
@@ -383,7 +383,7 @@ func (c *Cluster) ProposeFenced(epoch uint64, fn func(*ctrl.Plane) error) error 
 	if n == nil {
 		return fmt.Errorf("%w: no live leader", ErrNotLeader)
 	}
-	if n.epoch != epoch {
+	if !epochMatches(n.epoch, epoch) {
 		return fmt.Errorf("%w: proposed under epoch %d, leader is at %d", ErrStaleEpoch, epoch, n.epoch)
 	}
 	return fn(n.plane)
@@ -594,7 +594,7 @@ func (c *Cluster) Converged() bool {
 			ref = &sts[i]
 			continue
 		}
-		if sts[i].Epoch != ref.Epoch || sts[i].LastSeq != ref.LastSeq || sts[i].Digest != ref.Digest {
+		if !epochMatches(sts[i].Epoch, ref.Epoch) || sts[i].LastSeq != ref.LastSeq || sts[i].Digest != ref.Digest {
 			return false
 		}
 	}

@@ -1,0 +1,25 @@
+package cluster
+
+// Leader epochs are the replication protocol's fencing tokens: every vote,
+// heartbeat, shipped batch and replicated write carries one, and the
+// protocol's safety reduces to a handful of comparisons between them. Those
+// comparisons are confined to the three helpers below (enforced by the
+// epochfence analyzer in internal/lint): a raw `<` flipped to `<=` in a
+// refactor type-checks fine and silently lets a deposed leader back in,
+// while a named helper keeps the protocol decision explicit at every call
+// site. Comparisons against literals (presence checks like `epoch > 0`)
+// are not fencing decisions and do not go through here.
+
+// epochStale reports whether incoming lags local: a message, vote request
+// or ledger entry from epoch `incoming` must be refused by a node already
+// at `local`.
+func epochStale(incoming, local uint64) bool { return incoming < local }
+
+// epochAdvanced reports whether incoming strictly supersedes local: the
+// receiver must adopt the newer epoch (and, for votes, may grant at most
+// one vote per adopted epoch).
+func epochAdvanced(incoming, local uint64) bool { return incoming > local }
+
+// epochMatches reports whether two epochs are the same fencing token —
+// the agreement check for fenced writes and convergence audits.
+func epochMatches(a, b uint64) bool { return a == b }

@@ -154,7 +154,7 @@ func (n *Node) saveEpoch() {
 // adopt accepts leadership of leader at epoch (>= the node's own).
 func (n *Node) adopt(epoch uint64, leader int) {
 	n.epoch = epoch
-	if n.votedEpoch < epoch {
+	if epochStale(n.votedEpoch, epoch) {
 		n.votedEpoch = epoch
 	}
 	n.leaderID = leader
@@ -308,12 +308,12 @@ func (n *Node) sendAppend(f *Node) {
 	c.rpc(n.id, f.id,
 		func() {
 			reply := f.onAppend(args)
-			if n.alive && n.role == RoleLeader && n.epoch == epoch {
+			if n.alive && n.role == RoleLeader && epochMatches(n.epoch, epoch) {
 				n.onAppendReply(f.id, reply)
 			}
 		},
 		func() {
-			if n.alive && n.role == RoleLeader && n.epoch == epoch {
+			if n.alive && n.role == RoleLeader && epochMatches(n.epoch, epoch) {
 				n.onDropped(f.id)
 			}
 		})
@@ -339,10 +339,10 @@ func (n *Node) onDropped(fid int) {
 // onAppend is the follower half of the shipping protocol.
 func (f *Node) onAppend(a appendArgs) appendReply {
 	c := f.c
-	if a.epoch < f.epoch {
+	if epochStale(a.epoch, f.epoch) {
 		return appendReply{epoch: f.epoch, stale: true}
 	}
-	if a.epoch > f.epoch || f.leaderID != a.leader || f.role != RoleFollower {
+	if epochAdvanced(a.epoch, f.epoch) || f.leaderID != a.leader || f.role != RoleFollower {
 		f.adopt(a.epoch, a.leader)
 	}
 	f.lastHB = c.tickNum
@@ -358,7 +358,7 @@ func (f *Node) onAppend(a appendArgs) appendReply {
 		// a resync when the epochs cannot be proven to agree).
 		return appendReply{epoch: f.epoch, lastSeq: last, lastEpoch: f.lastRecEpoch}
 	}
-	if a.prevSeq > 0 && a.prevEpoch > 0 && f.lastRecEpoch > 0 && a.prevEpoch != f.lastRecEpoch {
+	if a.prevSeq > 0 && a.prevEpoch > 0 && f.lastRecEpoch > 0 && !epochMatches(a.prevEpoch, f.lastRecEpoch) {
 		f.lastFault = fmt.Errorf("%w: record #%d is epoch %d here, epoch %d on leader %d",
 			ErrDivergedLog, a.prevSeq, f.lastRecEpoch, a.prevEpoch, a.leader)
 		return appendReply{epoch: f.epoch, resync: true}
@@ -443,7 +443,7 @@ func (n *Node) onAppendReply(fid int, r appendReply) {
 	if r.stale {
 		// A higher epoch exists: step down and wait for its leader.
 		n.epoch = r.epoch
-		if n.votedEpoch < r.epoch {
+		if epochStale(n.votedEpoch, r.epoch) {
 			n.votedEpoch = r.epoch
 		}
 		n.role = RoleFollower
@@ -473,8 +473,8 @@ func (n *Node) onAppendReply(fid int, r appendReply) {
 		return
 	}
 	if r.lastSeq > 0 {
-		ep, known := n.epochOf(r.lastSeq)
-		if !known || (ep > 0 && r.lastEpoch > 0 && ep != r.lastEpoch) {
+		tipEpoch, known := n.epochOf(r.lastSeq)
+		if !known || (tipEpoch > 0 && r.lastEpoch > 0 && !epochMatches(tipEpoch, r.lastEpoch)) {
 			n.needResync[fid] = true
 			n.probed[fid] = true
 			return
@@ -531,10 +531,10 @@ func (f *Node) maybeElect() {
 			continue
 		}
 		reach = append(reach, p)
-		if p.epoch > maxEpoch {
+		if epochAdvanced(p.epoch, maxEpoch) {
 			maxEpoch = p.epoch
 		}
-		if p.role == RoleLeader && p.epoch >= f.epoch {
+		if p.role == RoleLeader && !epochStale(p.epoch, f.epoch) {
 			// A live reachable leader exists; our timeout was message loss.
 			f.lastHB = c.tickNum
 			return
@@ -553,7 +553,7 @@ func (f *Node) maybeElect() {
 	votes := 1
 	mySeq := f.seq()
 	for _, p := range reach {
-		if newEpoch > p.epoch && newEpoch > p.votedEpoch && mySeq >= p.seq() {
+		if epochAdvanced(newEpoch, p.epoch) && epochAdvanced(newEpoch, p.votedEpoch) && mySeq >= p.seq() {
 			p.votedEpoch = newEpoch
 			p.saveEpoch()
 			votes++

@@ -1,0 +1,24 @@
+package core
+
+import "rmtk/internal/verifier"
+
+// VerifierCorpus snapshots every installed program into a corpus-analysis
+// entry: the admitted program (carrying its admission artifacts) paired with
+// the same owner-restricted verifier configuration it admits under, so
+// verifier.AnalyzeCorpus re-checks each program against exactly the
+// registries its tenant can see. Entries are in ascending program-id order.
+func (k *Kernel) VerifierCorpus() []verifier.CorpusEntry {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	ids := sortedKeys(k.progs)
+	entries := make([]verifier.CorpusEntry, 0, len(ids))
+	for _, id := range ids {
+		p := k.progs[id]
+		entries = append(entries, verifier.CorpusEntry{
+			ID:   id,
+			Prog: p.prog,
+			Cfg:  k.verifierConfig(tenantOf(p.prog.Name)),
+		})
+	}
+	return entries
+}

@@ -229,8 +229,14 @@ func (p *Plane) applyRecord(rec *wal.Record) error {
 	}
 }
 
-// stageRecord stages one replayed transaction sub-record on t.
+// stageRecord stages one replayed transaction sub-record on t. The arms
+// are deliberately the transaction-legal subset of record kinds: Txn stages
+// exactly these mutations (wal.Record.validate refuses aborts and nested
+// commits inside a transaction, and the remaining kinds are only ever
+// logged as top-level records), so an unknown kind here is corruption, not
+// a missing feature.
 func (t *Txn) stageRecord(rec *wal.Record) error {
+	//lint:ignore walrecord transactions stage only the Txn-legal record kinds; the rest are top-level-only by construction
 	switch rec.Kind {
 	case wal.KindCreateTable:
 		t.CreateTable(rec.Table, rec.Hook, table.MatchKind(rec.Match))

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicSnapshotAnalyzer enforces the hot path's copy-on-write discipline
+// (internal/core's route snapshots): a value published through an
+// atomic.Pointer Store is the readers' immutable view from that moment on,
+// so mutating it afterwards is a data race with every lock-free reader; and
+// a datapath generation bump must *follow* the snapshot publication, never
+// precede it — a reader that loads generation g must be guaranteed a
+// snapshot at least as new as g's, or it caches verdicts computed against a
+// stale snapshot under a fresh generation.
+//
+// Two linear, source-order checks per function body:
+//
+//  1. mutation-after-publish: after `ptr.Store(x)` (ptr an atomic.Pointer),
+//     any assignment through x (`x.f = ...`, `x.m[k] = ...`, x++) is
+//     flagged until x is rebound to a fresh value.
+//  2. bump-before-publish: a generation bump (`owner.gen.Add(...)`) that
+//     is followed later in the same body by a publication of the same
+//     owner's snapshot (`owner.<field>.Store(...)` on an atomic.Pointer
+//     field, or a call to a publish* helper taking owner as an argument)
+//     is flagged: the bump must move after the publication.
+var AtomicSnapshotAnalyzer = &Analyzer{
+	Name: "atomicsnapshot",
+	Doc:  "forbid mutating a snapshot after atomic.Pointer publication and bumping generations before it",
+	Run:  runAtomicSnapshot,
+}
+
+func runAtomicSnapshot(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSnapshotMutations(pass, fd.Body)
+			checkBumpOrder(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// isAtomicPointer reports whether t is sync/atomic's Pointer[T] (directly
+// or through a pointer).
+func isAtomicPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}
+
+// rootIdent unwraps parens, address-of, derefs, selectors and indexing down
+// to the base identifier: for `(&dir)`, `rt.tables[id]` it is dir / rt.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e
+		default:
+			return nil
+		}
+	}
+}
+
+// checkSnapshotMutations flags writes through a published snapshot value.
+func checkSnapshotMutations(pass *Pass, body *ast.BlockStmt) {
+	// published maps the variable object of a stored snapshot to the
+	// position of its publication; a later plain rebind clears it.
+	published := map[types.Object]token.Pos{}
+
+	flagLHS := func(lhs ast.Expr, pos token.Pos) {
+		switch lhs.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			root := rootIdent(lhs)
+			if root == nil {
+				return
+			}
+			obj := pass.TypesInfo.Uses[root]
+			if obj == nil {
+				return
+			}
+			if pub, ok := published[obj]; ok && pub < pos {
+				pass.Reportf(pos,
+					"snapshot %s is mutated after its atomic publication; readers already see it — build a fresh copy instead",
+					root.Name)
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Store" || len(n.Args) != 1 {
+				return true
+			}
+			if !isAtomicPointer(pass.TypesInfo.TypeOf(sel.X)) {
+				return true
+			}
+			if root := rootIdent(n.Args[0]); root != nil {
+				if obj := pass.TypesInfo.Uses[root]; obj != nil {
+					published[obj] = n.Pos()
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					// Plain rebind: the identifier now names a fresh,
+					// unpublished value.
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						delete(published, obj)
+					}
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						delete(published, obj)
+					}
+					continue
+				}
+				flagLHS(lhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			flagLHS(n.X, n.Pos())
+		}
+		return true
+	})
+}
+
+// checkBumpOrder flags generation bumps that precede a publication of the
+// same owner's snapshot later in the body.
+func checkBumpOrder(pass *Pass, body *ast.BlockStmt) {
+	type event struct {
+		pos   token.Pos
+		owner string
+	}
+	var bumps, pubs []event
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Add" {
+				// owner.gen.Add(...): the datapath generation bump.
+				if genSel, ok := fun.X.(*ast.SelectorExpr); ok && genSel.Sel.Name == "gen" {
+					bumps = append(bumps, event{call.Pos(), types.ExprString(genSel.X)})
+				}
+				return true
+			}
+			if fun.Sel.Name == "Store" && isAtomicPointer(pass.TypesInfo.TypeOf(fun.X)) {
+				// owner.route.Store(rt): direct snapshot publication.
+				if fieldSel, ok := fun.X.(*ast.SelectorExpr); ok {
+					pubs = append(pubs, event{call.Pos(), types.ExprString(fieldSel.X)})
+				}
+				return true
+			}
+			if strings.HasPrefix(fun.Sel.Name, "publish") {
+				// k.publishTenantLocked(ts): publication of each argument.
+				for _, a := range call.Args {
+					pubs = append(pubs, event{call.Pos(), types.ExprString(a)})
+				}
+			}
+		case *ast.Ident:
+			if strings.HasPrefix(fun.Name, "publish") {
+				for _, a := range call.Args {
+					pubs = append(pubs, event{call.Pos(), types.ExprString(a)})
+				}
+			}
+		}
+		return true
+	})
+
+	sort.Slice(bumps, func(i, j int) bool { return bumps[i].pos < bumps[j].pos })
+	for _, b := range bumps {
+		for _, p := range pubs {
+			if p.pos > b.pos && p.owner == b.owner {
+				pass.Reportf(b.pos,
+					"generation bump of %s precedes its snapshot publication; bump after the Store so readers never pair a fresh generation with a stale snapshot",
+					b.owner)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BoundedLabelsAnalyzer enforces bounded telemetry label sets: every label
+// passed to telemetry's SeriesVec Counter must be provably bounded — a
+// constant, or a name that already passed the qos quota gate (ValidName)
+// earlier in the same function. The SeriesVec LRU caps resident series, but
+// an unbounded label domain (a raw request-derived string) still churns the
+// cache and turns eviction counters into noise; the quota gate is what
+// bounds tenant names to the registered-contract set.
+var BoundedLabelsAnalyzer = &Analyzer{
+	Name: "boundedlabels",
+	Doc:  "require SeriesVec labels to be constants or quota-gated tenant names",
+	Run:  runBoundedLabels,
+}
+
+func runBoundedLabels(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSeriesLabels(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkSeriesLabels walks one body collecting the objects validated by a
+// qos.ValidName call, then flags SeriesVec.Counter labels that are neither
+// constants nor validated names. Linear source order: the gate must appear
+// before the labeled use, matching how registration paths are written.
+func checkSeriesLabels(pass *Pass, body *ast.BlockStmt) {
+	validated := map[types.Object]token.Pos{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if calleeName(call) == "ValidName" {
+			for _, a := range call.Args {
+				if id, ok := a.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						if _, seen := validated[obj]; !seen {
+							validated[obj] = call.Pos()
+						}
+					}
+				}
+			}
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Counter" || len(call.Args) != 1 {
+			return true
+		}
+		if !isSeriesVec(pass.TypesInfo.TypeOf(sel.X)) {
+			return true
+		}
+		arg := call.Args[0]
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+			return true // constant label: bounded by definition
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				if gate, seen := validated[obj]; seen && gate < call.Pos() {
+					return true // quota-gated tenant name
+				}
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"unbounded label %s passed to SeriesVec.Counter; labels must be constants or names gated through qos.ValidName",
+			types.ExprString(arg))
+		return true
+	})
+}
+
+// calleeName extracts the called function's bare name (ValidName for both
+// qos.ValidName(...) and a package-local ValidName(...)).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isSeriesVec reports whether t is telemetry's SeriesVec (directly or
+// through a pointer).
+func isSeriesVec(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "SeriesVec" || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "telemetry" || strings.HasSuffix(p, "/telemetry")
+}

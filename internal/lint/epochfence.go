@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// EpochFenceAnalyzer confines raw leader-epoch comparisons in the cluster
+// package to the fenced helpers (epochStale, epochAdvanced, epochMatches).
+// The replication protocol's safety rests on a handful of epoch
+// comparisons — a vote granted into a stale epoch or a heartbeat accepted
+// from a deposed leader silently splits the fleet — and a raw `<` flipped
+// to `<=` in a refactor type-checks fine. Routing every epoch-vs-epoch
+// comparison through the named helpers makes the protocol decision legible
+// and greppable; comparisons against literals (presence checks like
+// `epoch > 0`) are not fencing decisions and stay allowed.
+var EpochFenceAnalyzer = &Analyzer{
+	Name: "epochfence",
+	Doc:  "require cluster epoch comparisons to go through the fenced helpers",
+	Run:  runEpochFence,
+}
+
+// epochFenceHelpers are the sanctioned comparison sites.
+var epochFenceHelpers = map[string]bool{
+	"epochStale":    true,
+	"epochAdvanced": true,
+	"epochMatches":  true,
+}
+
+func runEpochFence(pass *Pass) error {
+	if p := pass.Pkg.Path(); p != "cluster" && !strings.HasSuffix(p, "/cluster") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || epochFenceHelpers[fd.Name.Name] {
+				continue
+			}
+			checkEpochComparisons(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkEpochComparisons(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		if !isEpochExpr(pass, be.X) || !isEpochExpr(pass, be.Y) {
+			return true
+		}
+		pass.Reportf(be.Pos(),
+			"raw epoch comparison %q; use the fenced helpers (epochStale/epochAdvanced/epochMatches) so the protocol decision stays explicit",
+			exprText(be))
+		return true
+	})
+}
+
+// isEpochExpr reports whether expr names an epoch value: its leaf
+// identifier contains "epoch" and it is not a constant (literal operands
+// make a presence check, not a fencing decision).
+func isEpochExpr(pass *Pass, expr ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+		return false
+	}
+	var name string
+	switch e := expr.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "epoch")
+}
+
+// exprText renders the flagged expression compactly for the diagnostic.
+func exprText(be *ast.BinaryExpr) string {
+	return exprSide(be.X) + " " + be.Op.String() + " " + exprSide(be.Y)
+}
+
+func exprSide(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return "…." + e.Sel.Name
+	}
+	return "?"
+}

@@ -336,3 +336,257 @@ func good(tenant string) error { return fmt.Errorf("fire by %q: %w", tenant, Err
 		"ctrlerrors: ctrl sentinel ErrTenantUnknown formatted with %s",
 	)
 }
+
+func TestAtomicSnapshotFlagsMutationAfterPublish(t *testing.T) {
+	// Rule 1 of the COW discipline: once a snapshot is Stored into an
+	// atomic.Pointer, lock-free readers own it; writing through it afterwards
+	// is a data race even under the kernel lock.
+	const src = `package core
+
+import "sync/atomic"
+
+type routes struct{ tables map[int64]int }
+
+type tenant struct {
+	route atomic.Pointer[routes]
+	gen   atomic.Uint64
+}
+
+func badMutate(ts *tenant, rt *routes) {
+	ts.route.Store(rt)
+	rt.tables[1] = 2
+}
+
+func goodMutate(ts *tenant, rt *routes) {
+	rt.tables[1] = 2
+	ts.route.Store(rt)
+}
+
+func rebind(ts *tenant, rt *routes) {
+	ts.route.Store(rt)
+	rt = &routes{}
+	rt.tables = map[int64]int{}
+	ts.route.Store(rt)
+}
+`
+	diags := analyze(t, "rmtk/internal/core", src)
+	wantDiags(t, diags,
+		"atomicsnapshot: snapshot rt is mutated after its atomic publication")
+}
+
+func TestAtomicSnapshotFlagsBumpBeforePublish(t *testing.T) {
+	// Rule 2: the generation bump is the verdict cache's validity token; a
+	// bump that precedes the snapshot publication lets a reader pair a fresh
+	// generation with a stale snapshot and cache a wrong verdict under it.
+	const src = `package core
+
+import "sync/atomic"
+
+type routes struct{ n int }
+
+type tenant struct {
+	route atomic.Pointer[routes]
+	gen   atomic.Uint64
+}
+
+type kernel struct{}
+
+func (k *kernel) publishLocked(ts *tenant) {
+	ts.route.Store(&routes{})
+}
+
+func badBump(k *kernel, ts *tenant) {
+	ts.gen.Add(1)
+	k.publishLocked(ts)
+}
+
+func goodBump(k *kernel, ts *tenant) {
+	k.publishLocked(ts)
+	ts.gen.Add(1)
+}
+
+func badDirect(ts *tenant, rt *routes) {
+	ts.gen.Add(1)
+	ts.route.Store(rt)
+}
+`
+	diags := analyze(t, "rmtk/internal/core", src)
+	wantDiags(t, diags,
+		"atomicsnapshot: generation bump of ts precedes its snapshot publication",
+		"atomicsnapshot: generation bump of ts precedes its snapshot publication",
+	)
+}
+
+func TestWALRecordFlagsMissingKindArms(t *testing.T) {
+	// A kind added to the enum but missed in a dispatch switch is a record
+	// that ships and replays as a silent no-op; `default` is exactly how the
+	// drop happens, so it does not excuse the missing arms.
+	const src = `package wal
+
+import "fmt"
+
+type Kind uint8
+
+const (
+	KindCreateTable Kind = iota + 1
+	KindAddEntry
+	KindRemoveEntry
+
+	kindEnd
+)
+
+type Record struct{ Kind Kind }
+
+func bad(r *Record) string {
+	switch r.Kind {
+	case KindCreateTable:
+		return "create"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(r.Kind))
+	}
+}
+
+func good(r *Record) string {
+	switch r.Kind {
+	case KindCreateTable, KindAddEntry:
+		return "a"
+	case KindRemoveEntry:
+		return "b"
+	}
+	return ""
+}
+
+func subset(r *Record) string {
+	//lint:ignore walrecord fixture demonstrates a sanctioned deliberate subset
+	switch r.Kind {
+	case KindAddEntry:
+		return "add"
+	}
+	return ""
+}
+`
+	diags := analyze(t, "rmtk/internal/wal", src)
+	wantDiags(t, diags,
+		"walrecord: switch on wal.Kind is missing arms for KindAddEntry, KindRemoveEntry")
+}
+
+func TestBoundedLabelsFlagsRawLabels(t *testing.T) {
+	// SeriesVec labels must come from a bounded domain: constants, or names
+	// that already passed the qos quota gate in the same function. A raw
+	// request-derived string churns the LRU and leaks memory as metrics.
+	const src = `package telemetry
+
+type SeriesVec struct{}
+
+func (v *SeriesVec) Counter(label string) int { return 0 }
+
+func ValidName(name string) error { return nil }
+
+const fixed = "core.tenant.fires"
+
+func bad(v *SeriesVec, req string) {
+	v.Counter(req)
+}
+
+func good(v *SeriesVec) {
+	v.Counter(fixed)
+	v.Counter("literal")
+}
+
+func gated(v *SeriesVec, tenant string) error {
+	if err := ValidName(tenant); err != nil {
+		return err
+	}
+	v.Counter(tenant)
+	return nil
+}
+
+func gateAfterUse(v *SeriesVec, tenant string) {
+	v.Counter(tenant)
+	_ = ValidName(tenant)
+}
+`
+	diags := analyze(t, "rmtk/internal/telemetry", src)
+	wantDiags(t, diags,
+		"boundedlabels: unbounded label req passed to SeriesVec.Counter",
+		"boundedlabels: unbounded label tenant passed to SeriesVec.Counter",
+	)
+}
+
+func TestEpochFenceFlagsRawComparisons(t *testing.T) {
+	// Epoch-vs-epoch comparisons must go through the fenced helpers; the
+	// helpers' own bodies and presence checks against literals are exempt.
+	const src = `package cluster
+
+type node struct {
+	epoch      uint64
+	votedEpoch uint64
+}
+
+func epochStale(incoming, local uint64) bool    { return incoming < local }
+func epochAdvanced(incoming, local uint64) bool { return incoming > local }
+
+func bad(n *node, epoch uint64) bool {
+	return n.epoch < epoch || n.votedEpoch == epoch
+}
+
+func good(n *node, epoch uint64) bool {
+	return epochStale(n.epoch, epoch) || epoch > 0 || epochAdvanced(epoch, n.epoch)
+}
+`
+	diags := analyze(t, "rmtk/internal/cluster", src)
+	wantDiags(t, diags,
+		`epochfence: raw epoch comparison "n.epoch < epoch"`,
+		`epochfence: raw epoch comparison "n.votedEpoch == epoch"`,
+	)
+}
+
+func TestEpochFenceScopedToClusterPackage(t *testing.T) {
+	// Epochs outside the replication protocol (e.g. a datapath's own
+	// versioning) are not fencing decisions.
+	const src = `package core
+
+func stale(epoch, cur uint64) bool { return epoch < cur }
+`
+	wantDiags(t, analyze(t, "rmtk/internal/core", src))
+}
+
+func TestIgnoreDirectiveSuppressesFinding(t *testing.T) {
+	// A directive on the flagged line or the line above suppresses exactly
+	// the named analyzer's finding there.
+	const src = `package netsim
+
+import "time"
+
+func Tick() time.Time {
+	//lint:ignore simclock fixture exercises the suppression path
+	return time.Now()
+}
+
+func Tock() time.Time {
+	return time.Now() //lint:ignore simclock same-line suppression
+}
+
+func Bad() time.Time { return time.Now() }
+`
+	diags := analyze(t, "rmtk/internal/netsim", src)
+	wantDiags(t, diags,
+		"simclock: time.Now in simulation package netsim")
+}
+
+func TestIgnoreDirectiveRequiresReason(t *testing.T) {
+	// A suppression without a rationale is itself reported, and suppresses
+	// nothing — a typo must not silently disable a check.
+	const src = `package netsim
+
+import "time"
+
+//lint:ignore simclock
+func Bad() time.Time { return time.Now() }
+`
+	diags := analyze(t, "rmtk/internal/netsim", src)
+	wantDiags(t, diags,
+		"lint: malformed ignore directive",
+		"simclock: time.Now in simulation package netsim",
+	)
+}

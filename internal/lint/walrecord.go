@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WALRecordAnalyzer enforces WAL record-kind exhaustiveness: every switch
+// over internal/wal's Kind enumeration must carry an arm for each declared
+// kind. The encode, decode, replay and checkpoint-restore paths all
+// dispatch on Kind; a kind added to the enum but missed in one of those
+// switches is a record that validates, ships and replays as a silent no-op
+// — exactly the bug class a new record type can smuggle in. A `default`
+// arm does not excuse missing kinds (it is how the silent drop happens);
+// deliberate subsets, like the transaction-legal kinds a Txn may stage,
+// carry an explicit `//lint:ignore walrecord <reason>` directive.
+var WALRecordAnalyzer = &Analyzer{
+	Name: "walrecord",
+	Doc:  "require switches over wal.Kind to cover every declared record kind",
+	Run:  runWALRecord,
+}
+
+func runWALRecord(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			kindPkg := walKindPackage(pass.TypesInfo.TypeOf(sw.Tag))
+			if kindPkg == nil {
+				return true
+			}
+			missing := missingKinds(pass, sw, kindPkg)
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"switch on wal.Kind is missing arms for %s; every record kind needs explicit handling (suppress deliberate subsets with //lint:ignore walrecord <reason>)",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// walKindPackage returns the defining package when t is the WAL record-kind
+// enumeration: a named type called Kind declared in a package named wal.
+func walKindPackage(t types.Type) *types.Package {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Kind" || obj.Pkg() == nil {
+		return nil
+	}
+	if p := obj.Pkg().Path(); p != "wal" && !strings.HasSuffix(p, "/wal") {
+		return nil
+	}
+	return obj.Pkg()
+}
+
+// missingKinds diffs the switch's covered case constants against every
+// exported Kind constant of the enum's package, returned in declaration
+// (value) order. Unexported constants (the kindEnd sentinel) are not
+// required.
+func missingKinds(pass *Pass, sw *ast.SwitchStmt, kindPkg *types.Package) []string {
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			var id *ast.Ident
+			switch e := expr.(type) {
+			case *ast.Ident:
+				id = e
+			case *ast.SelectorExpr:
+				id = e.Sel
+			default:
+				continue
+			}
+			if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+				covered[c.Name()] = true
+			}
+		}
+	}
+
+	type kind struct {
+		name string
+		val  int64
+	}
+	var missing []kind
+	scope := kindPkg.Scope()
+	kindType := scope.Lookup("Kind").Type()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), kindType) {
+			continue
+		}
+		if covered[c.Name()] {
+			continue
+		}
+		v, _ := constant.Int64Val(c.Val())
+		missing = append(missing, kind{c.Name(), v})
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].val < missing[j].val })
+	names := make([]string, len(missing))
+	for i, m := range missing {
+		names[i] = m.name
+	}
+	return names
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rmtk/internal/isa"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// loadFixtures parses the testdata programs in a fixed order; "broken" is a
+// deliberately unverifiable program that must surface as a failing report
+// section.
+func loadFixtures(t *testing.T) []*isa.Program {
+	t.Helper()
+	var progs []*isa.Program
+	for _, name := range []string{"clean", "hazard", "infer", "broken"} {
+		src, err := os.ReadFile(filepath.Join("testdata", name+".rmt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := isa.ParseSource(name, string(src))
+		if err != nil {
+			t.Fatalf("fixture %s: %v", name, err)
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted:\n--- want ---\n%s\n--- got ---\n%s", path, want, got)
+	}
+}
+
+func TestReportGolden(t *testing.T) {
+	rep, err := Generate(FilesBuilder(loadFixtures(t)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The broken fixture must fail its section and drag the whole report to
+	// FAIL; the hazard fixture's zero-parameter probe must register as an
+	// identical-on-both-engines trap, not a divergence.
+	if rep.Status != StatusFail {
+		t.Fatalf("report status = %s, want FAIL (broken fixture)", rep.Status)
+	}
+	byName := map[string]ProgramSection{}
+	for _, sec := range rep.Programs {
+		byName[sec.Name] = sec
+	}
+	if sec := byName["broken"]; sec.Status != StatusFail || sec.Error == "" {
+		t.Fatalf("broken section = %+v, want FAIL with admission error", sec)
+	}
+	if sec := byName["clean"]; sec.Status != StatusPass || !sec.Prove.Pure {
+		t.Fatalf("clean section = %+v, want PASS and pure", sec)
+	}
+	if sec := byName["hazard"]; sec.Sim.Traps == 0 || sec.Sim.Divergences != 0 {
+		t.Fatalf("hazard sim = %+v, want traps without divergence", sec.Sim)
+	}
+
+	var text bytes.Buffer
+	if err := rep.Render(&text); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "report.golden"), text.Bytes())
+
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "report.json.golden"), append(js, '\n'))
+}
+
+// TestDatapathReport guards the demo corpus: every self-installing datapath
+// program must verify, simulate identically on both engines, and carry
+// intact admission artifacts.
+func TestDatapathReport(t *testing.T) {
+	rep, err := Generate(DatapathBuilder, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status == StatusFail {
+		var text bytes.Buffer
+		rep.Render(&text)
+		t.Fatalf("datapath corpus report failed:\n%s", text.String())
+	}
+	if len(rep.Programs) < 4 {
+		t.Fatalf("datapath corpus has %d programs, want >= 4", len(rep.Programs))
+	}
+	for _, sec := range rep.Programs {
+		if sec.Sim.Divergences != 0 {
+			t.Fatalf("program %s diverged between engines: %+v", sec.Name, sec.Sim)
+		}
+	}
+}

@@ -222,6 +222,16 @@ func (r *Record) validate(sub bool) error {
 		if r.Model == nil || r.Model.Codec == "" {
 			return fmt.Errorf("%s without a model payload", r.Kind)
 		}
+	case KindRollbackModel:
+		// Model ids are 1-based; a rollback without a target slot would
+		// replay as "restore model 0" and fail far from the writer bug.
+		if r.ModelID <= 0 {
+			return fmt.Errorf("rollback-model without a model id")
+		}
+	case KindRetarget:
+		if r.Table == "" {
+			return fmt.Errorf("retarget without a table name")
+		}
 	case KindTxnCommit:
 		if sub {
 			return fmt.Errorf("nested transaction record")
