@@ -17,9 +17,30 @@ import (
 //
 //	BenchmarkHotPath/jit/cached/g1-4   9273154   114.3 ns/op   0 B/op ...
 //
-// The -4 GOMAXPROCS suffix is stripped so baselines recorded on machines
-// with different core counts still key the same benchmark.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// The name is captured as the full whitespace-delimited token;
+// normalizeBenchName strips the GOMAXPROCS suffix afterwards. A lazy
+// capture with an optional suffix group here would bite the -N off the
+// wrong place for subtest names that themselves contain hyphen-digit
+// segments.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// normalizeBenchName strips the trailing -N GOMAXPROCS suffix `go test`
+// appends to every benchmark name — exactly one trailing -<digits> group
+// and nothing else, so a subtest name containing hyphen-digit segments
+// survives: BenchmarkHotPath/aot/uncached/g1-4 run on a 4-core machine
+// arrives as .../g1-4-4 and normalizes back to .../g1-4.
+func normalizeBenchName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
 
 // ParseBench reads `go test -bench` output and returns median ns/op per
 // benchmark name. With -count=N each benchmark contributes N lines; the
@@ -33,11 +54,12 @@ func ParseBench(r io.Reader) (map[string]float64, error) {
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[3], 64)
+		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil || ns <= 0 {
 			return nil, fmt.Errorf("bad ns/op on line %q", sc.Text())
 		}
-		samples[m[1]] = append(samples[m[1]], ns)
+		name := normalizeBenchName(m[1])
+		samples[name] = append(samples[name], ns)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -66,7 +88,7 @@ type baselineFile struct {
 	NsPerOp map[string]float64 `json:"ns_per_op"`
 }
 
-const baselineNote = "median ns/op per benchmark; regenerate with: go test -bench='BenchmarkHotPath|BenchmarkWALAppend|BenchmarkRecover' -benchmem -count=6 -run='^$' . | go run ./cmd/benchgate -update"
+const baselineNote = "median ns/op per benchmark; regenerate with: go test -bench='BenchmarkHotPath|BenchmarkWALAppend|BenchmarkRecover|BenchmarkLogShip|BenchmarkFailover|BenchmarkTenantFire|BenchmarkAdmission' -benchmem -count=6 -run='^$' . | go run ./cmd/benchgate -update"
 
 // ReadBaseline loads a committed baseline file.
 func ReadBaseline(path string) (map[string]float64, error) {
@@ -134,6 +156,32 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "benchgate: geomean ratio %.3fx over %d benchmarks (threshold %.2fx): %s\n",
 		r.Geomean, len(r.Shared), r.Threshold, verdict)
 	return b.String()
+}
+
+// AOTSpeedup reports the geometric-mean speedup of the AOT engine over the
+// JIT in one run: for every benchmark name containing "/jit/" whose "/aot/"
+// counterpart also ran, the ratio jit_ns/aot_ns enters the geomean. n is
+// the number of pairs; n == 0 means the run had no jit/aot pairs (ratio 1).
+// CI prints this next to the gate verdict so the AOT win is visible on
+// every bench run, not just when the gate trips.
+func AOTSpeedup(current map[string]float64) (ratio float64, n int) {
+	var logSum float64
+	for name, jitNs := range current {
+		aotName := strings.Replace(name, "/jit/", "/aot/", 1)
+		if aotName == name {
+			continue
+		}
+		aotNs, ok := current[aotName]
+		if !ok || aotNs <= 0 || jitNs <= 0 {
+			continue
+		}
+		logSum += math.Log(jitNs / aotNs)
+		n++
+	}
+	if n == 0 {
+		return 1, 0
+	}
+	return math.Exp(logSum / float64(n)), n
 }
 
 // Compare gates current medians against the baseline.

@@ -48,6 +48,65 @@ func TestParseBenchStripsGomaxprocsSuffix(t *testing.T) {
 	}
 }
 
+func TestNormalizeBenchName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// Plain GOMAXPROCS suffix.
+		{"BenchmarkHotPath/jit/cached/g1-4", "BenchmarkHotPath/jit/cached/g1"},
+		{"BenchmarkX-16", "BenchmarkX"},
+		// A subtest name that itself ends in -<digits>: go test appends the
+		// procs suffix after it, and only that one suffix must come off.
+		{"BenchmarkHotPath/aot/uncached/g1-4-4", "BenchmarkHotPath/aot/uncached/g1-4"},
+		{"BenchmarkFoo/n-100-1", "BenchmarkFoo/n-100"},
+		// No suffix, trailing dash, or non-digit tail: unchanged.
+		{"BenchmarkFoo", "BenchmarkFoo"},
+		{"BenchmarkFoo-", "BenchmarkFoo-"},
+		{"BenchmarkFoo/size-big", "BenchmarkFoo/size-big"},
+	}
+	for _, c := range cases {
+		if got := normalizeBenchName(c.in); got != c.want {
+			t.Errorf("normalizeBenchName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBenchKeepsHyphenSubtestNames(t *testing.T) {
+	// The aot/uncached/g1 subtest run on a 4-core machine: the token ends in
+	// g1-4; only the procs suffix -4 may be stripped.
+	got, err := ParseBench(strings.NewReader(
+		"BenchmarkHotPath/aot/uncached/g1-4   7000000   160.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := got["BenchmarkHotPath/aot/uncached/g1"]; ns != 160 {
+		t.Errorf("hyphenated subtest mis-normalized: %v", got)
+	}
+}
+
+func TestAOTSpeedupGeomean(t *testing.T) {
+	current := map[string]float64{
+		"BenchmarkHotPath/jit/uncached/g1": 400,
+		"BenchmarkHotPath/aot/uncached/g1": 200, // 2x
+		"BenchmarkHotPath/jit/uncached/g4": 400,
+		"BenchmarkHotPath/aot/uncached/g4": 50,  // 8x
+		"BenchmarkHotPath/jit/cached/g1":   100, // no aot twin: ignored
+		"BenchmarkWALAppend":               9999,
+	}
+	ratio, n := AOTSpeedup(current)
+	if n != 2 {
+		t.Fatalf("paired %d benchmarks, want 2", n)
+	}
+	if math.Abs(ratio-4) > 1e-9 { // geomean(2, 8) = 4
+		t.Errorf("speedup = %v, want 4", ratio)
+	}
+}
+
+func TestAOTSpeedupNoPairs(t *testing.T) {
+	ratio, n := AOTSpeedup(map[string]float64{"BenchmarkWALAppend": 10})
+	if n != 0 || ratio != 1 {
+		t.Errorf("got ratio=%v n=%d, want 1, 0", ratio, n)
+	}
+}
+
 func TestCompareSeededRegressionFails(t *testing.T) {
 	baseline := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200}
 	// Seed a uniform 15% regression: >10% geomean, must fail the gate.

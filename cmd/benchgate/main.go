@@ -71,6 +71,9 @@ func main() {
 	}
 	rep := Compare(baseline, current, *threshold)
 	fmt.Print(rep.String())
+	if ratio, n := AOTSpeedup(current); n > 0 {
+		fmt.Printf("benchgate: AOT speedup over JIT: geomean %.2fx across %d benchmark pairs\n", ratio, n)
+	}
 	if !rep.Pass() {
 		os.Exit(1)
 	}

@@ -9,7 +9,8 @@
 //	rmtkctl [-O] [-v] verify <prog.rmt>         run the verifier, print the report
 //	rmtkctl verify -report [-json] [datapaths | prog.rmt ...]
 //	                                            three-stage lint/simulate/prove report
-//	rmtkctl [-O] run <prog.rmt> [r1 [r2 [r3]]]  install and execute, print R0
+//	rmtkctl [-O] [-engine aot|jit|interp] run <prog.rmt> [r1 [r2 [r3]]]
+//	                                            install and execute, print R0
 //	rmtkctl log-inspect <waldir>                print WAL records, checkpoints and damage
 //	rmtkctl [-v] recover <waldir>               replay the log, print recovery stats
 //	rmtkctl snapshot <waldir>                   recover, then checkpoint and compact
@@ -85,6 +86,7 @@ import (
 var (
 	optimize = flag.Bool("O", false, "optimize bytecode before the operation")
 	verbose  = flag.Bool("v", false, "verify: print per-instruction proofs and contracts")
+	engine   = flag.String("engine", "jit", "run: execution engine (aot, jit or interp; aot falls back to jit for programs outside the generated corpus)")
 )
 
 func main() {
@@ -305,7 +307,12 @@ func doRun(path string, rest []string) error {
 		}
 		regs[i] = v
 	}
+	mode, err := core.ParseExecMode(*engine)
+	if err != nil {
+		return err
+	}
 	k := scratchKernel(prog)
+	k.SetMode(mode)
 	if _, _, err := k.InstallProgram(prog); err != nil {
 		return err
 	}

@@ -2,7 +2,7 @@
 // (cmd/benchgate, .github/workflows/ci.yml "bench" job) tracks against
 // BENCH_BASELINE.json. Each benchmark drives the shared shardscale fixture —
 // a verifier-certified pure ALU+matmul program behind a 256-entry exact
-// table — through batched fires, varying execution mode (interp/jit), verdict
+// table — through batched fires, varying execution mode (aot/interp/jit), verdict
 // caching (cached/uncached) and firing goroutines (1/4/16). ns/op is per
 // fire.
 package rmtk_test
@@ -73,7 +73,7 @@ func benchHotPath(b *testing.B, mode core.ExecMode, cached bool, goroutines int)
 
 // BenchmarkHotPath is the CI-gated suite: mode × caching × goroutines.
 func BenchmarkHotPath(b *testing.B) {
-	for _, mode := range []core.ExecMode{core.ModeJIT, core.ModeInterp} {
+	for _, mode := range []core.ExecMode{core.ModeAOT, core.ModeJIT, core.ModeInterp} {
 		for _, cached := range []bool{true, false} {
 			for _, g := range []int{1, 4, 16} {
 				mode, cached, g := mode, cached, g

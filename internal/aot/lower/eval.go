@@ -1,0 +1,387 @@
+package lower
+
+import (
+	"errors"
+	"fmt"
+
+	"rmtk/internal/isa"
+)
+
+// Env is the world a lowered program may touch. It is a structural copy of
+// vm.Env (same method set, only isa types), so every vm.Env implementation —
+// the kernel's env, test fakes — satisfies it without this package importing
+// vm. The soundness fuzz in package vm depends on that: it runs Eval as the
+// AOT arm of the engine differential, which an aot→vm import would turn into
+// a cycle.
+type Env interface {
+	CtxLoad(key, field int64) int64
+	CtxStore(key, field, val int64)
+	CtxHistPush(key, val int64)
+	CtxHist(key int64, dst []int64) int
+	Match(table, key int64) int64
+	Call(helper int64, args *[5]int64) (int64, error)
+	MatVec(id int64, in []int64, out []int64) (int, error)
+	MatOutLen(id int64) (int, error)
+	Infer(model int64, features []int64) (int64, error)
+	VecLoad(id int64, dst []int64) (int, error)
+	VecStore(id int64, src []int64) error
+	TailProgram(id int64) (*isa.Program, error)
+}
+
+// Trap errors of the lowered evaluator, mirroring the vm package's (distinct
+// values — differential tests compare error presence, not identity).
+var (
+	ErrDivByZero  = errors.New("lower: division by zero")
+	ErrVecBounds  = errors.New("lower: vector access out of bounds")
+	ErrVecLen     = errors.New("lower: vector length mismatch")
+	ErrVecUnset   = errors.New("lower: use of empty vector register")
+	ErrVecTooLong = errors.New("lower: vector longer than MaxVecLen")
+	ErrHelperArgs = errors.New("lower: helper argument outside declared contract")
+	ErrHelperFail = errors.New("lower: helper call failed")
+	ErrFellOffEnd = errors.New("lower: execution fell off program end")
+)
+
+// Machine is the per-invocation state of the lowered evaluator: the mutable
+// analogue of the Scratch buffers the generated code borrows from a pool,
+// plus the register file the soundness fuzz compares across engines. Like
+// vm.State, a Machine may be reused across invocations (Eval resets
+// registers and vector registers; stack contents persist, unobservable
+// because the verifier demands write-before-read).
+type Machine struct {
+	Regs  [isa.NumRegs]int64
+	Stack [isa.StackWords]int64
+	Steps int64
+	vecs  [isa.NumVRegs][]int64
+	vbuf  [isa.NumVRegs][isa.MaxVecLen]int64
+	tmp   [isa.MaxVecLen]int64
+}
+
+// NewMachine returns a fresh evaluator state.
+func NewMachine() *Machine { return &Machine{} }
+
+// Vec returns the current contents of vector register v (tests only); the
+// slice aliases the machine.
+func (m *Machine) Vec(v int) []int64 { return m.vecs[v] }
+
+// Eval interprets a lowered program against env — the executable semantics
+// the Go emitter (emit.go) is checked against, and the AOT stand-in in the
+// 6-way soundness differential. It returns R0 at exit and the executed step
+// count (each node charging the instruction count it was fused from).
+func Eval(p *Prog, env Env, m *Machine, r1, r2, r3 int64) (int64, int64, error) {
+	m.Regs = [isa.NumRegs]int64{}
+	m.Regs[1], m.Regs[2], m.Regs[3] = r1, r2, r3
+	for i := range m.vecs {
+		m.vecs[i] = nil
+	}
+	m.Steps = 0
+	r := &m.Regs
+
+	idx := 0
+	for idx < len(p.Nodes) {
+		nd := &p.Nodes[idx]
+		next := idx + 1
+		switch nd.Kind {
+		case KJmp:
+			m.Steps += nd.Cost
+			next = nd.Target
+		case KBranch:
+			m.Steps += nd.Cost
+			b := r[nd.Src]
+			if condIsImm(nd.Op) {
+				b = nd.Imm
+			}
+			if condHolds(nd.Op, r[nd.Dst], b) {
+				next = nd.Target
+			}
+		case KExit:
+			m.Steps += nd.Cost
+			return r[0], m.Steps, nil
+		case KVecInit:
+			m.Steps += nd.Cost
+			v := m.vbuf[nd.Dst][:nd.Len]
+			m.vecs[nd.Dst] = v
+			for i := len(nd.Elems); i < len(v); i++ {
+				v[i] = 0
+			}
+			for i, src := range nd.Elems {
+				v[i] = r[src]
+			}
+		case KMatVecSum:
+			src := m.vecs[nd.Src]
+			if nd.PM&isa.ProofVecSet == 0 && src == nil {
+				m.Steps++
+				return 0, m.Steps, ErrVecUnset
+			}
+			if nd.Dst == nd.Src {
+				copy(m.tmp[:], src)
+				src = m.tmp[:len(src)]
+			}
+			n, err := env.MatVec(nd.Imm, src, m.vbuf[nd.Dst][:])
+			if err != nil {
+				m.Steps++
+				return 0, m.Steps, err
+			}
+			if n < 0 || n > isa.MaxVecLen {
+				m.Steps++
+				return 0, m.Steps, ErrVecTooLong
+			}
+			v := m.vbuf[nd.Dst][:n]
+			m.vecs[nd.Dst] = v
+			var sum int64
+			for _, x := range v {
+				sum += x
+			}
+			r[nd.Dst2] = sum
+			m.Steps += nd.Cost
+		case KMulAddImm:
+			m.Steps += nd.Cost
+			r[nd.Dst] = r[nd.Dst]*nd.Mul + nd.Add
+		default: // KInstr
+			if err := m.stepInstr(env, nd); err != nil {
+				m.Steps++
+				return 0, m.Steps, err
+			}
+			m.Steps++
+		}
+		idx = next
+	}
+	return 0, m.Steps, ErrFellOffEnd
+}
+
+// stepInstr executes one unfused KInstr node, mirroring vm's exec.step for
+// the opcode (checks elided under the same proof bits).
+func (m *Machine) stepInstr(env Env, nd *Node) error {
+	r := &m.Regs
+	switch nd.Op {
+	case isa.OpNop:
+	case isa.OpMov:
+		r[nd.Dst] = r[nd.Src]
+	case isa.OpMovImm:
+		r[nd.Dst] = nd.Imm
+	case isa.OpAdd:
+		r[nd.Dst] += r[nd.Src]
+	case isa.OpAddImm:
+		r[nd.Dst] += nd.Imm
+	case isa.OpSub:
+		r[nd.Dst] -= r[nd.Src]
+	case isa.OpMul:
+		r[nd.Dst] *= r[nd.Src]
+	case isa.OpMulImm:
+		r[nd.Dst] *= nd.Imm
+	case isa.OpDiv:
+		if nd.PM&isa.ProofDivNonZero == 0 && r[nd.Src] == 0 {
+			return ErrDivByZero
+		}
+		r[nd.Dst] /= r[nd.Src]
+	case isa.OpMod:
+		if nd.PM&isa.ProofDivNonZero == 0 && r[nd.Src] == 0 {
+			return ErrDivByZero
+		}
+		r[nd.Dst] %= r[nd.Src]
+	case isa.OpAnd:
+		r[nd.Dst] &= r[nd.Src]
+	case isa.OpOr:
+		r[nd.Dst] |= r[nd.Src]
+	case isa.OpXor:
+		r[nd.Dst] ^= r[nd.Src]
+	case isa.OpShl:
+		r[nd.Dst] <<= uint64(r[nd.Src]) & 63
+	case isa.OpShr:
+		r[nd.Dst] >>= uint64(r[nd.Src]) & 63
+	case isa.OpNeg:
+		r[nd.Dst] = -r[nd.Dst]
+	case isa.OpAbs:
+		if r[nd.Dst] < 0 {
+			r[nd.Dst] = -r[nd.Dst]
+		}
+	case isa.OpMin:
+		if r[nd.Src] < r[nd.Dst] {
+			r[nd.Dst] = r[nd.Src]
+		}
+	case isa.OpMax:
+		if r[nd.Src] > r[nd.Dst] {
+			r[nd.Dst] = r[nd.Src]
+		}
+
+	case isa.OpLdStack:
+		r[nd.Dst] = m.Stack[nd.Imm] // slot statically validated by Lower
+	case isa.OpStStack:
+		m.Stack[nd.Imm] = r[nd.Src]
+
+	case isa.OpLdCtxt:
+		r[nd.Dst] = env.CtxLoad(r[nd.Src], nd.Imm)
+	case isa.OpStCtxt:
+		env.CtxStore(r[nd.Dst], nd.Imm, r[nd.Src])
+	case isa.OpMatchCtxt:
+		r[nd.Dst] = env.Match(nd.Imm, r[nd.Src])
+	case isa.OpHistPush:
+		env.CtxHistPush(r[nd.Dst], r[nd.Src])
+
+	case isa.OpCall:
+		args := [5]int64{r[1], r[2], r[3], r[4], r[5]}
+		for i, c := range nd.Contracts {
+			if i >= len(args) {
+				break
+			}
+			if !c.Contains(args[i]) {
+				return fmt.Errorf("%w: r%d=%d outside %s", ErrHelperArgs, i+1, args[i], c)
+			}
+		}
+		ret, err := env.Call(nd.Imm, &args)
+		if err != nil {
+			return fmt.Errorf("%w: helper %d: %w", ErrHelperFail, nd.Imm, err)
+		}
+		r[0] = ret
+
+	case isa.OpVecZero:
+		v := m.vbuf[nd.Dst][:nd.Imm] // length statically validated by Lower
+		m.vecs[nd.Dst] = v
+		for i := range v {
+			v[i] = 0
+		}
+	case isa.OpVecLd:
+		n, err := env.VecLoad(nd.Imm, m.vbuf[nd.Dst][:])
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > isa.MaxVecLen {
+			return ErrVecTooLong
+		}
+		m.vecs[nd.Dst] = m.vbuf[nd.Dst][:n]
+	case isa.OpVecSt:
+		if nd.PM&isa.ProofVecSet == 0 && m.vecs[nd.Src] == nil {
+			return ErrVecUnset
+		}
+		if err := env.VecStore(nd.Imm, m.vecs[nd.Src]); err != nil {
+			return err
+		}
+	case isa.OpVecLdHist:
+		n := env.CtxHist(r[nd.Src], m.vbuf[nd.Dst][:nd.Imm])
+		if n < 0 || n > isa.MaxVecLen {
+			return ErrVecTooLong
+		}
+		m.vecs[nd.Dst] = m.vbuf[nd.Dst][:n]
+	case isa.OpVecSet:
+		v := m.vecs[nd.Dst]
+		if nd.PM&isa.ProofVecIndexInBounds == 0 && (nd.Imm < 0 || int(nd.Imm) >= len(v)) {
+			return ErrVecBounds
+		}
+		v[nd.Imm] = r[nd.Src]
+	case isa.OpVecPush:
+		v := m.vecs[nd.Dst]
+		if nd.PM&isa.ProofVecSet == 0 && len(v) == 0 {
+			return ErrVecUnset
+		}
+		copy(v, v[1:])
+		v[len(v)-1] = r[nd.Src]
+	case isa.OpScalarVal:
+		v := m.vecs[nd.Src]
+		if nd.PM&isa.ProofVecIndexInBounds == 0 && (nd.Imm < 0 || int(nd.Imm) >= len(v)) {
+			return ErrVecBounds
+		}
+		r[nd.Dst] = v[nd.Imm]
+	case isa.OpMatMul:
+		src := m.vecs[nd.Src]
+		if nd.PM&isa.ProofVecSet == 0 && src == nil {
+			return ErrVecUnset
+		}
+		if nd.Dst == nd.Src {
+			copy(m.tmp[:], src)
+			src = m.tmp[:len(src)]
+		}
+		n, err := env.MatVec(nd.Imm, src, m.vbuf[nd.Dst][:])
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > isa.MaxVecLen {
+			return ErrVecTooLong
+		}
+		m.vecs[nd.Dst] = m.vbuf[nd.Dst][:n]
+	case isa.OpVecAdd:
+		d, s := m.vecs[nd.Dst], m.vecs[nd.Src]
+		if nd.PM&isa.ProofVecLenMatch == 0 && (len(d) != len(s) || d == nil) {
+			return ErrVecLen
+		}
+		for i := range d {
+			d[i] += s[i]
+		}
+	case isa.OpVecMul:
+		d, s := m.vecs[nd.Dst], m.vecs[nd.Src]
+		if nd.PM&isa.ProofVecLenMatch == 0 && (len(d) != len(s) || d == nil) {
+			return ErrVecLen
+		}
+		for i := range d {
+			d[i] *= s[i]
+		}
+	case isa.OpVecRelu:
+		d := m.vecs[nd.Dst]
+		for i := range d {
+			if d[i] < 0 {
+				d[i] = 0
+			}
+		}
+	case isa.OpVecQuant:
+		mul, shift := isa.UnpackQuant(nd.Imm)
+		d := m.vecs[nd.Dst]
+		for i := range d {
+			d[i] = (d[i] * mul) >> shift
+		}
+	case isa.OpVecClamp:
+		d := m.vecs[nd.Dst]
+		lim := nd.Imm
+		if lim < 0 {
+			lim = -lim
+		}
+		for i := range d {
+			if d[i] > lim {
+				d[i] = lim
+			} else if d[i] < -lim {
+				d[i] = -lim
+			}
+		}
+	case isa.OpVecArgMax:
+		v := m.vecs[nd.Src]
+		if nd.PM&isa.ProofVecSet == 0 && len(v) == 0 {
+			return ErrVecUnset
+		}
+		best := 0
+		for i := 1; i < len(v); i++ {
+			if v[i] > v[best] {
+				best = i
+			}
+		}
+		r[nd.Dst] = int64(best)
+	case isa.OpVecDot:
+		a := m.vecs[nd.Src]
+		b := m.vecs[uint8(nd.Imm)]
+		if nd.PM&isa.ProofVecLenMatch == 0 && (len(a) != len(b) || a == nil) {
+			return ErrVecLen
+		}
+		var sum int64
+		for i := range a {
+			sum += a[i] * b[i]
+		}
+		r[nd.Dst] = sum
+	case isa.OpVecSum:
+		v := m.vecs[nd.Src]
+		var sum int64
+		for i := range v {
+			sum += v[i]
+		}
+		r[nd.Dst] = sum
+	case isa.OpMLInfer:
+		v := m.vecs[nd.Src]
+		if nd.PM&isa.ProofVecSet == 0 && v == nil {
+			return ErrVecUnset
+		}
+		ret, err := env.Infer(nd.Imm, v)
+		if err != nil {
+			return err
+		}
+		r[nd.Dst] = ret
+
+	default:
+		return fmt.Errorf("%w: opcode %d", ErrBadProgram, nd.Op)
+	}
+	return nil
+}

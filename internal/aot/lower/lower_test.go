@@ -1,0 +1,253 @@
+package lower_test
+
+import (
+	"errors"
+	"testing"
+
+	"rmtk/internal/aot/lower"
+	"rmtk/internal/isa"
+	"rmtk/internal/verifier"
+)
+
+// stubEnv is a minimal lower.Env for structural tests: MatVec copies the
+// input through (identity matrix of the input's length), everything else is
+// inert. The fuzz differential (internal/vm FuzzVerifierSoundness) covers
+// full environment semantics; these tests pin the lowering structure.
+type stubEnv struct{}
+
+func (stubEnv) CtxLoad(key, field int64) int64     { return 0 }
+func (stubEnv) CtxStore(key, field, val int64)     {}
+func (stubEnv) CtxHistPush(key, val int64)         {}
+func (stubEnv) CtxHist(key int64, dst []int64) int { return 0 }
+func (stubEnv) Match(table, key int64) int64       { return 0 }
+func (stubEnv) Call(helper int64, args *[5]int64) (int64, error) {
+	return 0, nil
+}
+func (stubEnv) MatVec(id int64, in, out []int64) (int, error) {
+	copy(out, in)
+	return len(in), nil
+}
+func (stubEnv) MatOutLen(id int64) (int, error)             { return 4, nil }
+func (stubEnv) Infer(model int64, x []int64) (int64, error) { return 0, nil }
+func (stubEnv) VecLoad(id int64, dst []int64) (int, error)  { return 0, nil }
+func (stubEnv) VecStore(id int64, src []int64) error        { return nil }
+func (stubEnv) TailProgram(id int64) (*isa.Program, error) {
+	return nil, nil
+}
+
+// shardscaleProg is the hot-path benchmark shape: a fully fusable
+// veczero+vecset* run followed by matmul+vecsum.
+func shardscaleProg(t *testing.T) *isa.Program {
+	t.Helper()
+	return &isa.Program{
+		Name: "shardscale_pure",
+		Insns: isa.MustAssemble(`
+        veczero v0, 4
+        vecset  v0, 0, r1
+        vecset  v0, 1, r2
+        vecset  v0, 2, r3
+        vecset  v0, 3, r1
+        matmul  v1, v0, 7
+        vecsum  r0, v1
+        exit`),
+		Mats: []int64{7},
+	}
+}
+
+func TestLowerFusesSuperinstructions(t *testing.T) {
+	lp, err := lower.Lower(shardscaleProg(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.FusedPairs != 2 {
+		t.Errorf("FusedPairs = %d, want 2", lp.FusedPairs)
+	}
+	kinds := make([]lower.Kind, len(lp.Nodes))
+	for i, nd := range lp.Nodes {
+		kinds[i] = nd.Kind
+	}
+	want := []lower.Kind{lower.KVecInit, lower.KMatVecSum, lower.KExit}
+	if len(kinds) != len(want) {
+		t.Fatalf("lowered to %d nodes (%v), want %v", len(kinds), kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("node kinds = %v, want %v", kinds, want)
+		}
+	}
+	// The fused nodes must still charge the original instruction count:
+	// veczero+4 vecsets = 5 steps, matmul+vecsum = 2 steps.
+	if lp.Nodes[0].Cost != 5 || lp.Nodes[1].Cost != 2 {
+		t.Errorf("fused costs = %d, %d; want 5, 2", lp.Nodes[0].Cost, lp.Nodes[1].Cost)
+	}
+}
+
+func TestEvalFusedMatchesHandComputation(t *testing.T) {
+	lp, err := lower.Lower(shardscaleProg(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lower.NewMachine()
+	// v0 = [2, 3, 4, 2]; identity MatVec; sum = 11. Steps are charged per
+	// original instruction: 8 including the exit.
+	r0, steps, rerr := lower.Eval(lp, stubEnv{}, m, 2, 3, 4)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if r0 != 11 {
+		t.Errorf("r0 = %d, want 11", r0)
+	}
+	if steps != 8 {
+		t.Errorf("steps = %d, want 8 (fusion must not change step accounting)", steps)
+	}
+}
+
+func TestLowerFusesMulAddImm(t *testing.T) {
+	prog := &isa.Program{
+		Name: "muladd",
+		Insns: isa.MustAssemble(`
+        mov    r2, r1
+        mulimm r2, 3
+        addimm r2, 4
+        mov    r0, r2
+        exit`),
+	}
+	lp, err := lower.Lower(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.FusedPairs != 1 {
+		t.Fatalf("FusedPairs = %d, want 1", lp.FusedPairs)
+	}
+	var fused *lower.Node
+	for i := range lp.Nodes {
+		if lp.Nodes[i].Kind == lower.KMulAddImm {
+			fused = &lp.Nodes[i]
+		}
+	}
+	if fused == nil {
+		t.Fatalf("no KMulAddImm node in %+v", lp.Nodes)
+	}
+	if fused.Mul != 3 || fused.Add != 4 || fused.Cost != 2 {
+		t.Errorf("fused node = %+v, want Mul 3, Add 4, Cost 2", fused)
+	}
+	r0, steps, rerr := lower.Eval(lp, stubEnv{}, lower.NewMachine(), 5, 0, 0)
+	if rerr != nil || r0 != 19 || steps != 5 {
+		t.Errorf("Eval = (%d, %d, %v), want (19, 5, nil)", r0, steps, rerr)
+	}
+}
+
+func TestLowerRefusesFusionAcrossJumpTarget(t *testing.T) {
+	// The jump lands on the first vecset, so fusing it into the preceding
+	// veczero would let control enter the middle of a superinstruction.
+	prog := &isa.Program{
+		Name: "jump-into-run",
+		Insns: isa.MustAssemble(`
+        jgti    r1, 5, target
+        veczero v0, 2
+target: vecset  v0, 0, r2
+        exit`),
+	}
+	lp, err := lower.Lower(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.FusedPairs != 0 {
+		t.Errorf("FusedPairs = %d, want 0 (vecset is a jump target)", lp.FusedPairs)
+	}
+	var sawVecSetLabel bool
+	for _, nd := range lp.Nodes {
+		if nd.Kind == lower.KInstr && nd.Op == isa.OpVecSet {
+			sawVecSetLabel = true
+		}
+	}
+	if !sawVecSetLabel {
+		t.Errorf("vecset was fused away despite being a jump target: %+v", lp.Nodes)
+	}
+}
+
+func TestLowerFoldsProvenBranches(t *testing.T) {
+	prog := &isa.Program{
+		Name: "const-branch",
+		Insns: isa.MustAssemble(`
+        movimm r1, 5
+        jgti   r1, 3, taken
+        movimm r0, 111
+        exit
+taken:  movimm r0, 222
+        exit`),
+	}
+	rep, err := verifier.Verify(prog, verifier.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Facts == nil {
+		t.Fatal("verifier exported no facts")
+	}
+	lp, err := lower.Lower(prog, rep.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.FoldedBranches != 1 {
+		t.Errorf("FoldedBranches = %d, want 1", lp.FoldedBranches)
+	}
+	if lp.DeadInsns != 2 {
+		t.Errorf("DeadInsns = %d, want 2 (the infeasible fall-through)", lp.DeadInsns)
+	}
+	r0, _, rerr := lower.Eval(lp, stubEnv{}, lower.NewMachine(), 0, 0, 0)
+	if rerr != nil || r0 != 222 {
+		t.Errorf("Eval = (%d, %v), want (222, nil)", r0, rerr)
+	}
+}
+
+func TestLowerRejectsTailCalls(t *testing.T) {
+	prog := &isa.Program{
+		Name:  "tail",
+		Insns: isa.MustAssemble("tailcall 4"),
+		Tails: []int64{4},
+	}
+	if _, err := lower.Lower(prog, nil); !errors.Is(err, lower.ErrTailCall) {
+		t.Errorf("Lower(tailcall) = %v, want ErrTailCall", err)
+	}
+}
+
+func TestLowerRejectsNegativeVecIndex(t *testing.T) {
+	// The verifier admits a negative vecset index against an unknown-length
+	// vector (the runtime check traps); Go cannot compile a constant
+	// negative index, so the AOT tier must decline, not miscompile.
+	prog := &isa.Program{
+		Name: "neg-index",
+		Insns: []isa.Instr{
+			{Op: isa.OpVecZero, Dst: 0, Imm: 4},
+			{Op: isa.OpVecSet, Dst: 0, Src: 1, Imm: -5},
+			{Op: isa.OpExit},
+		},
+	}
+	if _, err := lower.Lower(prog, nil); !errors.Is(err, lower.ErrUnsupported) {
+		t.Errorf("Lower(negative index) = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestLowerStepBudgetOnTrap(t *testing.T) {
+	// Division by zero at pc 2: the interpreter charges the trapping
+	// instruction, so Eval must report 3 executed steps.
+	prog := &isa.Program{
+		Name: "trap-steps",
+		Insns: isa.MustAssemble(`
+        movimm r1, 7
+        movimm r2, 0
+        div    r1, r2
+        exit`),
+	}
+	lp, err := lower.Lower(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, steps, rerr := lower.Eval(lp, stubEnv{}, lower.NewMachine(), 0, 0, 0)
+	if !errors.Is(rerr, lower.ErrDivByZero) {
+		t.Fatalf("Eval = %v, want ErrDivByZero", rerr)
+	}
+	if steps != 3 {
+		t.Errorf("steps at trap = %d, want 3 (trapping instruction is charged)", steps)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"rmtk/internal/aot"
 	"rmtk/internal/fault"
 	"rmtk/internal/table"
 	"rmtk/internal/vm"
@@ -205,7 +206,11 @@ func (k *Kernel) replayCached(rt *routes, cf *cachedFire, shard int, hook string
 // fireSlow runs the full pipeline and, when the fire proved replayable,
 // memoizes the outcome under (fk, gen).
 func (k *Kernel) fireSlow(ts *tenantState, rt *routes, gen uint64, hr *hookRoute, shard int, hook string, key, arg2, arg3 int64, res *FireResult, record bool, fk table.FlowKey, pre *preDecision) {
-	inv := Invocation{
+	// The invocation is pooled because it escapes into the engine env (the
+	// env is handed to program code through the vm.Env interface); a fresh
+	// heap Invocation per fire was the hot path's dominant allocation.
+	inv := k.invPool.Get().(*Invocation)
+	*inv = Invocation{
 		Hook: hook, Key: key, Arg2: arg2, Arg3: arg3,
 		emitBudget: k.cfg.RateLimit,
 	}
@@ -237,7 +242,7 @@ func (k *Kernel) fireSlow(ts *tenantState, rt *routes, gen uint64, hr *hookRoute
 		} else {
 			rec.addRow(t, entry)
 		}
-		k.runAction(rt, shard, entry, &inv, res, &rec, pre, out)
+		k.runAction(rt, shard, entry, inv, res, &rec, pre, out)
 	}
 	res.Emissions = inv.emissions
 	res.RateLimited = inv.rateHits
@@ -245,7 +250,7 @@ func (k *Kernel) fireSlow(ts *tenantState, rt *routes, gen uint64, hr *hookRoute
 		k.ctrInfers.Add(shard, inv.inferences)
 	}
 	if shadowEntry != nil {
-		k.runShadow(rt, hr.shadow, shadowEntry, &inv, res)
+		k.runShadow(rt, hr.shadow, shadowEntry, inv, res)
 	}
 
 	if rec.ok && rec.progs <= 1 && !res.Trapped && !res.FellBack &&
@@ -261,6 +266,10 @@ func (k *Kernel) fireSlow(ts *tenantState, rt *routes, gen uint64, hr *hookRoute
 		}
 		ts.vcache.Put(fk, gen, cf)
 	}
+	// Emission ownership moved to res above; drop the reference so the
+	// pooled invocation cannot pin (or leak into) a later fire's buffer.
+	inv.emissions = nil
+	k.invPool.Put(inv)
 }
 
 // runAction executes one matched entry's action.
@@ -411,13 +420,27 @@ func (k *Kernel) runProgram(rt *routes, shard int, progID int64, inv *Invocation
 			inv.injectHelperErr = out.HelperErr
 		}
 	}
-	st := k.statePool.Get().(*vm.State)
-	defer k.statePool.Put(st)
-
 	arg3 := inv.Arg3
 	if param != 0 {
 		arg3 = param
 	}
+	if rt.mode == ModeAOT && p.aot != nil {
+		as := k.aotPool.Get().(*aotState)
+		as.env.k, as.env.rt, as.env.inv = k, rt, inv
+		ret, steps, rerr := runAOT(p.aot, &as.env, &as.scratch, inv.Key, inv.Arg2, arg3)
+		as.env.rt, as.env.inv = nil, nil
+		k.aotPool.Put(as)
+		inv.injectHelperErr = nil
+		k.histSteps.Observe(shard, steps)
+		if rerr != nil {
+			return 0, steps, true, rerr
+		}
+		return ret, steps, false, nil
+	}
+
+	st := k.statePool.Get().(*vm.State)
+	defer k.statePool.Put(st)
+
 	e := &env{k: k, rt: rt, inv: inv}
 	var engine vm.Engine = p.jit
 	if rt.mode == ModeInterp {
@@ -431,6 +454,26 @@ func (k *Kernel) runProgram(rt *routes, shard int, progID int64, inv *Invocation
 		return 0, steps, true, rerr
 	}
 	return ret, steps, false, nil
+}
+
+// aotState is the pooled buffer set of an AOT fire: the env is embedded by
+// value so the hot path allocates nothing (the JIT path heap-allocates its
+// env per fire because vm.Compile captured closures escape it).
+type aotState struct {
+	env     env
+	scratch aot.Scratch
+}
+
+// runAOT runs one generated function with panic containment. A panic loses
+// the partial step count (the generated frame is gone); the trap itself is
+// still charged to the breaker like any engine panic.
+func runAOT(fn aot.Func, e *env, m *aot.Scratch, r1, r2, r3 int64) (ret, steps int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrProgramPanic, r)
+		}
+	}()
+	return fn(e, m, r1, r2, r3)
 }
 
 // runEngine runs one engine invocation with panic containment.

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rmtk/internal/aot"
 	"rmtk/internal/dp"
 	"rmtk/internal/fault"
 	"rmtk/internal/isa"
@@ -32,14 +33,35 @@ const (
 	ModeJIT ExecMode = iota
 	// ModeInterp runs admitted programs in the bytecode interpreter.
 	ModeInterp
+	// ModeAOT prefers ahead-of-time generated native functions (cmd/rmtkgen)
+	// for programs whose content hash is in the internal/aot registry, and
+	// falls back to the JIT per program on a registry miss.
+	ModeAOT
 )
 
 // String names the mode.
 func (m ExecMode) String() string {
-	if m == ModeInterp {
+	switch m {
+	case ModeInterp:
 		return "interp"
+	case ModeAOT:
+		return "aot"
 	}
 	return "jit"
+}
+
+// ParseExecMode parses a mode name as printed by String (rmtkctl/rmtbench
+// flag values).
+func ParseExecMode(s string) (ExecMode, error) {
+	switch s {
+	case "jit":
+		return ModeJIT, nil
+	case "interp":
+		return ModeInterp, nil
+	case "aot":
+		return ModeAOT, nil
+	}
+	return ModeJIT, fmt.Errorf("core: unknown exec mode %q (want jit, interp or aot)", s)
 }
 
 // Model is a registered inference model callable from RMT programs via
@@ -131,6 +153,11 @@ type progEntry struct {
 	interp *vm.Interpreter
 	jit    *vm.JIT
 	report *verifier.Report
+	// aot is the ahead-of-time compiled native function, or nil when the
+	// program's content hash missed the generated registry. Bound once at
+	// install time: a reswap admits a fresh program and rehashes, so a
+	// stale function can never survive a program change.
+	aot aot.Func
 }
 
 // Kernel is the in-kernel RMT virtual machine instance.
@@ -188,6 +215,13 @@ type Kernel struct {
 	Metrics *telemetry.Registry
 
 	statePool sync.Pool
+	// aotPool holds *aotState buffers for ModeAOT fires: generated functions
+	// take a pooled env plus scratch instead of the interpreter/JIT state,
+	// keeping the AOT fast path allocation-free.
+	aotPool sync.Pool
+	// invPool recycles fireSlow's Invocations — they escape into the engine
+	// env and would otherwise be the fire path's dominant heap allocation.
+	invPool sync.Pool
 }
 
 // Sentinel errors. Callers (including the supervisor and the control plane's
@@ -233,6 +267,8 @@ func NewKernel(cfg Config) *Kernel {
 	}
 	k.storeDirLocked()
 	k.statePool.New = func() any { return vm.NewState() }
+	k.aotPool.New = func() any { return new(aotState) }
+	k.invPool.New = func() any { return new(Invocation) }
 	registerStandardHelpers(k)
 	k.mu.Lock()
 	k.rebuildRoutesLocked()
@@ -674,7 +710,8 @@ func (k *Kernel) installProgram(prog *isa.Program, forceID int64) (int64, *verif
 		k.nextProg++
 	}
 	id := k.nextProg
-	k.progs[id] = &progEntry{id: id, prog: prog, interp: interp, jit: jit, report: report}
+	aotFn, _ := aot.Lookup(aot.Hash(prog))
+	k.progs[id] = &progEntry{id: id, prog: prog, interp: interp, jit: jit, report: report, aot: aotFn}
 	k.progIDs[prog.Name] = id
 	if ts != nil {
 		ts.nProgs++

@@ -112,6 +112,14 @@ func (p *pass) run() ([]int64, error) {
 		return nil, fmt.Errorf("%w: %d > %d", ErrTooLong, n, isa.MaxProgInsns)
 	}
 	p.proofs = make([]isa.ProofMask, n)
+	var facts *Facts
+	if p.collect {
+		facts = &Facts{
+			Live:     make([]bool, n),
+			Branches: make([]BranchDecision, n),
+			VecLens:  make([][isa.NumVRegs]int, n),
+		}
+	}
 
 	// Structural pass: opcodes, registers, jump discipline.
 	for pc, in := range insns {
@@ -163,6 +171,19 @@ func (p *pass) run() ([]int64, error) {
 			p.warnf("pc %d unreachable: %s", pc, in)
 			continue
 		}
+		if facts != nil {
+			facts.Live[pc] = true
+			for i, vl := range st.vecs {
+				switch vl {
+				case vecUnset:
+					facts.VecLens[pc][i] = VecLenUnset
+				case vecUnknown:
+					facts.VecLens[pc][i] = VecLenUnknown
+				default:
+					facts.VecLens[pc][i] = vl
+				}
+			}
+		}
 		out := st
 		opCost := int64(0)
 
@@ -205,11 +226,18 @@ func (p *pass) run() ([]int64, error) {
 			if !isImm {
 				b = out.riv[in.Src]
 			}
-			branch := func(r isa.Rel, to int) {
+			branch := func(r isa.Rel, to int, taken bool) {
 				na, nb, feasible := isa.Narrow(r, a, b)
 				if !feasible {
 					if p.collect {
 						p.rep.DeadEdges++
+					}
+					if facts != nil {
+						if taken {
+							facts.Branches[pc] = BranchNeverTaken
+						} else {
+							facts.Branches[pc] = BranchAlwaysTaken
+						}
 					}
 					p.warnf("pc %d branch edge to %d infeasible: %s", pc, to, in)
 					return
@@ -221,8 +249,8 @@ func (p *pass) run() ([]int64, error) {
 				}
 				flow(pc, to, e, 1, opCost)
 			}
-			branch(rel, pc+1+int(in.Off))
-			branch(rel.Negate(), pc+1)
+			branch(rel, pc+1+int(in.Off), true)
+			branch(rel.Negate(), pc+1, false)
 		default:
 			flow(pc, pc+1, out, 1, opCost)
 		}
@@ -232,6 +260,7 @@ func (p *pass) run() ([]int64, error) {
 	p.rep.MLOps += maxOps
 	if p.collect {
 		p.rep.Proofs = p.proofs
+		p.rep.Facts = facts
 	}
 	return tailIDs, nil
 }

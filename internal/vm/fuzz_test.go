@@ -1,10 +1,12 @@
 package vm
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
 
+	"rmtk/internal/aot/lower"
 	"rmtk/internal/isa"
 	"rmtk/internal/verifier"
 )
@@ -72,9 +74,12 @@ func proofRandomProgram(rng *rand.Rand) *isa.Program {
 // FuzzVerifierSoundness is the differential soundness check for check
 // elision: a verified program must behave identically whether the VM runs
 // every runtime check (no proofs attached) or elides the statically proven
-// ones, on both engines. Any divergence — result, register file, error
-// presence, or environment side effects — means the verifier granted a
-// proof for a check that could actually fire.
+// ones, on all three engines — interpreter, JIT, and the AOT lowering
+// (evaluated through lower.Eval, the reference semantics of the code
+// rmtkgen emits, including branch folding and superinstruction fusion).
+// Any divergence — result, register file, error presence, or environment
+// side effects — means the verifier granted a proof for a check that could
+// actually fire, or the AOT lowering miscompiled the program.
 func FuzzVerifierSoundness(f *testing.F) {
 	for seed := int64(0); seed < 24; seed++ {
 		f.Add(seed, int64(3), int64(5), int64(7))
@@ -120,11 +125,38 @@ func FuzzVerifierSoundness(f *testing.F) {
 			return outcome{name: name, r0: r0, regs: st.Regs, failed: rerr != nil, env: env}
 		}
 
+		// The AOT arms evaluate the lowered program through lower.Eval.
+		// Lowering the checked clone with nil facts exercises the
+		// all-checks path; lowering the elided clone with the verifier's
+		// facts exercises folding, fusion and elision together. Programs
+		// the AOT tier declines (tail-call cascades, shapes Go cannot
+		// express) fall back to the bytecode engines in production, so
+		// those arms are simply absent here too.
+		runAOT := func(name string, p *isa.Program, facts *verifier.Facts) (outcome, bool) {
+			lp, err := lower.Lower(p, facts)
+			if err != nil {
+				if errors.Is(err, lower.ErrTailCall) || errors.Is(err, lower.ErrUnsupported) {
+					return outcome{}, false
+				}
+				t.Fatalf("%s: lower: %v\n%s", name, err, p.Disassemble())
+			}
+			env := soundEnv()
+			m := lower.NewMachine()
+			r0, _, rerr := lower.Eval(lp, env, m, r1, r2, r3)
+			return outcome{name: name, r0: r0, regs: m.Regs, failed: rerr != nil, env: env}, true
+		}
+
 		outs := []outcome{
 			run("interp/checked", checked, false),
 			run("interp/elided", elided, false),
 			run("jit/checked", checked, true),
 			run("jit/elided", elided, true),
+		}
+		if o, ok := runAOT("aot/checked", checked, nil); ok {
+			outs = append(outs, o)
+		}
+		if o, ok := runAOT("aot/elided", elided, rep.Facts); ok {
+			outs = append(outs, o)
 		}
 		want := outs[0]
 		for _, o := range outs[1:] {

@@ -47,13 +47,14 @@ type Kernel = core.Kernel
 // Config parameterizes kernel construction.
 type Config = core.Config
 
-// ExecMode selects interpretation or JIT compilation.
+// ExecMode selects interpretation, JIT compilation, or the AOT registry.
 type ExecMode = core.ExecMode
 
 // Execution modes.
 const (
 	ModeJIT    = core.ModeJIT
 	ModeInterp = core.ModeInterp
+	ModeAOT    = core.ModeAOT
 )
 
 // Model is a registered inference model callable from RMT programs.
