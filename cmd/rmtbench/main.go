@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rmtbench [-exp table1|table2|adapt|io|net|dp|chaos|canary|shardscale|recovery|fleet|tenants|all] [-seed N] [-mode jit|interp] [-short]
+//	rmtbench [-exp table1|table2|adapt|io|net|dp|chaos|enginechaos|canary|shardscale|recovery|fleet|tenants|all] [-seed N] [-mode jit|interp|aot] [-short]
 package main
 
 import (
@@ -18,18 +18,16 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, chaos, canary, shardscale, recovery, fleet, tenants, all")
+		exp   = flag.String("exp", "all", "experiment to run: table1, table2, adapt, io, net, dp, chaos, enginechaos, canary, shardscale, recovery, fleet, tenants, all")
 		seed  = flag.Int64("seed", 1, "workload seed")
-		mode  = flag.String("mode", "jit", "RMT execution mode: jit or interp")
+		mode  = flag.String("mode", "jit", "RMT execution mode: jit, interp or aot")
 		short = flag.Bool("short", false, "shrink workloads where the experiment supports it")
 	)
 	flag.Parse()
 
-	execMode := core.ModeJIT
-	if *mode == "interp" {
-		execMode = core.ModeInterp
-	} else if *mode != "jit" {
-		fmt.Fprintf(os.Stderr, "rmtbench: unknown mode %q\n", *mode)
+	execMode, err := core.ParseExecMode(*mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmtbench: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -113,6 +111,21 @@ func main() {
 			return err
 		}
 		fmt.Println(res)
+		fmt.Println()
+		return nil
+	})
+
+	run("enginechaos", func() error {
+		fmt.Println("== Experiment N: engine sentinel under engine-level chaos (panic, miscompile, divergence) ==")
+		res, err := experiments.EngineChaos(*seed, *short)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if err := res.Check(); err != nil {
+			return err
+		}
+		fmt.Println("gates: demotion ≤ one sampling period, zero corrupted verdicts, JCT ≤ 1.05x clean — all passed")
 		fmt.Println()
 		return nil
 	})

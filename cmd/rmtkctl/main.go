@@ -15,6 +15,8 @@
 //	rmtkctl [-v] recover <waldir>               replay the log, print recovery stats
 //	rmtkctl snapshot <waldir>                   recover, then checkpoint and compact
 //	rmtkctl tenant-status <waldir>              recover, print per-tenant quotas and resources
+//	rmtkctl engine-status <waldir>              recover, print per-program engine tiers,
+//	                                            restored quarantines and the WAL incident tail
 //	rmtkctl cluster-status <fleetdir>           inspect a fleet's node-* state dirs offline
 //	rmtkctl cluster-rollout <fleetdir>          run a staged canary rollout on a demo fleet
 //
@@ -114,6 +116,8 @@ func main() {
 		err = doSnapshot(path)
 	case "tenant-status":
 		err = doTenantStatus(path)
+	case "engine-status":
+		err = doEngineStatus(path)
 	case "cluster-status":
 		err = doClusterStatus(path)
 	case "cluster-rollout":
@@ -128,7 +132,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rmtkctl asm|dis|verify|run|log-inspect|recover|snapshot|tenant-status|cluster-status|cluster-rollout <file|waldir|fleetdir> [args]")
+	fmt.Fprintln(os.Stderr, "usage: rmtkctl asm|dis|verify|run|log-inspect|recover|snapshot|tenant-status|engine-status|cluster-status|cluster-rollout <file|waldir|fleetdir> [args]")
 	os.Exit(2)
 }
 
@@ -445,6 +449,53 @@ func doTenantStatus(dir string) error {
 			st.Tables, capOf(int64(q.MaxTables)), st.Programs, capOf(int64(q.MaxPrograms)), capOf(q.StepBudget))
 		fmt.Printf("  datapath: generation=%d quarantined=%d\n", st.Generation, len(st.Quarantined))
 	}
+	return nil
+}
+
+// doEngineStatus recovers a plane from its state directory and reports
+// per-program engine health: capability and current tiers, demotion history
+// and restored quarantines (the recovered kernel has no sentinel attached,
+// so current tiers reflect durable quarantines, not live probing), followed
+// by the raw incident tail still present in the log. Read-only with respect
+// to the datapath: nothing is fired.
+func doEngineStatus(dir string) error {
+	p, err := recoverPlane(dir)
+	if err != nil {
+		return err
+	}
+	defer p.WAL().Close()
+
+	sts := p.K.EngineStatus()
+	if len(sts) == 0 {
+		fmt.Println("no programs installed")
+	}
+	for _, st := range sts {
+		fmt.Printf("program %s: id=%d hash=%.12s… max=%s current=%s checkable=%v\n",
+			st.Program, st.ID, st.Hash, st.MaxTier, st.Tier, st.Checkable)
+	}
+	if q := p.K.EngineQuarantines(); len(q) > 0 {
+		fmt.Printf("quarantines (%d):\n", len(q))
+		for _, e := range q {
+			fmt.Printf("  %.12s… held at %s\n", e.Hash, e.Tier)
+		}
+	} else {
+		fmt.Println("no engine quarantines in force")
+	}
+
+	// Offline incident tail: whatever incident records the (possibly
+	// compacted) log still carries, in order.
+	sc, err := wal.Scan(dir)
+	if err != nil {
+		return err
+	}
+	var n int
+	for _, rec := range sc.Records {
+		if rec.Kind == wal.KindIncident {
+			n++
+			fmt.Println(rec)
+		}
+	}
+	fmt.Printf("%d incident records in the log\n", n)
 	return nil
 }
 

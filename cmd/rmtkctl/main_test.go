@@ -262,3 +262,52 @@ func TestTenantStatusCommand(t *testing.T) {
 		t.Fatal("tenant-status of a missing directory succeeded")
 	}
 }
+
+func TestEngineStatusCommand(t *testing.T) {
+	dir := t.TempDir()
+	p, err := ctrl.Open(core.NewKernel(core.Config{}), dir, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.LoadProgram(&isa.Program{
+		Name: "eng_p", Hook: "h/eng",
+		Insns: isa.MustAssemble("movimm r0, 3\nexit"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.CreateTable("eng_t", "h/eng", table.MatchExact); err != nil {
+		t.Fatal(err)
+	}
+	progID := p.K.EngineStatus()[0].ID
+	if err := p.AddEntry("eng_t", &table.Entry{
+		Key: 1, Action: table.Action{Kind: table.ActionProgram, ProgID: progID},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// One injected engine panic with DemoteAfter=1 demotes jit→interp and
+	// logs an incident for the offline view to find.
+	p.K.AttachSentinel(core.SentinelConfig{SampleEvery: 1 << 20, DemoteAfter: 1, CooldownFires: 1 << 20})
+	if err := p.EnableIncidentLog(); err != nil {
+		t.Fatal(err)
+	}
+	p.K.SetFaultInjector(fault.NewInjector(1, fault.Rule{
+		Target: "h/eng", Kind: fault.KindEnginePanic, Count: 1,
+	}))
+	if res := p.K.Fire("h/eng", 1, 0, 0); !res.Trapped {
+		t.Fatalf("injected panic fire: %+v", res)
+	}
+	if err := p.WAL().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := doEngineStatus(dir); err != nil {
+		t.Fatal(err)
+	}
+	// A state dir with no incidents or programs still reports cleanly.
+	if err := doEngineStatus(walDir(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := doEngineStatus(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("engine-status of a missing directory succeeded")
+	}
+}

@@ -37,9 +37,18 @@ func fireHotPath(k *core.Kernel, from, to int64) {
 }
 
 func benchHotPath(b *testing.B, mode core.ExecMode, cached bool, goroutines int) {
+	benchHotPathK(b, mode, cached, false, goroutines)
+}
+
+func benchHotPathK(b *testing.B, mode core.ExecMode, cached, sentinel bool, goroutines int) {
 	k, err := experiments.NewHotPathKernel(mode, cached)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if sentinel {
+		// Guardrail overhead at the default 1-in-64 differential sampling
+		// rate: the gate is ≤5% over the plain uncached fire.
+		k.AttachSentinel(core.SentinelConfig{SampleEvery: 64})
 	}
 	fireHotPath(k, 0, 4*experiments.HotPathKeys) // warm JIT, memo and verdict caches
 	b.ResetTimer()
@@ -71,7 +80,10 @@ func benchHotPath(b *testing.B, mode core.ExecMode, cached bool, goroutines int)
 	wg.Wait()
 }
 
-// BenchmarkHotPath is the CI-gated suite: mode × caching × goroutines.
+// BenchmarkHotPath is the CI-gated suite: mode × caching × goroutines, plus
+// the sentinel-attached AOT variant measuring the engine-guardrail overhead
+// (health-ladder atomic load + 1-in-64 differential checking) on the
+// uncached fire path.
 func BenchmarkHotPath(b *testing.B) {
 	for _, mode := range []core.ExecMode{core.ModeAOT, core.ModeJIT, core.ModeInterp} {
 		for _, cached := range []bool{true, false} {
@@ -86,5 +98,11 @@ func BenchmarkHotPath(b *testing.B) {
 				})
 			}
 		}
+	}
+	for _, g := range []int{1, 4, 16} {
+		g := g
+		b.Run(fmt.Sprintf("aot/sentinel/g%d", g), func(b *testing.B) {
+			benchHotPathK(b, core.ModeAOT, false, true, g)
+		})
 	}
 }

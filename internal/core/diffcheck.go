@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rmtk/internal/fault"
+	"rmtk/internal/vm"
+)
+
+// This file implements the engine sentinel's online differential checker: a
+// sampled fire runs twice — once on the fully-checked reference interpreter
+// and once on the native tier under test — with both runs' globally-visible
+// env writes buffered. The buffers, verdicts, trap outcomes, step counts and
+// emissions are compared; exactly one buffer is committed. On divergence the
+// checked run wins, so on a sampled fire neither a miscompiled verdict nor a
+// miscompiled side effect can reach the caller or the context store.
+//
+// Both runs execute back to back on the firing goroutine against live context
+// state. A concurrent fire on another key mutating state that both runs read
+// is harmless (they read the same committed value or the overlay); a write
+// racing *between* the two runs to a key this program reads can surface as a
+// spurious divergence. Programs whose helpers are inherently nondeterministic
+// (DP-noised aggregation) are excluded from checking entirely (checkable).
+
+// ctxSlot keys one (key, field) cell of the context store in a write overlay.
+type ctxSlot struct{ key, field int64 }
+
+// writeCap buffers the globally visible writes of one engine run: context
+// stores, history pushes, and vec-pool stores. Reads through env consult the
+// overlay first (read-your-writes); commit applies the buffer to the real
+// stores in a deterministic order.
+type writeCap struct {
+	ctx  map[ctxSlot]int64
+	hist map[int64][]int64
+	vecs map[int64][]int64
+}
+
+func (w *writeCap) storeCtx(key, field, val int64) {
+	if w.ctx == nil {
+		w.ctx = make(map[ctxSlot]int64, 4)
+	}
+	w.ctx[ctxSlot{key, field}] = val
+}
+
+func (w *writeCap) pushHist(key, val int64) {
+	if w.hist == nil {
+		w.hist = make(map[int64][]int64, 2)
+	}
+	w.hist[key] = append(w.hist[key], val)
+}
+
+func (w *writeCap) storeVec(id int64, src []int64) {
+	if w.vecs == nil {
+		w.vecs = make(map[int64][]int64, 2)
+	}
+	w.vecs[id] = append(w.vecs[id][:0], src...)
+}
+
+// readHist merges buffered pushes with the committed history: the result is
+// the most-recent len(dst) window of (committed ++ app), oldest first —
+// exactly what a post-commit Hist would return (the committed window read
+// here is at least as wide as the slice of it the merge can need).
+func (w *writeCap) readHist(k *Kernel, key int64, dst []int64, app []int64) int {
+	if len(app) >= len(dst) {
+		return copy(dst, app[len(app)-len(dst):])
+	}
+	n := k.ctx.Hist(key, dst)
+	merged := make([]int64, 0, n+len(app))
+	merged = append(merged, dst[:n]...)
+	merged = append(merged, app...)
+	if len(merged) > len(dst) {
+		merged = merged[len(merged)-len(dst):]
+	}
+	return copy(dst, merged)
+}
+
+// commit applies the buffered writes. Per-cell last-write-wins is already
+// collapsed in the ctx map; history pushes preserve per-key order; vec slots
+// are independent — so map iteration order cannot change the outcome.
+func (w *writeCap) commit(k *Kernel, rt *routes) {
+	if len(w.ctx) == 0 && len(w.hist) == 0 && len(w.vecs) == 0 {
+		return
+	}
+	for s, v := range w.ctx {
+		k.ctx.Store(s.key, s.field, v)
+	}
+	for key, vals := range w.hist {
+		for _, v := range vals {
+			k.ctx.HistPush(key, v)
+		}
+	}
+	for id, src := range w.vecs {
+		slot, ok := rt.vecs[id]
+		if !ok {
+			continue // slot removed since capture; nothing to write
+		}
+		slot.mu.Lock()
+		if len(slot.v) != len(src) {
+			slot.v = append([]int64(nil), src...)
+		} else {
+			copy(slot.v, src)
+		}
+		slot.mu.Unlock()
+	}
+}
+
+// equal reports whether two captured write sets are identical.
+func (w *writeCap) equal(o *writeCap) bool {
+	if len(w.ctx) != len(o.ctx) || len(w.hist) != len(o.hist) || len(w.vecs) != len(o.vecs) {
+		return false
+	}
+	if len(w.ctx) == 0 && len(w.hist) == 0 && len(w.vecs) == 0 {
+		return true
+	}
+	for s, v := range w.ctx {
+		if ov, ok := o.ctx[s]; !ok || ov != v {
+			return false
+		}
+	}
+	for key, v := range w.hist {
+		if ov, ok := o.hist[key]; !ok || !int64SlicesEqual(v, ov) {
+			return false
+		}
+	}
+	for id, v := range w.vecs {
+		if ov, ok := o.vecs[id]; !ok || !int64SlicesEqual(v, ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkScratch is the pooled per-pair scratch of the differential checker:
+// both write-capture buffers, the reference run's env, invocation and VM state
+// — one pool round trip per sampled pair instead of one per piece. The capture
+// maps are cleared (not dropped) on release — a program that writes nothing,
+// the common case, pays no map work at all.
+type checkScratch struct {
+	refCap, natCap writeCap
+	env            env
+	refInv         Invocation
+	st             *vm.State
+}
+
+func (w *writeCap) reset() {
+	if len(w.ctx) > 0 {
+		clear(w.ctx)
+	}
+	if len(w.hist) > 0 {
+		clear(w.hist)
+	}
+	if len(w.vecs) > 0 {
+		clear(w.vecs)
+	}
+}
+
+func (cs *checkScratch) release(k *Kernel) {
+	cs.refCap.reset()
+	cs.natCap.reset()
+	cs.env = env{}
+	cs.refInv.emissions = nil
+	k.checkPool.Put(cs)
+}
+
+// runCheckedPair executes one sampled (or half-open-probed) engine execution
+// differentially: the checked reference interpreter first, then the native
+// tier, both under write capture. Agreement commits the native buffer and
+// feeds the ladder a success; any disagreement commits the *reference* buffer,
+// answers the fire with the reference result, and charges a divergence to the
+// native tier — demoting it immediately.
+func (k *Kernel) runCheckedPair(rt *routes, shard int, p *progEntry, tier EngineTier, h *engineHealth, probe bool, fireIdx int64, inv *Invocation, arg3 int64, out *fault.Outcome) (int64, int64, bool, error) {
+	s := rt.sentinel
+	s.ctrSampled.Add(1)
+
+	// Reference run on a private invocation carrying the remaining emission
+	// budget, so the guardrail binds identically in both runs.
+	cs := k.checkPool.Get().(*checkScratch)
+	refInv := &cs.refInv
+	*refInv = Invocation{
+		Hook: inv.Hook, Key: inv.Key, Arg2: inv.Arg2, Arg3: inv.Arg3,
+		emitBudget: inv.emitBudget - len(inv.emissions),
+	}
+	refCap := &cs.refCap
+	cs.env.k, cs.env.rt, cs.env.inv, cs.env.wcap = k, rt, refInv, refCap
+	refRet, refErr := runEngine(p.checked, &cs.env, cs.st, nil, inv.Key, inv.Arg2, arg3)
+	refSteps := cs.st.Steps()
+	s.ctrCheckSteps.Add(refSteps)
+
+	// Native run under capture. Emission/rate/inference positions are marked
+	// so the native deltas can be compared — and replaced — in isolation.
+	preEmit := len(inv.emissions)
+	preRate := inv.rateHits
+	preInf := inv.inferences
+	natCap := &cs.natCap
+	ret, steps, trapped, err := k.runNative(rt, shard, p, tier, inv, arg3, out, natCap)
+
+	adopt := func(cause, detail string) (int64, int64, bool, error) {
+		s.engineFault(h, tier, probe, fireIdx, cause, detail)
+		refCap.commit(k, rt)
+		inv.emissions = append(inv.emissions[:preEmit], refInv.emissions...)
+		inv.rateHits = preRate + refInv.rateHits
+		inv.inferences = preInf + refInv.inferences
+		cs.release(k)
+		s.ctrCheckedVerd.Add(1)
+		if refErr != nil {
+			return 0, refSteps, true, refErr
+		}
+		return refRet, refSteps, false, nil
+	}
+
+	if trapped && errors.Is(err, ErrProgramPanic) && refErr == nil {
+		// The native engine panicked where the reference completed: an engine
+		// fault charged as a panic, answered with the reference result.
+		return adopt(CausePanic, err.Error())
+	}
+
+	if detail := diffDetail(refRet, refErr, refSteps, refInv.emissions, ret, err, steps, inv.emissions[preEmit:], trapped, refCap, natCap, out); detail != "" {
+		s.ctrDiverged.Add(1)
+		return adopt(CauseDivergence, detail)
+	}
+
+	// Agreement: the native result stands and its writes commit.
+	natCap.commit(k, rt)
+	cs.release(k)
+	s.engineOK(h, tier, probe)
+	return ret, steps, trapped, err
+}
+
+// diffDetail compares the two runs and renders a divergence description, or
+// "" on agreement. Both-trapped runs agree when they trapped at the same cost
+// with the same writes (the verdict is moot — the default action applies).
+func diffDetail(refRet int64, refErr error, refSteps int64, refEmit []int64, ret int64, err error, steps int64, natEmit []int64, trapped bool, refCap, natCap *writeCap, out *fault.Outcome) string {
+	if out != nil && out.ForceDiverge {
+		return "injected forced divergence"
+	}
+	refTrapped := refErr != nil
+	if trapped != refTrapped {
+		return fmt.Sprintf("trap mismatch: native trapped=%v (%v), checked trapped=%v (%v)", trapped, err, refTrapped, refErr)
+	}
+	if !trapped && ret != refRet {
+		return fmt.Sprintf("verdict mismatch: native %d, checked %d", ret, refRet)
+	}
+	if steps != refSteps {
+		return fmt.Sprintf("step mismatch: native %d, checked %d", steps, refSteps)
+	}
+	if !int64SlicesEqual(natEmit, refEmit) {
+		return fmt.Sprintf("emission mismatch: native %v, checked %v", natEmit, refEmit)
+	}
+	if !natCap.equal(refCap) {
+		return "side-effect mismatch: captured env writes differ"
+	}
+	return ""
+}

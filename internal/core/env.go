@@ -29,14 +29,32 @@ type env struct {
 	// the incumbent reads. Emissions still land in inv — they belong to the
 	// private shadow invocation and feed divergence accounting.
 	shadow bool
+	// wcap, when non-nil, buffers globally visible writes instead of
+	// committing them, with read-your-writes consistency (reads consult the
+	// buffer first). The engine sentinel's differential checker runs both
+	// the reference and the sampled native execution under capture, compares
+	// the buffers, and commits exactly one of them — so on a sampled fire a
+	// miscompiled side effect can no more escape than a miscompiled verdict.
+	wcap *writeCap
 }
 
 var _ vm.Env = (*env)(nil)
 
-func (e *env) CtxLoad(key, field int64) int64 { return e.k.ctx.Load(key, field) }
+func (e *env) CtxLoad(key, field int64) int64 {
+	if e.wcap != nil {
+		if v, ok := e.wcap.ctx[ctxSlot{key, field}]; ok {
+			return v
+		}
+	}
+	return e.k.ctx.Load(key, field)
+}
 
 func (e *env) CtxStore(key, field, val int64) {
 	if e.shadow {
+		return
+	}
+	if e.wcap != nil {
+		e.wcap.storeCtx(key, field, val)
 		return
 	}
 	e.k.ctx.Store(key, field, val)
@@ -46,10 +64,21 @@ func (e *env) CtxHistPush(key, val int64) {
 	if e.shadow {
 		return
 	}
+	if e.wcap != nil {
+		e.wcap.pushHist(key, val)
+		return
+	}
 	e.k.ctx.HistPush(key, val)
 }
 
-func (e *env) CtxHist(key int64, dst []int64) int { return e.k.ctx.Hist(key, dst) }
+func (e *env) CtxHist(key int64, dst []int64) int {
+	if e.wcap != nil {
+		if app := e.wcap.hist[key]; len(app) > 0 {
+			return e.wcap.readHist(e.k, key, dst, app)
+		}
+	}
+	return e.k.ctx.Hist(key, dst)
+}
 
 func (e *env) Match(tableID, key int64) int64 {
 	t, ok := e.rt.tables[tableID]
@@ -130,6 +159,14 @@ func (e *env) Infer(modelID int64, features []int64) (int64, error) {
 }
 
 func (e *env) VecLoad(id int64, dst []int64) (int, error) {
+	if e.wcap != nil {
+		if v, ok := e.wcap.vecs[id]; ok {
+			if len(dst) < len(v) {
+				return 0, vm.ErrVecTooLong
+			}
+			return copy(dst, v), nil
+		}
+	}
 	slot, ok := e.rt.vecs[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: vec %d", ErrNotFound, id)
@@ -147,6 +184,13 @@ func (e *env) VecLoad(id int64, dst []int64) (int, error) {
 
 func (e *env) VecStore(id int64, src []int64) error {
 	if e.shadow {
+		return nil
+	}
+	if e.wcap != nil {
+		if _, ok := e.rt.vecs[id]; !ok {
+			return fmt.Errorf("%w: vec %d", ErrNotFound, id)
+		}
+		e.wcap.storeVec(id, src)
 		return nil
 	}
 	slot, ok := e.rt.vecs[id]

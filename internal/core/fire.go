@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"rmtk/internal/aot"
@@ -26,6 +27,11 @@ type Invocation struct {
 	// injectHelperErr, when non-nil, is consumed by the next helper call
 	// (fault.KindHelperError).
 	injectHelperErr error
+
+	// noCache is set by runProgram when the engine sentinel made this fire
+	// non-replayable (a demoted tier ran, a re-promotion probe ran, or the
+	// differential checker sampled it): the ladder must see every fire.
+	noCache bool
 }
 
 // Emissions returns the values emitted during the invocation.
@@ -68,6 +74,24 @@ type FireResult struct {
 // value: the kernel's built-in behaviour applies.
 const DefaultVerdict = int64(-1)
 
+// fireCtx carries per-dispatch scratch down the fire path. It holds the
+// sentinel's sampler-ticket lease set, drawn lazily on the first sampler
+// consult and returned to the pool when the dispatch — or the whole batch,
+// which shares one fireCtx so chunk claims amortize across it — completes.
+type fireCtx struct {
+	sen    *Sentinel
+	leases *leaseSet
+}
+
+// release returns the lease set (unused tickets stay parked in it for the
+// next fire that draws it from the recycle stack).
+func (fc *fireCtx) release() {
+	if fc.leases != nil {
+		fc.sen.leases.put(fc.leases)
+		fc.leases = nil
+	}
+}
+
 // Event is one pending hook event for FireBatch. Prep, when non-nil, runs
 // immediately before the event dispatches — subsystems use it to stage
 // per-event state (e.g. SetVec of a feature vector) inside the batch.
@@ -104,7 +128,9 @@ func (k *Kernel) Fire(hook string, key, arg2, arg3 int64) FireResult {
 	gen := ts.gen.Load()
 	rt := ts.route.Load()
 	res := FireResult{Verdict: DefaultVerdict}
-	k.fireOne(ts, rt, gen, hook, key, arg2, arg3, &res)
+	var fc fireCtx
+	k.fireOne(ts, rt, gen, hook, key, arg2, arg3, &res, &fc)
+	fc.release()
 	return res
 }
 
@@ -122,19 +148,21 @@ func (k *Kernel) FireBatch(events []Event, out []FireResult) {
 	ts := k.def
 	gen := ts.gen.Load()
 	rt := ts.route.Load()
+	var fc fireCtx
 	for i := range events {
 		ev := &events[i]
 		if ev.Prep != nil {
 			ev.Prep()
 		}
 		out[i] = FireResult{Verdict: DefaultVerdict}
-		k.fireOne(ts, rt, gen, ev.Hook, ev.Key, ev.Arg2, ev.Arg3, &out[i])
+		k.fireOne(ts, rt, gen, ev.Hook, ev.Key, ev.Arg2, ev.Arg3, &out[i], &fc)
 	}
+	fc.release()
 }
 
 // fireOne dispatches one event against a tenant's route snapshot. res must
 // arrive initialized to {Verdict: DefaultVerdict}.
-func (k *Kernel) fireOne(ts *tenantState, rt *routes, gen uint64, hook string, key, arg2, arg3 int64, res *FireResult) {
+func (k *Kernel) fireOne(ts *tenantState, rt *routes, gen uint64, hook string, key, arg2, arg3 int64, res *FireResult, fc *fireCtx) {
 	hr := rt.hooks[hook]
 	if hr == nil || len(hr.tables) == 0 {
 		return
@@ -156,12 +184,12 @@ func (k *Kernel) fireOne(ts *tenantState, rt *routes, gen uint64, hook string, k
 				// The supervisor re-routed the cached program (probe or
 				// fallback); run the slow path, handing it the already-taken
 				// Allow decision so the breaker clock ticks exactly once.
-				k.fireSlow(ts, rt, gen, hr, shard, hook, key, arg2, arg3, res, false, fk, pre)
+				k.fireSlow(ts, rt, gen, hr, shard, hook, key, arg2, arg3, res, false, fk, pre, fc)
 				return
 			}
 		}
 	}
-	k.fireSlow(ts, rt, gen, hr, shard, hook, key, arg2, arg3, res, cacheable, fk, nil)
+	k.fireSlow(ts, rt, gen, hr, shard, hook, key, arg2, arg3, res, cacheable, fk, nil, fc)
 }
 
 // preDecision hands a supervisor Allow verdict taken during cache replay to
@@ -205,7 +233,7 @@ func (k *Kernel) replayCached(rt *routes, cf *cachedFire, shard int, hook string
 
 // fireSlow runs the full pipeline and, when the fire proved replayable,
 // memoizes the outcome under (fk, gen).
-func (k *Kernel) fireSlow(ts *tenantState, rt *routes, gen uint64, hr *hookRoute, shard int, hook string, key, arg2, arg3 int64, res *FireResult, record bool, fk table.FlowKey, pre *preDecision) {
+func (k *Kernel) fireSlow(ts *tenantState, rt *routes, gen uint64, hr *hookRoute, shard int, hook string, key, arg2, arg3 int64, res *FireResult, record bool, fk table.FlowKey, pre *preDecision, fc *fireCtx) {
 	// The invocation is pooled because it escapes into the engine env (the
 	// env is handed to program code through the vm.Env interface); a fresh
 	// heap Invocation per fire was the hot path's dominant allocation.
@@ -242,7 +270,7 @@ func (k *Kernel) fireSlow(ts *tenantState, rt *routes, gen uint64, hr *hookRoute
 		} else {
 			rec.addRow(t, entry)
 		}
-		k.runAction(rt, shard, entry, inv, res, &rec, pre, out)
+		k.runAction(rt, shard, entry, inv, res, &rec, pre, out, fc)
 	}
 	res.Emissions = inv.emissions
 	res.RateLimited = inv.rateHits
@@ -273,7 +301,7 @@ func (k *Kernel) fireSlow(ts *tenantState, rt *routes, gen uint64, hr *hookRoute
 }
 
 // runAction executes one matched entry's action.
-func (k *Kernel) runAction(rt *routes, shard int, entry *table.Entry, inv *Invocation, res *FireResult, rec *fireRec, pre *preDecision, out *fault.Outcome) {
+func (k *Kernel) runAction(rt *routes, shard int, entry *table.Entry, inv *Invocation, res *FireResult, rec *fireRec, pre *preDecision, out *fault.Outcome, fc *fireCtx) {
 	switch entry.Action.Kind {
 	case table.ActionPass:
 		// Default behaviour; nothing to do.
@@ -303,13 +331,13 @@ func (k *Kernel) runAction(rt *routes, shard int, entry *table.Entry, inv *Invoc
 		res.Verdict = m.Predict(feats)
 		inv.inferences++
 	case table.ActionProgram:
-		k.runProgramAction(rt, shard, entry, inv, res, rec, pre, out)
+		k.runProgramAction(rt, shard, entry, inv, res, rec, pre, out, fc)
 	}
 }
 
 // runProgramAction routes one program action through the supervisor (if
 // attached), applies scheduled faults, and records the outcome.
-func (k *Kernel) runProgramAction(rt *routes, shard int, entry *table.Entry, inv *Invocation, res *FireResult, rec *fireRec, pre *preDecision, out *fault.Outcome) {
+func (k *Kernel) runProgramAction(rt *routes, shard int, entry *table.Entry, inv *Invocation, res *FireResult, rec *fireRec, pre *preDecision, out *fault.Outcome, fc *fireCtx) {
 	progID := entry.Action.ProgID
 	sup := rt.sup
 
@@ -332,7 +360,21 @@ func (k *Kernel) runProgramAction(rt *routes, shard int, entry *table.Entry, inv
 		}
 	}
 
-	verdict, steps, trapped, err := k.runProgram(rt, shard, progID, inv, entry.Action.Param, out)
+	verdict, steps, trapped, err := k.runProgram(rt, shard, progID, inv, entry.Action.Param, out, fc)
+	if inv.noCache {
+		rec.ok = false
+		inv.noCache = false
+	}
+	if err != nil && errors.Is(err, ErrEngineQuarantined) {
+		// The engine-health ladder is exhausted for this program: route to
+		// the hook's baseline fallback, exactly like a supervisor
+		// quarantine. The breaker clock is not ticked — no engine ran.
+		rec.ok = false
+		k.ctrTierFires[TierBaseline].Inc(shard)
+		rt.sentinel.ctrBaseline.Add(1)
+		k.runFallback(inv, res)
+		return
+	}
 	res.Steps += steps
 	var latency int64
 	if out != nil {
@@ -403,11 +445,14 @@ func (k *Kernel) runFallback(inv *Invocation, res *FireResult) {
 	k.Metrics.Counter("core.fallback_decisions").Inc()
 }
 
-// runProgram executes an installed program under the configured engine,
+// runProgram executes an installed program under the engine tier the health
+// ladder resolves (the configured mode's tier when no sentinel is attached),
 // applying any scheduled fault outcome. A panicking engine or helper is
 // recovered into a trap — a buggy learned datapath must not take the kernel
-// down with it.
-func (k *Kernel) runProgram(rt *routes, shard int, progID int64, inv *Invocation, param int64, out *fault.Outcome) (verdict int64, steps int64, trapped bool, err error) {
+// down with it. With a sentinel attached, sampled executions run the checked
+// differential pair, and an exhausted ladder returns ErrEngineQuarantined so
+// the caller routes to the baseline fallback.
+func (k *Kernel) runProgram(rt *routes, shard int, progID int64, inv *Invocation, param int64, out *fault.Outcome, fc *fireCtx) (verdict int64, steps int64, trapped bool, err error) {
 	p, ok := rt.progs[progID]
 	if !ok {
 		return 0, 0, false, fmt.Errorf("%w: program %d", ErrNotFound, progID)
@@ -424,16 +469,89 @@ func (k *Kernel) runProgram(rt *routes, shard int, progID int64, inv *Invocation
 	if param != 0 {
 		arg3 = param
 	}
-	if rt.mode == ModeAOT && p.aot != nil {
+
+	// Engine-health ladder, hand-inlined: no sentinel costs two branches, a
+	// healthy program one atomic pointer load plus one atomic tier compare.
+	// Guard on the snapshot's sentinel, not just the health pointer: a
+	// concurrent detach can nil the entry's record under an older snapshot
+	// (benign — the ladder simply stops applying), and a concurrent attach
+	// can populate it before this snapshot knows a sentinel exists.
+	pref := rt.preferredTier(p)
+	tier, h, probe := pref, (*engineHealth)(nil), false
+	if rt.sentinel != nil {
+		if h = p.health.Load(); h != nil && EngineTier(h.tier.Load()) < pref {
+			tier, h, probe = demotedTier(h, pref)
+		}
+	}
+	if probe || tier != pref {
+		inv.noCache = true
+	}
+	if tier == TierBaseline {
+		return 0, 0, false, fmt.Errorf("%w: program %q", ErrEngineQuarantined, p.prog.Name)
+	}
+	fireIdx := int64(-1)
+	if h != nil && tier >= TierJIT && p.checkable && sampleEligible(out) {
+		if probe {
+			// A probed execution is always checked (promotion evidence must
+			// be trustworthy) and never advances the sampler clock.
+			inv.noCache = true
+			return k.runCheckedPair(rt, shard, p, tier, h, probe, fireIdx, inv, arg3, out)
+		}
+		var hit bool
+		fireIdx, hit = rt.sentinel.sampleTicket(h, fc)
+		fireIdx++ // 1-based index recorded in demotion events
+		if hit {
+			inv.noCache = true
+			return k.runCheckedPair(rt, shard, p, tier, h, probe, fireIdx, inv, arg3, out)
+		}
+	}
+	verdict, steps, trapped, err = k.runNative(rt, shard, p, tier, inv, arg3, out, nil)
+	if h != nil {
+		if trapped && errors.Is(err, ErrProgramPanic) {
+			rt.sentinel.engineFault(h, tier, probe, fireIdx, CausePanic, err.Error())
+		} else if probe {
+			// Sub-JIT probes (no checked reference below them) land here;
+			// JIT+ probes return through runCheckedPair above.
+			rt.sentinel.engineOK(h, tier, true)
+		} else {
+			engineFireOK(h)
+		}
+	}
+	return verdict, steps, trapped, err
+}
+
+// sampleEligible excludes fires carrying an injected helper error from
+// differential checking: the injection strikes only the native run, so the
+// clean reference would register a guaranteed — and bogus — divergence.
+// Program-level faults are the supervisor's domain, not the sentinel's.
+func sampleEligible(out *fault.Outcome) bool {
+	return out == nil || out.HelperErr == nil
+}
+
+// runNative executes one engine invocation at an explicit tier, optionally
+// under write capture. poison (an injected engine panic) fires inside the
+// engine's recover scope, exercising the real containment path.
+func (k *Kernel) runNative(rt *routes, shard int, p *progEntry, tier EngineTier, inv *Invocation, arg3 int64, out *fault.Outcome, wcap *writeCap) (verdict int64, steps int64, trapped bool, err error) {
+	var poison error
+	if out != nil && out.EnginePanic != nil {
+		poison = out.EnginePanic
+	}
+	k.ctrTierFires[tier].Inc(shard)
+	if tier == TierAOT {
 		as := k.aotPool.Get().(*aotState)
-		as.env.k, as.env.rt, as.env.inv = k, rt, inv
-		ret, steps, rerr := runAOT(p.aot, &as.env, &as.scratch, inv.Key, inv.Arg2, arg3)
-		as.env.rt, as.env.inv = nil, nil
+		as.env.k, as.env.rt, as.env.inv, as.env.wcap = k, rt, inv, wcap
+		ret, steps, rerr := runAOT(p.aot, &as.env, &as.scratch, poison, inv.Key, inv.Arg2, arg3)
+		as.env.rt, as.env.inv, as.env.wcap = nil, nil, nil
 		k.aotPool.Put(as)
 		inv.injectHelperErr = nil
 		k.histSteps.Observe(shard, steps)
 		if rerr != nil {
 			return 0, steps, true, rerr
+		}
+		if out != nil && out.Miscompile {
+			// An injected miscompile silently perturbs the AOT result — the
+			// fault class only the differential checker can catch.
+			ret += out.MiscompileDelta
 		}
 		return ret, steps, false, nil
 	}
@@ -441,12 +559,12 @@ func (k *Kernel) runProgram(rt *routes, shard int, progID int64, inv *Invocation
 	st := k.statePool.Get().(*vm.State)
 	defer k.statePool.Put(st)
 
-	e := &env{k: k, rt: rt, inv: inv}
+	e := &env{k: k, rt: rt, inv: inv, wcap: wcap}
 	var engine vm.Engine = p.jit
-	if rt.mode == ModeInterp {
+	if tier == TierInterp {
 		engine = p.interp
 	}
-	ret, rerr := runEngine(engine, e, st, inv.Key, inv.Arg2, arg3)
+	ret, rerr := runEngine(engine, e, st, poison, inv.Key, inv.Arg2, arg3)
 	inv.injectHelperErr = nil // unconsumed injections do not leak across runs
 	steps = st.Steps()
 	k.histSteps.Observe(shard, steps)
@@ -466,23 +584,32 @@ type aotState struct {
 
 // runAOT runs one generated function with panic containment. A panic loses
 // the partial step count (the generated frame is gone); the trap itself is
-// still charged to the breaker like any engine panic.
-func runAOT(fn aot.Func, e *env, m *aot.Scratch, r1, r2, r3 int64) (ret, steps int64, err error) {
+// still charged to the breaker like any engine panic. poison, when non-nil,
+// is an injected engine panic raised inside the recover scope so the
+// containment path under test is the real one.
+func runAOT(fn aot.Func, e *env, m *aot.Scratch, poison error, r1, r2, r3 int64) (ret, steps int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", ErrProgramPanic, r)
 		}
 	}()
+	if poison != nil {
+		panic(poison)
+	}
 	return fn(e, m, r1, r2, r3)
 }
 
-// runEngine runs one engine invocation with panic containment.
-func runEngine(engine vm.Engine, e *env, st *vm.State, r1, r2, r3 int64) (ret int64, err error) {
+// runEngine runs one engine invocation with panic containment. poison is an
+// injected engine panic (see runAOT).
+func runEngine(engine vm.Engine, e *env, st *vm.State, poison error, r1, r2, r3 int64) (ret int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", ErrProgramPanic, r)
 		}
 	}()
+	if poison != nil {
+		panic(poison)
+	}
 	return engine.Run(e, st, r1, r2, r3)
 }
 
@@ -499,7 +626,9 @@ func (k *Kernel) RunProgramByName(name string, r1, r2, r3 int64) (int64, []int64
 	}
 	rt := k.def.route.Load()
 	inv := Invocation{Key: r1, Arg2: r2, Arg3: r3, emitBudget: k.cfg.RateLimit}
-	verdict, _, trapped, err := k.runProgram(rt, shardIndex(r1), id, &inv, 0, nil)
+	var fc fireCtx
+	verdict, _, trapped, err := k.runProgram(rt, shardIndex(r1), id, &inv, 0, nil, &fc)
+	fc.release()
 	if inv.inferences > 0 {
 		k.ctrInfers.Add(shardIndex(r1), inv.inferences)
 	}

@@ -154,10 +154,30 @@ type progEntry struct {
 	jit    *vm.JIT
 	report *verifier.Report
 	// aot is the ahead-of-time compiled native function, or nil when the
-	// program's content hash missed the generated registry. Bound once at
-	// install time: a reswap admits a fresh program and rehashes, so a
-	// stale function can never survive a program change.
+	// program's content hash missed the generated registry. The *function*
+	// binding is install-time (a reswap admits a fresh program and
+	// rehashes, so a stale function can never survive a program change);
+	// the *tier* that runs is re-resolved from the engine-health ladder at
+	// every snapshot publish, so a reswap cannot resurrect a quarantined
+	// native func either (sentinel.go).
 	aot aot.Func
+	// hash is the content hash (aot.Hash) — the engine-health key.
+	hash string
+	// checked is the fully-checked interpreter variant (no proof elision)
+	// the sentinel's sampled differential checker runs references on.
+	checked *vm.Interpreter
+	// checkable marks programs whose execution is deterministic enough to
+	// re-run for comparison: no differentially-private helpers anywhere in
+	// the tail-call closure (re-running those would double-charge the
+	// privacy budget and diverge on fresh noise).
+	checkable bool
+	// health is the engine-health record resolved for this program's content
+	// hash — published under k.mu at every snapshot rebuild and nil without
+	// a sentinel. An atomic pointer on the entry rather than a per-snapshot
+	// map keeps runProgram's tier resolution to one pointer load; the
+	// publish-time re-resolution is what lets a reswap of previously-demoted
+	// content re-adopt the demoted record (sentinel.go).
+	health atomic.Pointer[engineHealth]
 }
 
 // Kernel is the in-kernel RMT virtual machine instance.
@@ -182,6 +202,12 @@ type Kernel struct {
 	sup       *Supervisor
 	fallbacks map[string]Fallback
 	inj       *fault.Injector
+
+	// Engine sentinel: per-program engine-health ladder plus the sampled
+	// differential checker (sentinel.go). quarStash holds durable engine
+	// quarantines restored before a sentinel was attached.
+	sentinel  *Sentinel
+	quarStash map[string]EngineTier
 
 	// shadows are attached canary candidates, at most one per hook.
 	shadows map[string]*Shadow
@@ -211,6 +237,10 @@ type Kernel struct {
 	ctrCollects *telemetry.ShardedCounter
 	ctrInfers   *telemetry.ShardedCounter
 	histSteps   *telemetry.ShardedHistogram
+	// ctrTierFires counts engine executions per tier (indexed by
+	// EngineTier; TierBaseline slot counts ladder-exhausted fallback
+	// routes), striped like the other hot-path counters.
+	ctrTierFires [TierAOT + 1]*telemetry.ShardedCounter
 
 	Metrics *telemetry.Registry
 
@@ -222,6 +252,9 @@ type Kernel struct {
 	// invPool recycles fireSlow's Invocations — they escape into the engine
 	// env and would otherwise be the fire path's dominant heap allocation.
 	invPool sync.Pool
+	// checkPool holds *checkScratch buffers for the differential checker's
+	// sampled pairs (diffcheck.go), keeping sampled fires allocation-free.
+	checkPool sync.Pool
 }
 
 // Sentinel errors. Callers (including the supervisor and the control plane's
@@ -233,6 +266,10 @@ var (
 	ErrMalformedMatrix = errors.New("core: malformed matrix")
 	ErrHelperPanic     = errors.New("core: helper panicked")
 	ErrProgramPanic    = errors.New("core: program execution panicked")
+	// ErrEngineQuarantined is reported when the engine-health ladder has
+	// demoted a program to the baseline tier: no engine runs it until a
+	// re-promotion probe succeeds (fires route to the hook's fallback).
+	ErrEngineQuarantined = errors.New("core: engine tiers exhausted; baseline fallback active")
 )
 
 // NewKernel constructs a kernel and registers the standard helpers.
@@ -261,6 +298,9 @@ func NewKernel(cfg Config) *Kernel {
 		ctrInfers:   telemetry.NewShardedCounter(coreShards),
 		histSteps:   telemetry.NewShardedHistogram(coreShards),
 	}
+	for i := range k.ctrTierFires {
+		k.ctrTierFires[i] = telemetry.NewShardedCounter(coreShards)
+	}
 	k.def = &tenantState{}
 	if !cfg.DisableVerdictCache {
 		k.def.vcache = table.NewFlowCache[*cachedFire](coreShards, 4096)
@@ -269,6 +309,7 @@ func NewKernel(cfg Config) *Kernel {
 	k.statePool.New = func() any { return vm.NewState() }
 	k.aotPool.New = func() any { return new(aotState) }
 	k.invPool.New = func() any { return new(Invocation) }
+	k.checkPool.New = func() any { return &checkScratch{st: vm.NewState()} }
 	registerStandardHelpers(k)
 	k.mu.Lock()
 	k.rebuildRoutesLocked()
@@ -679,6 +720,10 @@ func (k *Kernel) installProgram(prog *isa.Program, forceID int64) (int64, *verif
 	if err != nil {
 		return 0, nil, err
 	}
+	checked, err := vm.NewCheckedInterpreter(prog)
+	if err != nil {
+		return 0, nil, err
+	}
 	jit, err := vm.Compile(&env{k: k, rt: k.def.route.Load()}, prog)
 	if err != nil {
 		return 0, nil, err
@@ -710,8 +755,12 @@ func (k *Kernel) installProgram(prog *isa.Program, forceID int64) (int64, *verif
 		k.nextProg++
 	}
 	id := k.nextProg
-	aotFn, _ := aot.Lookup(aot.Hash(prog))
-	k.progs[id] = &progEntry{id: id, prog: prog, interp: interp, jit: jit, report: report, aot: aotFn}
+	hash := aot.Hash(prog)
+	aotFn, _ := aot.Lookup(hash)
+	k.progs[id] = &progEntry{
+		id: id, prog: prog, interp: interp, jit: jit, report: report,
+		aot: aotFn, hash: hash, checked: checked, checkable: k.checkableLocked(prog),
+	}
 	k.progIDs[prog.Name] = id
 	if ts != nil {
 		ts.nProgs++
@@ -721,6 +770,34 @@ func (k *Kernel) installProgram(prog *isa.Program, forceID int64) (int64, *verif
 	k.rebuildOwnedLocked(owner)
 	k.Metrics.Counter("core.programs_installed").Inc()
 	return id, report, nil
+}
+
+// checkableLocked reports whether a program's execution is deterministic
+// enough for the sentinel's sampled differential re-run: neither it nor any
+// program in its tail-call closure may use the differentially-private
+// aggregate helpers (re-running those double-charges the privacy budget and
+// diverges on fresh noise). Caller holds k.mu.
+func (k *Kernel) checkableLocked(prog *isa.Program) bool {
+	seen := make(map[int64]bool)
+	var walk func(p *isa.Program) bool
+	walk = func(p *isa.Program) bool {
+		for _, hid := range p.Helpers {
+			if hid == HelperCtxSum || hid == HelperCtxCount {
+				return false
+			}
+		}
+		for _, tid := range p.Tails {
+			if seen[tid] {
+				continue
+			}
+			seen[tid] = true
+			if tp, ok := k.progs[tid]; ok && !walk(tp.prog) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(prog)
 }
 
 // RemoveProgram uninstalls a program. Table entries referencing it fail soft

@@ -83,6 +83,8 @@ func (q *FireQueue) Drain(max int, out []FireResult) int {
 		max = len(out)
 	}
 	n := 0
+	var fc fireCtx // one sampler-lease draw amortized across the drain
+	defer fc.release()
 	for n < max {
 		q.mu.Lock()
 		item, tenant, ok := q.q.Next()
@@ -107,7 +109,7 @@ func (q *FireQueue) Drain(max int, out []FireResult) int {
 		gen := ts.gen.Load()
 		rt := ts.route.Load()
 		out[n] = FireResult{Verdict: DefaultVerdict}
-		q.k.fireOne(ts, rt, gen, item.ev.Hook, item.ev.Key, item.ev.Arg2, item.ev.Arg3, &out[n])
+		q.k.fireOne(ts, rt, gen, item.ev.Hook, item.ev.Key, item.ev.Arg2, item.ev.Arg3, &out[n], &fc)
 		n++
 	}
 	return n

@@ -53,6 +53,30 @@ type routes struct {
 	sup     *Supervisor
 	inj     *fault.Injector
 	mode    ExecMode
+	// sentinel carries the engine sentinel into the hot path; the per-
+	// program health records it consults live on each progEntry (published
+	// at every snapshot rebuild, so tier selection is re-evaluated then —
+	// a program reswap resolves to the same content-hash record and cannot
+	// resurrect a quarantined native tier).
+	sentinel *Sentinel
+}
+
+// preferredTier is the engine tier the configuration would select for a
+// program absent any health demotion. ModeAOT without a registered native
+// function falls back to the JIT per program.
+func (rt *routes) preferredTier(p *progEntry) EngineTier {
+	t := modeTier(rt.mode)
+	if t == TierAOT && p.aot == nil {
+		return TierJIT
+	}
+	return t
+}
+
+// demotedTier is the out-of-line slow path of the tier resolution inlined in
+// runProgram, for programs the ladder holds below their preferred tier.
+func demotedTier(h *engineHealth, pref EngineTier) (EngineTier, *engineHealth, bool) {
+	tier, probe := h.decideSlow(pref)
+	return tier, h, probe
 }
 
 // rebuildRoutesLocked republishes every tenant's route snapshot from the
@@ -144,6 +168,16 @@ func (k *Kernel) publishTenantLocked(ts *tenantState) {
 	for id, p := range k.progs {
 		if visible(tenantOf(p.prog.Name)) {
 			rt.progs[id] = p
+		}
+	}
+	if k.sentinel != nil {
+		rt.sentinel = k.sentinel
+		for _, p := range rt.progs {
+			p.health.Store(k.sentinel.healthFor(p))
+		}
+	} else {
+		for _, p := range rt.progs {
+			p.health.Store(nil)
 		}
 	}
 	for id, m := range k.models {
@@ -271,8 +305,17 @@ func (k *Kernel) hotStatLines() []string {
 		fmt.Sprintf("core.verdict_cache.invalidations %d", vs.Invalidations),
 		fmt.Sprintf("core.verdict_cache.evictions %d", vs.Evictions),
 	)
-	var ts table.FlowCacheStats
 	rt := k.def.route.Load()
+	out = append(out,
+		fmt.Sprintf("core.engine_fires.interp %d", k.ctrTierFires[TierInterp].Load()),
+		fmt.Sprintf("core.engine_fires.jit %d", k.ctrTierFires[TierJIT].Load()),
+		fmt.Sprintf("core.engine_fires.aot %d", k.ctrTierFires[TierAOT].Load()),
+		fmt.Sprintf("core.engine_fires.baseline %d", k.ctrTierFires[TierBaseline].Load()),
+	)
+	if rt.sentinel != nil {
+		out = append(out, rt.sentinel.statLines()...)
+	}
+	var ts table.FlowCacheStats
 	for _, t := range rt.tables {
 		s := t.CacheStats()
 		ts.Hits += s.Hits

@@ -1,0 +1,32 @@
+//go:build !race
+
+package core
+
+import "sync"
+
+// leasePool recycles leaseSets across fires. In normal builds it is a
+// sync.Pool: the per-P free lists make the once-per-fire draw/return
+// contention-free — no shared cache line, no lock — which is what keeps the
+// sentinel's sampling overhead within the BenchmarkHotPath/aot/sentinel
+// budget. A goroutine firing in a loop keeps redrawing the same set from its
+// P-local slot, so ticket continuity and the deterministic sampling schedule
+// of a sequential fire stream are preserved. A set's parked tickets are
+// burned only if the GC evicts it (two full cycles without a draw) — an
+// aperiodic event that cannot alias with the sampling modulus. Race builds
+// substitute a mutex-guarded stack (sentinel_lease_race.go): the race
+// detector drops sync.Pool Puts at random, which would make the schedule
+// nondeterministic exactly where the determinism tests need it exact.
+type leasePool struct {
+	p sync.Pool
+}
+
+func (lp *leasePool) get() *leaseSet {
+	if ls, ok := lp.p.Get().(*leaseSet); ok {
+		return ls
+	}
+	return new(leaseSet)
+}
+
+func (lp *leasePool) put(ls *leaseSet) {
+	lp.p.Put(ls)
+}

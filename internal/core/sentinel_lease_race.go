@@ -1,0 +1,41 @@
+//go:build race
+
+package core
+
+import "sync"
+
+// leasePoolCap bounds the recycled leaseSet stack (beyond it, sets — and
+// their parked tickets — are dropped to the GC).
+const leasePoolCap = 64
+
+// leasePool under -race is a mutex-guarded LIFO stack rather than the
+// sync.Pool normal builds use (sentinel_lease.go): the race detector makes
+// sync.Pool drop Puts at random, which would burn parked sampler tickets and
+// turn the deterministic sampling schedule nondeterministic — precisely what
+// the determinism tests run under -race to rule out. LIFO reuse keeps a
+// sequential fire stream redrawing the same set, preserving ticket
+// continuity; the extra lock cost is acceptable in race builds.
+type leasePool struct {
+	mu   sync.Mutex
+	free []*leaseSet
+}
+
+func (lp *leasePool) get() *leaseSet {
+	lp.mu.Lock()
+	if n := len(lp.free); n > 0 {
+		ls := lp.free[n-1]
+		lp.free = lp.free[:n-1]
+		lp.mu.Unlock()
+		return ls
+	}
+	lp.mu.Unlock()
+	return new(leaseSet)
+}
+
+func (lp *leasePool) put(ls *leaseSet) {
+	lp.mu.Lock()
+	if len(lp.free) < leasePoolCap {
+		lp.free = append(lp.free, ls)
+	}
+	lp.mu.Unlock()
+}

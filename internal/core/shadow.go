@@ -246,7 +246,7 @@ func (k *Kernel) runShadowProgram(rt *routes, sh *Shadow, progID int64, inv *Inv
 	if rt.mode == ModeInterp {
 		engine = p.interp
 	}
-	ret, err := runEngine(engine, e, st, inv.Key, inv.Arg2, arg3)
+	ret, err := runEngine(engine, e, st, nil, inv.Key, inv.Arg2, arg3)
 	steps = st.Steps()
 	if err != nil {
 		return DefaultVerdict, steps, true

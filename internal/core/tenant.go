@@ -445,7 +445,9 @@ func (k *Kernel) FireTenant(tenant, hook string, key, arg2, arg3 int64) (FireRes
 	gen := ts.gen.Load()
 	rt := ts.route.Load()
 	res := FireResult{Verdict: DefaultVerdict}
-	k.fireOne(ts, rt, gen, hook, key, arg2, arg3, &res)
+	var fc fireCtx
+	k.fireOne(ts, rt, gen, hook, key, arg2, arg3, &res, &fc)
+	fc.release()
 	return res, nil
 }
 

@@ -220,6 +220,16 @@ func (p *Plane) applyRecord(rec *wal.Record) error {
 		return p.K.SetTenantQuota(rec.Tenant, ctrlQuota(rec.Quota))
 	case wal.KindRemoveTenant:
 		return p.applyRemoveTenant(rec.Tenant)
+	case wal.KindIncident:
+		// Re-applying the quarantine is idempotent and order-independent
+		// with respect to program installs: content not yet resolved is
+		// stashed by hash and applied when its health record first exists.
+		tier, err := core.ParseEngineTier(rec.Incident.To)
+		if err != nil {
+			return err
+		}
+		p.K.RestoreEngineQuarantine(rec.Incident.Hash, tier)
+		return nil
 	case wal.KindAbort:
 		return nil // handled by the pre-scan in Recover
 	case wal.KindEpoch:
@@ -457,6 +467,10 @@ type planeSnapshot struct {
 	Models   []modelSnap   `json:"models,omitempty"`
 	Programs []programSnap `json:"programs,omitempty"`
 	History  []historySnap `json:"history,omitempty"`
+	// Quarantines carries the engine sentinel's durable demotion state:
+	// content hashes held below their capability tier, so a restart does not
+	// re-trust a native tier the sentinel caught misbehaving.
+	Quarantines []quarSnap `json:"quarantines,omitempty"`
 }
 
 type tenantSnap struct {
@@ -495,6 +509,11 @@ type programSnap struct {
 type historySnap struct {
 	ID       int64        `json:"id"`
 	Versions []*wal.Model `json:"versions"`
+}
+
+type quarSnap struct {
+	Hash string `json:"hash"`
+	Tier string `json:"tier"`
 }
 
 // snapshot captures the plane's durable state. Callers must quiesce
@@ -580,6 +599,9 @@ func (p *Plane) snapshot() (*planeSnapshot, error) {
 	if herr != nil {
 		return nil, herr
 	}
+	for _, q := range k.EngineQuarantines() {
+		snap.Quarantines = append(snap.Quarantines, quarSnap{Hash: q.Hash, Tier: q.Tier.String()})
+	}
 	return snap, nil
 }
 
@@ -593,6 +615,16 @@ func (p *Plane) restoreSnapshot(body []byte) error {
 		return fmt.Errorf("%w: checkpoint payload: %v", wal.ErrCorruptRecord, err)
 	}
 	k := p.K
+	// Engine quarantines land before the programs they refer to on purpose:
+	// RestoreEngineQuarantine stashes by content hash, so restore order is
+	// immaterial and a program installed later still resolves demoted.
+	for _, q := range snap.Quarantines {
+		tier, err := core.ParseEngineTier(q.Tier)
+		if err != nil {
+			return err
+		}
+		k.RestoreEngineQuarantine(q.Hash, tier)
+	}
 	// Tenants land first: quota admission and name-prefix ownership must
 	// resolve when the tenant's tables, programs and models restore.
 	for _, ts := range snap.Tenants {

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"rmtk/internal/core"
+)
+
+// TestEngineChaosGates runs the short engine-chaos experiment and enforces
+// the acceptance gates: every faulty lane demotes within one sampling
+// period, zero corrupted verdicts reach callers, the ladder re-promotes
+// after the panic storm, and chaos JCT stays within 1.05x of clean all-JIT.
+func TestEngineChaosGates(t *testing.T) {
+	res, err := EngineChaos(1, true)
+	if err != nil {
+		t.Fatalf("EngineChaos: %v", err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("gates: %v\n%s", err, res)
+	}
+
+	lanes := make(map[string]EngineLane, len(res.Lanes))
+	for _, l := range res.Lanes {
+		lanes[l.Program] = l
+	}
+	if l := lanes["enginechaos_panic"]; l.FinalTier != core.TierJIT {
+		t.Errorf("panic lane final tier = %s, want recovery to jit\n%s", l.FinalTier, res)
+	}
+	if l := lanes["shardscale_pure"]; l.MaxTier != core.TierAOT || l.FinalTier >= core.TierAOT {
+		t.Errorf("miscompile lane max=%s final=%s, want aot demoted below aot", l.MaxTier, l.FinalTier)
+	}
+	if l := lanes["enginechaos_div"]; l.FinalTier != core.TierInterp {
+		t.Errorf("divergence lane final tier = %s, want interp (no sampling below jit)", l.FinalTier)
+	}
+	if res.Counts.CheckedVerdicts == 0 {
+		t.Errorf("no diverging fire was answered with the checked verdict\n%s", res)
+	}
+	if res.Counts.BaselineFires == 0 {
+		t.Errorf("panic lane never reached baseline fallback\n%s", res)
+	}
+}
+
+// TestEngineChaosDeterministic pins the sampler/injector schedule: two runs
+// with the same seed must demote at identical fire indices.
+func TestEngineChaosDeterministic(t *testing.T) {
+	a, err := EngineChaos(7, true)
+	if err != nil {
+		t.Fatalf("run a: %v", err)
+	}
+	b, err := EngineChaos(7, true)
+	if err != nil {
+		t.Fatalf("run b: %v", err)
+	}
+	for i := range a.Lanes {
+		if a.Lanes[i].FirstDemoteFire != b.Lanes[i].FirstDemoteFire {
+			t.Errorf("lane %s: first demotion at fire %d vs %d across identical seeds",
+				a.Lanes[i].Program, a.Lanes[i].FirstDemoteFire, b.Lanes[i].FirstDemoteFire)
+		}
+	}
+	if a.Counts.Divergences != b.Counts.Divergences || a.Counts.Sampled != b.Counts.Sampled {
+		t.Errorf("sentinel counters diverged across identical seeds: %+v vs %+v", a.Counts, b.Counts)
+	}
+}

@@ -47,6 +47,20 @@ func (r ShardScaleResult) Speedup() float64 {
 // (hotpath_bench_test.go) and the shardscale experiment share this fixture.
 func NewHotPathKernel(mode core.ExecMode, cached bool) (*core.Kernel, error) {
 	k := core.NewKernel(core.Config{Mode: mode, DisableVerdictCache: !cached})
+	if err := InstallHotPath(k); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// InstallHotPath installs the hot-path fixture — matrix, program, table and
+// HotPathKeys exact-match entries — into an existing kernel. The matrix must
+// be the kernel's first registered matrix: the program bytes encode its id,
+// and the AOT registry hash (gen_datapaths.go) was generated from exactly
+// this construction, so a different id would miss the native tier. The
+// engine-chaos experiment reuses this to get a genuinely AOT-compiled
+// program into its kernel.
+func InstallHotPath(k *core.Kernel) error {
 	matID, err := k.RegisterMatrix(&core.Matrix{
 		In: 4, Out: 4,
 		W: []int64{
@@ -58,7 +72,7 @@ func NewHotPathKernel(mode core.ExecMode, cached bool) (*core.Kernel, error) {
 		B: []int64{1, 2, 3, 4},
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	prog := &isa.Program{
 		Name: "shardscale_pure",
@@ -77,24 +91,24 @@ func NewHotPathKernel(mode core.ExecMode, cached bool) (*core.Kernel, error) {
 	}
 	progID, rep, err := k.InstallProgram(prog)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if !rep.Pure {
-		return nil, fmt.Errorf("shardscale: program not certified pure: %+v", rep)
+		return fmt.Errorf("shardscale: program not certified pure: %+v", rep)
 	}
 	t := table.New("shardscale_tab", HotPathHook, table.MatchExact)
 	if _, err := k.CreateTable(t); err != nil {
-		return nil, err
+		return err
 	}
 	for key := 0; key < HotPathKeys; key++ {
 		if err := t.Insert(&table.Entry{
 			Key:    uint64(key),
 			Action: table.Action{Kind: table.ActionProgram, ProgID: progID},
 		}); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return k, nil
+	return nil
 }
 
 // fireLoop drives fires/batch batched fires per iteration over the key space,

@@ -40,16 +40,31 @@ const (
 	// KindLatencySpike charges LatencyNs of synchronous stall to the firing
 	// datapath; the simulators add it to their virtual clocks.
 	KindLatencySpike
+	// KindEnginePanic panics the execution engine mid-run. The fire path's
+	// panic containment recovers it into a typed engine trap; the engine
+	// sentinel's health ladder counts it against the tier that ran.
+	KindEnginePanic
+	// KindMiscompile silently perturbs the native (AOT) result — a stand-in
+	// for a codegen bug or a stale registry entry. Only the sentinel's
+	// sampled differential check can catch it.
+	KindMiscompile
+	// KindForceDivergence forces the sentinel's sampled comparison to report
+	// a divergence even when the engines agreed (a detector self-test; it is
+	// a no-op on fires the sampler does not select).
+	KindForceDivergence
 
 	numKinds
 )
 
 var kindNames = [...]string{
-	KindHelperError:    "helper-error",
-	KindVMTrap:         "vm-trap",
-	KindModelSwapFail:  "model-swap-fail",
-	KindCorruptVerdict: "corrupt-verdict",
-	KindLatencySpike:   "latency-spike",
+	KindHelperError:     "helper-error",
+	KindVMTrap:          "vm-trap",
+	KindModelSwapFail:   "model-swap-fail",
+	KindCorruptVerdict:  "corrupt-verdict",
+	KindLatencySpike:    "latency-spike",
+	KindEnginePanic:     "engine-panic",
+	KindMiscompile:      "miscompile",
+	KindForceDivergence: "force-divergence",
 }
 
 // String names the kind.
@@ -70,6 +85,9 @@ var (
 	ErrInjectedHelper = errors.New("fault: injected helper error")
 	ErrInjectedTrap   = errors.New("fault: injected VM trap")
 	ErrInjectedSwap   = errors.New("fault: injected model-swap failure")
+	// ErrInjectedEnginePanic is the payload of a KindEnginePanic panic; the
+	// kernel's recover wraps it into its typed engine-panic trap.
+	ErrInjectedEnginePanic = errors.New("fault: injected engine panic")
 )
 
 // Rule schedules one fault kind against one target. A rule matches firing
@@ -138,11 +156,21 @@ type Outcome struct {
 	CorruptVal int64
 	// LatencyNs is synchronous stall to charge to the virtual clock.
 	LatencyNs int64
+	// EnginePanic, when non-nil, is panicked inside the execution engine so
+	// the fire path's containment (recover) is exercised for real.
+	EnginePanic error
+	// Miscompile perturbs the native AOT result by MiscompileDelta (nonzero)
+	// without any error the breaker could see.
+	Miscompile      bool
+	MiscompileDelta int64
+	// ForceDiverge makes the sentinel's sampled comparison report divergence.
+	ForceDiverge bool
 }
 
 // Empty reports whether the outcome injects nothing.
 func (o *Outcome) Empty() bool {
-	return o == nil || (!o.Trap && o.HelperErr == nil && o.SwapErr == nil && !o.Corrupt && o.LatencyNs == 0)
+	return o == nil || (!o.Trap && o.HelperErr == nil && o.SwapErr == nil && !o.Corrupt &&
+		o.LatencyNs == 0 && o.EnginePanic == nil && !o.Miscompile && !o.ForceDiverge)
 }
 
 // Injector evaluates the rule set against a per-target firing counter. All
@@ -199,6 +227,15 @@ func (inj *Injector) Check(target string) *Outcome {
 			out.CorruptVal = inj.rng.Int63()
 		case KindLatencySpike:
 			out.LatencyNs += r.LatencyNs
+		case KindEnginePanic:
+			out.EnginePanic = fmt.Errorf("%w: %s fire %d", ErrInjectedEnginePanic, target, idx)
+		case KindMiscompile:
+			out.Miscompile = true
+			// Deterministic nonzero perturbation: a seeded garbage delta so
+			// the corrupted verdict is recognizably wrong yet reproducible.
+			out.MiscompileDelta = 1 + inj.rng.Int63n(1<<30)
+		case KindForceDivergence:
+			out.ForceDiverge = true
 		}
 	}
 	if out.Empty() {

@@ -44,6 +44,21 @@ func NewInterpreter(prog *isa.Program) (*Interpreter, error) {
 	}, nil
 }
 
+// NewCheckedInterpreter prepares the fully-checked reference variant of an
+// admitted program: a clone with the verifier's per-instruction proof masks
+// and static cost certificate dropped, so every runtime check executes even
+// where the production engines elide it. Helper contracts are kept (enforced
+// at every call site). The engine sentinel's online differential checker runs
+// sampled fires through this variant — a native result that only holds
+// because a wrong proof elided the check that would have caught it shows up
+// as a divergence here.
+func NewCheckedInterpreter(prog *isa.Program) (*Interpreter, error) {
+	c := prog.Clone()
+	c.Proofs = nil
+	c.StaticSteps = 0
+	return NewInterpreter(c)
+}
+
 // Name implements Engine.
 func (ip *Interpreter) Name() string { return "interp" }
 

@@ -53,6 +53,12 @@ const (
 	// KindRemoveTenant tears tenant Tenant down (its prefixed resources go
 	// with it; their creation records are superseded, not contradicted).
 	KindRemoveTenant
+	// KindIncident records an engine-sentinel incident: the demotion (or
+	// detected divergence) of one program content hash's engine tier.
+	// Replay re-applies the quarantine (Incident.Hash held at Incident.To),
+	// so a restart — or a follower — distrusts exactly the native tiers the
+	// leader's sentinel distrusted.
+	KindIncident
 
 	kindEnd
 )
@@ -74,6 +80,7 @@ var kindNames = [...]string{
 	KindRegisterTenant: "register-tenant",
 	KindSetQuota:       "set-quota",
 	KindRemoveTenant:   "remove-tenant",
+	KindIncident:       "incident",
 }
 
 // String names the kind.
@@ -144,6 +151,19 @@ type Quota struct {
 	LatencySLO  int64 `json:"latency_slo_ns,omitempty"`
 }
 
+// Incident is the durable form of an engine-sentinel incident. Tiers are
+// stored by name ("aot", "jit", "interp", "baseline") so the log is
+// self-describing without importing engine enums.
+type Incident struct {
+	Program string `json:"program,omitempty"`
+	Hash    string `json:"hash"`
+	From    string `json:"from,omitempty"`
+	To      string `json:"to"`
+	Cause   string `json:"cause,omitempty"`
+	Fire    int64  `json:"fire,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
 // Record is one logged control-plane mutation. Kind selects which fields
 // are meaningful; unused fields are omitted from the encoding.
 type Record struct {
@@ -187,6 +207,8 @@ type Record struct {
 	// reconfiguration: transaction commit, canary promotion or rollback),
 	// so replay restores the same version counter.
 	Bump bool `json:"bump,omitempty"`
+	// Incident is the engine-sentinel incident of a KindIncident record.
+	Incident *Incident `json:"incident,omitempty"`
 	// Epoch is the leader epoch under which a replicated record was logged
 	// (zero on single-node planes). Followers compare it against the
 	// shipping leader's view to detect diverged logs; for KindEpoch records
@@ -266,6 +288,15 @@ func (r *Record) validate(sub bool) error {
 		if r.Tenant == "" {
 			return fmt.Errorf("remove-tenant without a tenant name")
 		}
+	case KindIncident:
+		// Incidents are observations, not mutations of named resources; they
+		// never participate in transactions (nothing to atomically group).
+		if sub {
+			return fmt.Errorf("incident inside a transaction record")
+		}
+		if r.Incident == nil || r.Incident.Hash == "" || r.Incident.To == "" {
+			return fmt.Errorf("incident without hash/to")
+		}
 	}
 	return nil
 }
@@ -322,6 +353,8 @@ func (r *Record) String() string {
 		return fmt.Sprintf("#%d %s tenant=%q class=%d rate=%d", r.Seq, r.Kind, r.Tenant, r.Quota.Class, r.Quota.RatePerSec)
 	case KindRemoveTenant:
 		return fmt.Sprintf("#%d remove-tenant tenant=%q", r.Seq, r.Tenant)
+	case KindIncident:
+		return fmt.Sprintf("#%d incident %s [%s] %s->%s fire=%d", r.Seq, r.Incident.Program, r.Incident.Cause, r.Incident.From, r.Incident.To, r.Incident.Fire)
 	default:
 		return fmt.Sprintf("#%d %s", r.Seq, r.Kind)
 	}

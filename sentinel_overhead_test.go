@@ -1,0 +1,80 @@
+package rmtk_test
+
+import (
+	"testing"
+	"time"
+
+	"rmtk/internal/core"
+	"rmtk/internal/experiments"
+)
+
+// TestSentinelOverheadProbe measures the sentinel's hot-path overhead with a
+// paired min-of-segments estimator: plain and sentinel-attached kernels fire
+// alternating segments in one process, and each side keeps its fastest
+// segment. On a noisy (steal-prone) box interference only ever adds time, so
+// the minima converge to the clean per-fire cost where a wall-clock benchmark
+// average drowns in the noise. Log-only — the enforced gate is the
+// BenchmarkHotPath/aot/sentinel entries in BENCH_BASELINE.json.
+func TestSentinelOverheadProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing probe")
+	}
+	mk := func(sentinel bool) *core.Kernel {
+		k, err := experiments.NewHotPathKernel(core.ModeAOT, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sentinel {
+			k.AttachSentinel(core.SentinelConfig{SampleEvery: 64})
+		}
+		fireHotPath(k, 0, 4*experiments.HotPathKeys)
+		return k
+	}
+	k3, err := experiments.NewHotPathKernel(core.ModeAOT, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3.AttachSentinel(core.SentinelConfig{SampleEvery: 1 << 30})
+	fireHotPath(k3, 0, 4*experiments.HotPathKeys)
+	k4, err := experiments.NewHotPathKernel(core.ModeAOT, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k4.AttachSentinel(core.SentinelConfig{SampleEvery: 1})
+	fireHotPath(k4, 0, 4*experiments.HotPathKeys)
+	plain, sent := mk(false), mk(true)
+	const seg = 50_000
+	minU, minS, minN, minP := time.Duration(1<<62), time.Duration(1<<62), time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < 30; i++ {
+		t0 := time.Now()
+		fireHotPath(plain, 0, seg)
+		dU := time.Since(t0)
+		t1 := time.Now()
+		fireHotPath(sent, 0, seg)
+		dS := time.Since(t1)
+		t2 := time.Now()
+		fireHotPath(k3, 0, seg)
+		dN := time.Since(t2)
+		if dU < minU {
+			minU = dU
+		}
+		if dS < minS {
+			minS = dS
+		}
+		if dN < minN {
+			minN = dN
+		}
+		t3 := time.Now()
+		fireHotPath(k4, 0, seg)
+		dP := time.Since(t3)
+		if dP < minP {
+			minP = dP
+		}
+	}
+	t.Logf("uncached min %.1f ns/fire, sentinel min %.1f ns/fire (%+.2f%%), nosample min %.1f ns/fire (%+.2f%%)",
+		float64(minU.Nanoseconds())/seg, float64(minS.Nanoseconds())/seg,
+		100*(float64(minS)/float64(minU)-1),
+		float64(minN.Nanoseconds())/seg,
+		100*(float64(minN)/float64(minU)-1))
+	t.Logf("every-fire-checked min %.1f ns/fire", float64(minP.Nanoseconds())/seg)
+}
